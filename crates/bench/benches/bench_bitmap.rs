@@ -1,0 +1,44 @@
+//! Join bitmap index operations, including the jump-intersection ablation
+//! (sparsest-first vs naive ordering) and WAH compression.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tqs_schema::{jump_intersect, Bitmap, WahBitmap};
+
+fn make(len: usize, every: usize) -> Bitmap {
+    let mut b = Bitmap::new(len);
+    for i in (0..len).step_by(every) {
+        b.set(i, true);
+    }
+    b
+}
+
+fn bench_bitmap_ops(c: &mut Criterion) {
+    let dense = make(100_000, 2);
+    let sparse = make(100_000, 997);
+    c.bench_function("bitmap_and_100k", |b| b.iter(|| dense.and(&sparse)));
+    c.bench_function("bitmap_or_100k", |b| b.iter(|| dense.or(&sparse)));
+    c.bench_function("bitmap_and_not_100k", |b| b.iter(|| dense.and_not(&sparse)));
+}
+
+fn bench_jump_intersection(c: &mut Criterion) {
+    let a = make(100_000, 2);
+    let b1 = make(100_000, 3);
+    let s = make(100_000, 1553);
+    c.bench_function("jump_intersect_sparsest_first", |bch| {
+        bch.iter(|| jump_intersect(&[&a, &b1, &s]))
+    });
+    // ablation: naive left-to-right fold without sparsity ordering
+    c.bench_function("naive_intersect_in_given_order", |bch| {
+        bch.iter(|| a.and(&b1).and(&s))
+    });
+}
+
+fn bench_wah(c: &mut Criterion) {
+    let sparse = make(200_000, 1553);
+    c.bench_function("wah_compress_sparse_200k", |b| b.iter(|| WahBitmap::compress(&sparse)));
+    let compressed = WahBitmap::compress(&sparse);
+    c.bench_function("wah_decompress_sparse_200k", |b| b.iter(|| compressed.decompress()));
+}
+
+criterion_group!(benches, bench_bitmap_ops, bench_jump_intersection, bench_wah);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Simulated-DBMS join execution across the physical algorithms the hints can
+//! force (the cost of one transformed-query execution).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tqs_bench::standard_dsg;
+use tqs_core::dsg::DsgDatabase;
+use tqs_engine::{Database, DbmsProfile, ProfileId};
+use tqs_sql::parser::parse_stmt;
+
+fn bench_join_algorithms(c: &mut Criterion) {
+    let dsg = DsgDatabase::build(&standard_dsg(400, 7));
+    let goods = dsg.db.table_with_pk("goodsId").unwrap().name.clone();
+    let names = dsg.db.table_with_pk("goodsName").unwrap().name.clone();
+    let engine = Database::new(dsg.db.catalog.clone(), DbmsProfile::pristine(ProfileId::MysqlLike));
+    let mut group = c.benchmark_group("engine_join");
+    for hint in ["HASH_JOIN", "MERGE_JOIN", "NL_JOIN", "INDEX_JOIN"] {
+        let sql = format!(
+            "SELECT /*+ {hint}({goods}, {names}) */ T1.orderId, {names}.price FROM T1 \
+             JOIN {goods} ON T1.goodsId = {goods}.goodsId \
+             JOIN {names} ON {goods}.goodsName = {names}.goodsName"
+        );
+        let stmt = parse_stmt(&sql).unwrap();
+        group.bench_with_input(BenchmarkId::new("three_way", hint), &stmt, |b, s| {
+            b.iter(|| engine.execute(s).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! End-to-end cost of one TQS iteration (generate → transform → execute all
+//! hint sets → verify against ground truth), compared with one baseline
+//! iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tqs_bench::standard_dsg;
+use tqs_core::baselines::{run_baseline_on, Baseline, BaselineConfig};
+use tqs_core::dsg::DsgDatabase;
+use tqs_core::tqs::{TqsConfig, TqsRunner};
+use tqs_engine::{Database, DbmsProfile, ProfileId};
+
+fn bench_tqs_iteration(c: &mut Criterion) {
+    let dsg = DsgDatabase::build(&standard_dsg(200, 5));
+    c.bench_function("tqs_one_iteration", |b| {
+        b.iter_batched(
+            || {
+                TqsRunner::with_database(
+                    ProfileId::MysqlLike,
+                    DbmsProfile::build(ProfileId::MysqlLike),
+                    dsg.clone(),
+                    TqsConfig { iterations: 1, ..Default::default() },
+                )
+            },
+            |mut runner| runner.run(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_baseline_iteration(c: &mut Criterion) {
+    let dsg = DsgDatabase::build(&standard_dsg(200, 5));
+    c.bench_function("norec_one_iteration", |b| {
+        b.iter_batched(
+            || Database::new(dsg.db.catalog.clone(), DbmsProfile::build(ProfileId::MysqlLike)),
+            |engine| {
+                run_baseline_on(
+                    Baseline::NoRec,
+                    engine,
+                    &dsg,
+                    &BaselineConfig { iterations: 1, ..Default::default() },
+                )
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_tqs_iteration, bench_baseline_iteration);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Micro-benchmarks for the DSG data layer: FD discovery and 3NF
+//! normalization (the setup cost of every testing session).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tqs_schema::{normalize, FdDiscoveryConfig, FdSet};
+use tqs_storage::widegen::{shopping_orders, tpch_like, ShoppingConfig, TpchLikeConfig};
+
+fn bench_fd_discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fd_discovery");
+    for rows in [200usize, 800] {
+        let wide = shopping_orders(&ShoppingConfig { n_rows: rows, ..Default::default() });
+        group.bench_with_input(BenchmarkId::new("shopping", rows), &wide, |b, w| {
+            b.iter(|| FdSet::discover(w, &FdDiscoveryConfig::default()))
+        });
+    }
+    let wide = tpch_like(&TpchLikeConfig { n_rows: 400, ..Default::default() });
+    group.bench_function("tpch_like_400", |b| {
+        b.iter(|| FdSet::discover(&wide, &FdDiscoveryConfig::default()))
+    });
+    group.finish();
+}
+
+fn bench_normalize(c: &mut Criterion) {
+    let wide = shopping_orders(&ShoppingConfig { n_rows: 600, ..Default::default() });
+    let fds = FdSet::discover(&wide, &FdDiscoveryConfig::default());
+    c.bench_function("normalize_shopping_600", |b| {
+        b.iter(|| normalize(wide.clone(), &fds))
+    });
+}
+
+criterion_group!(benches, bench_fd_discovery, bench_normalize);
+criterion_main!(benches);

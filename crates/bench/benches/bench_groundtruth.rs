@@ -1,0 +1,32 @@
+//! Ground-truth recovery cost (bitmap fold + wide-table retrieval + reference
+//! evaluation) for two- and three-way joins.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tqs_bench::standard_dsg;
+use tqs_core::dsg::DsgDatabase;
+use tqs_schema::GroundTruthEvaluator;
+use tqs_sql::parser::parse_stmt;
+
+fn bench_ground_truth(c: &mut Criterion) {
+    let dsg = DsgDatabase::build(&standard_dsg(400, 3));
+    let goods = dsg.db.table_with_pk("goodsId").unwrap().name.clone();
+    let names = dsg.db.table_with_pk("goodsName").unwrap().name.clone();
+    let users = dsg.db.table_with_pk("userId").unwrap().name.clone();
+    let gt = GroundTruthEvaluator::new(&dsg.db);
+    let queries = [
+        ("two_way", format!("SELECT {goods}.goodsName, {names}.price FROM {goods} JOIN {names} ON {goods}.goodsName = {names}.goodsName")),
+        ("three_way", format!("SELECT T1.orderId FROM T1 JOIN {goods} ON T1.goodsId = {goods}.goodsId LEFT OUTER JOIN {users} ON T1.userId = {users}.userId")),
+        ("anti_join", format!("SELECT T1.orderId FROM T1 ANTI JOIN {goods} ON T1.goodsId = {goods}.goodsId")),
+    ];
+    let mut group = c.benchmark_group("ground_truth");
+    for (name, sql) in &queries {
+        let stmt = parse_stmt(sql).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &stmt, |b, s| {
+            b.iter(|| gt.evaluate(s).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ground_truth);
+criterion_main!(benches);

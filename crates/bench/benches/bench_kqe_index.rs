@@ -1,0 +1,40 @@
+//! KQE graph index: embedding, insertion and coverage queries as the explored
+//! history grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tqs_graph::embedding::embed_graph;
+use tqs_graph::{GraphIndex, LabeledGraph};
+
+fn chain(n: usize, label: &str) -> LabeledGraph {
+    let mut g = LabeledGraph::default();
+    let ids: Vec<usize> = (0..n).map(|_| g.add_node("table")).collect();
+    for i in 1..n {
+        g.add_edge(ids[i - 1], ids[i], label);
+    }
+    g
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    let g = chain(5, "inner join");
+    c.bench_function("embed_query_graph", |b| b.iter(|| embed_graph(&g, 2)));
+}
+
+fn bench_coverage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kqe_coverage");
+    for size in [100usize, 1_000, 10_000] {
+        let mut gi = GraphIndex::new();
+        let labels = ["inner join", "left outer join", "semi join", "anti join"];
+        for i in 0..size {
+            let g = chain(2 + i % 4, labels[i % labels.len()]);
+            gi.insert(&g, embed_graph(&g, 2));
+        }
+        let probe = embed_graph(&chain(3, "inner join"), 2);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &gi, |b, gi| {
+            b.iter(|| gi.coverage(&probe, 5))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_embedding, bench_coverage);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 10: effect of parallel search — number of queries processed within
+//! a fixed wall-clock budget as the number of clients grows from 1 to 5.
+
+use std::time::Duration;
+use tqs_bench::standard_dsg;
+use tqs_core::dsg::DsgDatabase;
+use tqs_core::parallel::parallel_explore;
+use tqs_engine::ProfileId;
+
+fn main() {
+    let millis: u64 = std::env::var("TQS_WALL_MS").ok().and_then(|s| s.parse().ok()).unwrap_or(2_000);
+    let dsg = DsgDatabase::build(&standard_dsg(250, 55));
+    println!("Figure 10 — parallel search on MySQL-like ({millis} ms budget per point)");
+    println!("{:<8} {:>10} {:>10} {:>10}", "clients", "queries", "bugs", "diversity");
+    for clients in 1..=5 {
+        let stats = parallel_explore(
+            ProfileId::MysqlLike,
+            &dsg,
+            clients,
+            Duration::from_millis(millis),
+            9_000 + clients as u64,
+        );
+        println!(
+            "{:<8} {:>10} {:>10} {:>10}",
+            stats.clients, stats.queries_processed, stats.bugs_found, stats.diversity
+        );
+    }
+}

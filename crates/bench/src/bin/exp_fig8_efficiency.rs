@@ -1,0 +1,39 @@
+//! Figure 8(e–h): cumulative detected bug count over the testing budget,
+//! TQS vs the SQLancer baselines, per DBMS.
+
+use tqs_bench::{budget, standard_dsg, standard_runner};
+use tqs_core::baselines::{run_baseline, Baseline, BaselineConfig};
+use tqs_core::dsg::DsgDatabase;
+use tqs_engine::ProfileId;
+
+fn main() {
+    let iterations = budget(400);
+    let pairs = [
+        (ProfileId::MysqlLike, vec![Baseline::Pqs, Baseline::Tlp]),
+        (ProfileId::MariadbLike, vec![Baseline::NoRec]),
+        (ProfileId::TidbLike, vec![Baseline::Tlp]),
+        (ProfileId::XdbLike, vec![Baseline::Pqs, Baseline::Tlp]),
+    ];
+    for (profile, baselines) in pairs {
+        println!("== Figure 8 efficiency (bug count) — {} ==", profile.name());
+        let mut runner = standard_runner(profile, iterations, 777);
+        let tqs = runner.run();
+        print_series("TQS", &tqs.bug_timeline);
+        let dsg = DsgDatabase::build(&standard_dsg(250, 777));
+        for b in baselines {
+            let stats = run_baseline(
+                b,
+                profile,
+                &dsg,
+                &BaselineConfig { iterations, queries_per_hour: iterations.div_ceil(24).max(1), ..Default::default() },
+            );
+            print_series(b.name(), &stats.bug_timeline);
+        }
+        println!();
+    }
+}
+
+fn print_series(label: &str, series: &[tqs_core::tqs::TimelinePoint]) {
+    let pts: Vec<String> = series.iter().map(|p| format!("{}:{}", p.hour, p.value)).collect();
+    println!("{:<6} {}", label, pts.join(" "));
+}

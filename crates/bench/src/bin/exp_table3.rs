@@ -1,0 +1,25 @@
+//! Table 3: the tested DBMS inventory (here: the four simulated profiles and
+//! their metadata).
+
+use tqs_engine::{DbmsProfile, ProfileId};
+
+fn main() {
+    println!("Table 3 — tested (simulated) DBMS profiles");
+    println!(
+        "{:<14} {:<16} {:>10} {:>14} {:>12} {:>8} {:>14}",
+        "DBMS", "Version", "DB-Engines", "StackOverflow", "GitHub stars", "LOC", "First release"
+    );
+    for id in ProfileId::ALL {
+        let p = DbmsProfile::build(id);
+        println!(
+            "{:<14} {:<16} {:>10} {:>14} {:>12} {:>8} {:>14}",
+            p.info.name,
+            p.info.version,
+            p.info.db_engines_rank.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
+            p.info.stack_overflow_rank.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
+            p.info.github_stars.unwrap_or("-"),
+            p.info.loc,
+            p.info.first_release
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Table 5: ablation — full TQS vs TQS!Noise (no noise injection), TQS!GT
+//! (differential testing instead of ground truth) and TQS!KQE (uniform random
+//! walk), per DBMS; reports query-graph diversity and bug count.
+
+use tqs_bench::{budget, standard_dsg};
+use tqs_core::dsg::{DsgConfig, DsgDatabase};
+use tqs_core::tqs::{TqsConfig, TqsRunner};
+use tqs_engine::{DbmsProfile, ProfileId};
+
+fn run(profile: ProfileId, dsg_cfg: &DsgConfig, use_gt: bool, use_kqe: bool, iterations: usize) -> (usize, usize, usize) {
+    let dsg = DsgDatabase::build(dsg_cfg);
+    let mut runner = TqsRunner::with_database(
+        profile,
+        DbmsProfile::build(profile),
+        dsg,
+        TqsConfig { iterations, use_ground_truth: use_gt, use_kqe, ..Default::default() },
+    );
+    let s = runner.run();
+    (s.diversity, s.bug_count, s.bug_type_count)
+}
+
+fn main() {
+    let iterations = budget(300);
+    println!("Table 5 — ablation ({iterations} queries per cell)\n");
+    println!("{:<14} {:<10} {:>10} {:>6} {:>6}", "DBMS", "variant", "diversity", "bugs", "types");
+    for profile in ProfileId::ALL {
+        let with_noise = standard_dsg(250, 31);
+        let mut no_noise = standard_dsg(250, 31);
+        no_noise.noise = None;
+        let rows = [
+            ("TQS", run(profile, &with_noise, true, true, iterations)),
+            ("TQS!Noise", run(profile, &no_noise, true, true, iterations)),
+            ("TQS!GT", run(profile, &with_noise, false, true, iterations)),
+            ("TQS!KQE", run(profile, &with_noise, true, false, iterations)),
+        ];
+        for (label, (div, bugs, types)) in rows {
+            println!("{:<14} {:<10} {:>10} {:>6} {:>6}", profile.name(), label, div, bugs, types);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,309 @@
+//! Bug reports, the bug log (with root-cause de-duplication) and the
+//! C-Reduce-style test-case minimizer.
+
+use serde::Serialize;
+use tqs_engine::{Database, FaultKind};
+use tqs_schema::GroundTruthEvaluator;
+use tqs_sql::ast::{Expr, SelectItem, SelectStmt};
+use tqs_sql::hints::HintSet;
+use tqs_sql::render::render_stmt;
+use tqs_storage::ResultSet;
+
+/// How a bug was established.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Oracle {
+    /// Result set differs from the wide-table ground truth.
+    GroundTruth,
+    /// Two physical plans of the same query disagree (differential testing).
+    Differential,
+    /// A pivot row that must appear in the result is missing (PQS).
+    PivotMissing,
+    /// Ternary partitioning counts do not add up (TLP).
+    Partitioning,
+    /// Optimized vs non-optimizing rewrite disagree (NoRec).
+    NonOptimizingRewrite,
+}
+
+/// One detected logic bug.
+#[derive(Debug, Clone, Serialize)]
+pub struct BugReport {
+    pub dbms: String,
+    pub oracle: Oracle,
+    pub sql: String,
+    pub transformed_sql: String,
+    pub hint_label: String,
+    pub expected_rows: usize,
+    pub observed_rows: usize,
+    /// Root-cause classification (the engine's fired faults — the analogue of
+    /// the paper's developer analysis; empty when the oracle itself was the
+    /// only witness).
+    pub fired: Vec<FaultKind>,
+    /// Minimized reproducer, if the reducer was run.
+    pub minimized_sql: Option<String>,
+}
+
+impl BugReport {
+    /// Signature used for de-duplication: bugs with the same root cause and
+    /// the same join-structure shape are counted once per "bug", many such
+    /// bugs map to one "bug type".
+    pub fn signature(&self) -> String {
+        let faults: Vec<String> = self.fired.iter().map(|f| format!("{f:?}")).collect();
+        format!("{}|{}|{}", self.dbms, faults.join(","), self.hint_label)
+    }
+
+    /// The bug *type* identifiers (Table 4 granularity): one entry per
+    /// root-cause fault, or the oracle when no fault provenance exists.
+    pub fn bug_types(&self) -> Vec<String> {
+        if self.fired.is_empty() {
+            vec![format!("{:?}", self.oracle)]
+        } else {
+            self.fired.iter().map(|f| format!("{f:?}")).collect()
+        }
+    }
+
+    /// A single combined label (used in report listings).
+    pub fn bug_type(&self) -> String {
+        self.bug_types().join("+")
+    }
+}
+
+/// The accumulating bug log with de-duplication.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct BugLog {
+    pub reports: Vec<BugReport>,
+    seen_signatures: std::collections::HashSet<String>,
+}
+
+impl BugLog {
+    pub fn new() -> Self {
+        BugLog::default()
+    }
+
+    /// Add a report unless an identical-signature bug is already logged.
+    /// Returns true when the report was new.
+    pub fn push(&mut self, report: BugReport) -> bool {
+        if self.seen_signatures.insert(report.signature()) {
+            self.reports.push(report);
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn bug_count(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Distinct bug types (root causes): each implicated fault counts once,
+    /// matching the granularity of the paper's Table 4.
+    pub fn bug_types(&self) -> Vec<String> {
+        let mut t: Vec<String> = self.reports.iter().flat_map(|r| r.bug_types()).collect();
+        t.sort();
+        t.dedup();
+        t
+    }
+
+    pub fn bug_type_count(&self) -> usize {
+        self.bug_types().len()
+    }
+
+    /// Distinct fault kinds implicated across all reports.
+    pub fn implicated_faults(&self) -> Vec<FaultKind> {
+        let mut f: Vec<FaultKind> = self.reports.iter().flat_map(|r| r.fired.clone()).collect();
+        f.sort();
+        f.dedup();
+        f
+    }
+}
+
+/// Delta-debugging style minimizer: repeatedly try to drop joins, predicates
+/// and projections while the mismatch against the ground truth persists.
+pub fn minimize_query(
+    stmt: &SelectStmt,
+    hints: &HintSet,
+    db: &mut Database,
+    gt: &GroundTruthEvaluator<'_>,
+) -> SelectStmt {
+    let still_fails = |candidate: &SelectStmt, db: &mut Database| -> bool {
+        let truth = match gt.evaluate(candidate) {
+            Ok(t) => t,
+            Err(_) => return false,
+        };
+        match db.execute_with_hints(candidate, hints) {
+            Ok(out) => !truth.matches(&out.result),
+            Err(_) => false,
+        }
+    };
+    let mut current = stmt.clone();
+    if !still_fails(&current, db) {
+        return current;
+    }
+    let mut progress = true;
+    while progress {
+        progress = false;
+        // 1. try dropping the last join
+        if !current.from.joins.is_empty() {
+            let mut candidate = current.clone();
+            let removed = candidate.from.joins.pop().unwrap();
+            let removed_binding = removed.table.binding().to_string();
+            strip_binding_references(&mut candidate, &removed_binding);
+            if !candidate.items.is_empty() && still_fails(&candidate, db) {
+                current = candidate;
+                progress = true;
+                continue;
+            }
+        }
+        // 2. try dropping the WHERE clause
+        if current.where_clause.is_some() {
+            let mut candidate = current.clone();
+            candidate.where_clause = None;
+            if still_fails(&candidate, db) {
+                current = candidate;
+                progress = true;
+                continue;
+            }
+        }
+        // 3. try dropping GROUP BY / aggregation
+        if !current.group_by.is_empty() {
+            let mut candidate = current.clone();
+            candidate.group_by.clear();
+            candidate.items.retain(|i| !i.is_aggregate());
+            if !candidate.items.is_empty() && still_fails(&candidate, db) {
+                current = candidate;
+                progress = true;
+                continue;
+            }
+        }
+        // 4. try shrinking the projection to one column
+        if current.items.len() > 1 {
+            let mut candidate = current.clone();
+            candidate.items.truncate(1);
+            if still_fails(&candidate, db) {
+                current = candidate;
+                progress = true;
+            }
+        }
+    }
+    current
+}
+
+fn strip_binding_references(stmt: &mut SelectStmt, binding: &str) {
+    let refers = |e: &Expr| {
+        e.column_refs().iter().any(|c| {
+            c.table
+                .as_ref()
+                .map(|t| t.eq_ignore_ascii_case(binding))
+                .unwrap_or(false)
+        })
+    };
+    stmt.items.retain(|i| match i {
+        SelectItem::Expr { expr, .. } => !refers(expr),
+        SelectItem::Aggregate { arg: Some(expr), .. } => !refers(expr),
+        _ => true,
+    });
+    if let Some(w) = &stmt.where_clause {
+        if refers(w) {
+            stmt.where_clause = None;
+        }
+    }
+    stmt.group_by.retain(|g| !refers(g));
+}
+
+/// Build a bug report from a mismatch.
+#[allow(clippy::too_many_arguments)]
+pub fn make_report(
+    dbms: &str,
+    oracle: Oracle,
+    stmt: &SelectStmt,
+    hints: &HintSet,
+    expected: &ResultSet,
+    observed: &ResultSet,
+    fired: Vec<FaultKind>,
+    minimized: Option<&SelectStmt>,
+) -> BugReport {
+    let mut transformed = stmt.clone();
+    transformed.hints.extend(hints.hints.iter().cloned());
+    BugReport {
+        dbms: dbms.to_string(),
+        oracle,
+        sql: render_stmt(stmt),
+        transformed_sql: format!(
+            "{}{}",
+            hints
+                .switches
+                .iter()
+                .map(|s| format!("{s}\n"))
+                .collect::<String>(),
+            render_stmt(&transformed)
+        ),
+        hint_label: hints.label.clone(),
+        expected_rows: expected.row_count(),
+        observed_rows: observed.row_count(),
+        fired,
+        minimized_sql: minimized.map(render_stmt),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqs_sql::parser::parse_stmt;
+    use tqs_storage::ResultSet;
+
+    fn report(fired: Vec<FaultKind>, hint: &str) -> BugReport {
+        let stmt = parse_stmt("SELECT t1.a FROM t1 JOIN t2 ON t1.a = t2.a").unwrap();
+        make_report(
+            "MySQL-like",
+            Oracle::GroundTruth,
+            &stmt,
+            &HintSet::new(hint),
+            &ResultSet::new(vec!["a".into()]),
+            &ResultSet::new(vec!["a".into()]),
+            fired,
+            None,
+        )
+    }
+
+    #[test]
+    fn bug_log_deduplicates_by_signature() {
+        let mut log = BugLog::new();
+        assert!(log.push(report(vec![FaultKind::HashJoinNullMatchesEmpty], "hash-join")));
+        assert!(!log.push(report(vec![FaultKind::HashJoinNullMatchesEmpty], "hash-join")));
+        assert!(log.push(report(vec![FaultKind::HashJoinNullMatchesEmpty], "merge-join")));
+        assert!(log.push(report(vec![FaultKind::MergeJoinDropsLastRun], "merge-join")));
+        assert_eq!(log.bug_count(), 3);
+        // two distinct root causes → two bug types
+        assert_eq!(log.bug_type_count(), 2);
+        assert_eq!(log.implicated_faults().len(), 2);
+    }
+
+    #[test]
+    fn bug_type_falls_back_to_oracle_without_provenance() {
+        let r = report(vec![], "default");
+        assert_eq!(r.bug_type(), "GroundTruth");
+        assert!(r.transformed_sql.contains("SELECT"));
+    }
+
+    #[test]
+    fn report_rendering_contains_hints_and_switches() {
+        let stmt = parse_stmt("SELECT t1.a FROM t1 JOIN t2 ON t1.a = t2.a").unwrap();
+        let hints = HintSet::new("merge")
+            .with_hint(tqs_sql::hints::Hint::MergeJoin(vec!["t1".into(), "t2".into()]))
+            .with_switch(tqs_sql::hints::SessionSwitch::off(
+                tqs_sql::hints::SwitchName::Materialization,
+            ));
+        let r = make_report(
+            "TiDB-like",
+            Oracle::Differential,
+            &stmt,
+            &hints,
+            &ResultSet::new(vec![]),
+            &ResultSet::new(vec![]),
+            vec![],
+            None,
+        );
+        assert!(r.transformed_sql.contains("MERGE_JOIN(t1, t2)"));
+        assert!(r.transformed_sql.contains("materialization=off"));
+        assert_eq!(r.hint_label, "merge");
+    }
+}

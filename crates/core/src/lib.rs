@@ -1,0 +1,54 @@
+//! # tqs-core
+//!
+//! The TQS framework (Transformed Query Synthesis) — detection of logic bugs
+//! in join optimization, reproduced from the SIGMOD 2023 paper:
+//!
+//! * [`dsg`] — Data-guided Schema and query Generation: the data pipeline
+//!   (wide table → FDs → 3NF schema → noise → bitmap machinery) and the
+//!   random-walk join query generator.
+//! * [`kqe`] — Knowledge-guided Query space Exploration: the graph index over
+//!   explored query graphs and the coverage-based adaptive walk weighting.
+//! * [`hintgen`] — hint-set generation (transformed queries per DBMS profile).
+//! * [`tqs`] — the orchestrator (Algorithm 1) with the Table 5 ablation
+//!   switches.
+//! * [`bugs`] — bug reports, the deduplicating bug log and the test-case
+//!   minimizer.
+//! * [`baselines`] — PQS / TLP / NoRec adapted to multi-table queries.
+//! * [`parallel`] — the shared-index parallel exploration of Figure 10.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tqs_core::dsg::{DsgConfig, DsgDatabase, WideSource};
+//! use tqs_core::tqs::{TqsConfig, TqsRunner};
+//! use tqs_engine::ProfileId;
+//! use tqs_storage::widegen::ShoppingConfig;
+//!
+//! let dsg_cfg = DsgConfig {
+//!     source: WideSource::Shopping(ShoppingConfig { n_rows: 100, ..Default::default() }),
+//!     ..Default::default()
+//! };
+//! let mut runner = TqsRunner::new(
+//!     ProfileId::MysqlLike,
+//!     &dsg_cfg,
+//!     TqsConfig { iterations: 25, ..Default::default() },
+//! );
+//! let stats = runner.run();
+//! assert!(stats.queries_generated >= 25);
+//! ```
+
+pub mod baselines;
+pub mod bugs;
+pub mod dsg;
+pub mod hintgen;
+pub mod kqe;
+pub mod parallel;
+pub mod tqs;
+
+pub use baselines::{run_baseline, Baseline, BaselineConfig};
+pub use bugs::{BugLog, BugReport, Oracle};
+pub use dsg::{DsgConfig, DsgDatabase, QueryGenConfig, QueryGenerator, UniformScorer, WideSource};
+pub use hintgen::hint_sets_for;
+pub use kqe::{Kqe, KqeConfig, KqeScorer};
+pub use parallel::{parallel_explore, ParallelStats};
+pub use tqs::{RunStats, TimelinePoint, TqsConfig, TqsRunner};

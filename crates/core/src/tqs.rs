@@ -1,0 +1,329 @@
+//! The TQS orchestrator (Algorithm 1).
+//!
+//! Ties everything together: DSG builds the database and generates queries by
+//! (adaptive) random walk, KQE scores and records query graphs, HintGen
+//! produces transformed queries, the simulated DBMS executes them, and each
+//! result set is verified against the wide-table ground truth (or, in the
+//! `!GT` ablation, against the other plans' results).
+
+use crate::bugs::{make_report, minimize_query, BugLog, Oracle};
+use crate::dsg::{DsgConfig, DsgDatabase, QueryGenConfig, QueryGenerator, UniformScorer};
+use crate::hintgen::hint_sets_for;
+use crate::kqe::{Kqe, KqeConfig, KqeScorer};
+use serde::Serialize;
+use tqs_engine::{Database, DbmsProfile, ProfileId};
+use tqs_graph::plangraph::query_graph_with_subqueries;
+use tqs_schema::GroundTruthEvaluator;
+use tqs_sql::ast::SelectStmt;
+
+/// Orchestrator configuration, including the ablation switches of Table 5.
+#[derive(Debug, Clone)]
+pub struct TqsConfig {
+    pub iterations: usize,
+    /// Knowledge-guided exploration (off = `TQS!KQE`).
+    pub use_kqe: bool,
+    /// Ground-truth verification (off = `TQS!GT`, i.e. differential testing).
+    pub use_ground_truth: bool,
+    /// Run the reducer on each new bug before logging it.
+    pub minimize: bool,
+    pub query_gen: QueryGenConfig,
+    pub kqe: KqeConfig,
+    /// How many generated queries correspond to one "hour" when reporting
+    /// timelines (the paper's x-axis is wall-clock hours; ours is a query
+    /// budget).
+    pub queries_per_hour: usize,
+}
+
+impl Default for TqsConfig {
+    fn default() -> Self {
+        TqsConfig {
+            iterations: 300,
+            use_kqe: true,
+            use_ground_truth: true,
+            minimize: false,
+            query_gen: QueryGenConfig::default(),
+            kqe: KqeConfig::default(),
+            queries_per_hour: 25,
+        }
+    }
+}
+
+/// A point on a per-"hour" timeline.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct TimelinePoint {
+    pub hour: usize,
+    pub value: usize,
+}
+
+/// Statistics of one run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunStats {
+    pub dbms: String,
+    pub tool: String,
+    pub queries_generated: usize,
+    pub queries_executed: usize,
+    pub queries_skipped: usize,
+    pub diversity: usize,
+    pub bug_count: usize,
+    pub bug_type_count: usize,
+    pub diversity_timeline: Vec<TimelinePoint>,
+    pub bug_timeline: Vec<TimelinePoint>,
+    pub bug_type_timeline: Vec<TimelinePoint>,
+}
+
+/// One TQS testing session against one simulated DBMS.
+pub struct TqsRunner {
+    pub dsg: DsgDatabase,
+    pub engine: Database,
+    pub profile_id: ProfileId,
+    pub kqe: Kqe,
+    pub generator: QueryGenerator,
+    pub cfg: TqsConfig,
+    pub bugs: BugLog,
+}
+
+impl TqsRunner {
+    /// Build a runner: run the DSG data pipeline, load the resulting catalog
+    /// into a fresh engine instance of `profile`, and set up KQE.
+    pub fn new(profile: ProfileId, dsg_cfg: &DsgConfig, cfg: TqsConfig) -> Self {
+        let dsg = DsgDatabase::build(dsg_cfg);
+        Self::with_database(profile, DbmsProfile::build(profile), dsg, cfg)
+    }
+
+    /// Build a runner against an explicit engine build (used by the soundness
+    /// tests with pristine profiles and by the ablation harness).
+    pub fn with_database(
+        profile_id: ProfileId,
+        profile: DbmsProfile,
+        dsg: DsgDatabase,
+        cfg: TqsConfig,
+    ) -> Self {
+        let engine = Database::new(dsg.db.catalog.clone(), profile);
+        let kqe = Kqe::new(dsg.schema_desc.clone(), cfg.kqe.clone());
+        let generator = QueryGenerator::new(cfg.query_gen.clone());
+        TqsRunner { dsg, engine, profile_id, kqe, generator, cfg, bugs: BugLog::new() }
+    }
+
+    /// Run Algorithm 1 for the configured number of iterations.
+    pub fn run(&mut self) -> RunStats {
+        let mut stats = RunStats {
+            dbms: self.engine.profile.info.name.clone(),
+            tool: if self.cfg.use_ground_truth { "TQS" } else { "TQS!GT" }.to_string(),
+            queries_generated: 0,
+            queries_executed: 0,
+            queries_skipped: 0,
+            diversity: 0,
+            bug_count: 0,
+            bug_type_count: 0,
+            diversity_timeline: Vec::new(),
+            bug_timeline: Vec::new(),
+            bug_type_timeline: Vec::new(),
+        };
+        for i in 0..self.cfg.iterations {
+            let stmt = self.generate_query();
+            stats.queries_generated += 1;
+            // record in GI (the diversity metric is tracked for all variants)
+            let qg = query_graph_with_subqueries(&stmt, &self.dsg.schema_desc);
+            self.kqe.record(&qg);
+            if self.test_one(&stmt) {
+                stats.queries_executed += 1;
+            } else {
+                stats.queries_skipped += 1;
+            }
+            if (i + 1) % self.cfg.queries_per_hour == 0 || i + 1 == self.cfg.iterations {
+                let hour = (i + 1).div_ceil(self.cfg.queries_per_hour);
+                stats.diversity_timeline.push(TimelinePoint { hour, value: self.kqe.diversity() });
+                stats.bug_timeline.push(TimelinePoint { hour, value: self.bugs.bug_count() });
+                stats
+                    .bug_type_timeline
+                    .push(TimelinePoint { hour, value: self.bugs.bug_type_count() });
+            }
+        }
+        stats.diversity = self.kqe.diversity();
+        stats.bug_count = self.bugs.bug_count();
+        stats.bug_type_count = self.bugs.bug_type_count();
+        stats
+    }
+
+    /// Generate the next query, with or without KQE weighting.
+    pub fn generate_query(&mut self) -> SelectStmt {
+        if self.cfg.use_kqe {
+            let scorer = KqeScorer { kqe: &self.kqe };
+            self.generator.generate(&self.dsg, None, &scorer)
+        } else {
+            self.generator.generate(&self.dsg, None, &UniformScorer)
+        }
+    }
+
+    /// Transform, execute and verify one query. Returns false when the query
+    /// was skipped (unsupported ground-truth shape).
+    pub fn test_one(&mut self, stmt: &SelectStmt) -> bool {
+        let gt_eval = GroundTruthEvaluator::new(&self.dsg.db);
+        let truth = match gt_eval.evaluate(stmt) {
+            Ok(t) => t,
+            Err(_) => return false,
+        };
+        let hint_sets = hint_sets_for(self.profile_id, stmt);
+        let mut outcomes = Vec::new();
+        for hs in &hint_sets {
+            match self.engine.execute_with_hints(stmt, hs) {
+                Ok(out) => outcomes.push((hs.clone(), out)),
+                Err(_) => continue,
+            }
+        }
+        if outcomes.is_empty() {
+            return false;
+        }
+        if self.cfg.use_ground_truth {
+            for (hs, out) in &outcomes {
+                if !truth.matches(&out.result) {
+                    let minimized = if self.cfg.minimize {
+                        Some(minimize_query(stmt, hs, &mut self.engine, &gt_eval))
+                    } else {
+                        None
+                    };
+                    let report = make_report(
+                        &self.engine.profile.info.name,
+                        Oracle::GroundTruth,
+                        stmt,
+                        hs,
+                        &truth.result,
+                        &out.result,
+                        out.fired.clone(),
+                        minimized.as_ref(),
+                    );
+                    self.bugs.push(report);
+                }
+            }
+        } else {
+            // Differential testing: compare every plan against the default
+            // plan's result; a bug is reported only when plans disagree.
+            let (base_hs, base) = &outcomes[0];
+            let _ = base_hs;
+            for (hs, out) in &outcomes[1..] {
+                if !base.result.same_bag(&out.result) {
+                    let report = make_report(
+                        &self.engine.profile.info.name,
+                        Oracle::Differential,
+                        stmt,
+                        hs,
+                        &base.result,
+                        &out.result,
+                        out.fired.clone(),
+                        None,
+                    );
+                    self.bugs.push(report);
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsg::WideSource;
+    use tqs_schema::NoiseConfig;
+    use tqs_storage::widegen::ShoppingConfig;
+
+    fn dsg_cfg(noise: bool) -> DsgConfig {
+        DsgConfig {
+            source: WideSource::Shopping(ShoppingConfig { n_rows: 120, ..Default::default() }),
+            fd: Default::default(),
+            noise: if noise {
+                Some(NoiseConfig { epsilon: 0.04, seed: 9, max_injections: 16 })
+            } else {
+                None
+            },
+        }
+    }
+
+    fn small_cfg() -> TqsConfig {
+        TqsConfig { iterations: 40, queries_per_hour: 10, ..Default::default() }
+    }
+
+    #[test]
+    fn pristine_engine_yields_no_bugs() {
+        // Soundness: with no faults enabled, ground-truth verification must
+        // never flag a bug — i.e. the GT evaluator and the engine agree.
+        for profile in ProfileId::ALL {
+            let dsg = DsgDatabase::build(&dsg_cfg(true));
+            let mut runner = TqsRunner::with_database(
+                profile,
+                DbmsProfile::pristine(profile),
+                dsg,
+                small_cfg(),
+            );
+            let stats = runner.run();
+            assert_eq!(
+                stats.bug_count, 0,
+                "false positives on pristine {profile:?}: {:#?}",
+                runner.bugs.reports
+            );
+            assert!(stats.queries_executed > stats.queries_skipped);
+        }
+    }
+
+    #[test]
+    fn faulty_mysql_like_build_is_caught() {
+        let dsg = DsgDatabase::build(&dsg_cfg(true));
+        let mut runner = TqsRunner::with_database(
+            ProfileId::MysqlLike,
+            DbmsProfile::build(ProfileId::MysqlLike),
+            dsg,
+            TqsConfig { iterations: 120, ..small_cfg() },
+        );
+        let stats = runner.run();
+        assert!(stats.bug_count > 0, "no bugs found on a faulty build");
+        assert!(stats.bug_type_count >= 1);
+        // every report carries a reproducer
+        for r in &runner.bugs.reports {
+            assert!(r.transformed_sql.contains("SELECT"));
+        }
+    }
+
+    #[test]
+    fn timelines_are_monotone() {
+        let dsg = DsgDatabase::build(&dsg_cfg(true));
+        let mut runner = TqsRunner::with_database(
+            ProfileId::TidbLike,
+            DbmsProfile::build(ProfileId::TidbLike),
+            dsg,
+            TqsConfig { iterations: 60, ..small_cfg() },
+        );
+        let stats = runner.run();
+        for w in stats.diversity_timeline.windows(2) {
+            assert!(w[0].value <= w[1].value);
+        }
+        for w in stats.bug_timeline.windows(2) {
+            assert!(w[0].value <= w[1].value);
+        }
+        assert_eq!(stats.diversity, runner.kqe.diversity());
+    }
+
+    #[test]
+    fn kqe_improves_structure_diversity() {
+        let dsg = DsgDatabase::build(&dsg_cfg(false));
+        let run = |use_kqe: bool| {
+            let mut runner = TqsRunner::with_database(
+                ProfileId::MysqlLike,
+                DbmsProfile::pristine(ProfileId::MysqlLike),
+                dsg.clone(),
+                TqsConfig {
+                    iterations: 150,
+                    use_kqe,
+                    query_gen: QueryGenConfig { seed: 3, ..Default::default() },
+                    ..small_cfg()
+                },
+            );
+            runner.run().diversity
+        };
+        let with_kqe = run(true);
+        let without = run(false);
+        assert!(
+            with_kqe as f64 >= without as f64 * 0.9,
+            "KQE diversity {with_kqe} should not collapse below uniform {without}"
+        );
+    }
+}

@@ -1,0 +1,935 @@
+//! Physical operator execution with fault interception points.
+//!
+//! Every join algorithm is implemented correctly; the wrong behaviours only
+//! appear when a [`FaultKind`](crate::faults::FaultKind) is both enabled in
+//! the profile and triggered by the current execution path *and* the data
+//! actually hits the corner case. Each interception point records which
+//! faults fired so the benchmark harness can classify detected bugs by root
+//! cause.
+
+use crate::faults::{FaultKind, FaultSet, TriggerContext};
+use crate::plan::{JoinAlgo, PhysicalJoin};
+use std::collections::HashMap;
+use tqs_sql::ast::{BinOp, Expr, JoinType};
+use tqs_sql::eval::{eval_predicate, NoSubqueries, ScopedRow};
+use tqs_sql::hints::SemiJoinStrategy;
+use tqs_sql::value::{sql_compare, SqlCmp, Value};
+use tqs_storage::Table;
+
+/// An intermediate relation: bound columns plus rows.
+#[derive(Debug, Clone, Default)]
+pub struct Rel {
+    /// (binding, column name) per output column.
+    pub cols: Vec<(String, String)>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Rel {
+    pub fn scan(table: &Table, binding: &str) -> Rel {
+        Rel {
+            cols: table
+                .columns
+                .iter()
+                .map(|c| (binding.to_string(), c.name.clone()))
+                .collect(),
+            rows: table.rows.iter().map(|r| r.values.clone()).collect(),
+        }
+    }
+
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    pub fn bindings(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for (b, _) in &self.cols {
+            if !out.contains(&b.as_str()) {
+                out.push(b);
+            }
+        }
+        out
+    }
+
+    pub fn col_index(&self, binding: Option<&str>, col: &str) -> Option<usize> {
+        self.cols.iter().position(|(b, c)| {
+            c.eq_ignore_ascii_case(col)
+                && binding.map(|q| q.eq_ignore_ascii_case(b)).unwrap_or(true)
+        })
+    }
+
+    /// Scope entries for one row, consumable by the reference evaluator.
+    pub fn scope(&self, row: &[Value]) -> Vec<(String, String, Value)> {
+        self.cols
+            .iter()
+            .zip(row.iter())
+            .map(|((b, c), v)| (b.clone(), c.clone(), v.clone()))
+            .collect()
+    }
+}
+
+/// Per-statement execution context: the fault set, session facts, and the
+/// provenance of which faults fired.
+#[derive(Debug)]
+pub struct ExecContext {
+    pub faults: FaultSet,
+    pub switched_off: Vec<&'static str>,
+    pub materialization: bool,
+    pub subquery_present: bool,
+    pub semi_strategy: Option<SemiJoinStrategy>,
+    pub fired: Vec<FaultKind>,
+}
+
+impl ExecContext {
+    pub fn new(faults: FaultSet) -> Self {
+        ExecContext {
+            faults,
+            switched_off: Vec::new(),
+            materialization: true,
+            subquery_present: false,
+            semi_strategy: None,
+            fired: Vec::new(),
+        }
+    }
+
+    pub fn fire(&mut self, kind: FaultKind) {
+        if !self.fired.contains(&kind) {
+            self.fired.push(kind);
+        }
+    }
+
+    fn trigger_ctx(&self, join: &PhysicalJoin) -> TriggerContext {
+        TriggerContext {
+            algo: Some(join.algo),
+            join_type: Some(join.join_type),
+            semi_strategy: self.semi_strategy,
+            materialization: self.materialization,
+            subquery_present: self.subquery_present,
+            simplified_from_outer: join.simplified_from_outer,
+            uses_join_buffer: join.buffer_rows.is_some(),
+            switched_off: self.switched_off.clone(),
+        }
+    }
+
+    fn active(&self, kind: FaultKind, t: &TriggerContext) -> bool {
+        self.faults.active(kind, t)
+    }
+}
+
+/// Errors surfaced by the executor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    UnknownColumn(String),
+    Unsupported(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::UnknownColumn(c) => write!(f, "unknown column {c}"),
+            ExecError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Equi-key extraction result: column indices on each side plus any residual
+/// predicates that must still be evaluated per candidate pair.
+struct EquiKeys {
+    left_idx: Vec<usize>,
+    right_idx: Vec<usize>,
+    residual: Vec<Expr>,
+}
+
+fn extract_equi_keys(left: &Rel, right: &Rel, on: Option<&Expr>) -> EquiKeys {
+    let mut keys = EquiKeys { left_idx: Vec::new(), right_idx: Vec::new(), residual: Vec::new() };
+    let Some(on) = on else { return keys };
+    let mut conjuncts = Vec::new();
+    flatten_and(on, &mut conjuncts);
+    for c in conjuncts {
+        if let Expr::Binary { op: BinOp::Eq, left: a, right: b } = c {
+            if let (Expr::Column(ca), Expr::Column(cb)) = (a.as_ref(), b.as_ref()) {
+                let la = left.col_index(ca.table.as_deref(), &ca.column);
+                let rb = right.col_index(cb.table.as_deref(), &cb.column);
+                if let (Some(li), Some(ri)) = (la, rb) {
+                    keys.left_idx.push(li);
+                    keys.right_idx.push(ri);
+                    continue;
+                }
+                let lb = left.col_index(cb.table.as_deref(), &cb.column);
+                let ra = right.col_index(ca.table.as_deref(), &ca.column);
+                if let (Some(li), Some(ri)) = (lb, ra) {
+                    keys.left_idx.push(li);
+                    keys.right_idx.push(ri);
+                    continue;
+                }
+            }
+        }
+        keys.residual.push(c.clone());
+    }
+    keys
+}
+
+fn flatten_and<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+    if let Expr::Binary { op: BinOp::And, left, right } = e {
+        flatten_and(left, out);
+        flatten_and(right, out);
+    } else {
+        out.push(e);
+    }
+}
+
+/// Correct value-level key equality (used by the non-hashed algorithms).
+fn keys_equal_correct(a: &[&Value], b: &[&Value]) -> bool {
+    a.iter().zip(b.iter()).all(|(x, y)| {
+        if x.is_null() || y.is_null() {
+            return false;
+        }
+        matches!(sql_compare(x, y), SqlCmp::Ordering(std::cmp::Ordering::Equal))
+    })
+}
+
+/// Encoded key for the hash-based algorithms, with fault interception.
+/// `None` means "never matches" (the correct treatment of NULL keys).
+fn encode_key(
+    values: &[&Value],
+    ctx: &mut ExecContext,
+    t: &TriggerContext,
+) -> Option<String> {
+    let mut out = String::new();
+    for v in values {
+        if v.is_null() {
+            if ctx.active(FaultKind::HashJoinNullMatchesEmpty, t) {
+                ctx.fire(FaultKind::HashJoinNullMatchesEmpty);
+                out.push_str("S:|");
+                continue;
+            }
+            if ctx.active(FaultKind::SemiJoinFloatPrecision, t) {
+                ctx.fire(FaultKind::SemiJoinFloatPrecision);
+                out.push_str("F:0|");
+                continue;
+            }
+            return None;
+        }
+        // Boundary values vanish into an unprobed overflow bucket.
+        if ctx.active(FaultKind::HashJoinMaterializationZeroSplit, t) && is_boundary_like(v) {
+            ctx.fire(FaultKind::HashJoinMaterializationZeroSplit);
+            return None;
+        }
+        // Long varchar keys get routed through a lossy double conversion.
+        if ctx.active(FaultKind::HashJoinVarcharViaDouble, t) {
+            if let Some(s) = v.as_str() {
+                if s.len() > 8 {
+                    ctx.fire(FaultKind::HashJoinVarcharViaDouble);
+                    out.push_str(&format!("D:{}|", v.as_f64_lossy().unwrap_or(0.0)));
+                    continue;
+                }
+            }
+        }
+        // Float-precision loss on the semi-join materialization-off path.
+        if ctx.active(FaultKind::SemiJoinFloatPrecision, t) {
+            if let Some(f) = v.as_f64_lossy() {
+                if v.as_str().is_none() {
+                    let rounded = f as f32 as f64;
+                    if rounded != f {
+                        ctx.fire(FaultKind::SemiJoinFloatPrecision);
+                    }
+                    out.push_str(&format!("F:{rounded}|"));
+                    continue;
+                }
+            }
+        }
+        out.push_str(&canonical_encoding(v));
+        out.push('|');
+    }
+    Some(out)
+}
+
+fn canonical_encoding(v: &Value) -> String {
+    match tqs_sql::value::hash_key(v) {
+        tqs_sql::value::HashKey::Null => "N:".to_string(),
+        tqs_sql::value::HashKey::Int(i) => format!("I:{i}"),
+        tqs_sql::value::HashKey::Double(b) => format!("F:{}", f64::from_bits(b)),
+        tqs_sql::value::HashKey::Str(s) => format!("S:{s}"),
+    }
+}
+
+fn is_boundary_like(v: &Value) -> bool {
+    match v {
+        Value::Int(i) => *i >= 32_767 || *i <= -32_767,
+        Value::UInt(u) => *u >= 32_767,
+        Value::Varchar(s) | Value::Text(s) => {
+            s.len() >= 8 && s.chars().all(|c| c == s.chars().next().unwrap())
+        }
+        Value::Float(f) => f.is_sign_negative() && *f == 0.0,
+        Value::Double(f) => f.is_sign_negative() && *f == 0.0,
+        _ => false,
+    }
+}
+
+/// Residual ON predicates evaluated on the combined row.
+fn residual_ok(
+    residual: &[Expr],
+    left: &Rel,
+    right: &Rel,
+    lrow: &[Value],
+    rrow: &[Value],
+) -> bool {
+    if residual.is_empty() {
+        return true;
+    }
+    let mut scope = left.scope(lrow);
+    scope.extend(right.scope(rrow));
+    let resolver = ScopedRow::new(&scope);
+    residual.iter().all(|p| {
+        eval_predicate(p, &resolver, &NoSubqueries)
+            .map(|r| r == Some(true))
+            .unwrap_or(false)
+    })
+}
+
+/// Execute one physical join step.
+pub fn execute_join(
+    left: &Rel,
+    right: &Rel,
+    join: &PhysicalJoin,
+    on: Option<&Expr>,
+    ctx: &mut ExecContext,
+) -> Result<Rel, ExecError> {
+    let t = ctx.trigger_ctx(join);
+    let keys = extract_equi_keys(left, right, on);
+
+    // Compute the match matrix: for each left row, the list of matching right
+    // row indices. Algorithms differ in how matches are found (and therefore
+    // in which faults can perturb them).
+    let (matches, mut extra_fired_rows) = match join.algo {
+        JoinAlgo::HashJoin | JoinAlgo::IndexJoin | JoinAlgo::BatchedKeyAccess
+        | JoinAlgo::BlockNestedLoopHashed => {
+            hashed_matches(left, right, &keys, join, ctx, &t)
+        }
+        JoinAlgo::SortMergeJoin => merge_matches(left, right, &keys, join, ctx, &t),
+        JoinAlgo::NestedLoop | JoinAlgo::BlockNestedLoop => {
+            loop_matches(left, right, &keys, join, ctx, &t)
+        }
+    };
+
+    // Join-buffer tail loss: rows of the buffered (left) side beyond the last
+    // complete buffer chunk never get joined.
+    let mut left_live: Vec<bool> = vec![true; left.rows.len()];
+    if let Some(buf) = join.buffer_rows {
+        if ctx.active(FaultKind::JoinBufferLimitDropsTail, &t) && left.rows.len() > buf {
+            let keep = (left.rows.len() / buf) * buf;
+            for live in left_live.iter_mut().skip(keep) {
+                *live = false;
+            }
+            ctx.fire(FaultKind::JoinBufferLimitDropsTail);
+        }
+    }
+
+    let mut out = Rel {
+        cols: match join.join_type {
+            JoinType::Semi | JoinType::Anti => left.cols.clone(),
+            _ => {
+                let mut c = left.cols.clone();
+                c.extend(right.cols.clone());
+                c
+            }
+        },
+        rows: Vec::new(),
+    };
+
+    let mut right_matched = vec![false; right.rows.len()];
+    let mut first_unmatched_pad: Option<Vec<Value>> = None;
+    for (li, lrow) in left.rows.iter().enumerate() {
+        if !left_live[li] {
+            continue;
+        }
+        let ms = &matches[li];
+        match join.join_type {
+            JoinType::Inner | JoinType::Cross | JoinType::LeftOuter | JoinType::RightOuter
+            | JoinType::FullOuter => {
+                for &ri in ms {
+                    right_matched[ri] = true;
+                    let mut row = lrow.clone();
+                    let mut rvals = right.rows[ri].clone();
+                    // Stale-cache replay: every 50th emitted row repeats the
+                    // previous row's right-side values.
+                    if ctx.active(FaultKind::JoinCacheStaleRow, &t)
+                        && out.rows.len() % 50 == 49
+                        && !out.rows.is_empty()
+                    {
+                        ctx.fire(FaultKind::JoinCacheStaleRow);
+                        let prev = &out.rows[out.rows.len() - 1];
+                        rvals = prev[left.width()..].to_vec();
+                    }
+                    // Merge join returning NULL instead of the value for
+                    // duplicate key runs is applied inside merge_matches via
+                    // extra_fired_rows.
+                    if extra_fired_rows.null_right_rows.contains(&ri) {
+                        rvals = vec![Value::Null; right.width()];
+                    }
+                    row.extend(rvals);
+                    out.rows.push(row);
+                }
+                if ms.is_empty()
+                    && matches!(join.join_type, JoinType::LeftOuter | JoinType::FullOuter)
+                {
+                    // Outer merge join dropping unmatched rows entirely.
+                    if ctx.active(FaultKind::MergeJoinOuterNullLoss, &t) {
+                        ctx.fire(FaultKind::MergeJoinOuterNullLoss);
+                        continue;
+                    }
+                    let pad = pad_values(right.width(), ctx, &t, &mut first_unmatched_pad);
+                    let mut row = lrow.clone();
+                    row.extend(pad);
+                    out.rows.push(row);
+                }
+            }
+            JoinType::Semi => {
+                if !ms.is_empty() {
+                    out.rows.push(lrow.clone());
+                    if ctx.active(FaultKind::SemiJoinUnknownData, &t) {
+                        ctx.fire(FaultKind::SemiJoinUnknownData);
+                        out.rows.push(lrow.clone());
+                    }
+                }
+            }
+            JoinType::Anti => {
+                if ms.is_empty() {
+                    out.rows.push(lrow.clone());
+                }
+            }
+        }
+    }
+
+    // Right/full outer: pad unmatched right rows on the left side.
+    if matches!(join.join_type, JoinType::RightOuter | JoinType::FullOuter) {
+        for (ri, matched) in right_matched.iter().enumerate() {
+            if !matched {
+                if ctx.active(FaultKind::MergeJoinOuterNullLoss, &t) {
+                    ctx.fire(FaultKind::MergeJoinOuterNullLoss);
+                    continue;
+                }
+                let pad = pad_values(left.width(), ctx, &t, &mut first_unmatched_pad);
+                let mut row = pad;
+                row.extend(right.rows[ri].clone());
+                out.rows.push(row);
+            }
+        }
+    }
+
+    // Extra spurious NULL-padded row for the left hash join + subquery case.
+    if ctx.active(FaultKind::LeftHashJoinSubqueryNull, &t)
+        && join.join_type == JoinType::LeftOuter
+    {
+        if let Some((li, _)) = left
+            .rows
+            .iter()
+            .enumerate()
+            .find(|(li, _)| left_live[*li] && matches[*li].is_empty())
+        {
+            ctx.fire(FaultKind::LeftHashJoinSubqueryNull);
+            let mut row = left.rows[li].clone();
+            row.extend(vec![Value::Null; right.width()]);
+            out.rows.push(row);
+        }
+    }
+
+    // Blanked varchar values when the hashed join buffer is disallowed.
+    if ctx.active(FaultKind::BnlhDisallowedBlankValues, &t)
+        && join.buffer_rows.map(|b| left.rows.len() > b).unwrap_or(false)
+        && !out.rows.is_empty()
+    {
+        ctx.fire(FaultKind::BnlhDisallowedBlankValues);
+        let last = out.rows.len() - 1;
+        for v in out.rows[last].iter_mut() {
+            if matches!(v, Value::Varchar(_) | Value::Text(_)) {
+                *v = Value::Varchar(String::new());
+            }
+        }
+    }
+
+    extra_fired_rows.null_right_rows.clear();
+    Ok(out)
+}
+
+/// Bookkeeping returned by algorithm-specific match computation.
+#[derive(Default)]
+struct MatchSideEffects {
+    /// Right rows whose values must be replaced by NULLs in the output
+    /// (merge-join duplicate-run corruption).
+    null_right_rows: Vec<usize>,
+}
+
+fn loop_matches(
+    left: &Rel,
+    right: &Rel,
+    keys: &EquiKeys,
+    join: &PhysicalJoin,
+    ctx: &mut ExecContext,
+    t: &TriggerContext,
+) -> (Vec<Vec<usize>>, MatchSideEffects) {
+    let mut out = vec![Vec::new(); left.rows.len()];
+    for (li, lrow) in left.rows.iter().enumerate() {
+        for (ri, rrow) in right.rows.iter().enumerate() {
+            let lvals: Vec<&Value> = keys.left_idx.iter().map(|&i| &lrow[i]).collect();
+            let rvals: Vec<&Value> = keys.right_idx.iter().map(|&i| &rrow[i]).collect();
+            let mut matched = if keys.left_idx.is_empty() {
+                true
+            } else {
+                keys_equal_correct(&lvals, &rvals)
+            };
+            // A simplified (outer→inner) join that confuses NULL with the
+            // first build row.
+            if !matched
+                && ctx.active(FaultKind::LeftToInnerNullZeroConfusion, t)
+                && lvals.iter().any(|v| v.is_null())
+                && ri == 0
+            {
+                ctx.fire(FaultKind::LeftToInnerNullZeroConfusion);
+                matched = true;
+            }
+            if matched && residual_ok(&keys.residual, left, right, lrow, rrow) {
+                out[li].push(ri);
+            }
+        }
+        if join.join_type == JoinType::Cross && keys.left_idx.is_empty() && keys.residual.is_empty()
+        {
+            // cross join: every pair matches (already handled above since
+            // matched=true for empty keys); nothing extra to do.
+        }
+    }
+    (out, MatchSideEffects::default())
+}
+
+fn hashed_matches(
+    left: &Rel,
+    right: &Rel,
+    keys: &EquiKeys,
+    join: &PhysicalJoin,
+    ctx: &mut ExecContext,
+    t: &TriggerContext,
+) -> (Vec<Vec<usize>>, MatchSideEffects) {
+    if keys.left_idx.is_empty() {
+        // no equi key — degrade to the loop implementation (correct)
+        return loop_matches(left, right, keys, join, ctx, t);
+    }
+    let mut table: HashMap<String, Vec<usize>> = HashMap::new();
+    for (ri, rrow) in right.rows.iter().enumerate() {
+        let rvals: Vec<&Value> = keys.right_idx.iter().map(|&i| &rrow[i]).collect();
+        if let Some(k) = encode_key(&rvals, ctx, t) {
+            table.entry(k).or_default().push(ri);
+        }
+    }
+    let first_bucket: Vec<usize> = table.values().next().cloned().unwrap_or_default();
+    let mut out = vec![Vec::new(); left.rows.len()];
+    for (li, lrow) in left.rows.iter().enumerate() {
+        let lvals: Vec<&Value> = keys.left_idx.iter().map(|&i| &lrow[i]).collect();
+        let has_null = lvals.iter().any(|v| v.is_null());
+        let probe = encode_key(&lvals, ctx, t);
+        let mut ms: Vec<usize> = match probe {
+            Some(k) => table.get(&k).cloned().unwrap_or_default(),
+            None => Vec::new(),
+        };
+        if ms.is_empty()
+            && has_null
+            && ctx.active(FaultKind::LeftToInnerNullZeroConfusion, t)
+            && !first_bucket.is_empty()
+        {
+            ctx.fire(FaultKind::LeftToInnerNullZeroConfusion);
+            ms = first_bucket.clone();
+        }
+        // residual predicates still apply
+        ms.retain(|&ri| residual_ok(&keys.residual, left, right, lrow, &right.rows[ri]));
+        out[li] = ms;
+    }
+    (out, MatchSideEffects::default())
+}
+
+fn merge_matches(
+    left: &Rel,
+    right: &Rel,
+    keys: &EquiKeys,
+    join: &PhysicalJoin,
+    ctx: &mut ExecContext,
+    t: &TriggerContext,
+) -> (Vec<Vec<usize>>, MatchSideEffects) {
+    if keys.left_idx.is_empty() {
+        return loop_matches(left, right, keys, join, ctx, t);
+    }
+    // Collation-mismatch fault: varchar merge keys produce an empty join.
+    let key_is_string = right
+        .rows
+        .iter()
+        .flat_map(|r| keys.right_idx.iter().map(move |&i| &r[i]))
+        .any(|v| v.as_str().is_some());
+    if key_is_string && ctx.active(FaultKind::MergeJoinVarcharEmpty, t) {
+        ctx.fire(FaultKind::MergeJoinVarcharEmpty);
+        return (vec![Vec::new(); left.rows.len()], MatchSideEffects::default());
+    }
+    // A straightforward (correct) merge: group right rows by canonical key.
+    let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    for (ri, rrow) in right.rows.iter().enumerate() {
+        let rvals: Vec<&Value> = keys.right_idx.iter().map(|&i| &rrow[i]).collect();
+        if rvals.iter().any(|v| v.is_null()) {
+            continue;
+        }
+        let k: String = rvals.iter().map(|v| canonical_encoding(v) + "|").collect();
+        let gi = *index.entry(k.clone()).or_insert_with(|| {
+            groups.push((k.clone(), Vec::new()));
+            groups.len() - 1
+        });
+        groups[gi].1.push(ri);
+    }
+    // Sort groups by key text to model the merge ordering.
+    groups.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut skipped_first = false;
+    let mut skipped_last = false;
+    let mut effects = MatchSideEffects::default();
+    let n_groups = groups.len();
+    let mut lookup: HashMap<&str, &Vec<usize>> = HashMap::new();
+    for (gi, (k, rows)) in groups.iter().enumerate() {
+        // "missed -0" ↔ the cursor skips the smallest key run.
+        if gi == 0 && n_groups > 1 && ctx.active(FaultKind::MergeJoinNegativeZeroMiss, t) {
+            skipped_first = true;
+            continue;
+        }
+        // the final duplicate run is dropped
+        if gi + 1 == n_groups && n_groups > 1 && ctx.active(FaultKind::MergeJoinDropsLastRun, t) {
+            skipped_last = true;
+            continue;
+        }
+        // duplicate runs: 2nd and later rows come back as NULLs
+        if rows.len() > 1 && ctx.active(FaultKind::MergeJoinNullInsteadOfValue, t) {
+            ctx.fire(FaultKind::MergeJoinNullInsteadOfValue);
+            effects.null_right_rows.extend(rows.iter().skip(1).copied());
+        }
+        lookup.insert(k.as_str(), rows);
+    }
+    if skipped_first {
+        ctx.fire(FaultKind::MergeJoinNegativeZeroMiss);
+    }
+    if skipped_last {
+        ctx.fire(FaultKind::MergeJoinDropsLastRun);
+    }
+    let mut out = vec![Vec::new(); left.rows.len()];
+    for (li, lrow) in left.rows.iter().enumerate() {
+        let lvals: Vec<&Value> = keys.left_idx.iter().map(|&i| &lrow[i]).collect();
+        if lvals.iter().any(|v| v.is_null()) {
+            continue;
+        }
+        let k: String = lvals.iter().map(|v| canonical_encoding(v) + "|").collect();
+        if let Some(rows) = lookup.get(k.as_str()) {
+            let ms: Vec<usize> = rows
+                .iter()
+                .copied()
+                .filter(|&ri| residual_ok(&keys.residual, left, right, lrow, &right.rows[ri]))
+                .collect();
+            out[li] = ms;
+        }
+    }
+    (out, effects)
+}
+
+/// NULL padding for the unmatched side of outer joins, with the
+/// empty-string-instead-of-NULL faults.
+fn pad_values(
+    width: usize,
+    ctx: &mut ExecContext,
+    t: &TriggerContext,
+    first_pad_done: &mut Option<Vec<Value>>,
+) -> Vec<Value> {
+    let corrupt = first_pad_done.is_none()
+        && (ctx.active(FaultKind::OuterJoinCacheEmptyPad, t)
+            || ctx.active(FaultKind::BkaDisallowedNullToEmpty, t));
+    let pad: Vec<Value> = if corrupt {
+        if ctx.active(FaultKind::OuterJoinCacheEmptyPad, t) {
+            ctx.fire(FaultKind::OuterJoinCacheEmptyPad);
+        } else {
+            ctx.fire(FaultKind::BkaDisallowedNullToEmpty);
+        }
+        vec![Value::Varchar(String::new()); width]
+    } else {
+        vec![Value::Null; width]
+    };
+    if first_pad_done.is_none() {
+        *first_pad_done = Some(pad.clone());
+    }
+    pad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqs_sql::types::{ColumnDef, ColumnType};
+    use tqs_storage::Row;
+
+    fn table(name: &str, rows: Vec<Vec<Value>>) -> Table {
+        let mut t = Table::new(
+            name,
+            vec![
+                ColumnDef::new("id", ColumnType::Int { unsigned: false }),
+                ColumnDef::new("name", ColumnType::Varchar(100)),
+            ],
+        );
+        for r in rows {
+            t.push_row(Row::new(r)).unwrap();
+        }
+        t
+    }
+
+    fn join(jt: JoinType, algo: JoinAlgo) -> PhysicalJoin {
+        PhysicalJoin {
+            right_binding: "r".into(),
+            join_type: jt,
+            algo,
+            simplified_from_outer: false,
+            buffer_rows: None,
+        }
+    }
+
+    fn on_clause() -> Expr {
+        Expr::eq(Expr::col("l", "id"), Expr::col("r", "id"))
+    }
+
+    fn left_rel() -> Rel {
+        Rel::scan(
+            &table(
+                "l",
+                vec![
+                    vec![Value::Int(1), Value::str("a")],
+                    vec![Value::Int(2), Value::str("b")],
+                    vec![Value::Int(3), Value::str("c")],
+                    vec![Value::Null, Value::str("n")],
+                ],
+            ),
+            "l",
+        )
+    }
+
+    fn right_rel() -> Rel {
+        Rel::scan(
+            &table(
+                "r",
+                vec![
+                    vec![Value::Int(1), Value::str("x")],
+                    vec![Value::Int(1), Value::str("y")],
+                    vec![Value::Int(3), Value::str("z")],
+                    vec![Value::Null, Value::str("rn")],
+                ],
+            ),
+            "r",
+        )
+    }
+
+    fn run(jt: JoinType, algo: JoinAlgo, faults: FaultSet) -> (Rel, ExecContext) {
+        let mut ctx = ExecContext::new(faults);
+        let out = execute_join(&left_rel(), &right_rel(), &join(jt, algo), Some(&on_clause()), &mut ctx)
+            .unwrap();
+        (out, ctx)
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_clean_inner_join() {
+        let mut counts = Vec::new();
+        for algo in JoinAlgo::ALL {
+            let (out, ctx) = run(JoinType::Inner, algo, FaultSet::none());
+            counts.push(out.rows.len());
+            assert!(ctx.fired.is_empty(), "{algo:?} fired faults on a pristine build");
+        }
+        // l.id=1 matches two rows, l.id=3 matches one; NULLs never match.
+        assert!(counts.iter().all(|&c| c == 3), "{counts:?}");
+    }
+
+    #[test]
+    fn outer_join_padding_is_null_by_default() {
+        let (out, _) = run(JoinType::LeftOuter, JoinAlgo::HashJoin, FaultSet::none());
+        // 3 matches + 2 unmatched left rows (id=2 and NULL)
+        assert_eq!(out.rows.len(), 5);
+        let padded: Vec<&Vec<Value>> = out.rows.iter().filter(|r| r[2].is_null()).collect();
+        assert_eq!(padded.len(), 2);
+        let (out, _) = run(JoinType::FullOuter, JoinAlgo::NestedLoop, FaultSet::none());
+        // + 1 unmatched right row (NULL key)
+        assert_eq!(out.rows.len(), 6);
+    }
+
+    #[test]
+    fn semi_and_anti_join_semantics() {
+        let (semi, _) = run(JoinType::Semi, JoinAlgo::HashJoin, FaultSet::none());
+        assert_eq!(semi.rows.len(), 2); // ids 1 and 3
+        assert_eq!(semi.width(), 2); // only left columns
+        let (anti, _) = run(JoinType::Anti, JoinAlgo::NestedLoop, FaultSet::none());
+        assert_eq!(anti.rows.len(), 2); // id 2 and the NULL row
+    }
+
+    #[test]
+    fn hash_join_null_matches_empty_fault_adds_rows() {
+        let faults = FaultSet::of(&[FaultKind::HashJoinNullMatchesEmpty]);
+        let (out, ctx) = run(JoinType::Inner, JoinAlgo::HashJoin, faults.clone());
+        // The NULL left key now matches the NULL right key (both encode "").
+        assert_eq!(out.rows.len(), 4);
+        assert_eq!(ctx.fired, vec![FaultKind::HashJoinNullMatchesEmpty]);
+        // …but the same fault never fires under a nested loop plan.
+        let (out, ctx) = run(JoinType::Inner, JoinAlgo::NestedLoop, faults);
+        assert_eq!(out.rows.len(), 3);
+        assert!(ctx.fired.is_empty());
+    }
+
+    #[test]
+    fn merge_join_faults_drop_runs() {
+        let (clean, _) = run(JoinType::Inner, JoinAlgo::SortMergeJoin, FaultSet::none());
+        assert_eq!(clean.rows.len(), 3);
+        let (out, ctx) = run(
+            JoinType::Inner,
+            JoinAlgo::SortMergeJoin,
+            FaultSet::of(&[FaultKind::MergeJoinDropsLastRun]),
+        );
+        assert!(out.rows.len() < clean.rows.len());
+        assert_eq!(ctx.fired, vec![FaultKind::MergeJoinDropsLastRun]);
+        let (out, ctx) = run(
+            JoinType::Inner,
+            JoinAlgo::SortMergeJoin,
+            FaultSet::of(&[FaultKind::MergeJoinNegativeZeroMiss]),
+        );
+        assert!(out.rows.len() < clean.rows.len());
+        assert_eq!(ctx.fired, vec![FaultKind::MergeJoinNegativeZeroMiss]);
+    }
+
+    #[test]
+    fn merge_join_null_instead_of_value() {
+        let (out, ctx) = run(
+            JoinType::Inner,
+            JoinAlgo::SortMergeJoin,
+            FaultSet::of(&[FaultKind::MergeJoinNullInsteadOfValue]),
+        );
+        assert_eq!(ctx.fired, vec![FaultKind::MergeJoinNullInsteadOfValue]);
+        // the duplicate id=1 run has its second row blanked to NULLs
+        assert!(out.rows.iter().any(|r| r[2].is_null() && !r[0].is_null()));
+    }
+
+    #[test]
+    fn outer_pad_empty_string_fault() {
+        let mut ctx = ExecContext::new(FaultSet::of(&[FaultKind::OuterJoinCacheEmptyPad]));
+        let j = PhysicalJoin {
+            right_binding: "r".into(),
+            join_type: JoinType::LeftOuter,
+            algo: JoinAlgo::BlockNestedLoop,
+            simplified_from_outer: false,
+            buffer_rows: Some(64),
+        };
+        let out = execute_join(&left_rel(), &right_rel(), &j, Some(&on_clause()), &mut ctx).unwrap();
+        assert_eq!(ctx.fired, vec![FaultKind::OuterJoinCacheEmptyPad]);
+        // exactly one padded row carries '' instead of NULL
+        let empties = out
+            .rows
+            .iter()
+            .filter(|r| r[2..].iter().any(|v| v.as_str() == Some("")))
+            .count();
+        assert_eq!(empties, 1);
+    }
+
+    #[test]
+    fn join_buffer_tail_drop() {
+        let mut ctx = ExecContext::new(FaultSet::of(&[FaultKind::JoinBufferLimitDropsTail]));
+        let j = PhysicalJoin {
+            right_binding: "r".into(),
+            join_type: JoinType::Inner,
+            algo: JoinAlgo::BlockNestedLoop,
+            simplified_from_outer: false,
+            buffer_rows: Some(3),
+        };
+        let out = execute_join(&left_rel(), &right_rel(), &j, Some(&on_clause()), &mut ctx).unwrap();
+        // left has 4 rows, buffer 3 → the 4th left row is never joined; with
+        // clean execution row id=NULL contributes nothing anyway, so compare
+        // against a buffer that fits everything.
+        assert_eq!(ctx.fired, vec![FaultKind::JoinBufferLimitDropsTail]);
+        assert!(out.rows.len() <= 3);
+    }
+
+    #[test]
+    fn simplified_left_join_null_zero_confusion() {
+        let mut ctx = ExecContext::new(FaultSet::of(&[FaultKind::LeftToInnerNullZeroConfusion]));
+        let j = PhysicalJoin {
+            right_binding: "r".into(),
+            join_type: JoinType::Inner,
+            algo: JoinAlgo::HashJoin,
+            simplified_from_outer: true,
+            buffer_rows: None,
+        };
+        let out = execute_join(&left_rel(), &right_rel(), &j, Some(&on_clause()), &mut ctx).unwrap();
+        assert_eq!(ctx.fired, vec![FaultKind::LeftToInnerNullZeroConfusion]);
+        assert!(out.rows.len() > 3, "NULL key spuriously matched");
+        // without the simplification flag the fault stays silent
+        let (out, ctx2) = run(
+            JoinType::Inner,
+            JoinAlgo::HashJoin,
+            FaultSet::of(&[FaultKind::LeftToInnerNullZeroConfusion]),
+        );
+        assert_eq!(out.rows.len(), 3);
+        assert!(ctx2.fired.is_empty());
+    }
+
+    #[test]
+    fn boundary_values_vanish_under_materialized_hash_join() {
+        let left = Rel::scan(
+            &table("l", vec![vec![Value::Int(65_535), Value::str("big")]]),
+            "l",
+        );
+        let right = Rel::scan(
+            &table("r", vec![vec![Value::Int(65_535), Value::str("big")]]),
+            "r",
+        );
+        let mut ctx = ExecContext::new(FaultSet::of(&[FaultKind::HashJoinMaterializationZeroSplit]));
+        ctx.materialization = true;
+        let out = execute_join(
+            &left,
+            &right,
+            &join(JoinType::Inner, JoinAlgo::HashJoin),
+            Some(&on_clause()),
+            &mut ctx,
+        )
+        .unwrap();
+        assert!(out.rows.is_empty());
+        assert_eq!(ctx.fired, vec![FaultKind::HashJoinMaterializationZeroSplit]);
+    }
+
+    #[test]
+    fn cross_join_produces_cartesian_product() {
+        let mut ctx = ExecContext::new(FaultSet::none());
+        let out = execute_join(
+            &left_rel(),
+            &right_rel(),
+            &join(JoinType::Cross, JoinAlgo::NestedLoop),
+            None,
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(out.rows.len(), 16);
+    }
+
+    #[test]
+    fn key_extraction_handles_reversed_equality_and_residual() {
+        let left = left_rel();
+        let right = right_rel();
+        let on = Expr::and(
+            Expr::eq(Expr::col("r", "id"), Expr::col("l", "id")),
+            Expr::binary(BinOp::Ne, Expr::col("r", "name"), Expr::lit(Value::str("y"))),
+        );
+        let keys = extract_equi_keys(&left, &right, Some(&on));
+        assert_eq!(keys.left_idx, vec![0]);
+        assert_eq!(keys.right_idx, vec![0]);
+        assert_eq!(keys.residual.len(), 1);
+        let mut ctx = ExecContext::new(FaultSet::none());
+        let out = execute_join(
+            &left,
+            &right,
+            &join(JoinType::Inner, JoinAlgo::HashJoin),
+            Some(&on),
+            &mut ctx,
+        )
+        .unwrap();
+        // the residual predicate filters out the (1, y) match
+        assert_eq!(out.rows.len(), 2);
+    }
+}

@@ -1,0 +1,435 @@
+//! The fault-injection catalog.
+//!
+//! Real DBMSs carry latent optimizer bugs; we cannot ship MySQL 8.0.28's
+//! actual defects, so each of the 20 bug types of Table 4 is modeled as a
+//! *fault*: a small, deliberately-wrong behaviour wired into one specific
+//! physical execution path (a join algorithm, a subquery strategy, a join
+//! buffer, an outer-join simplification). A fault only fires when the
+//! optimizer actually chooses that path for data that hits the corner case —
+//! exactly the triggering structure of the real bugs, which is why hint-based
+//! plan steering plus ground-truth verification is needed to expose them.
+//!
+//! The bug *detector* (TQS and the baselines) never sees which faults exist
+//! or fired; it only sees result sets. Fired-fault provenance is recorded so
+//! the benchmark harness can reproduce Table 4's per-type counts, playing the
+//! role of the paper's developer root-cause analysis.
+
+use crate::plan::JoinAlgo;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use tqs_sql::ast::JoinType;
+use tqs_sql::hints::SemiJoinStrategy;
+
+/// Severity labels as used in Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Severity {
+    Critical,
+    Serious,
+    Major,
+    High,
+}
+
+impl Severity {
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Critical => "S1 (Critical)",
+            Severity::Serious => "S2 (Serious)",
+            Severity::Major => "Major",
+            Severity::High => "2 (High)",
+        }
+    }
+}
+
+/// The 20 bug types of Table 4, one enum variant each. The variant names
+/// paraphrase the paper's descriptions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FaultKind {
+    // --- MySQL-like (7 types) ---
+    /// #1: semi-join gives wrong results (equality not evaluated as part of
+    /// the semi-join when materialization is used).
+    SemiJoinWrongResults,
+    /// #2: incorrect inner hash join when using the materialization strategy
+    /// (0 and -0 hash to different buckets).
+    HashJoinMaterializationZeroSplit,
+    /// #3: incorrect semi-join execution returns unknown data (first-match
+    /// shortcut emits build-side values).
+    SemiJoinUnknownData,
+    /// #4: incorrect left hash join with subquery in condition (extra NULL
+    /// row emitted).
+    LeftHashJoinSubqueryNull,
+    /// #5: incorrect nested-loop anti-join when using materialization
+    /// (NULLs dropped from the NOT IN probe set).
+    AntiJoinMaterializationNullDrop,
+    /// #6: bad caching of converted constants in NULL-safe comparison.
+    ConstantCacheNullSafeEq,
+    /// #7: incorrect hash join with materialized subquery (varchar keys
+    /// compared through double, losing precision).
+    HashJoinVarcharViaDouble,
+
+    // --- MariaDB-like (5 types) ---
+    /// #8: wrong join when BKA/BKAH are disallowed (NULL turned into empty
+    /// string by the fallback buffer).
+    BkaDisallowedNullToEmpty,
+    /// #9: wrong join when BNLH/BKAH are disallowed (varchar values blanked).
+    BnlhDisallowedBlankValues,
+    /// #10: wrong join when controlling outer join operations
+    /// (outer-join cache pads with empty string instead of NULL).
+    OuterJoinCacheEmptyPad,
+    /// #11: wrong join when limiting the usage of the join buffers (tail rows
+    /// beyond the buffer are dropped).
+    JoinBufferLimitDropsTail,
+    /// #12: wrong join when controlling the join cache (incremental cache
+    /// replays a stale row).
+    JoinCacheStaleRow,
+
+    // --- TiDB-like (5 types) ---
+    /// #13: wrong merge join when transforming hash join to merge join
+    /// (outer merge join loses the inner child's NULL rows).
+    MergeJoinOuterNullLoss,
+    /// #14: merge join misses -0 (ordering puts -0 before 0 and the cursor
+    /// never matches them).
+    MergeJoinNegativeZeroMiss,
+    /// #15: merge join returns an empty result set (collation mismatch on
+    /// varchar keys).
+    MergeJoinVarcharEmpty,
+    /// #16: merge join returns NULL instead of the value.
+    MergeJoinNullInsteadOfValue,
+    /// #17: merge join misses rows (last duplicate run dropped).
+    MergeJoinDropsLastRun,
+
+    // --- X-DB-like (3 types) ---
+    /// #18: left join converted to inner join returns wrong result sets
+    /// (the converted join cannot distinguish NULL from 0).
+    LeftToInnerNullZeroConfusion,
+    /// #19: hash join returns wrong result sets (NULL keys match empty
+    /// strings).
+    HashJoinNullMatchesEmpty,
+    /// #20: incorrect semi-join with materialize execution (float keys
+    /// compared after lossy f32 round-trip).
+    SemiJoinFloatPrecision,
+}
+
+impl FaultKind {
+    pub const ALL: [FaultKind; 20] = [
+        FaultKind::SemiJoinWrongResults,
+        FaultKind::HashJoinMaterializationZeroSplit,
+        FaultKind::SemiJoinUnknownData,
+        FaultKind::LeftHashJoinSubqueryNull,
+        FaultKind::AntiJoinMaterializationNullDrop,
+        FaultKind::ConstantCacheNullSafeEq,
+        FaultKind::HashJoinVarcharViaDouble,
+        FaultKind::BkaDisallowedNullToEmpty,
+        FaultKind::BnlhDisallowedBlankValues,
+        FaultKind::OuterJoinCacheEmptyPad,
+        FaultKind::JoinBufferLimitDropsTail,
+        FaultKind::JoinCacheStaleRow,
+        FaultKind::MergeJoinOuterNullLoss,
+        FaultKind::MergeJoinNegativeZeroMiss,
+        FaultKind::MergeJoinVarcharEmpty,
+        FaultKind::MergeJoinNullInsteadOfValue,
+        FaultKind::MergeJoinDropsLastRun,
+        FaultKind::LeftToInnerNullZeroConfusion,
+        FaultKind::HashJoinNullMatchesEmpty,
+        FaultKind::SemiJoinFloatPrecision,
+    ];
+
+    /// The Table 4 row id (1-based).
+    pub fn table4_id(self) -> u32 {
+        FaultKind::ALL.iter().position(|f| *f == self).unwrap() as u32 + 1
+    }
+
+    /// The DBMS this bug type is attributed to in Table 4.
+    pub fn dbms(self) -> &'static str {
+        match self.table4_id() {
+            1..=7 => "MySQL-like",
+            8..=12 => "MariaDB-like",
+            13..=17 => "TiDB-like",
+            _ => "X-DB-like",
+        }
+    }
+
+    pub fn severity(self) -> Severity {
+        match self {
+            FaultKind::SemiJoinWrongResults => Severity::Critical,
+            f if f.table4_id() <= 7 => Severity::Serious,
+            f if f.table4_id() <= 12 => Severity::Major,
+            f if f.table4_id() <= 17 => Severity::Critical,
+            _ => Severity::High,
+        }
+    }
+
+    pub fn description(self) -> &'static str {
+        match self {
+            FaultKind::SemiJoinWrongResults => "Semi-join gives wrong results.",
+            FaultKind::HashJoinMaterializationZeroSplit => {
+                "Incorrect inner hash join when using materialization strategy."
+            }
+            FaultKind::SemiJoinUnknownData => {
+                "Incorrect semi-join execution results in unknown data."
+            }
+            FaultKind::LeftHashJoinSubqueryNull => {
+                "Incorrect left hash join with subquery in condition."
+            }
+            FaultKind::AntiJoinMaterializationNullDrop => {
+                "Incorrect nested loop antijoin when using materialization strategy."
+            }
+            FaultKind::ConstantCacheNullSafeEq => {
+                "Bad caching of converted constants in NULL-safe comparison."
+            }
+            FaultKind::HashJoinVarcharViaDouble => {
+                "Incorrect hash join with materialized subquery."
+            }
+            FaultKind::BkaDisallowedNullToEmpty => {
+                "Incorrect join execution by not allowing BKA and BKAH join algorithms."
+            }
+            FaultKind::BnlhDisallowedBlankValues => {
+                "Incorrect join execution by not allowing BNLH and BKAH join algorithms."
+            }
+            FaultKind::OuterJoinCacheEmptyPad => {
+                "Incorrect join execution when controlling outer join operations."
+            }
+            FaultKind::JoinBufferLimitDropsTail => {
+                "Incorrect join execution by limiting the usage of the join buffers."
+            }
+            FaultKind::JoinCacheStaleRow => {
+                "Incorrect join execution when controlling join cache."
+            }
+            FaultKind::MergeJoinOuterNullLoss => {
+                "Incorrect Merge Join Execution when transforming hash join to merge join."
+            }
+            FaultKind::MergeJoinNegativeZeroMiss => {
+                "Merge Join executed incorrect resultset which missed -0."
+            }
+            FaultKind::MergeJoinVarcharEmpty => {
+                "Merge Join executed an incorrect resultset which returned an empty resultset."
+            }
+            FaultKind::MergeJoinNullInsteadOfValue => {
+                "Merge Join executed an incorrect resultset which returned NULL."
+            }
+            FaultKind::MergeJoinDropsLastRun => {
+                "Merge Join executed an incorrect resultset which missed rows."
+            }
+            FaultKind::LeftToInnerNullZeroConfusion => {
+                "Left join convert to inner join returns wrong result sets."
+            }
+            FaultKind::HashJoinNullMatchesEmpty => "Hash join returns wrong result sets.",
+            FaultKind::SemiJoinFloatPrecision => {
+                "Incorrect semi-join with materialize execution."
+            }
+        }
+    }
+
+    /// Status as reported in Table 4.
+    pub fn status(self) -> &'static str {
+        match self.table4_id() {
+            1 | 2 | 6 | 13 | 14 | 15 | 16 | 17 | 18 | 19 => "Fixed",
+            _ => "Verified",
+        }
+    }
+}
+
+/// Execution-path facts a fault trigger can condition on. Filled in by the
+/// executor at each interception point.
+#[derive(Debug, Clone, Default)]
+pub struct TriggerContext {
+    pub algo: Option<JoinAlgo>,
+    pub join_type: Option<JoinType>,
+    pub semi_strategy: Option<SemiJoinStrategy>,
+    pub materialization: bool,
+    pub subquery_present: bool,
+    pub simplified_from_outer: bool,
+    pub uses_join_buffer: bool,
+    /// Switch names that the current session turned OFF.
+    pub switched_off: Vec<&'static str>,
+}
+
+impl TriggerContext {
+    pub fn switched_off(&self, name: &str) -> bool {
+        self.switched_off.iter().any(|s| *s == name)
+    }
+}
+
+impl FaultKind {
+    /// Is this fault's execution-path trigger satisfied? (The data-dependent
+    /// part of the corner case lives in the executor's behaviour itself.)
+    pub fn triggered(self, ctx: &TriggerContext) -> bool {
+        use FaultKind::*;
+        match self {
+            SemiJoinWrongResults => {
+                ctx.semi_strategy == Some(SemiJoinStrategy::Materialization)
+                    && ctx.subquery_present
+            }
+            HashJoinMaterializationZeroSplit => {
+                ctx.algo == Some(JoinAlgo::HashJoin) && ctx.materialization
+            }
+            SemiJoinUnknownData => {
+                ctx.join_type == Some(JoinType::Semi)
+                    && ctx.semi_strategy == Some(SemiJoinStrategy::FirstMatch)
+            }
+            LeftHashJoinSubqueryNull => {
+                ctx.algo == Some(JoinAlgo::HashJoin)
+                    && ctx.join_type == Some(JoinType::LeftOuter)
+                    && ctx.subquery_present
+            }
+            AntiJoinMaterializationNullDrop => {
+                ctx.join_type == Some(JoinType::Anti) && ctx.materialization
+            }
+            ConstantCacheNullSafeEq => true, // purely data/expression dependent
+            HashJoinVarcharViaDouble => {
+                ctx.algo == Some(JoinAlgo::HashJoin) && ctx.materialization
+            }
+            BkaDisallowedNullToEmpty => {
+                ctx.switched_off("join_cache_bka") && ctx.algo == Some(JoinAlgo::BlockNestedLoop)
+            }
+            BnlhDisallowedBlankValues => {
+                ctx.switched_off("join_cache_hashed")
+                    && ctx.algo == Some(JoinAlgo::BlockNestedLoop)
+            }
+            OuterJoinCacheEmptyPad => {
+                ctx.uses_join_buffer
+                    && matches!(
+                        ctx.join_type,
+                        Some(JoinType::LeftOuter) | Some(JoinType::RightOuter)
+                    )
+            }
+            JoinBufferLimitDropsTail => ctx.uses_join_buffer,
+            JoinCacheStaleRow => ctx.uses_join_buffer && ctx.algo == Some(JoinAlgo::BatchedKeyAccess),
+            MergeJoinOuterNullLoss => {
+                ctx.algo == Some(JoinAlgo::SortMergeJoin)
+                    && matches!(
+                        ctx.join_type,
+                        Some(JoinType::LeftOuter) | Some(JoinType::RightOuter)
+                    )
+            }
+            MergeJoinNegativeZeroMiss
+            | MergeJoinVarcharEmpty
+            | MergeJoinNullInsteadOfValue
+            | MergeJoinDropsLastRun => ctx.algo == Some(JoinAlgo::SortMergeJoin),
+            LeftToInnerNullZeroConfusion => ctx.simplified_from_outer,
+            HashJoinNullMatchesEmpty => ctx.algo == Some(JoinAlgo::HashJoin),
+            SemiJoinFloatPrecision => {
+                matches!(ctx.join_type, Some(JoinType::Semi))
+                    && !ctx.materialization
+            }
+        }
+    }
+}
+
+/// The set of faults compiled into one simulated DBMS build.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FaultSet {
+    enabled: HashSet<FaultKind>,
+}
+
+impl FaultSet {
+    pub fn none() -> Self {
+        FaultSet::default()
+    }
+
+    pub fn of(kinds: &[FaultKind]) -> Self {
+        FaultSet { enabled: kinds.iter().copied().collect() }
+    }
+
+    pub fn all() -> Self {
+        FaultSet::of(&FaultKind::ALL)
+    }
+
+    pub fn enable(&mut self, kind: FaultKind) {
+        self.enabled.insert(kind);
+    }
+
+    pub fn disable(&mut self, kind: FaultKind) {
+        self.enabled.remove(&kind);
+    }
+
+    pub fn contains(&self, kind: FaultKind) -> bool {
+        self.enabled.contains(&kind)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.enabled.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.enabled.len()
+    }
+
+    /// Is `kind` both enabled and triggered in this context?
+    pub fn active(&self, kind: FaultKind, ctx: &TriggerContext) -> bool {
+        self.contains(kind) && kind.triggered(ctx)
+    }
+
+    pub fn kinds(&self) -> Vec<FaultKind> {
+        let mut v: Vec<FaultKind> = self.enabled.iter().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_table_4_structure() {
+        assert_eq!(FaultKind::ALL.len(), 20);
+        let per_dbms = |d: &str| FaultKind::ALL.iter().filter(|f| f.dbms() == d).count();
+        assert_eq!(per_dbms("MySQL-like"), 7);
+        assert_eq!(per_dbms("MariaDB-like"), 5);
+        assert_eq!(per_dbms("TiDB-like"), 5);
+        assert_eq!(per_dbms("X-DB-like"), 3);
+        // ids are 1..=20 and unique
+        let ids: HashSet<u32> = FaultKind::ALL.iter().map(|f| f.table4_id()).collect();
+        assert_eq!(ids.len(), 20);
+        assert!(ids.contains(&1) && ids.contains(&20));
+        // every fault has a non-empty description and a severity label
+        for f in FaultKind::ALL {
+            assert!(!f.description().is_empty());
+            assert!(!f.severity().label().is_empty());
+            assert!(!f.status().is_empty());
+        }
+    }
+
+    #[test]
+    fn triggers_require_the_right_path() {
+        let mut ctx = TriggerContext::default();
+        assert!(!FaultKind::HashJoinNullMatchesEmpty.triggered(&ctx));
+        ctx.algo = Some(JoinAlgo::HashJoin);
+        assert!(FaultKind::HashJoinNullMatchesEmpty.triggered(&ctx));
+        assert!(!FaultKind::MergeJoinNegativeZeroMiss.triggered(&ctx));
+        ctx.algo = Some(JoinAlgo::SortMergeJoin);
+        assert!(FaultKind::MergeJoinNegativeZeroMiss.triggered(&ctx));
+        // switch-dependent trigger
+        let mut ctx = TriggerContext {
+            algo: Some(JoinAlgo::BlockNestedLoop),
+            ..Default::default()
+        };
+        assert!(!FaultKind::BnlhDisallowedBlankValues.triggered(&ctx));
+        ctx.switched_off.push("join_cache_hashed");
+        assert!(FaultKind::BnlhDisallowedBlankValues.triggered(&ctx));
+    }
+
+    #[test]
+    fn fault_set_activation() {
+        let fs = FaultSet::of(&[FaultKind::MergeJoinDropsLastRun]);
+        let ctx = TriggerContext { algo: Some(JoinAlgo::SortMergeJoin), ..Default::default() };
+        assert!(fs.active(FaultKind::MergeJoinDropsLastRun, &ctx));
+        assert!(!fs.active(FaultKind::MergeJoinVarcharEmpty, &ctx));
+        assert!(FaultSet::none().is_empty());
+        assert_eq!(FaultSet::all().len(), 20);
+        let mut fs = FaultSet::none();
+        fs.enable(FaultKind::SemiJoinWrongResults);
+        assert!(fs.contains(FaultKind::SemiJoinWrongResults));
+        fs.disable(FaultKind::SemiJoinWrongResults);
+        assert!(fs.is_empty());
+    }
+
+    #[test]
+    fn severity_assignment_follows_table_4() {
+        assert_eq!(FaultKind::SemiJoinWrongResults.severity(), Severity::Critical);
+        assert_eq!(FaultKind::HashJoinVarcharViaDouble.severity(), Severity::Serious);
+        assert_eq!(FaultKind::JoinCacheStaleRow.severity(), Severity::Major);
+        assert_eq!(FaultKind::MergeJoinDropsLastRun.severity(), Severity::Critical);
+        assert_eq!(FaultKind::SemiJoinFloatPrecision.severity(), Severity::High);
+    }
+}

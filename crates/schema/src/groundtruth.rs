@@ -1,0 +1,713 @@
+//! Ground-truth result generation (§3.4).
+//!
+//! Given a join query over the normalized schema, fold the per-table join
+//! bitmaps with the rules of Table 2, pull the surviving wide-table rows,
+//! deduplicate, then apply the query's filters, grouping and projections with
+//! the *reference* expression evaluator. The output is the result set a
+//! correct DBMS must return (full-set verification), or must at least contain
+//! (subset verification, used when a cross join is present).
+
+use crate::normalize::NormalizedDb;
+use std::collections::HashMap;
+use tqs_sql::ast::{AggFunc, Expr, JoinType, SelectItem, SelectStmt};
+use tqs_sql::eval::{
+    eval_expr, eval_predicate, ChainedResolver, ColumnResolver, EvalError, ScopedRow,
+    SubqueryHandler,
+};
+use tqs_sql::value::{sql_compare, SqlCmp, Value};
+use tqs_storage::{ResultSet, Row};
+
+/// Errors raised while recovering ground truth. `Unsupported` marks query
+/// shapes outside the generator's contract (the orchestrator simply skips
+/// them rather than reporting a bug).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GtError {
+    UnknownTable(String),
+    Unsupported(String),
+    Eval(EvalError),
+}
+
+impl std::fmt::Display for GtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GtError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            GtError::Unsupported(m) => write!(f, "unsupported for ground truth: {m}"),
+            GtError::Eval(e) => write!(f, "evaluation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GtError {}
+
+impl From<EvalError> for GtError {
+    fn from(e: EvalError) -> Self {
+        GtError::Eval(e)
+    }
+}
+
+/// The recovered ground truth for one query.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    pub result: ResultSet,
+    /// Subset verification mode (cross join present): the DBMS result must
+    /// contain every ground-truth row but may contain more.
+    pub subset_mode: bool,
+}
+
+impl GroundTruth {
+    /// Check a DBMS result set against this ground truth.
+    pub fn matches(&self, observed: &ResultSet) -> bool {
+        if self.subset_mode {
+            self.result.subset_of(observed)
+        } else {
+            self.result.same_bag(observed)
+        }
+    }
+}
+
+/// Evaluator bound to one normalized database.
+pub struct GroundTruthEvaluator<'a> {
+    db: &'a NormalizedDb,
+}
+
+impl<'a> GroundTruthEvaluator<'a> {
+    pub fn new(db: &'a NormalizedDb) -> Self {
+        GroundTruthEvaluator { db }
+    }
+
+    /// `getGT(q)` from Algorithm 1.
+    pub fn evaluate(&self, stmt: &SelectStmt) -> Result<GroundTruth, GtError> {
+        if stmt.limit.is_some() {
+            return Err(GtError::Unsupported("LIMIT changes cardinality".into()));
+        }
+        // Resolve bindings → schema tables; reject self-joins (the wide table
+        // cannot disambiguate two copies of the same table).
+        let mut bindings: Vec<(String, String)> = Vec::new(); // (binding, table)
+        for tref in stmt.from.tables() {
+            let table = self
+                .db
+                .meta(&tref.table)
+                .ok_or_else(|| GtError::UnknownTable(tref.table.clone()))?
+                .name
+                .clone();
+            if bindings.iter().any(|(_, t)| t.eq_ignore_ascii_case(&table)) {
+                return Err(GtError::Unsupported(format!("self-join on {table}")));
+            }
+            bindings.push((tref.binding().to_string(), table));
+        }
+
+        // Visible bindings: everything except the right side of semi/anti
+        // joins (those only filter).
+        let mut visible: Vec<bool> = vec![true; bindings.len()];
+        for (i, j) in stmt.from.joins.iter().enumerate() {
+            if matches!(j.join_type, JoinType::Semi | JoinType::Anti) {
+                visible[i + 1] = false;
+            }
+        }
+
+        // Join conditions and output expressions may only reference visible
+        // bindings (plus, for a join's own ON, its right-hand binding).
+        for (i, j) in stmt.from.joins.iter().enumerate() {
+            if let Some(on) = &j.on {
+                for c in on.column_refs() {
+                    if let Some(t) = &c.table {
+                        let idx = bindings
+                            .iter()
+                            .position(|(b, _)| b.eq_ignore_ascii_case(t));
+                        match idx {
+                            Some(k) if k == i + 1 || visible[k] => {}
+                            _ => {
+                                return Err(GtError::Unsupported(format!(
+                                    "join condition references out-of-scope binding {t}"
+                                )))
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Right/full outer joins are only supported as the first join step:
+        // later in a chain their result contains NULL-extended rows for right
+        // rows unmatched *by the accumulated left side*, which the per-table
+        // bitmap fold cannot express. The query generator respects the same
+        // restriction, so in practice this only rejects hand-written queries.
+        for (i, j) in stmt.from.joins.iter().enumerate() {
+            if i > 0 && matches!(j.join_type, JoinType::RightOuter | JoinType::FullOuter) {
+                return Err(GtError::Unsupported(
+                    "right/full outer join after the first join step".into(),
+                ));
+            }
+        }
+
+        // Fold the join bitmap per Table 2.
+        let mut subset_mode = false;
+        let mut acc = self
+            .db
+            .bitmap
+            .bitmap(&bindings[0].1)
+            .ok_or_else(|| GtError::UnknownTable(bindings[0].1.clone()))?
+            .clone();
+        for (i, j) in stmt.from.joins.iter().enumerate() {
+            let right = self
+                .db
+                .bitmap
+                .bitmap(&bindings[i + 1].1)
+                .ok_or_else(|| GtError::UnknownTable(bindings[i + 1].1.clone()))?;
+            acc = match j.join_type {
+                JoinType::Inner | JoinType::Semi => acc.and(right),
+                JoinType::LeftOuter => acc,
+                JoinType::RightOuter => right.clone(),
+                JoinType::FullOuter => acc.or(right),
+                JoinType::Anti => acc.and_not(right),
+                JoinType::Cross => {
+                    subset_mode = true;
+                    acc.and(right)
+                }
+            };
+        }
+
+        // Build scoped rows for the surviving wide rows.
+        let visible_bindings: Vec<&(String, String)> = bindings
+            .iter()
+            .zip(&visible)
+            .filter(|(_, v)| **v)
+            .map(|(b, _)| b)
+            .collect();
+        let mut scoped_rows: Vec<Vec<(String, String, Value)>> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for wide_row in acc.ones() {
+            let scope = self.scope_for(wide_row, &visible_bindings);
+            let fp = scope_fingerprint(&scope);
+            if seen.insert(fp) {
+                scoped_rows.push(scope);
+            }
+        }
+
+        // WHERE filter with the reference evaluator.
+        let sub = GtSubqueries { db: self.db };
+        if let Some(pred) = &stmt.where_clause {
+            let mut kept = Vec::new();
+            for scope in scoped_rows {
+                let resolver = ScopedRow::new(&scope);
+                if eval_predicate(pred, &resolver, &sub)? == Some(true) {
+                    kept.push(scope);
+                }
+            }
+            scoped_rows = kept;
+        }
+
+        // Projection / aggregation. Aggregates cannot be verified in subset
+        // mode (a cross join's full result multiplies the counts), so such
+        // queries are skipped rather than misjudged.
+        if subset_mode && (stmt.has_aggregates() || !stmt.group_by.is_empty()) {
+            return Err(GtError::Unsupported("aggregation over a cross join".into()));
+        }
+        let result = if stmt.has_aggregates() || !stmt.group_by.is_empty() {
+            self.aggregate(stmt, &scoped_rows, &sub)?
+        } else {
+            self.project(stmt, &scoped_rows, &visible_bindings, &sub)?
+        };
+
+        let result = if stmt.distinct { distinct(result) } else { result };
+        Ok(GroundTruth { result, subset_mode })
+    }
+
+    fn scope_for(
+        &self,
+        wide_row: usize,
+        visible_bindings: &[&(String, String)],
+    ) -> Vec<(String, String, Value)> {
+        let mut scope = Vec::new();
+        for (binding, table) in visible_bindings.iter() {
+            let matched = self.db.bitmap.get(table, wide_row);
+            let meta = self.db.meta(table).expect("resolved table");
+            for col in &meta.columns {
+                let v = if matched {
+                    self.db
+                        .wide
+                        .cell(wide_row as u64, col)
+                        .cloned()
+                        .unwrap_or(Value::Null)
+                } else {
+                    Value::Null
+                };
+                scope.push((binding.clone(), col.clone(), v));
+            }
+        }
+        scope
+    }
+
+    fn project(
+        &self,
+        stmt: &SelectStmt,
+        scoped_rows: &[Vec<(String, String, Value)>],
+        visible_bindings: &[&(String, String)],
+        sub: &GtSubqueries<'_>,
+    ) -> Result<ResultSet, GtError> {
+        let mut columns: Vec<String> = Vec::new();
+        for item in &stmt.items {
+            match item {
+                SelectItem::Wildcard => {
+                    for (binding, table) in visible_bindings {
+                        let meta = self.db.meta(table).expect("resolved");
+                        for c in &meta.columns {
+                            columns.push(format!("{binding}.{c}"));
+                        }
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    columns.push(alias.clone().unwrap_or_else(|| format!("{expr:?}")));
+                }
+                SelectItem::Aggregate { .. } => {
+                    return Err(GtError::Unsupported("aggregate outside GROUP BY path".into()))
+                }
+            }
+        }
+        let mut rs = ResultSet::new(columns);
+        for scope in scoped_rows {
+            let resolver = ScopedRow::new(scope);
+            let mut row = Vec::new();
+            for item in &stmt.items {
+                match item {
+                    SelectItem::Wildcard => {
+                        for (binding, _table) in visible_bindings {
+                            for (_b, _c, v) in
+                                scope.iter().filter(|(b, _, _)| b == binding)
+                            {
+                                row.push(v.clone());
+                            }
+                        }
+                    }
+                    SelectItem::Expr { expr, .. } => {
+                        row.push(eval_expr(expr, &resolver, sub)?);
+                    }
+                    SelectItem::Aggregate { .. } => unreachable!(),
+                }
+            }
+            rs.rows.push(Row::new(row));
+        }
+        Ok(rs)
+    }
+
+    fn aggregate(
+        &self,
+        stmt: &SelectStmt,
+        scoped_rows: &[Vec<(String, String, Value)>],
+        sub: &GtSubqueries<'_>,
+    ) -> Result<ResultSet, GtError> {
+        // Group rows by the GROUP BY key (global group when empty).
+        let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut order: Vec<String> = Vec::new();
+        for (i, scope) in scoped_rows.iter().enumerate() {
+            let resolver = ScopedRow::new(scope);
+            let mut key = String::new();
+            for g in &stmt.group_by {
+                let v = eval_expr(g, &resolver, sub)?;
+                key.push_str(&format!("{}:{v}\u{1}", v.type_tag()));
+            }
+            if !groups.contains_key(&key) {
+                order.push(key.clone());
+            }
+            groups.entry(key).or_default().push(i);
+        }
+        if stmt.group_by.is_empty() && groups.is_empty() {
+            // aggregate over an empty input still yields one row
+            order.push(String::new());
+            groups.insert(String::new(), Vec::new());
+        }
+        let columns: Vec<String> = stmt
+            .items
+            .iter()
+            .map(|i| match i {
+                SelectItem::Wildcard => "*".to_string(),
+                SelectItem::Expr { alias, expr } => {
+                    alias.clone().unwrap_or_else(|| format!("{expr:?}"))
+                }
+                SelectItem::Aggregate { func, alias, .. } => {
+                    alias.clone().unwrap_or_else(|| format!("{func:?}"))
+                }
+            })
+            .collect();
+        let mut rs = ResultSet::new(columns);
+        for key in order {
+            let members = &groups[&key];
+            let mut row = Vec::new();
+            for item in &stmt.items {
+                match item {
+                    SelectItem::Wildcard => {
+                        return Err(GtError::Unsupported("wildcard with GROUP BY".into()))
+                    }
+                    SelectItem::Expr { expr, .. } => {
+                        // must be (functionally) a group key: evaluate on the
+                        // first member
+                        let v = match members.first() {
+                            Some(&i) => {
+                                let resolver = ScopedRow::new(&scoped_rows[i]);
+                                eval_expr(expr, &resolver, sub)?
+                            }
+                            None => Value::Null,
+                        };
+                        row.push(v);
+                    }
+                    SelectItem::Aggregate { func, arg, .. } => {
+                        row.push(self.eval_aggregate(*func, arg, members, scoped_rows, sub)?);
+                    }
+                }
+            }
+            rs.rows.push(Row::new(row));
+        }
+        Ok(rs)
+    }
+
+    fn eval_aggregate(
+        &self,
+        func: AggFunc,
+        arg: &Option<Expr>,
+        members: &[usize],
+        scoped_rows: &[Vec<(String, String, Value)>],
+        sub: &GtSubqueries<'_>,
+    ) -> Result<Value, GtError> {
+        let mut values = Vec::new();
+        if let Some(expr) = arg {
+            for &i in members {
+                let resolver = ScopedRow::new(&scoped_rows[i]);
+                values.push(eval_expr(expr, &resolver, sub)?);
+            }
+        }
+        Ok(match func {
+            AggFunc::CountStar => Value::Int(members.len() as i64),
+            AggFunc::Count => Value::Int(values.iter().filter(|v| !v.is_null()).count() as i64),
+            AggFunc::Sum | AggFunc::Avg => {
+                let nums: Vec<f64> = values.iter().filter_map(|v| v.as_f64_lossy()).collect();
+                if nums.is_empty() {
+                    Value::Null
+                } else if func == AggFunc::Sum {
+                    Value::Double(nums.iter().sum())
+                } else {
+                    Value::Double(nums.iter().sum::<f64>() / nums.len() as f64)
+                }
+            }
+            AggFunc::Min | AggFunc::Max => {
+                let mut best: Option<Value> = None;
+                for v in values.into_iter().filter(|v| !v.is_null()) {
+                    best = Some(match best {
+                        None => v,
+                        Some(b) => match sql_compare(&v, &b) {
+                            SqlCmp::Ordering(o) => {
+                                let take = if func == AggFunc::Min {
+                                    o == std::cmp::Ordering::Less
+                                } else {
+                                    o == std::cmp::Ordering::Greater
+                                };
+                                if take {
+                                    v
+                                } else {
+                                    b
+                                }
+                            }
+                            SqlCmp::Unknown => b,
+                        },
+                    });
+                }
+                best.unwrap_or(Value::Null)
+            }
+        })
+    }
+}
+
+/// Reference subquery evaluation: generated subqueries are single-table
+/// SELECTs, which we answer from the wide table via the table's bitmap
+/// (distinct witnesses = the table's rows), chained to the outer scope for
+/// correlated references.
+struct GtSubqueries<'a> {
+    db: &'a NormalizedDb,
+}
+
+impl SubqueryHandler for GtSubqueries<'_> {
+    fn eval_subquery(
+        &self,
+        stmt: &SelectStmt,
+        outer: &dyn ColumnResolver,
+    ) -> Result<Vec<Value>, EvalError> {
+        if !stmt.from.joins.is_empty() {
+            return Err(EvalError::Unsupported(
+                "ground-truth subqueries must be single-table".into(),
+            ));
+        }
+        let table = match self.db.meta(&stmt.from.base.table) {
+            Some(m) => m.clone(),
+            None => {
+                return Err(EvalError::Unsupported(format!(
+                    "unknown subquery table {}",
+                    stmt.from.base.table
+                )))
+            }
+        };
+        let binding = stmt.from.base.binding().to_string();
+        let bm = match self.db.bitmap.bitmap(&table.name) {
+            Some(b) => b,
+            None => return Ok(Vec::new()),
+        };
+        let expr = match stmt.items.first() {
+            Some(SelectItem::Expr { expr, .. }) => expr.clone(),
+            _ => {
+                return Err(EvalError::Unsupported(
+                    "subquery must project a single expression".into(),
+                ))
+            }
+        };
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for wide_row in bm.ones() {
+            let mut scope = Vec::new();
+            for col in &table.columns {
+                let v = self
+                    .db
+                    .wide
+                    .cell(wide_row as u64, col)
+                    .cloned()
+                    .unwrap_or(Value::Null);
+                scope.push((binding.clone(), col.clone(), v));
+            }
+            let fp = scope_fingerprint(&scope);
+            if !seen.insert(fp) {
+                continue;
+            }
+            let inner = ScopedRow::new(&scope);
+            let resolver = ChainedResolver { inner: &inner, outer };
+            if let Some(pred) = &stmt.where_clause {
+                if eval_predicate(pred, &resolver, self)? != Some(true) {
+                    continue;
+                }
+            }
+            out.push(eval_expr(&expr, &resolver, self)?);
+        }
+        Ok(out)
+    }
+}
+
+fn scope_fingerprint(scope: &[(String, String, Value)]) -> String {
+    let mut s = String::new();
+    for (_, _, v) in scope {
+        if v.is_null() {
+            s.push_str("\u{0}N");
+        } else {
+            s.push_str(&format!("{}:{v}", v.type_tag()));
+        }
+        s.push('\u{1}');
+    }
+    s
+}
+
+fn distinct(rs: ResultSet) -> ResultSet {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = ResultSet::new(rs.columns.clone());
+    for row in rs.rows {
+        let fp: String = row
+            .values
+            .iter()
+            .map(|v| {
+                if v.is_null() {
+                    "\u{0}N\u{1}".to_string()
+                } else {
+                    format!("{}:{v}\u{1}", v.type_tag())
+                }
+            })
+            .collect();
+        if seen.insert(fp) {
+            out.rows.push(row);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::{FdDiscoveryConfig, FdSet};
+    use crate::normalize::normalize;
+    use tqs_sql::ast::{FromClause, Join, TableRef};
+    use tqs_sql::parser::parse_stmt;
+    use tqs_storage::widegen::{shopping_orders, ShoppingConfig};
+
+    fn db() -> NormalizedDb {
+        let wide = shopping_orders(&ShoppingConfig { n_rows: 200, ..Default::default() });
+        let fds = FdSet::discover(&wide, &FdDiscoveryConfig::default());
+        normalize(wide, &fds)
+    }
+
+    fn goods_and_names(db: &NormalizedDb) -> (String, String) {
+        (
+            db.table_with_pk("goodsId").unwrap().name.clone(),
+            db.table_with_pk("goodsName").unwrap().name.clone(),
+        )
+    }
+
+    #[test]
+    fn example_3_5_price_of_flower() {
+        let d = db();
+        let (goods, names) = goods_and_names(&d);
+        let sql = format!(
+            "SELECT {names}.price FROM {goods} INNER JOIN {names} ON \
+             {goods}.goodsName = {names}.goodsName WHERE {goods}.goodsName = 'flower'"
+        );
+        let stmt = parse_stmt(&sql).unwrap();
+        let gt = GroundTruthEvaluator::new(&d).evaluate(&stmt).unwrap();
+        assert!(!gt.subset_mode);
+        // all goods named "flower" share one price (goodsName → price), and
+        // potentially several goodsIds carry that name
+        assert!(!gt.result.is_empty());
+        let first = &gt.result.rows[0].values[0];
+        for r in &gt.result.rows {
+            assert_eq!(format!("{}", r.values[0]), format!("{first}"));
+        }
+    }
+
+    #[test]
+    fn inner_join_cardinality_matches_dimension_size() {
+        let d = db();
+        let (goods, names) = goods_and_names(&d);
+        let sql = format!(
+            "SELECT {goods}.goodsId, {names}.price FROM {goods} INNER JOIN {names} \
+             ON {goods}.goodsName = {names}.goodsName"
+        );
+        let stmt = parse_stmt(&sql).unwrap();
+        let gt = GroundTruthEvaluator::new(&d).evaluate(&stmt).unwrap();
+        // one row per goods row (goodsName always matches its price row)
+        let n_goods = d.catalog.table(&goods).unwrap().row_count();
+        assert_eq!(gt.result.row_count(), n_goods);
+    }
+
+    #[test]
+    fn base_join_keeps_fact_multiplicity() {
+        let d = db();
+        let goods = d.table_with_pk("goodsId").unwrap().name.clone();
+        let sql = format!(
+            "SELECT T1.orderId, {goods}.goodsName FROM T1 INNER JOIN {goods} ON \
+             T1.goodsId = {goods}.goodsId"
+        );
+        let stmt = parse_stmt(&sql).unwrap();
+        let gt = GroundTruthEvaluator::new(&d).evaluate(&stmt).unwrap();
+        // every base row joins exactly one goods row → row per base row
+        let n_base = d.catalog.table("T1").unwrap().row_count();
+        assert_eq!(gt.result.row_count(), n_base);
+    }
+
+    #[test]
+    fn semi_and_anti_join_on_clean_data() {
+        let d = db();
+        let goods = d.table_with_pk("goodsId").unwrap().name.clone();
+        let n_base = d.catalog.table("T1").unwrap().row_count();
+        let semi = parse_stmt(&format!(
+            "SELECT T1.orderId FROM T1 SEMI JOIN {goods} ON T1.goodsId = {goods}.goodsId"
+        ))
+        .unwrap();
+        let gt = GroundTruthEvaluator::new(&d).evaluate(&semi).unwrap();
+        assert_eq!(gt.result.row_count(), n_base);
+        let anti = parse_stmt(&format!(
+            "SELECT T1.orderId FROM T1 ANTI JOIN {goods} ON T1.goodsId = {goods}.goodsId"
+        ))
+        .unwrap();
+        let gt = GroundTruthEvaluator::new(&d).evaluate(&anti).unwrap();
+        assert_eq!(gt.result.row_count(), 0);
+    }
+
+    #[test]
+    fn aggregates_and_group_by() {
+        let d = db();
+        let goods = d.table_with_pk("goodsId").unwrap().name.clone();
+        let sql = format!(
+            "SELECT {goods}.goodsName, COUNT(*) AS cnt FROM T1 INNER JOIN {goods} ON \
+             T1.goodsId = {goods}.goodsId GROUP BY {goods}.goodsName"
+        );
+        let stmt = parse_stmt(&sql).unwrap();
+        let gt = GroundTruthEvaluator::new(&d).evaluate(&stmt).unwrap();
+        let total: i64 = gt
+            .result
+            .rows
+            .iter()
+            .map(|r| r.values[1].as_i128_exact().unwrap() as i64)
+            .sum();
+        assert_eq!(total as usize, d.catalog.table("T1").unwrap().row_count());
+    }
+
+    #[test]
+    fn distinct_projection() {
+        let d = db();
+        let goods = d.table_with_pk("goodsId").unwrap().name.clone();
+        let sql = format!(
+            "SELECT DISTINCT {goods}.goodsName FROM T1 INNER JOIN {goods} ON \
+             T1.goodsId = {goods}.goodsId"
+        );
+        let stmt = parse_stmt(&sql).unwrap();
+        let gt = GroundTruthEvaluator::new(&d).evaluate(&stmt).unwrap();
+        let names = d.catalog.table(&d.table_with_pk("goodsName").unwrap().name).unwrap();
+        assert_eq!(gt.result.row_count(), names.row_count());
+    }
+
+    #[test]
+    fn cross_join_sets_subset_mode() {
+        let d = db();
+        let goods = d.table_with_pk("goodsId").unwrap().name.clone();
+        let mut from = FromClause::single("T1");
+        from.joins.push(Join {
+            join_type: tqs_sql::ast::JoinType::Cross,
+            table: TableRef::new(goods.clone()),
+            on: None,
+        });
+        let mut stmt = tqs_sql::ast::SelectStmt::new(from);
+        stmt.items = vec![SelectItem::column("T1", "orderId")];
+        let gt = GroundTruthEvaluator::new(&d).evaluate(&stmt).unwrap();
+        assert!(gt.subset_mode);
+        // subset verification: a superset passes, a smaller set fails
+        let mut superset = gt.result.clone();
+        superset.rows.push(Row::new(vec![Value::str("extra")]));
+        assert!(gt.matches(&superset));
+    }
+
+    #[test]
+    fn unsupported_shapes_are_rejected() {
+        let d = db();
+        assert!(matches!(
+            GroundTruthEvaluator::new(&d)
+                .evaluate(&parse_stmt("SELECT * FROM nosuch").unwrap()),
+            Err(GtError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            GroundTruthEvaluator::new(&d)
+                .evaluate(&parse_stmt("SELECT T1.orderId FROM T1 JOIN T1 ON T1.orderId = T1.orderId").unwrap()),
+            Err(GtError::Unsupported(_))
+        ));
+        assert!(matches!(
+            GroundTruthEvaluator::new(&d)
+                .evaluate(&parse_stmt("SELECT T1.orderId FROM T1 LIMIT 3").unwrap()),
+            Err(GtError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn in_subquery_ground_truth() {
+        let d = db();
+        let goods = d.table_with_pk("goodsId").unwrap().name.clone();
+        let sql = format!(
+            "SELECT T1.orderId FROM T1 WHERE T1.goodsId IN \
+             (SELECT {goods}.goodsId FROM {goods} WHERE {goods}.goodsName = 'book')"
+        );
+        let stmt = parse_stmt(&sql).unwrap();
+        let gt = GroundTruthEvaluator::new(&d).evaluate(&stmt).unwrap();
+        // every returned base row indeed bought a 'book' good — cross-check
+        // against the wide table directly.
+        let expected = d
+            .wide
+            .table
+            .rows
+            .iter()
+            .filter(|r| {
+                let idx = d.wide.attr_index("goodsName").unwrap() + 1;
+                r.get(idx).as_str() == Some("book")
+            })
+            .count();
+        assert_eq!(gt.result.row_count(), expected);
+    }
+}

@@ -1,0 +1,483 @@
+//! SQL value model with MySQL-flavoured comparison and coercion semantics.
+//!
+//! The ground-truth evaluator and the simulated engine both operate on
+//! [`Value`]. The semantics implemented here are the *correct* ones; the
+//! engine's fault-injection layer deliberately perturbs them in specific
+//! physical operators to model real optimizer bugs (e.g. treating `0` and
+//! `-0` as different hash keys, or losing precision by routing a
+//! varchar→bigint comparison through `double`).
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Fixed-point decimal: `mantissa * 10^(-scale)`.
+///
+/// MySQL `DECIMAL` columns are exact; several of the paper's bugs hinge on
+/// the difference between exact decimal comparison and a lossy conversion to
+/// `double`, so we keep an exact representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Decimal {
+    pub mantissa: i128,
+    pub scale: u8,
+}
+
+impl Decimal {
+    pub fn new(mantissa: i128, scale: u8) -> Self {
+        Decimal { mantissa, scale }
+    }
+
+    /// Build from an integer (scale 0).
+    pub fn from_int(v: i64) -> Self {
+        Decimal { mantissa: v as i128, scale: 0 }
+    }
+
+    /// Lossy conversion to double, used by coercion paths.
+    pub fn to_f64(self) -> f64 {
+        self.mantissa as f64 / 10f64.powi(self.scale as i32)
+    }
+
+    /// Rescale both operands to a common scale and compare exactly.
+    pub fn cmp_exact(self, other: Decimal) -> Ordering {
+        let scale = self.scale.max(other.scale);
+        let a = self.mantissa * 10i128.pow((scale - self.scale) as u32);
+        let b = other.mantissa * 10i128.pow((scale - other.scale) as u32);
+        a.cmp(&b)
+    }
+
+    /// Normalize away trailing zeros so `1.50` and `1.5` hash identically.
+    pub fn normalized(mut self) -> Self {
+        while self.scale > 0 && self.mantissa % 10 == 0 {
+            self.mantissa /= 10;
+            self.scale -= 1;
+        }
+        self
+    }
+
+    pub fn is_zero(self) -> bool {
+        self.mantissa == 0
+    }
+}
+
+impl fmt::Display for Decimal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.scale == 0 {
+            return write!(f, "{}", self.mantissa);
+        }
+        let sign = if self.mantissa < 0 { "-" } else { "" };
+        let abs = self.mantissa.unsigned_abs();
+        let pow = 10u128.pow(self.scale as u32);
+        let int = abs / pow;
+        let frac = abs % pow;
+        write!(f, "{sign}{int}.{frac:0width$}", width = self.scale as usize)
+    }
+}
+
+/// A single SQL value.
+///
+/// `Int` covers TINYINT..BIGINT (the column type carries the width);
+/// `UInt` covers the unsigned/zerofill variants. Strings are split into
+/// `Varchar` and `Text` because several engines treat them differently in
+/// join key handling (TEXT keys go through the "long key" path).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f32),
+    Double(f64),
+    Decimal(Decimal),
+    Varchar(String),
+    Text(String),
+    /// Days since 1970-01-01, date-typed.
+    Date(i32),
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Varchar(s.into())
+    }
+
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+
+    /// A short tag used by embeddings / debugging.
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::UInt(_) => "uint",
+            Value::Float(_) => "float",
+            Value::Double(_) => "double",
+            Value::Decimal(_) => "decimal",
+            Value::Varchar(_) => "varchar",
+            Value::Text(_) => "text",
+            Value::Date(_) => "date",
+        }
+    }
+
+    /// Numeric interpretation following MySQL's string→number coercion:
+    /// a leading numeric prefix parses, anything else is 0.
+    pub fn as_f64_lossy(&self) -> Option<f64> {
+        match self {
+            Value::Null => None,
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f as f64),
+            Value::Double(d) => Some(*d),
+            Value::Decimal(d) => Some(d.to_f64()),
+            Value::Varchar(s) | Value::Text(s) => Some(parse_numeric_prefix(s)),
+            Value::Date(d) => Some(*d as f64),
+        }
+    }
+
+    /// Exact integer interpretation when the value is integral.
+    pub fn as_i128_exact(&self) -> Option<i128> {
+        match self {
+            Value::Int(i) => Some(*i as i128),
+            Value::UInt(u) => Some(*u as i128),
+            Value::Bool(b) => Some(*b as i128),
+            Value::Date(d) => Some(*d as i128),
+            Value::Decimal(d) if d.scale == 0 => Some(d.mantissa),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Varchar(s) | Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Truthiness for `WHERE` predicates: NULL → None (unknown),
+    /// numbers → non-zero, strings → numeric prefix non-zero.
+    pub fn truthiness(&self) -> Option<bool> {
+        match self {
+            Value::Null => None,
+            Value::Bool(b) => Some(*b),
+            _ => self.as_f64_lossy().map(|f| f != 0.0),
+        }
+    }
+}
+
+/// Parse a numeric prefix the way MySQL coerces strings in numeric context:
+/// `"12abc"` → 12, `"abc"` → 0, `"-3.5x"` → -3.5.
+pub fn parse_numeric_prefix(s: &str) -> f64 {
+    let t = s.trim_start();
+    let mut end = 0usize;
+    let bytes = t.as_bytes();
+    let mut seen_digit = false;
+    let mut seen_dot = false;
+    let mut seen_exp = false;
+    while end < bytes.len() {
+        let c = bytes[end] as char;
+        let ok = match c {
+            '0'..='9' => {
+                seen_digit = true;
+                true
+            }
+            '+' | '-' => end == 0 || matches!(bytes[end - 1] as char, 'e' | 'E'),
+            '.' if !seen_dot && !seen_exp => {
+                seen_dot = true;
+                true
+            }
+            'e' | 'E' if seen_digit && !seen_exp => {
+                seen_exp = true;
+                true
+            }
+            _ => false,
+        };
+        if !ok {
+            break;
+        }
+        end += 1;
+    }
+    if !seen_digit {
+        return 0.0;
+    }
+    t[..end].parse::<f64>().unwrap_or(0.0)
+}
+
+/// Three-valued SQL comparison result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlCmp {
+    Unknown,
+    Ordering(Ordering),
+}
+
+impl SqlCmp {
+    pub fn is_eq(self) -> Option<bool> {
+        match self {
+            SqlCmp::Unknown => None,
+            SqlCmp::Ordering(o) => Some(o == Ordering::Equal),
+        }
+    }
+}
+
+/// Correct SQL comparison with MySQL-style coercion.
+///
+/// * NULL compared with anything is Unknown.
+/// * Numeric vs numeric: exact when both are exact integers/decimals,
+///   otherwise via double (so `0.0 == -0.0` and `0 == -0`).
+/// * String vs string: binary-ish collation, but trailing-space insensitive
+///   (PAD SPACE collations), case-insensitive like the default `_ci`
+///   collations.
+/// * Mixed string/number: the string is coerced to a number.
+pub fn sql_compare(a: &Value, b: &Value) -> SqlCmp {
+    use Value::*;
+    if a.is_null() || b.is_null() {
+        return SqlCmp::Unknown;
+    }
+    // exact integer fast path
+    if let (Some(x), Some(y)) = (a.as_i128_exact(), b.as_i128_exact()) {
+        return SqlCmp::Ordering(x.cmp(&y));
+    }
+    // exact decimal vs integer/decimal
+    if let (Decimal(x), Decimal(y)) = (a, b) {
+        return SqlCmp::Ordering(x.cmp_exact(*y));
+    }
+    match (a, b) {
+        (Varchar(x), Varchar(y))
+        | (Varchar(x), Text(y))
+        | (Text(x), Varchar(y))
+        | (Text(x), Text(y)) => SqlCmp::Ordering(collate_cmp(x, y)),
+        _ => {
+            let (x, y) = (a.as_f64_lossy(), b.as_f64_lossy());
+            match (x, y) {
+                (Some(x), Some(y)) => SqlCmp::Ordering(total_f64(x, y)),
+                _ => SqlCmp::Unknown,
+            }
+        }
+    }
+}
+
+/// NULL-safe equality (MySQL `<=>`): NULL <=> NULL is true.
+pub fn null_safe_eq(a: &Value, b: &Value) -> bool {
+    match (a.is_null(), b.is_null()) {
+        (true, true) => true,
+        (true, false) | (false, true) => false,
+        _ => sql_compare(a, b).is_eq().unwrap_or(false),
+    }
+}
+
+/// Case-insensitive, trailing-space-insensitive string collation
+/// (models the default `utf8mb4_0900_ai_ci` behaviour closely enough).
+pub fn collate_cmp(a: &str, b: &str) -> Ordering {
+    let a = a.trim_end_matches(' ');
+    let b = b.trim_end_matches(' ');
+    let ai = a.chars().flat_map(|c| c.to_lowercase());
+    let bi = b.chars().flat_map(|c| c.to_lowercase());
+    ai.cmp(bi)
+}
+
+/// Total order over doubles that collapses `-0.0`/`0.0` and sorts NaN last.
+/// Correct engines must compare `0` and `-0` as equal; one of the injected
+/// faults replaces this with a bit-pattern comparison.
+pub fn total_f64(a: f64, b: f64) -> Ordering {
+    if a == b {
+        return Ordering::Equal; // also collapses 0.0 / -0.0
+    }
+    match a.partial_cmp(&b) {
+        Some(o) => o,
+        None => {
+            // NaNs sort after everything, equal to each other.
+            match (a.is_nan(), b.is_nan()) {
+                (true, true) => Ordering::Equal,
+                (true, false) => Ordering::Greater,
+                (false, true) => Ordering::Less,
+                (false, false) => unreachable!(),
+            }
+        }
+    }
+}
+
+/// A key usable for hashing/grouping with the same equivalence classes as
+/// [`sql_compare`] equality (restricted to same-family types, which is what
+/// grouping and hash joins need after coercion).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum HashKey {
+    Null,
+    Int(i128),
+    /// Bit pattern of a canonicalized double (−0 collapsed to +0, NaN canon).
+    Double(u64),
+    Str(String),
+}
+
+/// Canonical hash key under *correct* semantics.
+pub fn hash_key(v: &Value) -> HashKey {
+    match v {
+        Value::Null => HashKey::Null,
+        Value::Bool(b) => HashKey::Int(*b as i128),
+        Value::Int(i) => HashKey::Int(*i as i128),
+        Value::UInt(u) => HashKey::Int(*u as i128),
+        Value::Date(d) => HashKey::Int(*d as i128),
+        Value::Decimal(d) => {
+            let n = d.normalized();
+            if n.scale == 0 {
+                HashKey::Int(n.mantissa)
+            } else {
+                HashKey::Double(canon_f64_bits(n.to_f64()))
+            }
+        }
+        Value::Float(f) => float_key(*f as f64),
+        Value::Double(f) => float_key(*f),
+        Value::Varchar(s) | Value::Text(s) => {
+            HashKey::Str(s.trim_end_matches(' ').to_lowercase())
+        }
+    }
+}
+
+fn float_key(f: f64) -> HashKey {
+    if f.fract() == 0.0 && f.abs() < i64::MAX as f64 {
+        HashKey::Int(f as i128)
+    } else {
+        HashKey::Double(canon_f64_bits(f))
+    }
+}
+
+/// Collapse -0.0 into +0.0 and all NaNs into one bit pattern.
+pub fn canon_f64_bits(f: f64) -> u64 {
+    if f == 0.0 {
+        0u64
+    } else if f.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        f.to_bits()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::UInt(u) => write!(f, "{u}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Double(x) => write!(f, "{x}"),
+            Value::Decimal(d) => write!(f, "{d}"),
+            Value::Varchar(s) | Value::Text(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Value::Date(d) => write!(f, "DATE({d})"),
+        }
+    }
+}
+
+/// Equality of values as *result-set members* (not predicate equality):
+/// NULL equals NULL here, because two result sets containing a NULL cell in
+/// the same position are the same result set.
+pub fn result_value_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Null, Value::Null) => true,
+        (Value::Null, _) | (_, Value::Null) => false,
+        _ => sql_compare(a, b).is_eq().unwrap_or(false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(sql_compare(&Value::Null, &Value::Int(1)), SqlCmp::Unknown);
+        assert_eq!(sql_compare(&Value::Int(1), &Value::Null), SqlCmp::Unknown);
+        assert_eq!(sql_compare(&Value::Null, &Value::Null), SqlCmp::Unknown);
+    }
+
+    #[test]
+    fn null_safe_eq_matches_nulls() {
+        assert!(null_safe_eq(&Value::Null, &Value::Null));
+        assert!(!null_safe_eq(&Value::Null, &Value::Int(0)));
+        assert!(null_safe_eq(&Value::Int(3), &Value::Int(3)));
+    }
+
+    #[test]
+    fn zero_and_negative_zero_are_equal() {
+        assert_eq!(
+            sql_compare(&Value::Double(0.0), &Value::Double(-0.0)).is_eq(),
+            Some(true)
+        );
+        assert_eq!(hash_key(&Value::Double(0.0)), hash_key(&Value::Double(-0.0)));
+        assert_eq!(hash_key(&Value::Int(0)), hash_key(&Value::Double(-0.0)));
+    }
+
+    #[test]
+    fn string_number_coercion() {
+        assert_eq!(parse_numeric_prefix("2000-09-06"), 2000.0);
+        assert_eq!(parse_numeric_prefix("abc"), 0.0);
+        assert_eq!(parse_numeric_prefix("  -3.5x"), -3.5);
+        assert_eq!(
+            sql_compare(&Value::str("12abc"), &Value::Int(12)).is_eq(),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn string_collation_is_pad_and_case_insensitive() {
+        assert_eq!(collate_cmp("abc  ", "ABC"), Ordering::Equal);
+        assert_eq!(collate_cmp("abc", "abd"), Ordering::Less);
+        assert_eq!(
+            sql_compare(&Value::str("Tom"), &Value::str("tom ")).is_eq(),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn decimal_exact_comparison_and_display() {
+        let a = Decimal::new(1500, 2); // 15.00
+        let b = Decimal::new(15, 0);
+        assert_eq!(a.cmp_exact(b), Ordering::Equal);
+        assert_eq!(a.to_string(), "15.00");
+        assert_eq!(Decimal::new(-105, 1).to_string(), "-10.5");
+        assert_eq!(hash_key(&Value::Decimal(a)), hash_key(&Value::Int(15)));
+    }
+
+    #[test]
+    fn big_integers_compare_exactly_not_via_double() {
+        // Adjacent i64 values that collapse when routed through f64.
+        let a = Value::Int(9_007_199_254_740_993);
+        let b = Value::Int(9_007_199_254_740_992);
+        assert_eq!(sql_compare(&a, &b).is_eq(), Some(false));
+    }
+
+    #[test]
+    fn uint_vs_int_comparison() {
+        assert_eq!(
+            sql_compare(&Value::UInt(65535), &Value::Int(65535)).is_eq(),
+            Some(true)
+        );
+        assert_eq!(
+            sql_compare(&Value::UInt(1), &Value::Int(-1)).is_eq(),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn truthiness() {
+        assert_eq!(Value::Null.truthiness(), None);
+        assert_eq!(Value::Int(0).truthiness(), Some(false));
+        assert_eq!(Value::str("1x").truthiness(), Some(true));
+        assert_eq!(Value::str("x").truthiness(), Some(false));
+    }
+
+    #[test]
+    fn result_value_eq_treats_null_as_equal() {
+        assert!(result_value_eq(&Value::Null, &Value::Null));
+        assert!(!result_value_eq(&Value::Null, &Value::Int(0)));
+    }
+
+    #[test]
+    fn display_round_trip_escaping() {
+        assert_eq!(Value::str("it's").to_string(), "'it''s'");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+}

@@ -1,0 +1,63 @@
+//! # tqs-storage
+//!
+//! In-memory storage substrate for the TQS reproduction:
+//!
+//! * [`row`] — rows and bag-semantics result sets (the unit of comparison
+//!   between engine output and ground truth).
+//! * [`table`] — tables with key/foreign-key metadata and the [`table::Catalog`]
+//!   loaded into each simulated DBMS.
+//! * [`wide`] — the wide table `T_w` with explicit `RowID`s.
+//! * [`widegen`] — synthetic wide-table generators standing in for the UCI
+//!   KDD-Cup dataset and denormalized TPC-H samples used in the paper.
+
+pub mod row;
+pub mod table;
+pub mod wide;
+pub mod widegen;
+
+pub use row::{ResultSet, Row};
+pub use table::{Catalog, ForeignKey, Table};
+pub use wide::{WideTable, ROW_ID};
+
+#[cfg(test)]
+mod proptests {
+    use crate::row::{ResultSet, Row};
+    use proptest::prelude::*;
+    use tqs_sql::value::Value;
+
+    fn arb_row(width: usize) -> impl Strategy<Value = Row> {
+        proptest::collection::vec(
+            prop_oneof![
+                Just(Value::Null),
+                (-20i64..20).prop_map(Value::Int),
+                "[a-c]{0,3}".prop_map(Value::Varchar),
+            ],
+            width,
+        )
+        .prop_map(Row::new)
+    }
+
+    proptest! {
+        /// Bag equality is invariant under permutation of rows.
+        #[test]
+        fn same_bag_is_order_insensitive(rows in proptest::collection::vec(arb_row(2), 0..8)) {
+            let a = ResultSet { columns: vec!["x".into(), "y".into()], rows: rows.clone() };
+            let mut shuffled = rows.clone();
+            shuffled.reverse();
+            let b = ResultSet { columns: vec!["x".into(), "y".into()], rows: shuffled };
+            prop_assert!(a.same_bag(&b));
+            prop_assert!(b.same_bag(&a));
+        }
+
+        /// Every bag is a subset of itself, and dropping a row keeps it a subset.
+        #[test]
+        fn subset_of_is_reflexive_and_monotone(rows in proptest::collection::vec(arb_row(2), 1..8)) {
+            let full = ResultSet { columns: vec!["x".into(), "y".into()], rows: rows.clone() };
+            prop_assert!(full.subset_of(&full));
+            let mut fewer = rows;
+            fewer.pop();
+            let small = ResultSet { columns: vec!["x".into(), "y".into()], rows: fewer };
+            prop_assert!(small.subset_of(&full));
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! The Table 5 ablation on one profile: full TQS vs TQS!Noise vs TQS!GT vs
+//! TQS!KQE, reporting diversity and bug counts.
+//!
+//! Run with: `cargo run --release --example ablation_demo`
+
+use tqs_core::dsg::{DsgConfig, WideSource};
+use tqs_core::tqs::{TqsConfig, TqsRunner};
+use tqs_engine::ProfileId;
+use tqs_schema::NoiseConfig;
+use tqs_storage::widegen::ShoppingConfig;
+
+fn run(label: &str, noise: bool, use_gt: bool, use_kqe: bool, iterations: usize) {
+    let dsg_cfg = DsgConfig {
+        source: WideSource::Shopping(ShoppingConfig { n_rows: 200, ..Default::default() }),
+        fd: Default::default(),
+        noise: if noise {
+            Some(NoiseConfig { epsilon: 0.04, seed: 19, max_injections: 24 })
+        } else {
+            None
+        },
+    };
+    let mut runner = TqsRunner::new(
+        ProfileId::MysqlLike,
+        &dsg_cfg,
+        TqsConfig { iterations, use_ground_truth: use_gt, use_kqe, ..Default::default() },
+    );
+    let stats = runner.run();
+    println!(
+        "{:<10} diversity={:<6} bugs={:<4} types={}",
+        label, stats.diversity, stats.bug_count, stats.bug_type_count
+    );
+}
+
+fn main() {
+    let iterations: usize = std::env::var("TQS_ITER").ok().and_then(|s| s.parse().ok()).unwrap_or(200);
+    run("TQS", true, true, true, iterations);
+    run("TQS!Noise", false, true, true, iterations);
+    run("TQS!GT", true, false, true, iterations);
+    run("TQS!KQE", true, true, false, iterations);
+}
