@@ -35,10 +35,19 @@ fn bench_jump_intersection(c: &mut Criterion) {
 
 fn bench_wah(c: &mut Criterion) {
     let sparse = make(200_000, 1553);
-    c.bench_function("wah_compress_sparse_200k", |b| b.iter(|| WahBitmap::compress(&sparse)));
+    c.bench_function("wah_compress_sparse_200k", |b| {
+        b.iter(|| WahBitmap::compress(&sparse))
+    });
     let compressed = WahBitmap::compress(&sparse);
-    c.bench_function("wah_decompress_sparse_200k", |b| b.iter(|| compressed.decompress()));
+    c.bench_function("wah_decompress_sparse_200k", |b| {
+        b.iter(|| compressed.decompress())
+    });
 }
 
-criterion_group!(benches, bench_bitmap_ops, bench_jump_intersection, bench_wah);
+criterion_group!(
+    benches,
+    bench_bitmap_ops,
+    bench_jump_intersection,
+    bench_wah
+);
 criterion_main!(benches);

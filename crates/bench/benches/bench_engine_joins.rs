@@ -11,7 +11,10 @@ fn bench_join_algorithms(c: &mut Criterion) {
     let dsg = DsgDatabase::build(&standard_dsg(400, 7));
     let goods = dsg.db.table_with_pk("goodsId").unwrap().name.clone();
     let names = dsg.db.table_with_pk("goodsName").unwrap().name.clone();
-    let engine = Database::new(dsg.db.catalog.clone(), DbmsProfile::pristine(ProfileId::MysqlLike));
+    let engine = Database::new(
+        dsg.db.catalog.clone(),
+        DbmsProfile::pristine(ProfileId::MysqlLike),
+    );
     let mut group = c.benchmark_group("engine_join");
     for hint in ["HASH_JOIN", "MERGE_JOIN", "NL_JOIN", "INDEX_JOIN"] {
         let sql = format!(

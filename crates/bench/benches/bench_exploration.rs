@@ -4,24 +4,28 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use tqs_bench::standard_dsg;
+use tqs_core::backend::EngineConnector;
 use tqs_core::baselines::{run_baseline_on, Baseline, BaselineConfig};
 use tqs_core::dsg::DsgDatabase;
-use tqs_core::tqs::{TqsConfig, TqsRunner};
-use tqs_engine::{Database, DbmsProfile, ProfileId};
+use tqs_core::tqs::{TqsConfig, TqsSession};
+use tqs_engine::ProfileId;
 
 fn bench_tqs_iteration(c: &mut Criterion) {
     let dsg = DsgDatabase::build(&standard_dsg(200, 5));
     c.bench_function("tqs_one_iteration", |b| {
         b.iter_batched(
             || {
-                TqsRunner::with_database(
-                    ProfileId::MysqlLike,
-                    DbmsProfile::build(ProfileId::MysqlLike),
-                    dsg.clone(),
-                    TqsConfig { iterations: 1, ..Default::default() },
-                )
+                TqsSession::builder()
+                    .profile(ProfileId::MysqlLike)
+                    .dsg(dsg.clone())
+                    .config(TqsConfig {
+                        iterations: 1,
+                        ..Default::default()
+                    })
+                    .build()
+                    .expect("session build")
             },
-            |mut runner| runner.run(),
+            |mut session| session.run(),
             criterion::BatchSize::SmallInput,
         )
     });
@@ -31,13 +35,18 @@ fn bench_baseline_iteration(c: &mut Criterion) {
     let dsg = DsgDatabase::build(&standard_dsg(200, 5));
     c.bench_function("norec_one_iteration", |b| {
         b.iter_batched(
-            || Database::new(dsg.db.catalog.clone(), DbmsProfile::build(ProfileId::MysqlLike)),
-            |engine| {
+            // catalog load happens in the untimed setup so the measurement
+            // covers the NoRec oracle, not the catalog clone
+            || EngineConnector::connect(ProfileId::MysqlLike, &dsg),
+            |mut conn| {
                 run_baseline_on(
                     Baseline::NoRec,
-                    engine,
+                    &mut conn,
                     &dsg,
-                    &BaselineConfig { iterations: 1, ..Default::default() },
+                    &BaselineConfig {
+                        iterations: 1,
+                        ..Default::default()
+                    },
                 )
             },
             criterion::BatchSize::SmallInput,

@@ -8,12 +8,18 @@ use tqs_storage::widegen::{shopping_orders, tpch_like, ShoppingConfig, TpchLikeC
 fn bench_fd_discovery(c: &mut Criterion) {
     let mut group = c.benchmark_group("fd_discovery");
     for rows in [200usize, 800] {
-        let wide = shopping_orders(&ShoppingConfig { n_rows: rows, ..Default::default() });
+        let wide = shopping_orders(&ShoppingConfig {
+            n_rows: rows,
+            ..Default::default()
+        });
         group.bench_with_input(BenchmarkId::new("shopping", rows), &wide, |b, w| {
             b.iter(|| FdSet::discover(w, &FdDiscoveryConfig::default()))
         });
     }
-    let wide = tpch_like(&TpchLikeConfig { n_rows: 400, ..Default::default() });
+    let wide = tpch_like(&TpchLikeConfig {
+        n_rows: 400,
+        ..Default::default()
+    });
     group.bench_function("tpch_like_400", |b| {
         b.iter(|| FdSet::discover(&wide, &FdDiscoveryConfig::default()))
     });
@@ -21,7 +27,10 @@ fn bench_fd_discovery(c: &mut Criterion) {
 }
 
 fn bench_normalize(c: &mut Criterion) {
-    let wide = shopping_orders(&ShoppingConfig { n_rows: 600, ..Default::default() });
+    let wide = shopping_orders(&ShoppingConfig {
+        n_rows: 600,
+        ..Default::default()
+    });
     let fds = FdSet::discover(&wide, &FdDiscoveryConfig::default());
     c.bench_function("normalize_shopping_600", |b| {
         b.iter(|| normalize(wide.clone(), &fds))

@@ -3,23 +3,31 @@
 
 use std::time::Duration;
 use tqs_bench::standard_dsg;
+use tqs_core::backend::EngineConnector;
 use tqs_core::dsg::DsgDatabase;
 use tqs_core::parallel::parallel_explore;
 use tqs_engine::ProfileId;
 
 fn main() {
-    let millis: u64 = std::env::var("TQS_WALL_MS").ok().and_then(|s| s.parse().ok()).unwrap_or(2_000);
+    let millis: u64 = std::env::var("TQS_WALL_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
     let dsg = DsgDatabase::build(&standard_dsg(250, 55));
     println!("Figure 10 — parallel search on MySQL-like ({millis} ms budget per point)");
-    println!("{:<8} {:>10} {:>10} {:>10}", "clients", "queries", "bugs", "diversity");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10}",
+        "clients", "queries", "bugs", "diversity"
+    );
     for clients in 1..=5 {
         let stats = parallel_explore(
-            ProfileId::MysqlLike,
             &dsg,
             clients,
             Duration::from_millis(millis),
             9_000 + clients as u64,
-        );
+            |_| EngineConnector::faulty(ProfileId::MysqlLike),
+        )
+        .expect("engine workers load the catalog");
         println!(
             "{:<8} {:>10} {:>10} {:>10}",
             stats.clients, stats.queries_processed, stats.bugs_found, stats.diversity

@@ -1,7 +1,7 @@
 //! Figure 8(e–h): cumulative detected bug count over the testing budget,
 //! TQS vs the SQLancer baselines, per DBMS.
 
-use tqs_bench::{budget, standard_dsg, standard_runner};
+use tqs_bench::{budget, standard_dsg, standard_session};
 use tqs_core::baselines::{run_baseline, Baseline, BaselineConfig};
 use tqs_core::dsg::DsgDatabase;
 use tqs_engine::ProfileId;
@@ -16,8 +16,8 @@ fn main() {
     ];
     for (profile, baselines) in pairs {
         println!("== Figure 8 efficiency (bug count) — {} ==", profile.name());
-        let mut runner = standard_runner(profile, iterations, 777);
-        let tqs = runner.run();
+        let mut session = standard_session(profile, iterations, 777);
+        let tqs = session.run();
         print_series("TQS", &tqs.bug_timeline);
         let dsg = DsgDatabase::build(&standard_dsg(250, 777));
         for b in baselines {
@@ -25,7 +25,11 @@ fn main() {
                 b,
                 profile,
                 &dsg,
-                &BaselineConfig { iterations, queries_per_hour: iterations.div_ceil(24).max(1), ..Default::default() },
+                &BaselineConfig {
+                    iterations,
+                    queries_per_hour: iterations.div_ceil(24).max(1),
+                    ..Default::default()
+                },
             );
             print_series(b.name(), &stats.bug_timeline);
         }
@@ -34,6 +38,9 @@ fn main() {
 }
 
 fn print_series(label: &str, series: &[tqs_core::tqs::TimelinePoint]) {
-    let pts: Vec<String> = series.iter().map(|p| format!("{}:{}", p.hour, p.value)).collect();
+    let pts: Vec<String> = series
+        .iter()
+        .map(|p| format!("{}:{}", p.hour, p.value))
+        .collect();
     println!("{:<6} {}", label, pts.join(" "));
 }

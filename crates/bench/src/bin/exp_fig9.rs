@@ -2,14 +2,17 @@
 //! MySQL-like profile — bug count keeps growing roughly linearly while the
 //! number of bug types plateaus.
 
-use tqs_bench::{budget, standard_runner};
+use tqs_bench::{budget, standard_session};
 use tqs_engine::ProfileId;
 
 fn main() {
     let iterations = budget(800);
-    let mut runner = standard_runner(ProfileId::MysqlLike, iterations, 4242);
-    let stats = runner.run();
-    println!("Figure 9 — bugs vs bug types on {} ({iterations} queries ≈ 48 'hours')", stats.dbms);
+    let mut session = standard_session(ProfileId::MysqlLike, iterations, 4242);
+    let stats = session.run();
+    println!(
+        "Figure 9 — bugs vs bug types on {} ({iterations} queries ≈ 48 'hours')",
+        stats.dbms
+    );
     println!("{:<6} {:>10} {:>10}", "hour", "bug count", "bug types");
     for (b, t) in stats.bug_timeline.iter().zip(&stats.bug_type_timeline) {
         println!("{:<6} {:>10} {:>10}", b.hour, b.value, t.value);

@@ -15,8 +15,14 @@ fn main() {
             "{:<14} {:<16} {:>10} {:>14} {:>12} {:>8} {:>14}",
             p.info.name,
             p.info.version,
-            p.info.db_engines_rank.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
-            p.info.stack_overflow_rank.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
+            p.info
+                .db_engines_rank
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "-".into()),
+            p.info
+                .stack_overflow_rank
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "-".into()),
             p.info.github_stars.unwrap_or("-"),
             p.info.loc,
             p.info.first_release

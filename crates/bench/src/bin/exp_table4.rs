@@ -3,20 +3,26 @@
 //! from the engine's fired-fault provenance, standing in for developer
 //! analysis.
 
-use tqs_bench::{budget, standard_runner};
+use tqs_bench::{budget, standard_session};
 use tqs_engine::ProfileId;
 
 fn main() {
     let iterations = budget(400);
     println!("Table 4 — detected bugs per DBMS ({iterations} queries per DBMS)\n");
-    println!("{:<14} {:>6} {:>10}   bug types (root causes)", "DBMS", "bugs", "bug types");
+    println!(
+        "{:<14} {:>6} {:>10}   bug types (root causes)",
+        "DBMS", "bugs", "bug types"
+    );
     let mut total_bugs = 0;
     for profile in ProfileId::ALL {
-        let mut runner = standard_runner(profile, iterations, 2024);
-        let stats = runner.run();
+        let mut session = standard_session(profile, iterations, 2024);
+        let stats = session.run();
         total_bugs += stats.bug_count;
-        println!("{:<14} {:>6} {:>10}", stats.dbms, stats.bug_count, stats.bug_type_count);
-        for fault in runner.bugs.implicated_faults() {
+        println!(
+            "{:<14} {:>6} {:>10}",
+            stats.dbms, stats.bug_count, stats.bug_type_count
+        );
+        for fault in session.bugs.implicated_faults() {
             println!(
                 "    #{:<2} [{:<13}] {:<10} {}",
                 fault.table4_id(),

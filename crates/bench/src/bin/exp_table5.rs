@@ -3,26 +3,39 @@
 //! walk), per DBMS; reports query-graph diversity and bug count.
 
 use tqs_bench::{budget, standard_dsg};
-use tqs_core::dsg::{DsgConfig, DsgDatabase};
-use tqs_core::tqs::{TqsConfig, TqsRunner};
-use tqs_engine::{DbmsProfile, ProfileId};
+use tqs_core::dsg::DsgConfig;
+use tqs_core::tqs::{TqsConfig, TqsSession};
+use tqs_engine::ProfileId;
 
-fn run(profile: ProfileId, dsg_cfg: &DsgConfig, use_gt: bool, use_kqe: bool, iterations: usize) -> (usize, usize, usize) {
-    let dsg = DsgDatabase::build(dsg_cfg);
-    let mut runner = TqsRunner::with_database(
-        profile,
-        DbmsProfile::build(profile),
-        dsg,
-        TqsConfig { iterations, use_ground_truth: use_gt, use_kqe, ..Default::default() },
-    );
-    let s = runner.run();
+fn run(
+    profile: ProfileId,
+    dsg_cfg: &DsgConfig,
+    use_gt: bool,
+    use_kqe: bool,
+    iterations: usize,
+) -> (usize, usize, usize) {
+    let mut session = TqsSession::builder()
+        .profile(profile)
+        .dsg_config(dsg_cfg)
+        .config(TqsConfig {
+            iterations,
+            use_ground_truth: use_gt,
+            use_kqe,
+            ..Default::default()
+        })
+        .build()
+        .expect("session build");
+    let s = session.run();
     (s.diversity, s.bug_count, s.bug_type_count)
 }
 
 fn main() {
     let iterations = budget(300);
     println!("Table 5 — ablation ({iterations} queries per cell)\n");
-    println!("{:<14} {:<10} {:>10} {:>6} {:>6}", "DBMS", "variant", "diversity", "bugs", "types");
+    println!(
+        "{:<14} {:<10} {:>10} {:>6} {:>6}",
+        "DBMS", "variant", "diversity", "bugs", "types"
+    );
     for profile in ProfileId::ALL {
         let with_noise = standard_dsg(250, 31);
         let mut no_noise = standard_dsg(250, 31);
@@ -31,10 +44,20 @@ fn main() {
             ("TQS", run(profile, &with_noise, true, true, iterations)),
             ("TQS!Noise", run(profile, &no_noise, true, true, iterations)),
             ("TQS!GT", run(profile, &with_noise, false, true, iterations)),
-            ("TQS!KQE", run(profile, &with_noise, true, false, iterations)),
+            (
+                "TQS!KQE",
+                run(profile, &with_noise, true, false, iterations),
+            ),
         ];
         for (label, (div, bugs, types)) in rows {
-            println!("{:<14} {:<10} {:>10} {:>6} {:>6}", profile.name(), label, div, bugs, types);
+            println!(
+                "{:<14} {:<10} {:>10} {:>6} {:>6}",
+                profile.name(),
+                label,
+                div,
+                bugs,
+                types
+            );
         }
         println!();
     }

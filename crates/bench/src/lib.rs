@@ -3,9 +3,10 @@
 //! (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
 //! recorded results).
 
+use tqs_core::backend::EngineConnector;
 use tqs_core::dsg::{DsgConfig, DsgDatabase, WideSource};
-use tqs_core::tqs::{TqsConfig, TqsRunner};
-use tqs_engine::{DbmsProfile, ProfileId};
+use tqs_core::tqs::{TqsConfig, TqsSession};
+use tqs_engine::ProfileId;
 use tqs_schema::NoiseConfig;
 use tqs_storage::widegen::ShoppingConfig;
 
@@ -13,26 +14,40 @@ use tqs_storage::widegen::ShoppingConfig;
 /// wide table (the paper's running example) with 2–5% key noise.
 pub fn standard_dsg(n_rows: usize, seed: u64) -> DsgConfig {
     DsgConfig {
-        source: WideSource::Shopping(ShoppingConfig { n_rows, seed, ..Default::default() }),
+        source: WideSource::Shopping(ShoppingConfig {
+            n_rows,
+            seed,
+            ..Default::default()
+        }),
         fd: Default::default(),
-        noise: Some(NoiseConfig { epsilon: 0.04, seed: seed ^ 0xABCD, max_injections: 32 }),
+        noise: Some(NoiseConfig {
+            epsilon: 0.04,
+            seed: seed ^ 0xABCD,
+            max_injections: 32,
+        }),
     }
 }
 
-/// Build a TQS runner against the *faulty* build of `profile`.
-pub fn standard_runner(profile: ProfileId, iterations: usize, seed: u64) -> TqsRunner {
-    let dsg = DsgDatabase::build(&standard_dsg(250, seed));
-    TqsRunner::with_database(
-        profile,
-        DbmsProfile::build(profile),
-        dsg,
-        TqsConfig { iterations, queries_per_hour: iterations.div_ceil(24).max(1), ..Default::default() },
-    )
+/// Build a TQS session against the *faulty* build of `profile`.
+pub fn standard_session(profile: ProfileId, iterations: usize, seed: u64) -> TqsSession {
+    TqsSession::builder()
+        .connector(EngineConnector::faulty(profile))
+        .dsg(DsgDatabase::build(&standard_dsg(250, seed)))
+        .config(TqsConfig {
+            iterations,
+            queries_per_hour: iterations.div_ceil(24).max(1),
+            ..Default::default()
+        })
+        .build()
+        .expect("engine connector accepts the standard catalog")
 }
 
 /// Iteration budget: `TQS_ITER` env var or the default.
 pub fn budget(default: usize) -> usize {
-    std::env::var("TQS_ITER").ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::var("TQS_ITER")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 #[cfg(test)]
@@ -40,10 +55,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn standard_runner_builds_for_every_profile() {
+    fn standard_session_builds_for_every_profile() {
         for p in ProfileId::ALL {
-            let r = standard_runner(p, 5, 1);
-            assert_eq!(r.engine.profile.info.name, p.name());
+            let s = standard_session(p, 5, 1);
+            assert_eq!(s.connector.info().name, p.name());
         }
         assert_eq!(budget(42), 42);
     }

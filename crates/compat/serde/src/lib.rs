@@ -1,0 +1,15 @@
+//! Offline shim for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` names (trait + derive) so that
+//! workspace code keeps the standard serde annotations while building fully
+//! offline. The traits are intentionally empty: nothing in the workspace
+//! serializes through serde at runtime yet, and replacing this shim with the
+//! real crate is a one-line Cargo.toml change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,19 @@
+//! Offline shim for `serde_derive`.
+//!
+//! This workspace builds without network access, so the real serde derive
+//! macros are replaced by no-op derives: `#[derive(Serialize, Deserialize)]`
+//! stays legal on every type, and swapping the real serde back in later is a
+//! one-line Cargo.toml change. No serialization code is generated — nothing
+//! in the workspace currently serializes through serde at runtime.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,445 @@
+//! Backend abstraction: the boundary between the TQS harness and the DBMS it
+//! drives.
+//!
+//! The paper's claim is that TQS is DBMS-agnostic — the same harness found
+//! logic bugs in MySQL, MariaDB, TiDB and X-DB. [`DbmsConnector`] is that
+//! boundary in this reproduction: it captures everything the orchestrator,
+//! the baselines, the parallel explorer and the bug minimizer need from a
+//! database — statement execution (plain, hinted, or raw SQL), `EXPLAIN`,
+//! hint-dialect metadata, catalog loading, and fault-fired introspection.
+//!
+//! Two implementations ship here:
+//!
+//! * [`EngineConnector`] — the in-process simulated DBMS
+//!   ([`tqs_engine::Database`]) in one of its four profile builds.
+//! * [`RecordingConnector`] — a transparent proxy over any connector that
+//!   logs every statement and outcome, for later replay or audit.
+//!
+//! New backends (a second simulated engine build, a SQLite shim, a networked
+//! DBMS) implement the trait without touching the rest of tqs-core; the
+//! README's "Writing a new connector" section walks through it, and
+//! [`crate::conformance`] provides the shared behavioral test suite every
+//! implementation should pass.
+
+use std::fmt;
+
+use tqs_engine::{Database, DbmsProfile, FaultKind, ProfileId};
+use tqs_sql::ast::SelectStmt;
+use tqs_sql::hints::HintSet;
+use tqs_sql::parser::parse_stmt;
+use tqs_storage::{Catalog, ResultSet};
+
+use crate::dsg::DsgDatabase;
+
+/// Error surfaced by a connector. Deliberately stringly-typed: backends have
+/// wildly different error taxonomies, and the harness only ever needs to know
+/// that a statement did not produce a result set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectorError {
+    pub message: String,
+}
+
+impl ConnectorError {
+    pub fn new(message: impl Into<String>) -> Self {
+        ConnectorError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConnectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "connector error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConnectorError {}
+
+/// Result of executing one (possibly transformed) statement.
+#[derive(Debug, Clone)]
+pub struct SqlOutcome {
+    pub result: ResultSet,
+    /// Fault provenance: which latent faults fired while producing `result`.
+    /// Simulated engines report this for the Table 4 root-cause analysis;
+    /// connectors to real DBMSs leave it empty (real systems don't confess).
+    pub fired: Vec<FaultKind>,
+}
+
+/// Static metadata about the backend a connector drives.
+#[derive(Debug, Clone)]
+pub struct ConnectorInfo {
+    /// Display name of the build, e.g. "MySQL-like".
+    pub name: String,
+    /// Version string of the build.
+    pub version: String,
+    /// Hint dialect the backend speaks: which profile's hint sets / session
+    /// switches `hint_sets_for` should generate when transforming queries.
+    pub dialect: ProfileId,
+}
+
+/// Everything the TQS harness needs from a DBMS.
+///
+/// Required methods are [`info`](DbmsConnector::info),
+/// [`load_catalog`](DbmsConnector::load_catalog),
+/// [`execute_with_hints`](DbmsConnector::execute_with_hints) and
+/// [`explain`](DbmsConnector::explain); plain and raw-SQL execution have
+/// default implementations in terms of those.
+pub trait DbmsConnector {
+    /// Name, version and hint dialect of the backend build.
+    fn info(&self) -> ConnectorInfo;
+
+    /// Load (or replace) the schema and data the harness will test against.
+    fn load_catalog(&mut self, catalog: &Catalog) -> Result<(), ConnectorError>;
+
+    /// Execute a transformed query: apply the hint set's session switches,
+    /// splice its hints into the statement, execute, restore the session.
+    fn execute_with_hints(
+        &mut self,
+        stmt: &SelectStmt,
+        hints: &HintSet,
+    ) -> Result<SqlOutcome, ConnectorError>;
+
+    /// `EXPLAIN`: a textual rendering of the plan the backend would choose.
+    fn explain(&mut self, stmt: &SelectStmt) -> Result<String, ConnectorError>;
+
+    /// Execute a statement with the default (un-hinted) plan.
+    fn execute(&mut self, stmt: &SelectStmt) -> Result<SqlOutcome, ConnectorError> {
+        self.execute_with_hints(stmt, &HintSet::new("default"))
+    }
+
+    /// Execute raw SQL text (parse, then execute).
+    fn execute_sql(&mut self, sql: &str) -> Result<SqlOutcome, ConnectorError> {
+        let stmt = parse_stmt(sql).map_err(|e| ConnectorError::new(e.to_string()))?;
+        self.execute(&stmt)
+    }
+}
+
+/// The first connector: the in-process simulated DBMS of [`tqs_engine`].
+pub struct EngineConnector {
+    db: Database,
+    dialect: ProfileId,
+}
+
+impl EngineConnector {
+    /// Connector over an explicit engine build (profile + fault complement).
+    pub fn new(dialect: ProfileId, profile: DbmsProfile) -> Self {
+        EngineConnector {
+            db: Database::new(Catalog::new(), profile),
+            dialect,
+        }
+    }
+
+    /// The faulty build of `id`, with its full Table 4 fault complement.
+    pub fn faulty(id: ProfileId) -> Self {
+        Self::new(id, DbmsProfile::build(id))
+    }
+
+    /// A fault-free build of `id` (soundness tests, ablation baselines).
+    pub fn pristine(id: ProfileId) -> Self {
+        Self::new(id, DbmsProfile::pristine(id))
+    }
+
+    /// Factory helper: the faulty build of `id`, already loaded with the DSG
+    /// database's catalog — what [`crate::baselines::run_baseline`] and the
+    /// experiment binaries use to obtain a ready engine connector.
+    pub fn connect(id: ProfileId, dsg: &DsgDatabase) -> Self {
+        let mut c = Self::faulty(id);
+        c.load_catalog(&dsg.db.catalog)
+            .expect("engine catalog load is infallible");
+        c
+    }
+
+    /// Factory helper: like [`connect`](Self::connect) but fault-free.
+    pub fn connect_pristine(id: ProfileId, dsg: &DsgDatabase) -> Self {
+        let mut c = Self::pristine(id);
+        c.load_catalog(&dsg.db.catalog)
+            .expect("engine catalog load is infallible");
+        c
+    }
+}
+
+impl From<tqs_engine::ExecOutcome> for SqlOutcome {
+    fn from(o: tqs_engine::ExecOutcome) -> Self {
+        SqlOutcome {
+            result: o.result,
+            fired: o.fired,
+        }
+    }
+}
+
+/// Single conversion point from the engine's result type to the connector's.
+fn engine_outcome(
+    r: Result<tqs_engine::ExecOutcome, tqs_engine::EngineError>,
+) -> Result<SqlOutcome, ConnectorError> {
+    r.map(SqlOutcome::from)
+        .map_err(|e| ConnectorError::new(e.to_string()))
+}
+
+impl DbmsConnector for EngineConnector {
+    fn info(&self) -> ConnectorInfo {
+        ConnectorInfo {
+            name: self.db.profile.info.name.clone(),
+            version: self.db.profile.info.version.clone(),
+            dialect: self.dialect,
+        }
+    }
+
+    fn load_catalog(&mut self, catalog: &Catalog) -> Result<(), ConnectorError> {
+        self.db.catalog = catalog.clone();
+        Ok(())
+    }
+
+    fn execute_with_hints(
+        &mut self,
+        stmt: &SelectStmt,
+        hints: &HintSet,
+    ) -> Result<SqlOutcome, ConnectorError> {
+        engine_outcome(self.db.execute_with_hints(stmt, hints))
+    }
+
+    fn explain(&mut self, stmt: &SelectStmt) -> Result<String, ConnectorError> {
+        self.db
+            .explain(stmt)
+            .map_err(|e| ConnectorError::new(e.to_string()))
+    }
+
+    fn execute(&mut self, stmt: &SelectStmt) -> Result<SqlOutcome, ConnectorError> {
+        engine_outcome(self.db.execute(stmt))
+    }
+
+    fn execute_sql(&mut self, sql: &str) -> Result<SqlOutcome, ConnectorError> {
+        engine_outcome(self.db.execute_sql(sql))
+    }
+}
+
+/// One entry in a [`RecordingConnector`] trace.
+#[derive(Debug, Clone)]
+pub enum TraceEvent {
+    LoadCatalog {
+        tables: usize,
+    },
+    Statement {
+        /// Hint-set label ("default" for plain execution, "sql" for raw text).
+        label: String,
+        sql: String,
+        /// `Ok((row_count, fired))` or the error message.
+        outcome: Result<(usize, Vec<FaultKind>), String>,
+    },
+    Explain {
+        sql: String,
+        /// `Ok(plan_text)` or the error message.
+        outcome: Result<String, String>,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::LoadCatalog { tables } => write!(f, "LOAD\t{tables} tables"),
+            TraceEvent::Statement {
+                label,
+                sql,
+                outcome,
+            } => match outcome {
+                Ok((rows, fired)) => {
+                    write!(f, "EXEC\t{label}\t{sql}\t{rows} rows\tfired={fired:?}")
+                }
+                Err(e) => write!(f, "EXEC\t{label}\t{sql}\tERROR: {e}"),
+            },
+            TraceEvent::Explain { sql, outcome } => match outcome {
+                Ok(plan) => write!(f, "EXPLAIN\t{sql}\t{}", plan.replace('\n', "\\n")),
+                Err(e) => write!(f, "EXPLAIN\t{sql}\tERROR: {e}"),
+            },
+        }
+    }
+}
+
+/// A transparent proxy connector that records every statement sent to the
+/// backend and every outcome that came back — the seed of a replay-from-log
+/// backend, and a debugging aid when a bug report needs its full session
+/// context.
+pub struct RecordingConnector<C: DbmsConnector> {
+    inner: C,
+    trace: Vec<TraceEvent>,
+}
+
+impl<C: DbmsConnector> RecordingConnector<C> {
+    pub fn new(inner: C) -> Self {
+        RecordingConnector {
+            inner,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Everything recorded so far, in submission order.
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    /// The trace as a line-oriented text log (one event per line).
+    pub fn replay_log(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.trace {
+            out.push_str(&ev.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+
+    fn record_statement(
+        &mut self,
+        label: &str,
+        sql: String,
+        outcome: &Result<SqlOutcome, ConnectorError>,
+    ) {
+        self.trace.push(TraceEvent::Statement {
+            label: label.to_string(),
+            sql,
+            outcome: match outcome {
+                Ok(o) => Ok((o.result.row_count(), o.fired.clone())),
+                Err(e) => Err(e.message.clone()),
+            },
+        });
+    }
+}
+
+impl<C: DbmsConnector> DbmsConnector for RecordingConnector<C> {
+    fn info(&self) -> ConnectorInfo {
+        self.inner.info()
+    }
+
+    fn load_catalog(&mut self, catalog: &Catalog) -> Result<(), ConnectorError> {
+        self.trace.push(TraceEvent::LoadCatalog {
+            tables: catalog.len(),
+        });
+        self.inner.load_catalog(catalog)
+    }
+
+    fn execute_with_hints(
+        &mut self,
+        stmt: &SelectStmt,
+        hints: &HintSet,
+    ) -> Result<SqlOutcome, ConnectorError> {
+        let out = self.inner.execute_with_hints(stmt, hints);
+        self.record_statement(&hints.label, tqs_sql::render::render_stmt(stmt), &out);
+        out
+    }
+
+    fn explain(&mut self, stmt: &SelectStmt) -> Result<String, ConnectorError> {
+        let out = self.inner.explain(stmt);
+        self.trace.push(TraceEvent::Explain {
+            sql: tqs_sql::render::render_stmt(stmt),
+            outcome: match &out {
+                Ok(plan) => Ok(plan.clone()),
+                Err(e) => Err(e.message.clone()),
+            },
+        });
+        out
+    }
+
+    fn execute(&mut self, stmt: &SelectStmt) -> Result<SqlOutcome, ConnectorError> {
+        let out = self.inner.execute(stmt);
+        self.record_statement("default", tqs_sql::render::render_stmt(stmt), &out);
+        out
+    }
+
+    fn execute_sql(&mut self, sql: &str) -> Result<SqlOutcome, ConnectorError> {
+        let out = self.inner.execute_sql(sql);
+        self.record_statement("sql", sql.to_string(), &out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_dsg() -> DsgDatabase {
+        use crate::dsg::{DsgConfig, WideSource};
+        use tqs_storage::widegen::ShoppingConfig;
+        DsgDatabase::build(&DsgConfig {
+            source: WideSource::Shopping(ShoppingConfig {
+                n_rows: 60,
+                ..Default::default()
+            }),
+            fd: Default::default(),
+            noise: None,
+        })
+    }
+
+    #[test]
+    fn engine_connector_reports_profile_metadata() {
+        for id in ProfileId::ALL {
+            let conn = EngineConnector::faulty(id);
+            let info = conn.info();
+            assert_eq!(info.name, id.name());
+            assert_eq!(info.dialect, id);
+            assert!(!info.version.is_empty());
+        }
+    }
+
+    #[test]
+    fn connect_loads_the_dsg_catalog() {
+        let dsg = small_dsg();
+        let mut conn = EngineConnector::connect_pristine(ProfileId::MysqlLike, &dsg);
+        let table = &dsg.db.metas[0].name;
+        let out = conn
+            .execute_sql(&format!("SELECT COUNT(*) AS c FROM {table}"))
+            .expect("count over a loaded table");
+        assert_eq!(out.result.row_count(), 1);
+        assert!(out.fired.is_empty());
+    }
+
+    #[test]
+    fn execute_default_matches_execute_with_empty_hints() {
+        let dsg = small_dsg();
+        let mut conn = EngineConnector::connect_pristine(ProfileId::TidbLike, &dsg);
+        let table = &dsg.db.metas[0].name;
+        let col = &dsg.db.metas[0].columns[0];
+        let stmt = parse_stmt(&format!("SELECT {table}.{col} FROM {table}")).unwrap();
+        let plain = conn.execute(&stmt).unwrap();
+        let empty = conn
+            .execute_with_hints(&stmt, &HintSet::new("default"))
+            .unwrap();
+        assert!(plain.result.same_bag(&empty.result));
+    }
+
+    #[test]
+    fn recording_connector_traces_every_call() {
+        let dsg = small_dsg();
+        let mut conn = RecordingConnector::new(EngineConnector::pristine(ProfileId::MariadbLike));
+        conn.load_catalog(&dsg.db.catalog).unwrap();
+        let table = &dsg.db.metas[0].name;
+        let col = &dsg.db.metas[0].columns[0];
+        let sql = format!("SELECT {table}.{col} FROM {table}");
+        conn.execute_sql(&sql).unwrap();
+        let stmt = parse_stmt(&sql).unwrap();
+        conn.execute(&stmt).unwrap();
+        conn.explain(&stmt).unwrap();
+        let _ = conn.execute_sql("SELECT x.a FROM missing x");
+
+        let trace = conn.trace();
+        assert_eq!(
+            trace.len(),
+            4 + 1,
+            "load + 3 statements + explain: {trace:#?}"
+        );
+        assert!(matches!(trace[0], TraceEvent::LoadCatalog { tables } if tables > 0));
+        assert!(matches!(&trace[3], TraceEvent::Explain { .. }));
+        assert!(matches!(
+            &trace[4],
+            TraceEvent::Statement {
+                outcome: Err(_),
+                ..
+            }
+        ));
+        let log = conn.replay_log();
+        assert_eq!(log.lines().count(), 5);
+        assert!(log.contains("EXPLAIN"));
+        assert!(log.contains("ERROR"));
+    }
+}

@@ -1,13 +1,17 @@
 //! Baseline testing approaches (§5.2): PQS, TLP and NoRec, adapted to
 //! multi-table queries the way the paper adapts SQLancer — queries and data
 //! are random, no ground truth, no knowledge-guided exploration.
+//!
+//! All three baselines drive the DBMS exclusively through
+//! [`DbmsConnector`], so they run unchanged against any backend.
 
+use crate::backend::{DbmsConnector, EngineConnector};
 use crate::bugs::{make_report, BugLog, Oracle};
 use crate::dsg::{DsgDatabase, QueryGenConfig, QueryGenerator, UniformScorer};
 use crate::tqs::{RunStats, TimelinePoint};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tqs_engine::{Database, DbmsProfile, ProfileId};
+use tqs_engine::ProfileId;
 use tqs_graph::plangraph::query_graph_with_subqueries;
 use tqs_graph::{embed_graph, GraphIndex};
 use tqs_sql::ast::{BinOp, Expr, SelectItem, SelectStmt};
@@ -43,31 +47,38 @@ pub struct BaselineConfig {
 
 impl Default for BaselineConfig {
     fn default() -> Self {
-        BaselineConfig { iterations: 300, queries_per_hour: 25, seed: 31 }
+        BaselineConfig {
+            iterations: 300,
+            queries_per_hour: 25,
+            seed: 31,
+        }
     }
 }
 
-/// Run a baseline against one simulated DBMS and collect the same metrics as
-/// the TQS runner (diversity = distinct isomorphic sets of the generated
-/// query graphs; bugs = oracle violations, de-duplicated).
+/// Run a baseline against the faulty engine build of `profile` and collect
+/// the same metrics as the TQS session (diversity = distinct isomorphic sets
+/// of the generated query graphs; bugs = oracle violations, de-duplicated).
 pub fn run_baseline(
     baseline: Baseline,
     profile: ProfileId,
     dsg: &DsgDatabase,
     cfg: &BaselineConfig,
 ) -> RunStats {
-    let engine = Database::new(dsg.db.catalog.clone(), DbmsProfile::build(profile));
-    run_baseline_on(baseline, engine, dsg, cfg)
+    let mut conn = EngineConnector::connect(profile, dsg);
+    run_baseline_on(baseline, &mut conn, dsg, cfg)
 }
 
-/// Same as [`run_baseline`] but with an explicit engine build (lets tests use
-/// pristine engines).
+/// Same as [`run_baseline`] but against an explicit connector (lets tests use
+/// pristine builds, recording proxies, or entirely different backends). The
+/// connector must already have the DSG catalog loaded — see
+/// [`EngineConnector::connect`] / [`DbmsConnector::load_catalog`].
 pub fn run_baseline_on(
     baseline: Baseline,
-    mut engine: Database,
+    conn: &mut dyn DbmsConnector,
     dsg: &DsgDatabase,
     cfg: &BaselineConfig,
 ) -> RunStats {
+    let dbms_name = conn.info().name;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut generator = QueryGenerator::new(QueryGenConfig {
         seed: cfg.seed,
@@ -78,7 +89,7 @@ pub fn run_baseline_on(
     let mut index = GraphIndex::new();
     let mut bugs = BugLog::new();
     let mut stats = RunStats {
-        dbms: engine.profile.info.name.clone(),
+        dbms: dbms_name.clone(),
         tool: baseline.name().to_string(),
         queries_generated: 0,
         queries_executed: 0,
@@ -102,9 +113,9 @@ pub fn run_baseline_on(
         let qg = query_graph_with_subqueries(&stmt, &dsg.schema_desc);
         index.insert(&qg, embed_graph(&qg, 2));
         let found = match baseline {
-            Baseline::Pqs => check_pqs(&stmt, dsg, &engine, &mut bugs, &mut rng),
-            Baseline::Tlp => check_tlp(&stmt, &engine, &mut bugs),
-            Baseline::NoRec => check_norec(&stmt, &mut engine, &mut bugs),
+            Baseline::Pqs => check_pqs(&stmt, dsg, conn, &dbms_name, &mut bugs),
+            Baseline::Tlp => check_tlp(&stmt, conn, &dbms_name, &mut bugs),
+            Baseline::NoRec => check_norec(&stmt, conn, &dbms_name, &mut bugs),
         };
         if found.is_some() {
             stats.queries_executed += 1;
@@ -113,11 +124,18 @@ pub fn run_baseline_on(
         }
         if (i + 1) % cfg.queries_per_hour == 0 || i + 1 == cfg.iterations {
             let hour = (i + 1).div_ceil(cfg.queries_per_hour);
-            stats
-                .diversity_timeline
-                .push(TimelinePoint { hour, value: index.isomorphic_set_count() });
-            stats.bug_timeline.push(TimelinePoint { hour, value: bugs.bug_count() });
-            stats.bug_type_timeline.push(TimelinePoint { hour, value: bugs.bug_type_count() });
+            stats.diversity_timeline.push(TimelinePoint {
+                hour,
+                value: index.isomorphic_set_count(),
+            });
+            stats.bug_timeline.push(TimelinePoint {
+                hour,
+                value: bugs.bug_count(),
+            });
+            stats.bug_type_timeline.push(TimelinePoint {
+                hour,
+                value: bugs.bug_type_count(),
+            });
         }
     }
     stats.diversity = index.isomorphic_set_count();
@@ -163,11 +181,11 @@ fn pivot_query(dsg: &DsgDatabase, rng: &mut StdRng) -> SelectStmt {
 fn check_pqs(
     stmt: &SelectStmt,
     dsg: &DsgDatabase,
-    engine: &Database,
+    conn: &mut dyn DbmsConnector,
+    dbms_name: &str,
     bugs: &mut BugLog,
-    _rng: &mut StdRng,
 ) -> Option<()> {
-    let out = engine.execute(stmt).ok()?;
+    let out = conn.execute(stmt).ok()?;
     // Recompute the expected pivot values straight from the stored table.
     let base = &stmt.from.base.table;
     let table = dsg.db.catalog.table(base)?;
@@ -198,19 +216,23 @@ fn check_pqs(
                 stmt.items
                     .iter()
                     .filter_map(|i| match i {
-                        SelectItem::Expr { expr: Expr::Column(c), .. } => {
-                            table.column_index(&c.column).map(|idx| r.get(idx).clone())
-                        }
+                        SelectItem::Expr {
+                            expr: Expr::Column(c),
+                            ..
+                        } => table.column_index(&c.column).map(|idx| r.get(idx).clone()),
                         _ => None,
                     })
                     .collect(),
             )
         })
         .collect();
-    let expected = ResultSet { columns: vec![], rows: expected_rows };
+    let expected = ResultSet {
+        columns: vec![],
+        rows: expected_rows,
+    };
     if !expected.subset_of(&out.result) {
         bugs.push(make_report(
-            &engine.profile.info.name,
+            dbms_name,
             Oracle::PivotMissing,
             stmt,
             &HintSet::new("default"),
@@ -224,31 +246,39 @@ fn check_pqs(
 }
 
 /// TLP oracle: |Q ∧ p| + |Q ∧ ¬p| + |Q ∧ p IS NULL| must equal |Q|.
-fn check_tlp(stmt: &SelectStmt, engine: &Database, bugs: &mut BugLog) -> Option<()> {
-    let base = engine.execute(stmt).ok()?;
+fn check_tlp(
+    stmt: &SelectStmt,
+    conn: &mut dyn DbmsConnector,
+    dbms_name: &str,
+    bugs: &mut BugLog,
+) -> Option<()> {
+    let base = conn.execute(stmt).ok()?;
     // partitioning predicate over a projected column
     let col = stmt.items.iter().find_map(|i| match i {
-        SelectItem::Expr { expr: Expr::Column(c), .. } => Some(c.clone()),
+        SelectItem::Expr {
+            expr: Expr::Column(c),
+            ..
+        } => Some(c.clone()),
         _ => None,
     })?;
-    let p = Expr::binary(BinOp::Ge, Expr::Column(col.clone()), Expr::lit(Value::Int(0)));
+    let p = Expr::binary(
+        BinOp::Ge,
+        Expr::Column(col.clone()),
+        Expr::lit(Value::Int(0)),
+    );
     let mut total = 0usize;
-    for variant in [
-        p.clone(),
-        Expr::not(p.clone()),
-        Expr::is_null(p.clone()),
-    ] {
+    for variant in [p.clone(), Expr::not(p.clone()), Expr::is_null(p.clone())] {
         let mut q = stmt.clone();
         q.where_clause = Some(match &q.where_clause {
             Some(w) => Expr::and(w.clone(), variant),
             None => variant,
         });
-        let out = engine.execute(&q).ok()?;
+        let out = conn.execute(&q).ok()?;
         total += out.result.row_count();
     }
     if total != base.result.row_count() {
         bugs.push(make_report(
-            &engine.profile.info.name,
+            dbms_name,
             Oracle::Partitioning,
             stmt,
             &HintSet::new("tlp-partitions"),
@@ -263,8 +293,13 @@ fn check_tlp(stmt: &SelectStmt, engine: &Database, bugs: &mut BugLog) -> Option<
 
 /// NoRec oracle: the optimized query and a de-optimized execution (nested
 /// loops, no semi-join transformation, no materialization) must agree.
-fn check_norec(stmt: &SelectStmt, engine: &mut Database, bugs: &mut BugLog) -> Option<()> {
-    let optimized = engine.execute(stmt).ok()?;
+fn check_norec(
+    stmt: &SelectStmt,
+    conn: &mut dyn DbmsConnector,
+    dbms_name: &str,
+    bugs: &mut BugLog,
+) -> Option<()> {
+    let optimized = conn.execute(stmt).ok()?;
     let tables: Vec<String> = stmt
         .from
         .tables()
@@ -275,12 +310,12 @@ fn check_norec(stmt: &SelectStmt, engine: &mut Database, bugs: &mut BugLog) -> O
         .with_hint(Hint::NlJoin(tables))
         .with_hint(Hint::NoSemiJoin)
         .with_hint(Hint::Materialization(false));
-    let reference = engine.execute_with_hints(stmt, &deopt).ok()?;
+    let reference = conn.execute_with_hints(stmt, &deopt).ok()?;
     if !optimized.result.same_bag(&reference.result) {
         let mut fired = optimized.fired.clone();
         fired.extend(reference.fired.clone());
         bugs.push(make_report(
-            &engine.profile.info.name,
+            dbms_name,
             Oracle::NonOptimizingRewrite,
             stmt,
             &deopt,
@@ -296,29 +331,40 @@ fn check_norec(stmt: &SelectStmt, engine: &mut Database, bugs: &mut BugLog) -> O
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::RecordingConnector;
     use crate::dsg::{DsgConfig, WideSource};
     use tqs_schema::NoiseConfig;
     use tqs_storage::widegen::ShoppingConfig;
 
     fn dsg() -> DsgDatabase {
         DsgDatabase::build(&DsgConfig {
-            source: WideSource::Shopping(ShoppingConfig { n_rows: 100, ..Default::default() }),
+            source: WideSource::Shopping(ShoppingConfig {
+                n_rows: 100,
+                ..Default::default()
+            }),
             fd: Default::default(),
-            noise: Some(NoiseConfig { epsilon: 0.03, seed: 4, max_injections: 10 }),
+            noise: Some(NoiseConfig {
+                epsilon: 0.03,
+                seed: 4,
+                max_injections: 10,
+            }),
         })
     }
 
     fn cfg() -> BaselineConfig {
-        BaselineConfig { iterations: 30, queries_per_hour: 10, seed: 7 }
+        BaselineConfig {
+            iterations: 30,
+            queries_per_hour: 10,
+            seed: 7,
+        }
     }
 
     #[test]
     fn baselines_produce_no_false_positives_on_pristine_engines() {
         let d = dsg();
         for b in [Baseline::Pqs, Baseline::Tlp, Baseline::NoRec] {
-            let engine =
-                Database::new(d.db.catalog.clone(), DbmsProfile::pristine(ProfileId::MysqlLike));
-            let stats = run_baseline_on(b, engine, &d, &cfg());
+            let mut conn = EngineConnector::connect_pristine(ProfileId::MysqlLike, &d);
+            let stats = run_baseline_on(b, &mut conn, &d, &cfg());
             assert_eq!(stats.bug_count, 0, "{b:?} reported false positives");
             assert_eq!(stats.queries_generated, 30);
             assert!(!stats.diversity_timeline.is_empty());
@@ -328,10 +374,15 @@ mod tests {
     #[test]
     fn norec_catches_plan_dependent_faults() {
         let d = dsg();
-        let stats = run_baseline(Baseline::NoRec, ProfileId::XdbLike, &d, &BaselineConfig {
-            iterations: 120,
-            ..cfg()
-        });
+        let stats = run_baseline(
+            Baseline::NoRec,
+            ProfileId::XdbLike,
+            &d,
+            &BaselineConfig {
+                iterations: 120,
+                ..cfg()
+            },
+        );
         // NoRec compares an optimized vs de-optimized execution, so it can
         // catch some plan-dependent faults, but it has no ground truth.
         assert!(stats.bug_count <= 120);
@@ -344,6 +395,21 @@ mod tests {
         // pivot queries all share one single-table structure
         assert!(pqs.diversity <= 3, "got {}", pqs.diversity);
         assert_eq!(pqs.tool, "PQS");
+    }
+
+    #[test]
+    fn baselines_run_through_a_recording_proxy() {
+        let d = dsg();
+        let mut conn = RecordingConnector::new(EngineConnector::pristine(ProfileId::TidbLike));
+        conn.load_catalog(&d.db.catalog).unwrap();
+        let stats = run_baseline_on(Baseline::NoRec, &mut conn, &d, &cfg());
+        assert_eq!(stats.dbms, "TiDB-like");
+        // one load + at least two statements per executed query
+        assert!(
+            conn.trace().len() > stats.queries_executed,
+            "{}",
+            conn.trace().len()
+        );
     }
 
     #[test]

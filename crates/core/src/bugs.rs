@@ -1,8 +1,9 @@
 //! Bug reports, the bug log (with root-cause de-duplication) and the
 //! C-Reduce-style test-case minimizer.
 
+use crate::backend::DbmsConnector;
 use serde::Serialize;
-use tqs_engine::{Database, FaultKind};
+use tqs_engine::FaultKind;
 use tqs_schema::GroundTruthEvaluator;
 use tqs_sql::ast::{Expr, SelectItem, SelectStmt};
 use tqs_sql::hints::HintSet;
@@ -121,21 +122,21 @@ impl BugLog {
 pub fn minimize_query(
     stmt: &SelectStmt,
     hints: &HintSet,
-    db: &mut Database,
+    conn: &mut dyn DbmsConnector,
     gt: &GroundTruthEvaluator<'_>,
 ) -> SelectStmt {
-    let still_fails = |candidate: &SelectStmt, db: &mut Database| -> bool {
+    let still_fails = |candidate: &SelectStmt, conn: &mut dyn DbmsConnector| -> bool {
         let truth = match gt.evaluate(candidate) {
             Ok(t) => t,
             Err(_) => return false,
         };
-        match db.execute_with_hints(candidate, hints) {
+        match conn.execute_with_hints(candidate, hints) {
             Ok(out) => !truth.matches(&out.result),
             Err(_) => false,
         }
     };
     let mut current = stmt.clone();
-    if !still_fails(&current, db) {
+    if !still_fails(&current, conn) {
         return current;
     }
     let mut progress = true;
@@ -147,7 +148,7 @@ pub fn minimize_query(
             let removed = candidate.from.joins.pop().unwrap();
             let removed_binding = removed.table.binding().to_string();
             strip_binding_references(&mut candidate, &removed_binding);
-            if !candidate.items.is_empty() && still_fails(&candidate, db) {
+            if !candidate.items.is_empty() && still_fails(&candidate, conn) {
                 current = candidate;
                 progress = true;
                 continue;
@@ -157,7 +158,7 @@ pub fn minimize_query(
         if current.where_clause.is_some() {
             let mut candidate = current.clone();
             candidate.where_clause = None;
-            if still_fails(&candidate, db) {
+            if still_fails(&candidate, conn) {
                 current = candidate;
                 progress = true;
                 continue;
@@ -168,7 +169,7 @@ pub fn minimize_query(
             let mut candidate = current.clone();
             candidate.group_by.clear();
             candidate.items.retain(|i| !i.is_aggregate());
-            if !candidate.items.is_empty() && still_fails(&candidate, db) {
+            if !candidate.items.is_empty() && still_fails(&candidate, conn) {
                 current = candidate;
                 progress = true;
                 continue;
@@ -178,7 +179,7 @@ pub fn minimize_query(
         if current.items.len() > 1 {
             let mut candidate = current.clone();
             candidate.items.truncate(1);
-            if still_fails(&candidate, db) {
+            if still_fails(&candidate, conn) {
                 current = candidate;
                 progress = true;
             }
@@ -198,7 +199,9 @@ fn strip_binding_references(stmt: &mut SelectStmt, binding: &str) {
     };
     stmt.items.retain(|i| match i {
         SelectItem::Expr { expr, .. } => !refers(expr),
-        SelectItem::Aggregate { arg: Some(expr), .. } => !refers(expr),
+        SelectItem::Aggregate {
+            arg: Some(expr), ..
+        } => !refers(expr),
         _ => true,
     });
     if let Some(w) = &stmt.where_clause {
@@ -267,9 +270,18 @@ mod tests {
     #[test]
     fn bug_log_deduplicates_by_signature() {
         let mut log = BugLog::new();
-        assert!(log.push(report(vec![FaultKind::HashJoinNullMatchesEmpty], "hash-join")));
-        assert!(!log.push(report(vec![FaultKind::HashJoinNullMatchesEmpty], "hash-join")));
-        assert!(log.push(report(vec![FaultKind::HashJoinNullMatchesEmpty], "merge-join")));
+        assert!(log.push(report(
+            vec![FaultKind::HashJoinNullMatchesEmpty],
+            "hash-join"
+        )));
+        assert!(!log.push(report(
+            vec![FaultKind::HashJoinNullMatchesEmpty],
+            "hash-join"
+        )));
+        assert!(log.push(report(
+            vec![FaultKind::HashJoinNullMatchesEmpty],
+            "merge-join"
+        )));
         assert!(log.push(report(vec![FaultKind::MergeJoinDropsLastRun], "merge-join")));
         assert_eq!(log.bug_count(), 3);
         // two distinct root causes → two bug types
@@ -288,7 +300,10 @@ mod tests {
     fn report_rendering_contains_hints_and_switches() {
         let stmt = parse_stmt("SELECT t1.a FROM t1 JOIN t2 ON t1.a = t2.a").unwrap();
         let hints = HintSet::new("merge")
-            .with_hint(tqs_sql::hints::Hint::MergeJoin(vec!["t1".into(), "t2".into()]))
+            .with_hint(tqs_sql::hints::Hint::MergeJoin(vec![
+                "t1".into(),
+                "t2".into(),
+            ]))
             .with_switch(tqs_sql::hints::SessionSwitch::off(
                 tqs_sql::hints::SwitchName::Materialization,
             ));

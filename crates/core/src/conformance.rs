@@ -1,0 +1,171 @@
+//! Connector conformance suite.
+//!
+//! A reusable behavioral contract every [`DbmsConnector`](crate::backend::DbmsConnector)
+//! implementation must satisfy, run from unit tests, integration tests and
+//! (for out-of-tree backends) the connector author's own test suite:
+//!
+//! * **Pristine builds are plan-invariant**: on a fault-free backend, every
+//!   hint-set transformation of a query returns the same bag as the wide-table
+//!   ground truth, and no fault provenance is ever reported.
+//! * **Seeded builds misbehave observably**: on a backend seeded with faults,
+//!   a testing session must surface at least one ground-truth mismatch or
+//!   fired fault — otherwise the connector is hiding the very behavior the
+//!   harness exists to detect.
+//! * **The session surface works**: `load_catalog` accepts a DSG catalog, raw
+//!   SQL round-trips through `execute_sql`, and `explain` yields a plan.
+
+use crate::backend::DbmsConnector;
+use crate::dsg::{DsgConfig, DsgDatabase, QueryGenerator, UniformScorer, WideSource};
+use crate::hintgen::hint_sets_for;
+use tqs_schema::{GroundTruthEvaluator, NoiseConfig};
+use tqs_storage::widegen::ShoppingConfig;
+
+/// What kind of build the connector under test is driving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildKind {
+    /// Fault-free: the suite asserts soundness (no mismatches, no fired
+    /// faults, all plans agree).
+    Pristine,
+    /// Fault-seeded: the suite asserts that the misbehavior is observable
+    /// (at least one mismatch or fired fault over the run).
+    Seeded,
+}
+
+/// The standard small testing database the suite drives connectors with.
+pub fn conformance_dsg() -> DsgDatabase {
+    DsgDatabase::build(&DsgConfig {
+        source: WideSource::Shopping(ShoppingConfig {
+            n_rows: 150,
+            ..Default::default()
+        }),
+        fd: Default::default(),
+        noise: Some(NoiseConfig {
+            epsilon: 0.04,
+            seed: 9,
+            max_injections: 16,
+        }),
+    })
+}
+
+/// Run the conformance contract against `conn`. Panics (with a diagnostic)
+/// on any violation, like an assertion-style test helper.
+pub fn assert_connector_conformance(conn: &mut dyn DbmsConnector, kind: BuildKind) {
+    let dsg = conformance_dsg();
+    conn.load_catalog(&dsg.db.catalog)
+        .expect("conformance: load_catalog must accept a DSG catalog");
+
+    let info = conn.info();
+    assert!(
+        !info.name.is_empty(),
+        "conformance: connector must report a build name"
+    );
+
+    // Raw-SQL round trip against a known table.
+    let base = &dsg.db.metas[0].name;
+    let sql_probe = conn
+        .execute_sql(&format!("SELECT COUNT(*) AS c FROM {base}"))
+        .expect("conformance: execute_sql must handle a trivial COUNT(*)");
+    assert_eq!(sql_probe.result.row_count(), 1);
+
+    let gt = GroundTruthEvaluator::new(&dsg.db);
+    let mut generator = QueryGenerator::new(Default::default());
+    let mut executed = 0usize;
+    let mut mismatches = 0usize;
+    let mut plan_divergences = 0usize;
+    let mut fired_any = false;
+    let mut explained = false;
+
+    let iterations = match kind {
+        BuildKind::Pristine => 60,
+        // Seeded builds get a longer budget: the faults are corner-case
+        // triggers and need enough generated queries to fire.
+        BuildKind::Seeded => 150,
+    };
+    for _ in 0..iterations {
+        let stmt = generator.generate(&dsg, None, &UniformScorer);
+        let truth = match gt.evaluate(&stmt) {
+            Ok(t) => t,
+            Err(_) => continue,
+        };
+        if !explained {
+            let plan = conn
+                .explain(&stmt)
+                .expect("conformance: explain must render a plan for a generated query");
+            assert!(!plan.is_empty());
+            explained = true;
+        }
+        let mut outcomes = Vec::new();
+        for hs in hint_sets_for(info.dialect, &stmt) {
+            if let Ok(out) = conn.execute_with_hints(&stmt, &hs) {
+                outcomes.push((hs.label.clone(), out));
+            }
+        }
+        if outcomes.is_empty() {
+            continue;
+        }
+        executed += 1;
+        for (label, out) in &outcomes {
+            if !out.fired.is_empty() {
+                fired_any = true;
+            }
+            if !truth.matches(&out.result) {
+                mismatches += 1;
+                if kind == BuildKind::Pristine {
+                    panic!(
+                        "conformance: pristine {} diverged from ground truth under hint set \
+                         `{label}` on:\n{}",
+                        info.name,
+                        tqs_sql::render::render_stmt(&stmt),
+                    );
+                }
+            }
+        }
+        // Plan invariance: every transformed plan agrees with the default.
+        // Select the baseline by label — failed executions are skipped above,
+        // so position 0 is not guaranteed to be the un-hinted plan.
+        let Some((default_label, default_out)) =
+            outcomes.iter().find(|(label, _)| label == "default")
+        else {
+            continue;
+        };
+        for (label, out) in &outcomes {
+            if label == default_label {
+                continue;
+            }
+            if !default_out.result.same_bag(&out.result) {
+                plan_divergences += 1;
+                if kind == BuildKind::Pristine {
+                    panic!(
+                        "conformance: pristine {} plan `{label}` disagrees with the default \
+                         plan on:\n{}",
+                        info.name,
+                        tqs_sql::render::render_stmt(&stmt),
+                    );
+                }
+            }
+        }
+    }
+
+    assert!(
+        executed * 2 >= iterations,
+        "conformance: {} executed only {executed}/{iterations} generated queries",
+        info.name
+    );
+    match kind {
+        BuildKind::Pristine => {
+            assert!(
+                !fired_any,
+                "conformance: pristine {} reported fired faults",
+                info.name
+            );
+        }
+        BuildKind::Seeded => {
+            assert!(
+                fired_any || mismatches > 0 || plan_divergences > 0,
+                "conformance: seeded {} never misbehaved over {iterations} queries — \
+                 faults are not observable through this connector",
+                info.name
+            );
+        }
+    }
+}

@@ -77,17 +77,34 @@ impl DsgDatabase {
                 .columns
                 .iter()
                 .map(|c| {
-                    (c.table.clone(), c.column.clone(), c.ty.graph_label().to_string(), c.is_key)
+                    (
+                        c.table.clone(),
+                        c.column.clone(),
+                        c.ty.graph_label().to_string(),
+                        c.is_key,
+                    )
                 })
                 .collect(),
             join_edges: schema_graph
                 .join_edges
                 .iter()
-                .map(|e| (e.left_table.clone(), e.right_table.clone(), e.column.clone()))
+                .map(|e| {
+                    (
+                        e.left_table.clone(),
+                        e.right_table.clone(),
+                        e.column.clone(),
+                    )
+                })
                 .collect(),
         };
         let value_pool = build_value_pool(&db);
-        DsgDatabase { db, schema_graph, schema_desc, noise, value_pool }
+        DsgDatabase {
+            db,
+            schema_graph,
+            schema_desc,
+            noise,
+            value_pool,
+        }
     }
 
     pub fn sample_values(&self, table: &str, column: &str) -> &[Value] {
@@ -177,7 +194,10 @@ pub struct QueryGenerator {
 impl QueryGenerator {
     pub fn new(cfg: QueryGenConfig) -> Self {
         let seed = cfg.seed;
-        QueryGenerator { cfg, rng: StdRng::seed_from_u64(seed) }
+        QueryGenerator {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Generate one join query by walking the schema graph from `start`
@@ -284,19 +304,30 @@ impl QueryGenerator {
             }
         }
         if items.is_empty() {
-            items.push(SelectItem::column(&visible[0], &dsg.schema_desc.columns_of(&visible[0])[0].1));
+            items.push(SelectItem::column(
+                &visible[0],
+                &dsg.schema_desc.columns_of(&visible[0])[0].1,
+            ));
         }
         stmt.items = items;
 
         // Aggregates: rewrite into GROUP BY col, COUNT(*). Skipped when a
         // cross join is present — its ground truth is verified in subset
         // mode, which cannot check aggregate values.
-        let has_cross = stmt.from.joins.iter().any(|j| j.join_type == JoinType::Cross);
+        let has_cross = stmt
+            .from
+            .joins
+            .iter()
+            .any(|j| j.join_type == JoinType::Cross);
         if self.rng.gen_bool(self.cfg.aggregate_probability) && !stmt.distinct && !has_cross {
             if let Some((t, c)) = self.random_column(dsg, &visible) {
                 stmt.items = vec![
                     SelectItem::column(&t, &c),
-                    SelectItem::Aggregate { func: AggFunc::CountStar, arg: None, alias: Some("cnt".into()) },
+                    SelectItem::Aggregate {
+                        func: AggFunc::CountStar,
+                        arg: None,
+                        alias: Some("cnt".into()),
+                    },
                 ];
                 stmt.group_by = vec![Expr::col(&t, &c)];
             }
@@ -385,7 +416,10 @@ impl QueryGenerator {
         let choice = self.rng.gen_range(0..10);
         Some(match choice {
             0 => Expr::is_null(col),
-            1 => Expr::IsNull { expr: Box::new(col), negated: true },
+            1 => Expr::IsNull {
+                expr: Box::new(col),
+                negated: true,
+            },
             2 | 3 => {
                 let v = self.pick_value(pool);
                 Expr::binary(BinOp::Ge, col, Expr::lit(v))
@@ -416,7 +450,8 @@ impl QueryGenerator {
         for t in visible {
             for (_, c, _, _) in dsg.schema_desc.columns_of(t) {
                 if let Some(dim) = dsg.db.table_with_pk(c) {
-                    if !visible.iter().any(|v| v.eq_ignore_ascii_case(&dim.name)) || dim.name != *t {
+                    if !visible.iter().any(|v| v.eq_ignore_ascii_case(&dim.name)) || dim.name != *t
+                    {
                         shared.push((t.clone(), c.clone(), dim.name.clone()));
                     }
                 }
@@ -440,7 +475,10 @@ impl QueryGenerator {
         if self.rng.gen_bool(0.15) {
             // EXISTS variant with a correlated predicate
             sub.where_clause = Some(Expr::eq(Expr::col(&dim, &col), Expr::col(&outer_t, &col)));
-            return Some(Expr::Exists { subquery: Box::new(sub), negated });
+            return Some(Expr::Exists {
+                subquery: Box::new(sub),
+                negated,
+            });
         }
         Some(Expr::InSubquery {
             expr: Box::new(Expr::col(&outer_t, &col)),
@@ -481,9 +519,16 @@ mod tests {
 
     fn dsg() -> DsgDatabase {
         DsgDatabase::build(&DsgConfig {
-            source: WideSource::Shopping(ShoppingConfig { n_rows: 150, ..Default::default() }),
+            source: WideSource::Shopping(ShoppingConfig {
+                n_rows: 150,
+                ..Default::default()
+            }),
             fd: FdDiscoveryConfig::default(),
-            noise: Some(NoiseConfig { epsilon: 0.03, seed: 5, max_injections: 12 }),
+            noise: Some(NoiseConfig {
+                epsilon: 0.03,
+                seed: 5,
+                max_injections: 12,
+            }),
         })
     }
 
@@ -500,7 +545,10 @@ mod tests {
     #[test]
     fn generator_produces_valid_multi_table_queries() {
         let d = dsg();
-        let mut gen = QueryGenerator::new(QueryGenConfig { max_tables: 4, ..Default::default() });
+        let mut gen = QueryGenerator::new(QueryGenConfig {
+            max_tables: 4,
+            ..Default::default()
+        });
         let mut multi = 0;
         for _ in 0..50 {
             let q = gen.generate(&d, None, &UniformScorer);
@@ -513,13 +561,19 @@ mod tests {
             let sql = tqs_sql::render::render_stmt(&q);
             tqs_sql::parser::parse_stmt(&sql).expect(&sql);
         }
-        assert!(multi > 20, "most generated queries should join multiple tables");
+        assert!(
+            multi > 20,
+            "most generated queries should join multiple tables"
+        );
     }
 
     #[test]
     fn generated_queries_have_recoverable_ground_truth() {
         let d = dsg();
-        let mut gen = QueryGenerator::new(QueryGenConfig { seed: 5, ..Default::default() });
+        let mut gen = QueryGenerator::new(QueryGenConfig {
+            seed: 5,
+            ..Default::default()
+        });
         let gt = GroundTruthEvaluator::new(&d.db);
         let mut ok = 0;
         for _ in 0..40 {
@@ -528,13 +582,19 @@ mod tests {
                 ok += 1;
             }
         }
-        assert!(ok >= 35, "ground truth should be recoverable for most queries, got {ok}/40");
+        assert!(
+            ok >= 35,
+            "ground truth should be recoverable for most queries, got {ok}/40"
+        );
     }
 
     #[test]
     fn no_noise_config_skips_injection() {
         let d = DsgDatabase::build(&DsgConfig {
-            source: WideSource::Shopping(ShoppingConfig { n_rows: 80, ..Default::default() }),
+            source: WideSource::Shopping(ShoppingConfig {
+                n_rows: 80,
+                ..Default::default()
+            }),
             fd: FdDiscoveryConfig::default(),
             noise: None,
         });
@@ -544,8 +604,14 @@ mod tests {
     #[test]
     fn generation_is_deterministic_per_seed() {
         let d = dsg();
-        let mut a = QueryGenerator::new(QueryGenConfig { seed: 77, ..Default::default() });
-        let mut b = QueryGenerator::new(QueryGenConfig { seed: 77, ..Default::default() });
+        let mut a = QueryGenerator::new(QueryGenConfig {
+            seed: 77,
+            ..Default::default()
+        });
+        let mut b = QueryGenerator::new(QueryGenConfig {
+            seed: 77,
+            ..Default::default()
+        });
         for _ in 0..10 {
             let qa = tqs_sql::render::render_stmt(&a.generate(&d, None, &UniformScorer));
             let qb = tqs_sql::render::render_stmt(&b.generate(&d, None, &UniformScorer));

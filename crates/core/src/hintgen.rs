@@ -132,7 +132,13 @@ mod tests {
             .into_iter()
             .map(|s| s.label)
             .collect();
-        for expected in ["hash-join", "merge-join", "nl-join", "index-join", "join-order"] {
+        for expected in [
+            "hash-join",
+            "merge-join",
+            "nl-join",
+            "index-join",
+            "join-order",
+        ] {
             assert!(labels.contains(&expected.to_string()), "{labels:?}");
         }
     }

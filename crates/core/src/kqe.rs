@@ -21,7 +21,10 @@ pub struct KqeConfig {
 
 impl Default for KqeConfig {
     fn default() -> Self {
-        KqeConfig { knn_k: 5, wl_rounds: 2 }
+        KqeConfig {
+            knn_k: 5,
+            wl_rounds: 2,
+        }
     }
 }
 
@@ -35,7 +38,11 @@ pub struct Kqe {
 
 impl Kqe {
     pub fn new(schema: SchemaDesc, cfg: KqeConfig) -> Self {
-        Kqe { cfg, plan_graph: PlanIterativeGraph::build(schema), index: GraphIndex::new() }
+        Kqe {
+            cfg,
+            plan_graph: PlanIterativeGraph::build(schema),
+            index: GraphIndex::new(),
+        }
     }
 
     /// Coverage score of a query graph w.r.t. the explored history (Eq. 2).

@@ -3,6 +3,10 @@
 //! The TQS framework (Transformed Query Synthesis) — detection of logic bugs
 //! in join optimization, reproduced from the SIGMOD 2023 paper:
 //!
+//! * [`backend`] — the [`backend::DbmsConnector`] boundary between the
+//!   harness and the DBMS it drives, with the in-process engine connector
+//!   and a recording proxy.
+//! * [`conformance`] — the behavioral contract every connector must pass.
 //! * [`dsg`] — Data-guided Schema and query Generation: the data pipeline
 //!   (wide table → FDs → 3NF schema → noise → bitmap machinery) and the
 //!   random-walk join query generator.
@@ -10,7 +14,7 @@
 //!   explored query graphs and the coverage-based adaptive walk weighting.
 //! * [`hintgen`] — hint-set generation (transformed queries per DBMS profile).
 //! * [`tqs`] — the orchestrator (Algorithm 1) with the Table 5 ablation
-//!   switches.
+//!   switches, built through [`tqs::TqsSession::builder`].
 //! * [`bugs`] — bug reports, the deduplicating bug log and the test-case
 //!   minimizer.
 //! * [`baselines`] — PQS / TLP / NoRec adapted to multi-table queries.
@@ -19,8 +23,9 @@
 //! ## Quick start
 //!
 //! ```
-//! use tqs_core::dsg::{DsgConfig, DsgDatabase, WideSource};
-//! use tqs_core::tqs::{TqsConfig, TqsRunner};
+//! use tqs_core::backend::EngineConnector;
+//! use tqs_core::dsg::{DsgConfig, WideSource};
+//! use tqs_core::tqs::{TqsConfig, TqsSession};
 //! use tqs_engine::ProfileId;
 //! use tqs_storage::widegen::ShoppingConfig;
 //!
@@ -28,27 +33,41 @@
 //!     source: WideSource::Shopping(ShoppingConfig { n_rows: 100, ..Default::default() }),
 //!     ..Default::default()
 //! };
-//! let mut runner = TqsRunner::new(
-//!     ProfileId::MysqlLike,
-//!     &dsg_cfg,
-//!     TqsConfig { iterations: 25, ..Default::default() },
-//! );
-//! let stats = runner.run();
+//! let mut session = TqsSession::builder()
+//!     .connector(EngineConnector::faulty(ProfileId::MysqlLike))
+//!     .dsg_config(&dsg_cfg)
+//!     .config(TqsConfig { iterations: 25, ..Default::default() })
+//!     .build()
+//!     .expect("catalog loads into the engine connector");
+//! let stats = session.run();
 //! assert!(stats.queries_generated >= 25);
 //! ```
+//!
+//! Any backend goes where `EngineConnector` stands: implement
+//! [`backend::DbmsConnector`] (see the README's "Writing a new connector"),
+//! validate it with [`conformance::assert_connector_conformance`], and every
+//! entry point — the orchestrator, the three baselines, the parallel
+//! explorer and the bug minimizer — drives it unchanged.
 
+pub mod backend;
 pub mod baselines;
 pub mod bugs;
+pub mod conformance;
 pub mod dsg;
 pub mod hintgen;
 pub mod kqe;
 pub mod parallel;
 pub mod tqs;
 
-pub use baselines::{run_baseline, Baseline, BaselineConfig};
+pub use backend::{
+    ConnectorError, ConnectorInfo, DbmsConnector, EngineConnector, RecordingConnector, SqlOutcome,
+    TraceEvent,
+};
+pub use baselines::{run_baseline, run_baseline_on, Baseline, BaselineConfig};
 pub use bugs::{BugLog, BugReport, Oracle};
+pub use conformance::{assert_connector_conformance, BuildKind};
 pub use dsg::{DsgConfig, DsgDatabase, QueryGenConfig, QueryGenerator, UniformScorer, WideSource};
 pub use hintgen::hint_sets_for;
 pub use kqe::{Kqe, KqeConfig, KqeScorer};
 pub use parallel::{parallel_explore, ParallelStats};
-pub use tqs::{RunStats, TimelinePoint, TqsConfig, TqsRunner};
+pub use tqs::{RunStats, TimelinePoint, TqsConfig, TqsSession, TqsSessionBuilder};

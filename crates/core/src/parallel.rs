@@ -1,18 +1,20 @@
 //! Parallel query-space exploration (§4, Figure 10).
 //!
 //! A central server owns the graph index and the adaptive walk; each client
-//! holds a replica of the database and a DSG/engine pair. We model this with
-//! one shared, mutex-protected [`GraphIndex`] and one worker thread per
+//! holds a replica of the database and a DSG/connector pair. We model this
+//! with one shared, mutex-protected [`GraphIndex`] and one worker thread per
 //! client, and measure how many queries the fleet processes within a fixed
 //! wall-clock budget.
+//!
+//! The explorer is backend-agnostic: callers hand it a connector factory and
+//! every worker drives its own [`DbmsConnector`] replica.
 
+use crate::backend::{ConnectorError, DbmsConnector};
 use crate::dsg::{DsgDatabase, QueryGenConfig, QueryGenerator, WalkScorer};
 use crate::hintgen::hint_sets_for;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
-use tqs_engine::{Database, DbmsProfile, ProfileId};
 use tqs_graph::embedding::embed_graph;
 use tqs_graph::plangraph::query_graph_with_subqueries;
 use tqs_graph::{GraphIndex, LabeledGraph};
@@ -29,12 +31,12 @@ pub struct ParallelStats {
 }
 
 /// Scorer backed by the *shared* graph index.
-struct SharedScorer {
-    index: Arc<Mutex<GraphIndex>>,
+struct SharedScorer<'a> {
+    index: &'a Mutex<GraphIndex>,
     knn_k: usize,
 }
 
-impl WalkScorer for SharedScorer {
+impl WalkScorer for SharedScorer<'_> {
     fn weight(&self, candidate: &LabeledGraph) -> f64 {
         let e = embed_graph(candidate, 2);
         let cov = self.index.lock().coverage(&e, self.knn_k) as f64;
@@ -42,39 +44,60 @@ impl WalkScorer for SharedScorer {
     }
 }
 
-/// Run `clients` workers for `budget` wall-clock time against `profile`.
-/// Every worker clones the catalog (its database replica), generates queries
-/// with the shared adaptive scorer, executes all hint-set transformations and
-/// verifies them against the ground truth.
-pub fn parallel_explore(
-    profile: ProfileId,
+/// Run `clients` workers for `budget` wall-clock time. Every worker obtains
+/// its own backend replica from `connect` (called with the client index),
+/// loads the DSG catalog into it, generates queries with the shared adaptive
+/// scorer, executes all hint-set transformations and verifies them against
+/// the ground truth.
+///
+/// Returns an error when any worker's connector rejects the catalog; the
+/// remaining workers stop at their next iteration (rather than burning the
+/// whole budget) and the partial counts are discarded.
+pub fn parallel_explore<C, F>(
     dsg: &DsgDatabase,
     clients: usize,
     budget: Duration,
     seed: u64,
-) -> ParallelStats {
-    let shared_index = Arc::new(Mutex::new(GraphIndex::new()));
-    let queries = Arc::new(AtomicUsize::new(0));
-    let bugs = Arc::new(AtomicUsize::new(0));
+    connect: F,
+) -> Result<ParallelStats, ConnectorError>
+where
+    C: DbmsConnector,
+    F: Fn(usize) -> C + Sync,
+{
+    let shared_index = Mutex::new(GraphIndex::new());
+    let queries = AtomicUsize::new(0);
+    let bugs = AtomicUsize::new(0);
+    let load_error: Mutex<Option<ConnectorError>> = Mutex::new(None);
+    let abort = AtomicBool::new(false);
     let start = Instant::now();
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for client in 0..clients {
-            let shared_index = Arc::clone(&shared_index);
-            let queries = Arc::clone(&queries);
-            let bugs = Arc::clone(&bugs);
-            let dsg = dsg.clone();
-            scope.spawn(move |_| {
-                let engine = Database::new(dsg.db.catalog.clone(), DbmsProfile::build(profile));
-                let mut engine = engine;
+            let shared_index = &shared_index;
+            let queries = &queries;
+            let bugs = &bugs;
+            let connect = &connect;
+            let load_error = &load_error;
+            let abort = &abort;
+            scope.spawn(move || {
+                let mut conn = connect(client);
+                if let Err(e) = conn.load_catalog(&dsg.db.catalog) {
+                    *load_error.lock() = Some(e);
+                    abort.store(true, Ordering::Relaxed);
+                    return;
+                }
+                let dialect = conn.info().dialect;
                 let mut generator = QueryGenerator::new(QueryGenConfig {
-                    seed: seed ^ (client as u64 + 1) * 0x9E37_79B9,
+                    seed: seed ^ ((client as u64 + 1) * 0x9E37_79B9),
                     ..Default::default()
                 });
-                let scorer = SharedScorer { index: Arc::clone(&shared_index), knn_k: 5 };
+                let scorer = SharedScorer {
+                    index: shared_index,
+                    knn_k: 5,
+                };
                 let gt = GroundTruthEvaluator::new(&dsg.db);
-                while start.elapsed() < budget {
-                    let stmt = generator.generate(&dsg, None, &scorer);
+                while start.elapsed() < budget && !abort.load(Ordering::Relaxed) {
+                    let stmt = generator.generate(dsg, None, &scorer);
                     let qg = query_graph_with_subqueries(&stmt, &dsg.schema_desc);
                     {
                         // synchronization cost of the central server
@@ -86,8 +109,8 @@ pub fn parallel_explore(
                         Ok(t) => t,
                         Err(_) => continue,
                     };
-                    for hs in hint_sets_for(profile, &stmt) {
-                        if let Ok(out) = engine.execute_with_hints(&stmt, &hs) {
+                    for hs in hint_sets_for(dialect, &stmt) {
+                        if let Ok(out) = conn.execute_with_hints(&stmt, &hs) {
                             if !truth.matches(&out.result) {
                                 bugs.fetch_add(1, Ordering::Relaxed);
                             }
@@ -97,44 +120,52 @@ pub fn parallel_explore(
                 }
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
+    if let Some(e) = load_error.into_inner() {
+        return Err(e);
+    }
     let diversity = shared_index.lock().isomorphic_set_count();
-    ParallelStats {
+    Ok(ParallelStats {
         clients,
         queries_processed: queries.load(Ordering::Relaxed),
         bugs_found: bugs.load(Ordering::Relaxed),
         diversity,
         elapsed: start.elapsed(),
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::EngineConnector;
     use crate::dsg::{DsgConfig, WideSource};
+    use tqs_engine::ProfileId;
     use tqs_schema::NoiseConfig;
     use tqs_storage::widegen::ShoppingConfig;
 
     fn dsg() -> DsgDatabase {
         DsgDatabase::build(&DsgConfig {
-            source: WideSource::Shopping(ShoppingConfig { n_rows: 80, ..Default::default() }),
+            source: WideSource::Shopping(ShoppingConfig {
+                n_rows: 80,
+                ..Default::default()
+            }),
             fd: Default::default(),
-            noise: Some(NoiseConfig { epsilon: 0.03, seed: 2, max_injections: 8 }),
+            noise: Some(NoiseConfig {
+                epsilon: 0.03,
+                seed: 2,
+                max_injections: 8,
+            }),
         })
     }
 
     #[test]
     fn single_client_processes_queries() {
         let d = dsg();
-        let stats = parallel_explore(
-            ProfileId::MysqlLike,
-            &d,
-            1,
-            Duration::from_millis(300),
-            11,
-        );
+        let stats = parallel_explore(&d, 1, Duration::from_millis(300), 11, |_| {
+            EngineConnector::faulty(ProfileId::MysqlLike)
+        })
+        .unwrap();
         assert_eq!(stats.clients, 1);
         assert!(stats.queries_processed > 0);
         assert!(stats.diversity > 0);
@@ -143,8 +174,9 @@ mod tests {
     #[test]
     fn more_clients_process_at_least_as_many_queries() {
         let d = dsg();
-        let one = parallel_explore(ProfileId::MysqlLike, &d, 1, Duration::from_millis(400), 13);
-        let four = parallel_explore(ProfileId::MysqlLike, &d, 4, Duration::from_millis(400), 13);
+        let connect = |_| EngineConnector::faulty(ProfileId::MysqlLike);
+        let one = parallel_explore(&d, 1, Duration::from_millis(400), 13, connect).unwrap();
+        let four = parallel_explore(&d, 4, Duration::from_millis(400), 13, connect).unwrap();
         // The test harness itself runs many threads, so we only assert that
         // the fleet makes clear progress and explores at least as much
         // structure — the throughput scaling itself is measured by the
@@ -156,5 +188,18 @@ mod tests {
             one.queries_processed,
             four.queries_processed
         );
+    }
+
+    #[test]
+    fn workers_can_target_heterogeneous_profiles() {
+        // The factory receives the client index, so a fleet can spread over
+        // several backend builds in one run.
+        let d = dsg();
+        let stats = parallel_explore(&d, 2, Duration::from_millis(200), 17, |client| {
+            EngineConnector::faulty(ProfileId::ALL[client % ProfileId::ALL.len()])
+        })
+        .unwrap();
+        assert_eq!(stats.clients, 2);
+        assert!(stats.queries_processed > 0);
     }
 }

@@ -2,16 +2,18 @@
 //!
 //! Ties everything together: DSG builds the database and generates queries by
 //! (adaptive) random walk, KQE scores and records query graphs, HintGen
-//! produces transformed queries, the simulated DBMS executes them, and each
+//! produces transformed queries, the backend behind a
+//! [`DbmsConnector`](crate::backend::DbmsConnector) executes them, and each
 //! result set is verified against the wide-table ground truth (or, in the
 //! `!GT` ablation, against the other plans' results).
 
+use crate::backend::{ConnectorError, DbmsConnector, EngineConnector};
 use crate::bugs::{make_report, minimize_query, BugLog, Oracle};
 use crate::dsg::{DsgConfig, DsgDatabase, QueryGenConfig, QueryGenerator, UniformScorer};
 use crate::hintgen::hint_sets_for;
 use crate::kqe::{Kqe, KqeConfig, KqeScorer};
 use serde::Serialize;
-use tqs_engine::{Database, DbmsProfile, ProfileId};
+use tqs_engine::ProfileId;
 use tqs_graph::plangraph::query_graph_with_subqueries;
 use tqs_schema::GroundTruthEvaluator;
 use tqs_sql::ast::SelectStmt;
@@ -71,44 +73,146 @@ pub struct RunStats {
     pub bug_type_timeline: Vec<TimelinePoint>,
 }
 
-/// One TQS testing session against one simulated DBMS.
-pub struct TqsRunner {
+/// One TQS testing session against one DBMS backend.
+///
+/// Built with [`TqsSession::builder`]; the backend is anything implementing
+/// [`DbmsConnector`] — the in-process simulated engine by default.
+pub struct TqsSession {
     pub dsg: DsgDatabase,
-    pub engine: Database,
-    pub profile_id: ProfileId,
+    pub connector: Box<dyn DbmsConnector>,
     pub kqe: Kqe,
     pub generator: QueryGenerator,
     pub cfg: TqsConfig,
     pub bugs: BugLog,
+    dbms_name: String,
+    dialect: ProfileId,
 }
 
-impl TqsRunner {
-    /// Build a runner: run the DSG data pipeline, load the resulting catalog
-    /// into a fresh engine instance of `profile`, and set up KQE.
-    pub fn new(profile: ProfileId, dsg_cfg: &DsgConfig, cfg: TqsConfig) -> Self {
-        let dsg = DsgDatabase::build(dsg_cfg);
-        Self::with_database(profile, DbmsProfile::build(profile), dsg, cfg)
+/// Builder for [`TqsSession`].
+///
+/// ```
+/// use tqs_core::backend::EngineConnector;
+/// use tqs_core::dsg::{DsgConfig, WideSource};
+/// use tqs_core::tqs::{TqsConfig, TqsSession};
+/// use tqs_engine::ProfileId;
+/// use tqs_storage::widegen::ShoppingConfig;
+///
+/// let dsg_cfg = DsgConfig {
+///     source: WideSource::Shopping(ShoppingConfig { n_rows: 100, ..Default::default() }),
+///     ..Default::default()
+/// };
+/// let mut session = TqsSession::builder()
+///     .connector(EngineConnector::faulty(ProfileId::MysqlLike))
+///     .dsg_config(&dsg_cfg)
+///     .config(TqsConfig { iterations: 25, ..Default::default() })
+///     .build()
+///     .unwrap();
+/// let stats = session.run();
+/// assert!(stats.queries_generated >= 25);
+/// ```
+#[derive(Default)]
+pub struct TqsSessionBuilder {
+    profile: Option<ProfileId>,
+    connector: Option<Box<dyn DbmsConnector>>,
+    dsg: Option<DsgDatabase>,
+    dsg_cfg: Option<DsgConfig>,
+    cfg: TqsConfig,
+}
+
+impl TqsSessionBuilder {
+    /// Target the faulty engine build of `profile` (ignored when an explicit
+    /// [`connector`](Self::connector) is supplied).
+    pub fn profile(mut self, profile: ProfileId) -> Self {
+        self.profile = Some(profile);
+        self
     }
 
-    /// Build a runner against an explicit engine build (used by the soundness
-    /// tests with pristine profiles and by the ablation harness).
-    pub fn with_database(
-        profile_id: ProfileId,
-        profile: DbmsProfile,
-        dsg: DsgDatabase,
-        cfg: TqsConfig,
-    ) -> Self {
-        let engine = Database::new(dsg.db.catalog.clone(), profile);
-        let kqe = Kqe::new(dsg.schema_desc.clone(), cfg.kqe.clone());
-        let generator = QueryGenerator::new(cfg.query_gen.clone());
-        TqsRunner { dsg, engine, profile_id, kqe, generator, cfg, bugs: BugLog::new() }
+    /// Drive this backend instead of the default engine connector.
+    pub fn connector(mut self, connector: impl DbmsConnector + 'static) -> Self {
+        self.connector = Some(Box::new(connector));
+        self
+    }
+
+    /// Drive an already-boxed backend (for callers assembling connectors
+    /// dynamically).
+    pub fn boxed_connector(mut self, connector: Box<dyn DbmsConnector>) -> Self {
+        self.connector = Some(connector);
+        self
+    }
+
+    /// Use an already-built DSG database (shared across sessions).
+    pub fn dsg(mut self, dsg: DsgDatabase) -> Self {
+        self.dsg = Some(dsg);
+        self
+    }
+
+    /// Build the DSG database from this configuration at
+    /// [`build`](Self::build) time.
+    pub fn dsg_config(mut self, cfg: &DsgConfig) -> Self {
+        self.dsg_cfg = Some(cfg.clone());
+        self
+    }
+
+    pub fn config(mut self, cfg: TqsConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Assemble the session: build (or take) the DSG database, construct the
+    /// connector if none was given, and load the catalog into it.
+    pub fn build(self) -> Result<TqsSession, ConnectorError> {
+        let dsg = match self.dsg {
+            Some(d) => d,
+            None => DsgDatabase::build(&self.dsg_cfg.unwrap_or_default()),
+        };
+        let mut connector = match self.connector {
+            Some(c) => c,
+            None => Box::new(EngineConnector::faulty(
+                self.profile.unwrap_or(ProfileId::MysqlLike),
+            )),
+        };
+        connector.load_catalog(&dsg.db.catalog)?;
+        let info = connector.info();
+        let kqe = Kqe::new(dsg.schema_desc.clone(), self.cfg.kqe.clone());
+        let generator = QueryGenerator::new(self.cfg.query_gen.clone());
+        Ok(TqsSession {
+            dsg,
+            connector,
+            kqe,
+            generator,
+            cfg: self.cfg,
+            bugs: BugLog::new(),
+            dbms_name: info.name,
+            dialect: info.dialect,
+        })
+    }
+}
+
+impl TqsSession {
+    pub fn builder() -> TqsSessionBuilder {
+        TqsSessionBuilder::default()
+    }
+
+    /// Name of the backend build under test.
+    pub fn dbms_name(&self) -> &str {
+        &self.dbms_name
+    }
+
+    /// Hint dialect of the backend build under test (cached at build time).
+    pub fn dialect(&self) -> ProfileId {
+        self.dialect
     }
 
     /// Run Algorithm 1 for the configured number of iterations.
     pub fn run(&mut self) -> RunStats {
         let mut stats = RunStats {
-            dbms: self.engine.profile.info.name.clone(),
-            tool: if self.cfg.use_ground_truth { "TQS" } else { "TQS!GT" }.to_string(),
+            dbms: self.dbms_name.clone(),
+            tool: if self.cfg.use_ground_truth {
+                "TQS"
+            } else {
+                "TQS!GT"
+            }
+            .to_string(),
             queries_generated: 0,
             queries_executed: 0,
             queries_skipped: 0,
@@ -132,11 +236,18 @@ impl TqsRunner {
             }
             if (i + 1) % self.cfg.queries_per_hour == 0 || i + 1 == self.cfg.iterations {
                 let hour = (i + 1).div_ceil(self.cfg.queries_per_hour);
-                stats.diversity_timeline.push(TimelinePoint { hour, value: self.kqe.diversity() });
-                stats.bug_timeline.push(TimelinePoint { hour, value: self.bugs.bug_count() });
-                stats
-                    .bug_type_timeline
-                    .push(TimelinePoint { hour, value: self.bugs.bug_type_count() });
+                stats.diversity_timeline.push(TimelinePoint {
+                    hour,
+                    value: self.kqe.diversity(),
+                });
+                stats.bug_timeline.push(TimelinePoint {
+                    hour,
+                    value: self.bugs.bug_count(),
+                });
+                stats.bug_type_timeline.push(TimelinePoint {
+                    hour,
+                    value: self.bugs.bug_type_count(),
+                });
             }
         }
         stats.diversity = self.kqe.diversity();
@@ -163,10 +274,10 @@ impl TqsRunner {
             Ok(t) => t,
             Err(_) => return false,
         };
-        let hint_sets = hint_sets_for(self.profile_id, stmt);
+        let hint_sets = hint_sets_for(self.dialect, stmt);
         let mut outcomes = Vec::new();
         for hs in &hint_sets {
-            match self.engine.execute_with_hints(stmt, hs) {
+            match self.connector.execute_with_hints(stmt, hs) {
                 Ok(out) => outcomes.push((hs.clone(), out)),
                 Err(_) => continue,
             }
@@ -178,12 +289,12 @@ impl TqsRunner {
             for (hs, out) in &outcomes {
                 if !truth.matches(&out.result) {
                     let minimized = if self.cfg.minimize {
-                        Some(minimize_query(stmt, hs, &mut self.engine, &gt_eval))
+                        Some(minimize_query(stmt, hs, self.connector.as_mut(), &gt_eval))
                     } else {
                         None
                     };
                     let report = make_report(
-                        &self.engine.profile.info.name,
+                        &self.dbms_name,
                         Oracle::GroundTruth,
                         stmt,
                         hs,
@@ -203,7 +314,7 @@ impl TqsRunner {
             for (hs, out) in &outcomes[1..] {
                 if !base.result.same_bag(&out.result) {
                     let report = make_report(
-                        &self.engine.profile.info.name,
+                        &self.dbms_name,
                         Oracle::Differential,
                         stmt,
                         hs,
@@ -229,10 +340,17 @@ mod tests {
 
     fn dsg_cfg(noise: bool) -> DsgConfig {
         DsgConfig {
-            source: WideSource::Shopping(ShoppingConfig { n_rows: 120, ..Default::default() }),
+            source: WideSource::Shopping(ShoppingConfig {
+                n_rows: 120,
+                ..Default::default()
+            }),
             fd: Default::default(),
             noise: if noise {
-                Some(NoiseConfig { epsilon: 0.04, seed: 9, max_injections: 16 })
+                Some(NoiseConfig {
+                    epsilon: 0.04,
+                    seed: 9,
+                    max_injections: 16,
+                })
             } else {
                 None
             },
@@ -240,7 +358,11 @@ mod tests {
     }
 
     fn small_cfg() -> TqsConfig {
-        TqsConfig { iterations: 40, queries_per_hour: 10, ..Default::default() }
+        TqsConfig {
+            iterations: 40,
+            queries_per_hour: 10,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -248,18 +370,17 @@ mod tests {
         // Soundness: with no faults enabled, ground-truth verification must
         // never flag a bug — i.e. the GT evaluator and the engine agree.
         for profile in ProfileId::ALL {
-            let dsg = DsgDatabase::build(&dsg_cfg(true));
-            let mut runner = TqsRunner::with_database(
-                profile,
-                DbmsProfile::pristine(profile),
-                dsg,
-                small_cfg(),
-            );
-            let stats = runner.run();
+            let mut session = TqsSession::builder()
+                .connector(EngineConnector::pristine(profile))
+                .dsg_config(&dsg_cfg(true))
+                .config(small_cfg())
+                .build()
+                .unwrap();
+            let stats = session.run();
             assert_eq!(
                 stats.bug_count, 0,
                 "false positives on pristine {profile:?}: {:#?}",
-                runner.bugs.reports
+                session.bugs.reports
             );
             assert!(stats.queries_executed > stats.queries_skipped);
         }
@@ -267,57 +388,64 @@ mod tests {
 
     #[test]
     fn faulty_mysql_like_build_is_caught() {
-        let dsg = DsgDatabase::build(&dsg_cfg(true));
-        let mut runner = TqsRunner::with_database(
-            ProfileId::MysqlLike,
-            DbmsProfile::build(ProfileId::MysqlLike),
-            dsg,
-            TqsConfig { iterations: 120, ..small_cfg() },
-        );
-        let stats = runner.run();
+        let mut session = TqsSession::builder()
+            .profile(ProfileId::MysqlLike)
+            .dsg_config(&dsg_cfg(true))
+            .config(TqsConfig {
+                iterations: 120,
+                ..small_cfg()
+            })
+            .build()
+            .unwrap();
+        let stats = session.run();
         assert!(stats.bug_count > 0, "no bugs found on a faulty build");
         assert!(stats.bug_type_count >= 1);
         // every report carries a reproducer
-        for r in &runner.bugs.reports {
+        for r in &session.bugs.reports {
             assert!(r.transformed_sql.contains("SELECT"));
         }
     }
 
     #[test]
     fn timelines_are_monotone() {
-        let dsg = DsgDatabase::build(&dsg_cfg(true));
-        let mut runner = TqsRunner::with_database(
-            ProfileId::TidbLike,
-            DbmsProfile::build(ProfileId::TidbLike),
-            dsg,
-            TqsConfig { iterations: 60, ..small_cfg() },
-        );
-        let stats = runner.run();
+        let mut session = TqsSession::builder()
+            .profile(ProfileId::TidbLike)
+            .dsg_config(&dsg_cfg(true))
+            .config(TqsConfig {
+                iterations: 60,
+                ..small_cfg()
+            })
+            .build()
+            .unwrap();
+        let stats = session.run();
         for w in stats.diversity_timeline.windows(2) {
             assert!(w[0].value <= w[1].value);
         }
         for w in stats.bug_timeline.windows(2) {
             assert!(w[0].value <= w[1].value);
         }
-        assert_eq!(stats.diversity, runner.kqe.diversity());
+        assert_eq!(stats.diversity, session.kqe.diversity());
     }
 
     #[test]
     fn kqe_improves_structure_diversity() {
         let dsg = DsgDatabase::build(&dsg_cfg(false));
         let run = |use_kqe: bool| {
-            let mut runner = TqsRunner::with_database(
-                ProfileId::MysqlLike,
-                DbmsProfile::pristine(ProfileId::MysqlLike),
-                dsg.clone(),
-                TqsConfig {
+            let mut session = TqsSession::builder()
+                .connector(EngineConnector::pristine(ProfileId::MysqlLike))
+                .dsg(dsg.clone())
+                .config(TqsConfig {
                     iterations: 150,
                     use_kqe,
-                    query_gen: QueryGenConfig { seed: 3, ..Default::default() },
+                    query_gen: QueryGenConfig {
+                        seed: 3,
+                        ..Default::default()
+                    },
                     ..small_cfg()
-                },
-            );
-            runner.run().diversity
+                })
+                .build()
+                .unwrap();
+            session.run().diversity
         };
         let with_kqe = run(true);
         let without = run(false);
@@ -325,5 +453,16 @@ mod tests {
             with_kqe as f64 >= without as f64 * 0.9,
             "KQE diversity {with_kqe} should not collapse below uniform {without}"
         );
+    }
+
+    #[test]
+    fn builder_defaults_to_the_faulty_mysql_like_engine() {
+        let session = TqsSession::builder()
+            .dsg_config(&dsg_cfg(false))
+            .config(small_cfg())
+            .build()
+            .unwrap();
+        assert_eq!(session.dbms_name(), "MySQL-like");
+        assert_eq!(session.connector.info().dialect, ProfileId::MysqlLike);
     }
 }

@@ -79,7 +79,11 @@ pub struct Database {
 
 impl Database {
     pub fn new(catalog: Catalog, profile: DbmsProfile) -> Self {
-        Database { catalog, profile, switches: HashMap::new() }
+        Database {
+            catalog,
+            profile,
+            switches: HashMap::new(),
+        }
     }
 
     /// `SET optimizer_switch='name=on|off'`.
@@ -144,10 +148,8 @@ impl Database {
         // alternative (base table stays first; every ON must only reference
         // bindings already joined).
         let mut join_order: Vec<usize> = (0..stmt.from.joins.len()).collect();
-        if let Some(Hint::JoinOrder(order)) = stmt
-            .hints
-            .iter()
-            .find(|h| matches!(h, Hint::JoinOrder(_)))
+        if let Some(Hint::JoinOrder(order)) =
+            stmt.hints.iter().find(|h| matches!(h, Hint::JoinOrder(_)))
         {
             if let Some(reordered) = self.reorder_joins(stmt, order) {
                 join_order = reordered;
@@ -175,7 +177,9 @@ impl Database {
             let j = &stmt.from.joins[i];
             let binding = j.table.binding().to_string();
             let (join_type, simplified) = if simplify[i] {
-                notes.push(format!("left outer join {binding} simplified to inner join"));
+                notes.push(format!(
+                    "left outer join {binding} simplified to inner join"
+                ));
                 (JoinType::Inner, true)
             } else {
                 (j.join_type, false)
@@ -236,23 +240,29 @@ impl Database {
         if !stmt.has_subquery() {
             return SubqueryPlan::DirectPerRow;
         }
-        if stmt.hints.iter().any(|h| matches!(h, Hint::SubqueryToDerived)) {
+        if stmt
+            .hints
+            .iter()
+            .any(|h| matches!(h, Hint::SubqueryToDerived))
+        {
             return SubqueryPlan::SubqueryToDerived;
         }
         match semi {
-            Some(s) if self.profile.default_semijoin_transform => SubqueryPlan::SemiJoinTransform(s),
+            Some(s) if self.profile.default_semijoin_transform => {
+                SubqueryPlan::SemiJoinTransform(s)
+            }
             _ if materialization => SubqueryPlan::Materialize,
             _ => SubqueryPlan::DirectPerRow,
         }
     }
 
     fn reorder_joins(&self, stmt: &SelectStmt, order: &[String]) -> Option<Vec<usize>> {
-        if stmt
-            .from
-            .joins
-            .iter()
-            .any(|j| !matches!(j.join_type, JoinType::Inner | JoinType::Cross | JoinType::LeftOuter))
-        {
+        if stmt.from.joins.iter().any(|j| {
+            !matches!(
+                j.join_type,
+                JoinType::Inner | JoinType::Cross | JoinType::LeftOuter
+            )
+        }) {
             return None;
         }
         let mut result = Vec::new();
@@ -384,7 +394,8 @@ impl Database {
             algo = JoinAlgo::HashJoin;
         }
         if self.profile.info.name.starts_with("MariaDB") {
-            algo = if right_has_key && self.switch_on(SwitchName::BatchedKeyAccess)
+            algo = if right_has_key
+                && self.switch_on(SwitchName::BatchedKeyAccess)
                 && self.switch_on(SwitchName::JoinCacheBka)
             {
                 JoinAlgo::BatchedKeyAccess
@@ -416,12 +427,17 @@ impl Database {
     fn buffer_for(&self, algo: JoinAlgo, join_type: JoinType) -> Option<usize> {
         let buffered = matches!(
             algo,
-            JoinAlgo::BlockNestedLoop | JoinAlgo::BlockNestedLoopHashed | JoinAlgo::BatchedKeyAccess
+            JoinAlgo::BlockNestedLoop
+                | JoinAlgo::BlockNestedLoopHashed
+                | JoinAlgo::BatchedKeyAccess
         );
         if !buffered {
             return None;
         }
-        let outer = matches!(join_type, JoinType::LeftOuter | JoinType::RightOuter | JoinType::FullOuter);
+        let outer = matches!(
+            join_type,
+            JoinType::LeftOuter | JoinType::RightOuter | JoinType::FullOuter
+        );
         if outer && !self.switch_on(SwitchName::OuterJoinWithCache) {
             return None;
         }
@@ -497,14 +513,22 @@ impl Database {
 
         ctx.fired.extend(sub.fired.into_inner());
         ctx.fired.dedup();
-        Ok(ExecOutcome { result, plan, fired: ctx.fired })
+        Ok(ExecOutcome {
+            result,
+            plan,
+            fired: ctx.fired,
+        })
     }
 
     /// Fault #6: `<=>` comparisons against a literal reuse a constant that
     /// was type-converted against the first row; if that first value was
     /// NULL, the cached constant degrades to NULL.
     fn apply_constant_cache_fault(&self, pred: &Expr, rel: &Rel, ctx: &mut ExecContext) -> Expr {
-        if !self.profile.faults.contains(FaultKind::ConstantCacheNullSafeEq) || rel.rows.is_empty()
+        if !self
+            .profile
+            .faults
+            .contains(FaultKind::ConstantCacheNullSafeEq)
+            || rel.rows.is_empty()
         {
             return pred.clone();
         }
@@ -543,7 +567,9 @@ impl Database {
                     columns.push(alias.clone().unwrap_or_else(|| format!("{expr:?}")))
                 }
                 SelectItem::Aggregate { .. } => {
-                    return Err(EngineError::Unsupported("aggregate without GROUP BY path".into()))
+                    return Err(EngineError::Unsupported(
+                        "aggregate without GROUP BY path".into(),
+                    ))
                 }
             }
         }
@@ -681,7 +707,12 @@ fn eval_agg(func: AggFunc, group_size: usize, vals: &[Value]) -> Value {
 }
 
 fn flatten_and<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
-    if let Expr::Binary { op: BinOp::And, left, right } = e {
+    if let Expr::Binary {
+        op: BinOp::And,
+        left,
+        right,
+    } = e
+    {
         flatten_and(left, out);
         flatten_and(right, out);
     } else {
@@ -696,7 +727,11 @@ fn rewrite_null_safe_eq(
     decide: &mut impl FnMut(&tqs_sql::ast::ColumnRef) -> Option<Value>,
 ) -> Expr {
     match e {
-        Expr::Binary { op: BinOp::NullSafeEq, left, right } => {
+        Expr::Binary {
+            op: BinOp::NullSafeEq,
+            left,
+            right,
+        } => {
             if let (Expr::Column(c), Expr::Literal(_)) = (left.as_ref(), right.as_ref()) {
                 if let Some(v) = decide(c) {
                     return Expr::Binary {
@@ -772,25 +807,30 @@ impl SubqueryHandler for EngineSubqueries<'_> {
             }
         }
         // Execute the (single-table) subquery with correlation support.
-        let table = self
-            .db
-            .catalog
-            .table(&sub.from.base.table)
-            .ok_or_else(|| EvalError::Unsupported(format!("unknown table {}", sub.from.base.table)))?;
+        let table = self.db.catalog.table(&sub.from.base.table).ok_or_else(|| {
+            EvalError::Unsupported(format!("unknown table {}", sub.from.base.table))
+        })?;
         if !sub.from.joins.is_empty() {
             return Err(EvalError::Unsupported("joins inside subquery".into()));
         }
         let binding = sub.from.base.binding().to_string();
         let expr = match sub.items.first() {
             Some(SelectItem::Expr { expr, .. }) => expr.clone(),
-            _ => return Err(EvalError::Unsupported("subquery must project one expression".into())),
+            _ => {
+                return Err(EvalError::Unsupported(
+                    "subquery must project one expression".into(),
+                ))
+            }
         };
         let rel = Rel::scan(table, &binding);
         let mut out = Vec::new();
         for row in &rel.rows {
             let scope = rel.scope(row);
             let inner = ScopedRow::new(&scope);
-            let resolver = ChainedResolver { inner: &inner, outer };
+            let resolver = ChainedResolver {
+                inner: &inner,
+                outer,
+            };
             if let Some(pred) = &sub.where_clause {
                 if eval_predicate(pred, &resolver, self)? != Some(true) {
                     continue;
@@ -801,7 +841,9 @@ impl SubqueryHandler for EngineSubqueries<'_> {
         // Fault #5: the materialized probe set silently drops NULLs, turning
         // NOT IN's UNKNOWN into FALSE.
         if self.materialization
-            && self.faults.contains(FaultKind::AntiJoinMaterializationNullDrop)
+            && self
+                .faults
+                .contains(FaultKind::AntiJoinMaterializationNullDrop)
             && matches!(
                 self.plan,
                 SubqueryPlan::Materialize | SubqueryPlan::SemiJoinTransform(_)
@@ -884,7 +926,8 @@ mod tests {
         )
         .with_primary_key(vec!["id"]);
         for (id, c) in [(10, "a"), (20, "b"), (30, "c")] {
-            t2.push_row(Row::new(vec![Value::Int(id), Value::str(c)])).unwrap();
+            t2.push_row(Row::new(vec![Value::Int(id), Value::str(c)]))
+                .unwrap();
         }
         cat.add_table(t2);
         cat
@@ -897,7 +940,9 @@ mod tests {
     #[test]
     fn single_table_select_and_where() {
         let d = db(ProfileId::MysqlLike);
-        let out = d.execute_sql("SELECT t1.id FROM t1 WHERE t1.col1 > 10").unwrap();
+        let out = d
+            .execute_sql("SELECT t1.id FROM t1 WHERE t1.col1 > 10")
+            .unwrap();
         assert_eq!(out.result.row_count(), 1);
         assert!(out.fired.is_empty());
     }
@@ -922,17 +967,28 @@ mod tests {
         let base = parse_stmt("SELECT t1.id FROM t1 JOIN t2 ON t1.col1 = t2.id").unwrap();
         let hash = d.plan(&base).unwrap();
         let merge = d
-            .plan(&parse_stmt("SELECT /*+ MERGE_JOIN(t2) */ t1.id FROM t1 JOIN t2 ON t1.col1 = t2.id").unwrap())
+            .plan(
+                &parse_stmt(
+                    "SELECT /*+ MERGE_JOIN(t2) */ t1.id FROM t1 JOIN t2 ON t1.col1 = t2.id",
+                )
+                .unwrap(),
+            )
             .unwrap();
         assert_ne!(hash.signature(), merge.signature());
         assert_eq!(merge.joins[0].algo, JoinAlgo::SortMergeJoin);
         let nl = d
-            .plan(&parse_stmt("SELECT /*+ NL_JOIN(t2) */ t1.id FROM t1 JOIN t2 ON t1.col1 = t2.id").unwrap())
+            .plan(
+                &parse_stmt("SELECT /*+ NL_JOIN(t2) */ t1.id FROM t1 JOIN t2 ON t1.col1 = t2.id")
+                    .unwrap(),
+            )
             .unwrap();
         assert_eq!(nl.joins[0].algo, JoinAlgo::BlockNestedLoop);
         // and the result stays the same on a pristine build
         let a = d.execute(&base).unwrap().result;
-        let b = d.execute_sql("SELECT /*+ MERGE_JOIN(t2) */ t1.id FROM t1 JOIN t2 ON t1.col1 = t2.id").unwrap().result;
+        let b = d
+            .execute_sql("SELECT /*+ MERGE_JOIN(t2) */ t1.id FROM t1 JOIN t2 ON t1.col1 = t2.id")
+            .unwrap()
+            .result;
         assert!(a.same_bag(&b));
     }
 
@@ -943,11 +999,20 @@ mod tests {
         let default_algo = d.plan(&stmt).unwrap().joins[0].algo;
         assert_eq!(default_algo, JoinAlgo::BatchedKeyAccess);
         d.apply_switch(SessionSwitch::off(SwitchName::JoinCacheBka));
-        assert_eq!(d.plan(&stmt).unwrap().joins[0].algo, JoinAlgo::BlockNestedLoopHashed);
+        assert_eq!(
+            d.plan(&stmt).unwrap().joins[0].algo,
+            JoinAlgo::BlockNestedLoopHashed
+        );
         d.apply_switch(SessionSwitch::off(SwitchName::JoinCacheHashed));
-        assert_eq!(d.plan(&stmt).unwrap().joins[0].algo, JoinAlgo::BlockNestedLoop);
+        assert_eq!(
+            d.plan(&stmt).unwrap().joins[0].algo,
+            JoinAlgo::BlockNestedLoop
+        );
         d.reset_switches();
-        assert_eq!(d.plan(&stmt).unwrap().joins[0].algo, JoinAlgo::BatchedKeyAccess);
+        assert_eq!(
+            d.plan(&stmt).unwrap().joins[0].algo,
+            JoinAlgo::BatchedKeyAccess
+        );
     }
 
     #[test]
@@ -961,7 +1026,8 @@ mod tests {
         assert!(plan.joins[0].simplified_from_outer);
         assert_eq!(plan.joins[0].join_type, JoinType::Inner);
         // without the null-rejecting predicate the outer join survives
-        let stmt = parse_stmt("SELECT t1.id FROM t1 LEFT OUTER JOIN t2 ON t1.col1 = t2.id").unwrap();
+        let stmt =
+            parse_stmt("SELECT t1.id FROM t1 LEFT OUTER JOIN t2 ON t1.col1 = t2.id").unwrap();
         assert!(!d.plan(&stmt).unwrap().joins[0].simplified_from_outer);
         // simplification does not change results on a pristine build
         let simplified = parse_stmt(
@@ -975,10 +1041,9 @@ mod tests {
     #[test]
     fn join_order_hint_validity() {
         let d = db(ProfileId::MysqlLike);
-        let stmt = parse_stmt(
-            "SELECT /*+ JOIN_ORDER(t2, t1) */ t1.id FROM t1 JOIN t2 ON t1.col1 = t2.id",
-        )
-        .unwrap();
+        let stmt =
+            parse_stmt("SELECT /*+ JOIN_ORDER(t2, t1) */ t1.id FROM t1 JOIN t2 ON t1.col1 = t2.id")
+                .unwrap();
         let plan = d.plan(&stmt).unwrap();
         assert!(plan.notes.iter().any(|n| n.contains("JOIN_ORDER")));
         let out = d.execute(&stmt).unwrap();
@@ -995,7 +1060,10 @@ mod tests {
         let out = d.execute_with_hints(&stmt, &hs).unwrap();
         assert_eq!(out.result.row_count(), 2);
         // switches restored afterwards
-        assert_eq!(d.plan(&stmt).unwrap().joins[0].algo, JoinAlgo::BatchedKeyAccess);
+        assert_eq!(
+            d.plan(&stmt).unwrap().joins[0].algo,
+            JoinAlgo::BatchedKeyAccess
+        );
     }
 
     #[test]
@@ -1050,7 +1118,9 @@ mod tests {
     #[test]
     fn distinct_and_limit() {
         let d = db(ProfileId::MysqlLike);
-        let out = d.execute_sql("SELECT DISTINCT t2.col1 FROM t2 JOIN t1 ON t2.id = t1.col1").unwrap();
+        let out = d
+            .execute_sql("SELECT DISTINCT t2.col1 FROM t2 JOIN t1 ON t2.id = t1.col1")
+            .unwrap();
         assert_eq!(out.result.row_count(), 2);
         let out = d.execute_sql("SELECT t2.col1 FROM t2 LIMIT 2").unwrap();
         assert_eq!(out.result.row_count(), 2);
@@ -1063,7 +1133,10 @@ mod tests {
             d.execute_sql("SELECT x.a FROM missing x"),
             Err(EngineError::UnknownTable(_))
         ));
-        assert!(matches!(d.execute_sql("SELEKT 1"), Err(EngineError::Parse(_))));
+        assert!(matches!(
+            d.execute_sql("SELEKT 1"),
+            Err(EngineError::Parse(_))
+        ));
     }
 
     #[test]

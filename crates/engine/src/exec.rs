@@ -142,12 +142,21 @@ struct EquiKeys {
 }
 
 fn extract_equi_keys(left: &Rel, right: &Rel, on: Option<&Expr>) -> EquiKeys {
-    let mut keys = EquiKeys { left_idx: Vec::new(), right_idx: Vec::new(), residual: Vec::new() };
+    let mut keys = EquiKeys {
+        left_idx: Vec::new(),
+        right_idx: Vec::new(),
+        residual: Vec::new(),
+    };
     let Some(on) = on else { return keys };
     let mut conjuncts = Vec::new();
     flatten_and(on, &mut conjuncts);
     for c in conjuncts {
-        if let Expr::Binary { op: BinOp::Eq, left: a, right: b } = c {
+        if let Expr::Binary {
+            op: BinOp::Eq,
+            left: a,
+            right: b,
+        } = c
+        {
             if let (Expr::Column(ca), Expr::Column(cb)) = (a.as_ref(), b.as_ref()) {
                 let la = left.col_index(ca.table.as_deref(), &ca.column);
                 let rb = right.col_index(cb.table.as_deref(), &cb.column);
@@ -171,7 +180,12 @@ fn extract_equi_keys(left: &Rel, right: &Rel, on: Option<&Expr>) -> EquiKeys {
 }
 
 fn flatten_and<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
-    if let Expr::Binary { op: BinOp::And, left, right } = e {
+    if let Expr::Binary {
+        op: BinOp::And,
+        left,
+        right,
+    } = e
+    {
         flatten_and(left, out);
         flatten_and(right, out);
     } else {
@@ -185,17 +199,16 @@ fn keys_equal_correct(a: &[&Value], b: &[&Value]) -> bool {
         if x.is_null() || y.is_null() {
             return false;
         }
-        matches!(sql_compare(x, y), SqlCmp::Ordering(std::cmp::Ordering::Equal))
+        matches!(
+            sql_compare(x, y),
+            SqlCmp::Ordering(std::cmp::Ordering::Equal)
+        )
     })
 }
 
 /// Encoded key for the hash-based algorithms, with fault interception.
 /// `None` means "never matches" (the correct treatment of NULL keys).
-fn encode_key(
-    values: &[&Value],
-    ctx: &mut ExecContext,
-    t: &TriggerContext,
-) -> Option<String> {
+fn encode_key(values: &[&Value], ctx: &mut ExecContext, t: &TriggerContext) -> Option<String> {
     let mut out = String::new();
     for v in values {
         if v.is_null() {
@@ -268,13 +281,7 @@ fn is_boundary_like(v: &Value) -> bool {
 }
 
 /// Residual ON predicates evaluated on the combined row.
-fn residual_ok(
-    residual: &[Expr],
-    left: &Rel,
-    right: &Rel,
-    lrow: &[Value],
-    rrow: &[Value],
-) -> bool {
+fn residual_ok(residual: &[Expr], left: &Rel, right: &Rel, lrow: &[Value], rrow: &[Value]) -> bool {
     if residual.is_empty() {
         return true;
     }
@@ -303,10 +310,10 @@ pub fn execute_join(
     // row indices. Algorithms differ in how matches are found (and therefore
     // in which faults can perturb them).
     let (matches, mut extra_fired_rows) = match join.algo {
-        JoinAlgo::HashJoin | JoinAlgo::IndexJoin | JoinAlgo::BatchedKeyAccess
-        | JoinAlgo::BlockNestedLoopHashed => {
-            hashed_matches(left, right, &keys, join, ctx, &t)
-        }
+        JoinAlgo::HashJoin
+        | JoinAlgo::IndexJoin
+        | JoinAlgo::BatchedKeyAccess
+        | JoinAlgo::BlockNestedLoopHashed => hashed_matches(left, right, &keys, join, ctx, &t),
         JoinAlgo::SortMergeJoin => merge_matches(left, right, &keys, join, ctx, &t),
         JoinAlgo::NestedLoop | JoinAlgo::BlockNestedLoop => {
             loop_matches(left, right, &keys, join, ctx, &t)
@@ -346,7 +353,10 @@ pub fn execute_join(
         }
         let ms = &matches[li];
         match join.join_type {
-            JoinType::Inner | JoinType::Cross | JoinType::LeftOuter | JoinType::RightOuter
+            JoinType::Inner
+            | JoinType::Cross
+            | JoinType::LeftOuter
+            | JoinType::RightOuter
             | JoinType::FullOuter => {
                 for &ri in ms {
                     right_matched[ri] = true;
@@ -419,8 +429,7 @@ pub fn execute_join(
     }
 
     // Extra spurious NULL-padded row for the left hash join + subquery case.
-    if ctx.active(FaultKind::LeftHashJoinSubqueryNull, &t)
-        && join.join_type == JoinType::LeftOuter
+    if ctx.active(FaultKind::LeftHashJoinSubqueryNull, &t) && join.join_type == JoinType::LeftOuter
     {
         if let Some((li, _)) = left
             .rows
@@ -437,7 +446,10 @@ pub fn execute_join(
 
     // Blanked varchar values when the hashed join buffer is disallowed.
     if ctx.active(FaultKind::BnlhDisallowedBlankValues, &t)
-        && join.buffer_rows.map(|b| left.rows.len() > b).unwrap_or(false)
+        && join
+            .buffer_rows
+            .map(|b| left.rows.len() > b)
+            .unwrap_or(false)
         && !out.rows.is_empty()
     {
         ctx.fire(FaultKind::BnlhDisallowedBlankValues);
@@ -565,7 +577,10 @@ fn merge_matches(
         .any(|v| v.as_str().is_some());
     if key_is_string && ctx.active(FaultKind::MergeJoinVarcharEmpty, t) {
         ctx.fire(FaultKind::MergeJoinVarcharEmpty);
-        return (vec![Vec::new(); left.rows.len()], MatchSideEffects::default());
+        return (
+            vec![Vec::new(); left.rows.len()],
+            MatchSideEffects::default(),
+        );
     }
     // A straightforward (correct) merge: group right rows by canonical key.
     let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
@@ -725,8 +740,14 @@ mod tests {
 
     fn run(jt: JoinType, algo: JoinAlgo, faults: FaultSet) -> (Rel, ExecContext) {
         let mut ctx = ExecContext::new(faults);
-        let out = execute_join(&left_rel(), &right_rel(), &join(jt, algo), Some(&on_clause()), &mut ctx)
-            .unwrap();
+        let out = execute_join(
+            &left_rel(),
+            &right_rel(),
+            &join(jt, algo),
+            Some(&on_clause()),
+            &mut ctx,
+        )
+        .unwrap();
         (out, ctx)
     }
 
@@ -736,7 +757,10 @@ mod tests {
         for algo in JoinAlgo::ALL {
             let (out, ctx) = run(JoinType::Inner, algo, FaultSet::none());
             counts.push(out.rows.len());
-            assert!(ctx.fired.is_empty(), "{algo:?} fired faults on a pristine build");
+            assert!(
+                ctx.fired.is_empty(),
+                "{algo:?} fired faults on a pristine build"
+            );
         }
         // l.id=1 matches two rows, l.id=3 matches one; NULLs never match.
         assert!(counts.iter().all(|&c| c == 3), "{counts:?}");
@@ -818,7 +842,8 @@ mod tests {
             simplified_from_outer: false,
             buffer_rows: Some(64),
         };
-        let out = execute_join(&left_rel(), &right_rel(), &j, Some(&on_clause()), &mut ctx).unwrap();
+        let out =
+            execute_join(&left_rel(), &right_rel(), &j, Some(&on_clause()), &mut ctx).unwrap();
         assert_eq!(ctx.fired, vec![FaultKind::OuterJoinCacheEmptyPad]);
         // exactly one padded row carries '' instead of NULL
         let empties = out
@@ -839,7 +864,8 @@ mod tests {
             simplified_from_outer: false,
             buffer_rows: Some(3),
         };
-        let out = execute_join(&left_rel(), &right_rel(), &j, Some(&on_clause()), &mut ctx).unwrap();
+        let out =
+            execute_join(&left_rel(), &right_rel(), &j, Some(&on_clause()), &mut ctx).unwrap();
         // left has 4 rows, buffer 3 → the 4th left row is never joined; with
         // clean execution row id=NULL contributes nothing anyway, so compare
         // against a buffer that fits everything.
@@ -857,7 +883,8 @@ mod tests {
             simplified_from_outer: true,
             buffer_rows: None,
         };
-        let out = execute_join(&left_rel(), &right_rel(), &j, Some(&on_clause()), &mut ctx).unwrap();
+        let out =
+            execute_join(&left_rel(), &right_rel(), &j, Some(&on_clause()), &mut ctx).unwrap();
         assert_eq!(ctx.fired, vec![FaultKind::LeftToInnerNullZeroConfusion]);
         assert!(out.rows.len() > 3, "NULL key spuriously matched");
         // without the simplification flag the fault stays silent
@@ -880,7 +907,8 @@ mod tests {
             &table("r", vec![vec![Value::Int(65_535), Value::str("big")]]),
             "r",
         );
-        let mut ctx = ExecContext::new(FaultSet::of(&[FaultKind::HashJoinMaterializationZeroSplit]));
+        let mut ctx =
+            ExecContext::new(FaultSet::of(&[FaultKind::HashJoinMaterializationZeroSplit]));
         ctx.materialization = true;
         let out = execute_join(
             &left,
@@ -914,7 +942,11 @@ mod tests {
         let right = right_rel();
         let on = Expr::and(
             Expr::eq(Expr::col("r", "id"), Expr::col("l", "id")),
-            Expr::binary(BinOp::Ne, Expr::col("r", "name"), Expr::lit(Value::str("y"))),
+            Expr::binary(
+                BinOp::Ne,
+                Expr::col("r", "name"),
+                Expr::lit(Value::str("y")),
+            ),
         );
         let keys = extract_equi_keys(&left, &right, Some(&on));
         assert_eq!(keys.left_idx, vec![0]);

@@ -191,9 +191,7 @@ impl FaultKind {
             FaultKind::JoinBufferLimitDropsTail => {
                 "Incorrect join execution by limiting the usage of the join buffers."
             }
-            FaultKind::JoinCacheStaleRow => {
-                "Incorrect join execution when controlling join cache."
-            }
+            FaultKind::JoinCacheStaleRow => "Incorrect join execution when controlling join cache.",
             FaultKind::MergeJoinOuterNullLoss => {
                 "Incorrect Merge Join Execution when transforming hash join to merge join."
             }
@@ -213,9 +211,7 @@ impl FaultKind {
                 "Left join convert to inner join returns wrong result sets."
             }
             FaultKind::HashJoinNullMatchesEmpty => "Hash join returns wrong result sets.",
-            FaultKind::SemiJoinFloatPrecision => {
-                "Incorrect semi-join with materialize execution."
-            }
+            FaultKind::SemiJoinFloatPrecision => "Incorrect semi-join with materialize execution.",
         }
     }
 
@@ -245,7 +241,7 @@ pub struct TriggerContext {
 
 impl TriggerContext {
     pub fn switched_off(&self, name: &str) -> bool {
-        self.switched_off.iter().any(|s| *s == name)
+        self.switched_off.contains(&name)
     }
 }
 
@@ -256,8 +252,7 @@ impl FaultKind {
         use FaultKind::*;
         match self {
             SemiJoinWrongResults => {
-                ctx.semi_strategy == Some(SemiJoinStrategy::Materialization)
-                    && ctx.subquery_present
+                ctx.semi_strategy == Some(SemiJoinStrategy::Materialization) && ctx.subquery_present
             }
             HashJoinMaterializationZeroSplit => {
                 ctx.algo == Some(JoinAlgo::HashJoin) && ctx.materialization
@@ -275,15 +270,12 @@ impl FaultKind {
                 ctx.join_type == Some(JoinType::Anti) && ctx.materialization
             }
             ConstantCacheNullSafeEq => true, // purely data/expression dependent
-            HashJoinVarcharViaDouble => {
-                ctx.algo == Some(JoinAlgo::HashJoin) && ctx.materialization
-            }
+            HashJoinVarcharViaDouble => ctx.algo == Some(JoinAlgo::HashJoin) && ctx.materialization,
             BkaDisallowedNullToEmpty => {
                 ctx.switched_off("join_cache_bka") && ctx.algo == Some(JoinAlgo::BlockNestedLoop)
             }
             BnlhDisallowedBlankValues => {
-                ctx.switched_off("join_cache_hashed")
-                    && ctx.algo == Some(JoinAlgo::BlockNestedLoop)
+                ctx.switched_off("join_cache_hashed") && ctx.algo == Some(JoinAlgo::BlockNestedLoop)
             }
             OuterJoinCacheEmptyPad => {
                 ctx.uses_join_buffer
@@ -293,7 +285,9 @@ impl FaultKind {
                     )
             }
             JoinBufferLimitDropsTail => ctx.uses_join_buffer,
-            JoinCacheStaleRow => ctx.uses_join_buffer && ctx.algo == Some(JoinAlgo::BatchedKeyAccess),
+            JoinCacheStaleRow => {
+                ctx.uses_join_buffer && ctx.algo == Some(JoinAlgo::BatchedKeyAccess)
+            }
             MergeJoinOuterNullLoss => {
                 ctx.algo == Some(JoinAlgo::SortMergeJoin)
                     && matches!(
@@ -308,8 +302,7 @@ impl FaultKind {
             LeftToInnerNullZeroConfusion => ctx.simplified_from_outer,
             HashJoinNullMatchesEmpty => ctx.algo == Some(JoinAlgo::HashJoin),
             SemiJoinFloatPrecision => {
-                matches!(ctx.join_type, Some(JoinType::Semi))
-                    && !ctx.materialization
+                matches!(ctx.join_type, Some(JoinType::Semi)) && !ctx.materialization
             }
         }
     }
@@ -327,7 +320,9 @@ impl FaultSet {
     }
 
     pub fn of(kinds: &[FaultKind]) -> Self {
-        FaultSet { enabled: kinds.iter().copied().collect() }
+        FaultSet {
+            enabled: kinds.iter().copied().collect(),
+        }
     }
 
     pub fn all() -> Self {
@@ -412,7 +407,10 @@ mod tests {
     #[test]
     fn fault_set_activation() {
         let fs = FaultSet::of(&[FaultKind::MergeJoinDropsLastRun]);
-        let ctx = TriggerContext { algo: Some(JoinAlgo::SortMergeJoin), ..Default::default() };
+        let ctx = TriggerContext {
+            algo: Some(JoinAlgo::SortMergeJoin),
+            ..Default::default()
+        };
         assert!(fs.active(FaultKind::MergeJoinDropsLastRun, &ctx));
         assert!(!fs.active(FaultKind::MergeJoinVarcharEmpty, &ctx));
         assert!(FaultSet::none().is_empty());
@@ -426,10 +424,19 @@ mod tests {
 
     #[test]
     fn severity_assignment_follows_table_4() {
-        assert_eq!(FaultKind::SemiJoinWrongResults.severity(), Severity::Critical);
-        assert_eq!(FaultKind::HashJoinVarcharViaDouble.severity(), Severity::Serious);
+        assert_eq!(
+            FaultKind::SemiJoinWrongResults.severity(),
+            Severity::Critical
+        );
+        assert_eq!(
+            FaultKind::HashJoinVarcharViaDouble.severity(),
+            Severity::Serious
+        );
         assert_eq!(FaultKind::JoinCacheStaleRow.severity(), Severity::Major);
-        assert_eq!(FaultKind::MergeJoinDropsLastRun.severity(), Severity::Critical);
+        assert_eq!(
+            FaultKind::MergeJoinDropsLastRun.severity(),
+            Severity::Critical
+        );
         assert_eq!(FaultKind::SemiJoinFloatPrecision.severity(), Severity::High);
     }
 }

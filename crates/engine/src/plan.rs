@@ -116,7 +116,11 @@ impl PhysicalPlan {
                 j.join_type.sql().to_lowercase(),
                 j.right_binding,
                 j.algo.name(),
-                if j.simplified_from_outer { ", simplified from outer join" } else { "" },
+                if j.simplified_from_outer {
+                    ", simplified from outer join"
+                } else {
+                    ""
+                },
                 match j.buffer_rows {
                     Some(n) => format!(", join buffer {n} rows"),
                     None => String::new(),
@@ -140,7 +144,11 @@ impl PhysicalPlan {
                 j.right_binding,
                 j.join_type,
                 j.algo,
-                if j.simplified_from_outer { ":simpl" } else { "" }
+                if j.simplified_from_outer {
+                    ":simpl"
+                } else {
+                    ""
+                }
             ));
         }
         s.push_str(&format!("|{}", self.subquery_plan.name()));

@@ -200,7 +200,10 @@ mod tests {
     fn pristine_profiles_have_no_faults() {
         for id in ProfileId::ALL {
             assert!(DbmsProfile::pristine(id).faults.is_empty());
-            assert_eq!(DbmsProfile::pristine(id).info.name, DbmsProfile::build(id).info.name);
+            assert_eq!(
+                DbmsProfile::pristine(id).info.name,
+                DbmsProfile::build(id).info.name
+            );
         }
     }
 

@@ -28,13 +28,19 @@ pub struct LabeledGraph {
 
 impl LabeledGraph {
     pub fn add_node(&mut self, label: impl Into<String>) -> usize {
-        self.nodes.push(Node { label: label.into() });
+        self.nodes.push(Node {
+            label: label.into(),
+        });
         self.nodes.len() - 1
     }
 
     pub fn add_edge(&mut self, a: usize, b: usize, label: impl Into<String>) {
         assert!(a < self.nodes.len() && b < self.nodes.len());
-        self.edges.push(Edge { a, b, label: label.into() });
+        self.edges.push(Edge {
+            a,
+            b,
+            label: label.into(),
+        });
     }
 
     pub fn node_count(&self) -> usize {
@@ -86,7 +92,12 @@ impl LabeledGraph {
         sorted.sort();
         let mut edge_labels: Vec<&str> = self.edges.iter().map(|e| e.label.as_str()).collect();
         edge_labels.sort();
-        format!("{}|{}|{}", self.nodes.len(), sorted.join(";"), edge_labels.join(","))
+        format!(
+            "{}|{}|{}",
+            self.nodes.len(),
+            sorted.join(";"),
+            edge_labels.join(",")
+        )
     }
 
     /// Exact graph isomorphism (both directions of sub-graph containment with
@@ -133,15 +144,15 @@ impl LabeledGraph {
             let consistent = self.edges.iter().all(|e| {
                 let (x, y) = (e.a, e.b);
                 let involved = (x == i && mapping[y].is_some()) || (y == i && mapping[x].is_some());
-                if !involved && !(x == i && y == i) {
+                let self_loop = x == i && y == i;
+                if !(involved || self_loop) {
                     return true;
                 }
                 let (mi, mo) = if x == i { (y, j) } else { (x, j) };
                 let mapped = mapping[mi].unwrap_or(mo);
                 other.edges.iter().any(|oe| {
                     oe.label == e.label
-                        && ((oe.a == mo && oe.b == mapped) || (oe.b == mo && oe.a == mapped)
-                            || (oe.a == mapped && oe.b == mo) || (oe.b == mapped && oe.a == mo))
+                        && ((oe.a == mo && oe.b == mapped) || (oe.b == mo && oe.a == mapped))
                 })
             });
             if !consistent {

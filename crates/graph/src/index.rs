@@ -54,7 +54,10 @@ impl GraphIndex {
     pub fn insert(&mut self, g: &LabeledGraph, embedding: Embedding) {
         let canonical = g.canonical_form(3);
         *self.iso_sets.entry(canonical.clone()).or_insert(0) += 1;
-        self.entries.push(IndexedGraph { embedding, canonical });
+        self.entries.push(IndexedGraph {
+            embedding,
+            canonical,
+        });
     }
 
     /// k nearest neighbours by cosine similarity (descending).
@@ -106,7 +109,11 @@ mod tests {
         gi.insert(&a, embed_graph(&a, 2));
         assert_eq!(gi.isomorphic_set_count(), 1);
         gi.insert(&b, embed_graph(&b, 2));
-        assert_eq!(gi.isomorphic_set_count(), 1, "isomorphic copy is not a new set");
+        assert_eq!(
+            gi.isomorphic_set_count(),
+            1,
+            "isomorphic copy is not a new set"
+        );
         gi.insert(&c, embed_graph(&c, 2));
         assert_eq!(gi.isomorphic_set_count(), 2);
         assert_eq!(gi.len(), 3);

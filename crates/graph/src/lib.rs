@@ -26,8 +26,11 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_graph() -> impl Strategy<Value = LabeledGraph> {
-        (2usize..7, proptest::collection::vec((0usize..6, 0usize..6, 0usize..7), 1..10)).prop_map(
-            |(n, edges)| {
+        (
+            2usize..7,
+            proptest::collection::vec((0usize..6, 0usize..6, 0usize..7), 1..10),
+        )
+            .prop_map(|(n, edges)| {
                 let labels = ["table", "int", "varchar", "decimal"];
                 let joins = [
                     "inner join",
@@ -48,8 +51,7 @@ mod proptests {
                     }
                 }
                 g
-            },
-        )
+            })
     }
 
     proptest! {

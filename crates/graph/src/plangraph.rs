@@ -96,7 +96,12 @@ impl PlanIterativeGraph {
                 }
             }
         }
-        PlanIterativeGraph { schema, graph, table_nodes, column_nodes }
+        PlanIterativeGraph {
+            schema,
+            graph,
+            table_nodes,
+            column_nodes,
+        }
     }
 
     /// Total number of vertices (tables + columns).
@@ -305,8 +310,9 @@ mod tests {
             query_graph(&b, &s).canonical_form(3)
         );
         // a different join type is a different isomorphic set
-        let c = parse_stmt("SELECT T3.goodsName FROM T1 LEFT OUTER JOIN T3 ON T1.goodsId = T3.goodsId")
-            .unwrap();
+        let c =
+            parse_stmt("SELECT T3.goodsName FROM T1 LEFT OUTER JOIN T3 ON T1.goodsId = T3.goodsId")
+                .unwrap();
         assert_ne!(
             query_graph(&a, &s).canonical_form(3),
             query_graph(&c, &s).canonical_form(3)
@@ -317,10 +323,9 @@ mod tests {
     fn subquery_marker_changes_structure() {
         let s = schema();
         let a = parse_stmt("SELECT T1.orderId FROM T1 WHERE T1.goodsId = 1").unwrap();
-        let b = parse_stmt(
-            "SELECT T1.orderId FROM T1 WHERE T1.goodsId IN (SELECT T3.goodsId FROM T3)",
-        )
-        .unwrap();
+        let b =
+            parse_stmt("SELECT T1.orderId FROM T1 WHERE T1.goodsId IN (SELECT T3.goodsId FROM T3)")
+                .unwrap();
         assert_ne!(
             query_graph_with_subqueries(&a, &s).canonical_form(3),
             query_graph_with_subqueries(&b, &s).canonical_form(3)

@@ -17,7 +17,10 @@ pub struct Bitmap {
 
 impl Bitmap {
     pub fn new(len: usize) -> Self {
-        Bitmap { words: vec![0u64; len.div_ceil(64)], len }
+        Bitmap {
+            words: vec![0u64; len.div_ceil(64)],
+            len,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -256,7 +259,11 @@ pub struct JoinBitmapIndex {
 impl JoinBitmapIndex {
     pub fn new(table_names: Vec<String>, n_rows: usize) -> Self {
         let bitmaps = table_names.iter().map(|_| Bitmap::new(n_rows)).collect();
-        JoinBitmapIndex { table_names, bitmaps, n_rows }
+        JoinBitmapIndex {
+            table_names,
+            bitmaps,
+            n_rows,
+        }
     }
 
     pub fn table_index(&self, table: &str) -> Option<usize> {

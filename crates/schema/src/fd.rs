@@ -19,7 +19,10 @@ pub struct Fd {
 
 impl Fd {
     pub fn new(lhs: Vec<&str>, rhs: &str) -> Self {
-        Fd { lhs: lhs.into_iter().map(String::from).collect(), rhs: rhs.into() }
+        Fd {
+            lhs: lhs.into_iter().map(String::from).collect(),
+            rhs: rhs.into(),
+        }
     }
 }
 
@@ -105,7 +108,12 @@ impl FdSet {
         // Pre-compute distinct counts per single column.
         let singles: HashMap<String, usize> = attributes
             .iter()
-            .map(|a| (a.clone(), group_count(&fps, std::slice::from_ref(a), n_rows)))
+            .map(|a| {
+                (
+                    a.clone(),
+                    group_count(&fps, std::slice::from_ref(a), n_rows),
+                )
+            })
             .collect();
 
         // Level 1: single-attribute LHS.
@@ -116,7 +124,10 @@ impl FdSet {
                 }
                 let combined = group_count(&fps, &[lhs.clone(), rhs.clone()], n_rows);
                 if combined == singles[lhs] {
-                    fds.push(Fd { lhs: vec![lhs.clone()], rhs: rhs.clone() });
+                    fds.push(Fd {
+                        lhs: vec![lhs.clone()],
+                        rhs: rhs.clone(),
+                    });
                 }
             }
         }
@@ -130,16 +141,19 @@ impl FdSet {
                     if lhs.contains(rhs) {
                         continue;
                     }
-                    let already = fds.iter().any(|fd| {
-                        fd.rhs == *rhs && fd.lhs.iter().all(|c| lhs.contains(c))
-                    });
+                    let already = fds
+                        .iter()
+                        .any(|fd| fd.rhs == *rhs && fd.lhs.iter().all(|c| lhs.contains(c)));
                     if already {
                         continue;
                     }
                     let mut with_rhs = lhs.clone();
                     with_rhs.push(rhs.clone());
                     if group_count(&fps, &with_rhs, n_rows) == lhs_groups {
-                        fds.push(Fd { lhs: lhs.clone(), rhs: rhs.clone() });
+                        fds.push(Fd {
+                            lhs: lhs.clone(),
+                            rhs: rhs.clone(),
+                        });
                     }
                 }
             }
@@ -204,7 +218,10 @@ impl FdSet {
             while fd.lhs.len() > 1 && i < fd.lhs.len() {
                 let mut trial = fd.lhs.clone();
                 trial.remove(i);
-                let tmp = FdSet { attributes: self.attributes.clone(), fds: self.fds.clone() };
+                let tmp = FdSet {
+                    attributes: self.attributes.clone(),
+                    fds: self.fds.clone(),
+                };
                 if tmp.closure(&trial).contains(&fd.rhs) {
                     fd.lhs.remove(i);
                 } else {
@@ -226,9 +243,7 @@ impl FdSet {
                 .filter(|first| first.lhs == fd.lhs && first.rhs != fd.rhs)
                 .filter(|first| {
                     all.iter().any(|second| {
-                        second.lhs.len() == 1
-                            && second.lhs[0] == first.rhs
-                            && second.rhs == fd.rhs
+                        second.lhs.len() == 1 && second.lhs[0] == first.rhs && second.rhs == fd.rhs
                     })
                 })
                 .count()
@@ -243,7 +258,10 @@ impl FdSet {
                 .filter(|(j, _)| *j != i && !removed[*j])
                 .map(|(_, f)| f.clone())
                 .collect();
-            let tmp = FdSet { attributes: self.attributes.clone(), fds: rest };
+            let tmp = FdSet {
+                attributes: self.attributes.clone(),
+                fds: rest,
+            };
             if tmp.closure(&fds[i].lhs).contains(&fds[i].rhs) {
                 removed[i] = true;
             }
@@ -254,7 +272,10 @@ impl FdSet {
             .filter(|(_, r)| !r)
             .map(|(f, _)| f)
             .collect();
-        FdSet { attributes: self.attributes.clone(), fds: keep }
+        FdSet {
+            attributes: self.attributes.clone(),
+            fds: keep,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -382,7 +403,10 @@ mod tests {
         };
         assert!(fds.implies(&["a".into()], "c"));
         assert_eq!(fds.candidate_key(), vec!["a".to_string()]);
-        assert_eq!(fds.determined_by("a"), vec!["b".to_string(), "c".to_string()]);
+        assert_eq!(
+            fds.determined_by("a"),
+            vec!["b".to_string(), "c".to_string()]
+        );
         assert_eq!(format!("{}", fds.fds[0]), "{a} -> b");
     }
 }

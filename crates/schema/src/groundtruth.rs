@@ -111,9 +111,7 @@ impl<'a> GroundTruthEvaluator<'a> {
             if let Some(on) = &j.on {
                 for c in on.column_refs() {
                     if let Some(t) = &c.table {
-                        let idx = bindings
-                            .iter()
-                            .position(|(b, _)| b.eq_ignore_ascii_case(t));
+                        let idx = bindings.iter().position(|(b, _)| b.eq_ignore_ascii_case(t));
                         match idx {
                             Some(k) if k == i + 1 || visible[k] => {}
                             _ => {
@@ -209,8 +207,15 @@ impl<'a> GroundTruthEvaluator<'a> {
             self.project(stmt, &scoped_rows, &visible_bindings, &sub)?
         };
 
-        let result = if stmt.distinct { distinct(result) } else { result };
-        Ok(GroundTruth { result, subset_mode })
+        let result = if stmt.distinct {
+            distinct(result)
+        } else {
+            result
+        };
+        Ok(GroundTruth {
+            result,
+            subset_mode,
+        })
     }
 
     fn scope_for(
@@ -260,7 +265,9 @@ impl<'a> GroundTruthEvaluator<'a> {
                     columns.push(alias.clone().unwrap_or_else(|| format!("{expr:?}")));
                 }
                 SelectItem::Aggregate { .. } => {
-                    return Err(GtError::Unsupported("aggregate outside GROUP BY path".into()))
+                    return Err(GtError::Unsupported(
+                        "aggregate outside GROUP BY path".into(),
+                    ))
                 }
             }
         }
@@ -272,9 +279,7 @@ impl<'a> GroundTruthEvaluator<'a> {
                 match item {
                     SelectItem::Wildcard => {
                         for (binding, _table) in visible_bindings {
-                            for (_b, _c, v) in
-                                scope.iter().filter(|(b, _, _)| b == binding)
-                            {
+                            for (_b, _c, v) in scope.iter().filter(|(b, _, _)| b == binding) {
                                 row.push(v.clone());
                             }
                         }
@@ -475,7 +480,10 @@ impl SubqueryHandler for GtSubqueries<'_> {
                 continue;
             }
             let inner = ScopedRow::new(&scope);
-            let resolver = ChainedResolver { inner: &inner, outer };
+            let resolver = ChainedResolver {
+                inner: &inner,
+                outer,
+            };
             if let Some(pred) = &stmt.where_clause {
                 if eval_predicate(pred, &resolver, self)? != Some(true) {
                     continue;
@@ -532,7 +540,10 @@ mod tests {
     use tqs_storage::widegen::{shopping_orders, ShoppingConfig};
 
     fn db() -> NormalizedDb {
-        let wide = shopping_orders(&ShoppingConfig { n_rows: 200, ..Default::default() });
+        let wide = shopping_orders(&ShoppingConfig {
+            n_rows: 200,
+            ..Default::default()
+        });
         let fds = FdSet::discover(&wide, &FdDiscoveryConfig::default());
         normalize(wide, &fds)
     }
@@ -642,7 +653,10 @@ mod tests {
         );
         let stmt = parse_stmt(&sql).unwrap();
         let gt = GroundTruthEvaluator::new(&d).evaluate(&stmt).unwrap();
-        let names = d.catalog.table(&d.table_with_pk("goodsName").unwrap().name).unwrap();
+        let names = d
+            .catalog
+            .table(&d.table_with_pk("goodsName").unwrap().name)
+            .unwrap();
         assert_eq!(gt.result.row_count(), names.row_count());
     }
 
@@ -670,13 +684,14 @@ mod tests {
     fn unsupported_shapes_are_rejected() {
         let d = db();
         assert!(matches!(
-            GroundTruthEvaluator::new(&d)
-                .evaluate(&parse_stmt("SELECT * FROM nosuch").unwrap()),
+            GroundTruthEvaluator::new(&d).evaluate(&parse_stmt("SELECT * FROM nosuch").unwrap()),
             Err(GtError::UnknownTable(_))
         ));
         assert!(matches!(
-            GroundTruthEvaluator::new(&d)
-                .evaluate(&parse_stmt("SELECT T1.orderId FROM T1 JOIN T1 ON T1.orderId = T1.orderId").unwrap()),
+            GroundTruthEvaluator::new(&d).evaluate(
+                &parse_stmt("SELECT T1.orderId FROM T1 JOIN T1 ON T1.orderId = T1.orderId")
+                    .unwrap()
+            ),
             Err(GtError::Unsupported(_))
         ));
         assert!(matches!(

@@ -34,13 +34,17 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_bitmap() -> impl Strategy<Value = Bitmap> {
-        (1usize..400, proptest::collection::vec(any::<bool>(), 0..400)).prop_map(|(len, bits)| {
-            let mut b = Bitmap::new(len);
-            for (i, v) in bits.into_iter().enumerate().take(len) {
-                b.set(i, v);
-            }
-            b
-        })
+        (
+            1usize..400,
+            proptest::collection::vec(any::<bool>(), 0..400),
+        )
+            .prop_map(|(len, bits)| {
+                let mut b = Bitmap::new(len);
+                for (i, v) in bits.into_iter().enumerate().take(len) {
+                    b.set(i, v);
+                }
+                b
+            })
     }
 
     proptest! {

@@ -60,7 +60,11 @@ pub struct NoiseConfig {
 
 impl Default for NoiseConfig {
     fn default() -> Self {
-        NoiseConfig { epsilon: 0.02, seed: 17, max_injections: 64 }
+        NoiseConfig {
+            epsilon: 0.02,
+            seed: 17,
+            max_injections: 64,
+        }
     }
 }
 
@@ -74,7 +78,11 @@ pub fn inject_noise(db: &mut NormalizedDb, cfg: &NoiseConfig) -> Vec<NoiseRecord
     let mut targets: Vec<(String, String, NoiseCase)> = Vec::new();
     for m in &db.metas {
         if m.implicit_pk.len() == 1 && !m.is_base {
-            targets.push((m.name.clone(), m.implicit_pk[0].clone(), NoiseCase::PrimaryKey));
+            targets.push((
+                m.name.clone(),
+                m.implicit_pk[0].clone(),
+                NoiseCase::PrimaryKey,
+            ));
         }
     }
     for (from, cols, _to, _) in db.catalog.foreign_key_edges() {
@@ -102,15 +110,17 @@ pub fn inject_noise(db: &mut NormalizedDb, cfg: &NoiseConfig) -> Vec<NoiseRecord
         let mut rows: Vec<usize> = (0..n_rows).collect();
         rows.shuffle(&mut rng);
         for &row in rows.iter().take(n_inject) {
-            let kind = if rng.gen_bool(0.5) { NoiseKind::Null } else { NoiseKind::Boundary };
+            let kind = if rng.gen_bool(0.5) {
+                NoiseKind::Null
+            } else {
+                NoiseKind::Boundary
+            };
             let value = match kind {
                 NoiseKind::Null => Value::Null,
-                NoiseKind::Boundary => {
-                    match unique_boundary(db, &table, &column, &mut salt) {
-                        Some(v) => v,
-                        None => Value::Null,
-                    }
-                }
+                NoiseKind::Boundary => match unique_boundary(db, &table, &column, &mut salt) {
+                    Some(v) => v,
+                    None => Value::Null,
+                },
             };
             if let Some(rec) = apply_noise(db, &table, &column, row as u32, case, kind, value) {
                 records.push(rec);
@@ -122,12 +132,7 @@ pub fn inject_noise(db: &mut NormalizedDb, cfg: &NoiseConfig) -> Vec<NoiseRecord
 
 /// Produce a boundary value for the column's type that appears nowhere in the
 /// wide table column nor in the schema table column.
-fn unique_boundary(
-    db: &NormalizedDb,
-    table: &str,
-    column: &str,
-    salt: &mut u64,
-) -> Option<Value> {
+fn unique_boundary(db: &NormalizedDb, table: &str, column: &str, salt: &mut u64) -> Option<Value> {
     let ty = db.wide.attr_type(column)?;
     let existing: HashSet<String> = collect_existing(db, table, column);
     // First try the canonical boundary value, then salted alternates.
@@ -191,7 +196,13 @@ pub fn apply_noise(
     // Snapshot the exemplar's relevant values BEFORE mutating anything.
     let mut snapshot: Vec<(String, Value)> = Vec::new();
     for c in &span {
-        snapshot.push((c.clone(), db.wide.cell(exemplar as u64, c).cloned().unwrap_or(Value::Null)));
+        snapshot.push((
+            c.clone(),
+            db.wide
+                .cell(exemplar as u64, c)
+                .cloned()
+                .unwrap_or(Value::Null),
+        ));
     }
     let exemplar_maps: Vec<(String, Option<u32>)> = dep_tables
         .iter()
@@ -201,7 +212,8 @@ pub fn apply_noise(
     // 1. Corrupt the schema table cell.
     {
         let t = db.catalog.table_mut(table)?;
-        t.set_cell(schema_row as usize, column, value.clone()).ok()?;
+        t.set_cell(schema_row as usize, column, value.clone())
+            .ok()?;
     }
 
     // 2. Decide whether the synchronization needs the insertion rule: only
@@ -209,16 +221,16 @@ pub fn apply_noise(
     //    wide-table witness.
     let needs_insert = match case {
         NoiseCase::PrimaryKey => true,
-        NoiseCase::ForeignKey => dep_tables.iter().all(|t| {
-            match db.rowid_map.get(exemplar, t) {
+        NoiseCase::ForeignKey => dep_tables
+            .iter()
+            .all(|t| match db.rowid_map.get(exemplar, t) {
                 Some(target) => db
                     .rowid_map
                     .reverse(t, target)
                     .iter()
                     .all(|r| affected.contains(r)),
                 None => true,
-            }
-        }),
+            }),
     };
 
     // 3. Update rule on the affected wide rows.
@@ -298,7 +310,8 @@ pub fn apply_noise(
         }
         // Primary-key case: the noised table may not be in dep_tables when it
         // holds extra columns; make sure the new row still witnesses it.
-        if case == NoiseCase::PrimaryKey && !dep_tables.iter().any(|t| t.eq_ignore_ascii_case(table))
+        if case == NoiseCase::PrimaryKey
+            && !dep_tables.iter().any(|t| t.eq_ignore_ascii_case(table))
         {
             db.rowid_map.set(new_row as usize, table, Some(schema_row));
             db.bitmap.set(table, new_row as usize, true);
@@ -325,7 +338,10 @@ mod tests {
     use tqs_storage::widegen::{shopping_orders, ShoppingConfig};
 
     fn db() -> NormalizedDb {
-        let wide = shopping_orders(&ShoppingConfig { n_rows: 120, ..Default::default() });
+        let wide = shopping_orders(&ShoppingConfig {
+            n_rows: 120,
+            ..Default::default()
+        });
         let fds = FdSet::discover(&wide, &FdDiscoveryConfig::default());
         normalize(wide, &fds)
     }
@@ -363,7 +379,10 @@ mod tests {
         // a new wide row was inserted carrying the noisy key + dependents
         let new_row = rec.inserted_wide_row.unwrap();
         assert_eq!(new_row as usize, before_rows);
-        assert_eq!(d.wide.cell(new_row, "userId"), Some(&Value::str("ZZZZZZZZ")));
+        assert_eq!(
+            d.wide.cell(new_row, "userId"),
+            Some(&Value::str("ZZZZZZZZ"))
+        );
         assert!(!d.wide.cell(new_row, "userName").unwrap().is_null());
         assert!(d.wide.cell(new_row, "goodsId").unwrap().is_null());
         // previously-mapped wide rows lost the dependent values and mapping
@@ -419,7 +438,14 @@ mod tests {
     #[test]
     fn inject_noise_respects_epsilon_and_uniqueness() {
         let mut d = db();
-        let recs = inject_noise(&mut d, &NoiseConfig { epsilon: 0.05, seed: 5, max_injections: 20 });
+        let recs = inject_noise(
+            &mut d,
+            &NoiseConfig {
+                epsilon: 0.05,
+                seed: 5,
+                max_injections: 20,
+            },
+        );
         assert!(!recs.is_empty());
         assert!(recs.len() <= 20);
         invariant_map_matches_bitmap(&d);

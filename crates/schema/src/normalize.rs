@@ -38,14 +38,16 @@ pub struct NormalizedDb {
 
 impl NormalizedDb {
     pub fn meta(&self, table: &str) -> Option<&SchemaTableMeta> {
-        self.metas.iter().find(|m| m.name.eq_ignore_ascii_case(table))
+        self.metas
+            .iter()
+            .find(|m| m.name.eq_ignore_ascii_case(table))
     }
 
     /// The schema table whose implicit primary key is exactly `[col]`.
     pub fn table_with_pk(&self, col: &str) -> Option<&SchemaTableMeta> {
-        self.metas.iter().find(|m| {
-            m.implicit_pk.len() == 1 && m.implicit_pk[0].eq_ignore_ascii_case(col)
-        })
+        self.metas
+            .iter()
+            .find(|m| m.implicit_pk.len() == 1 && m.implicit_pk[0].eq_ignore_ascii_case(col))
     }
 
     pub fn table_names(&self) -> Vec<String> {
@@ -170,16 +172,17 @@ pub fn normalize(wide: WideTable, fds: &FdSet) -> NormalizedDb {
             let values: Vec<Value> = m
                 .columns
                 .iter()
-                .map(|c| wide.cell(wide_row as u64, c).cloned().unwrap_or(Value::Null))
+                .map(|c| {
+                    wide.cell(wide_row as u64, c)
+                        .cloned()
+                        .unwrap_or(Value::Null)
+                })
                 .collect();
             // data cleaning: skip fragments whose implicit PK contains NULL
-            let pk_has_null = m
-                .implicit_pk
-                .iter()
-                .any(|k| {
-                    let idx = m.columns.iter().position(|c| c == k).unwrap();
-                    values[idx].is_null()
-                });
+            let pk_has_null = m.implicit_pk.iter().any(|k| {
+                let idx = m.columns.iter().position(|c| c == k).unwrap();
+                values[idx].is_null()
+            });
             if pk_has_null {
                 continue;
             }
@@ -237,7 +240,14 @@ pub fn normalize(wide: WideTable, fds: &FdSet) -> NormalizedDb {
         }
     }
 
-    NormalizedDb { wide, fds: fds.clone(), metas, catalog, rowid_map, bitmap }
+    NormalizedDb {
+        wide,
+        fds: fds.clone(),
+        metas,
+        catalog,
+        rowid_map,
+        bitmap,
+    }
 }
 
 fn order_columns(cols: &[String], pk: &[String]) -> Vec<String> {
@@ -332,10 +342,7 @@ mod tests {
                 db.meta(f).map(|m| m.is_base).unwrap_or(false) == (from == "base")
                     && c == &vec![col.to_string()]
                     && db.table_with_pk(col).map(|m| &m.name) == Some(t)
-                    || (from != "base"
-                        && f == from
-                        && c == &vec![col.to_string()]
-                        && t == to)
+                    || (from != "base" && f == from && c == &vec![col.to_string()] && t == to)
             })
         };
         // base table references the goodsId and userId dimensions
@@ -383,7 +390,10 @@ mod tests {
 
     #[test]
     fn tpch_like_normalizes_into_multiple_dimensions() {
-        let wide = tpch_like(&TpchLikeConfig { n_rows: 200, ..Default::default() });
+        let wide = tpch_like(&TpchLikeConfig {
+            n_rows: 200,
+            ..Default::default()
+        });
         let fds = FdSet::discover(&wide, &FdDiscoveryConfig::default());
         let db = normalize(wide, &fds);
         assert!(db.metas.len() >= 4);

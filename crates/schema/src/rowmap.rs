@@ -16,7 +16,10 @@ pub struct RowIdMap {
 
 impl RowIdMap {
     pub fn new(table_names: Vec<String>) -> Self {
-        RowIdMap { table_names, map: Vec::new() }
+        RowIdMap {
+            table_names,
+            map: Vec::new(),
+        }
     }
 
     pub fn n_tables(&self) -> usize {

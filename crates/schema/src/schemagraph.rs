@@ -59,7 +59,11 @@ impl SchemaGraph {
                 });
             }
         }
-        SchemaGraph { tables, join_edges, columns }
+        SchemaGraph {
+            tables,
+            join_edges,
+            columns,
+        }
     }
 
     /// Tables adjacent to `table` via a join edge, with the join column.
@@ -125,7 +129,10 @@ mod tests {
     use tqs_storage::widegen::{shopping_orders, ShoppingConfig};
 
     fn graph() -> (NormalizedDb, SchemaGraph) {
-        let wide = shopping_orders(&ShoppingConfig { n_rows: 150, ..Default::default() });
+        let wide = shopping_orders(&ShoppingConfig {
+            n_rows: 150,
+            ..Default::default()
+        });
         let fds = FdSet::discover(&wide, &FdDiscoveryConfig::default());
         let db = normalize(wide, &fds);
         let g = SchemaGraph::build(&db);

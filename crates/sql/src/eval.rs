@@ -135,7 +135,12 @@ pub fn eval_expr(
             let b = v.is_null() != *negated;
             Ok(Value::Bool(b))
         }
-        Expr::Between { expr, low, high, negated } => {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             let v = eval_expr(expr, row, sub)?;
             let lo = eval_expr(low, row, sub)?;
             let hi = eval_expr(high, row, sub)?;
@@ -144,14 +149,21 @@ pub fn eval_expr(
             let both = tv_and(ge, le);
             Ok(tv_to_value(if *negated { tv_not(both) } else { both }))
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = eval_expr(expr, row, sub)?;
-            let vals: Result<Vec<Value>, _> =
-                list.iter().map(|e| eval_expr(e, row, sub)).collect();
+            let vals: Result<Vec<Value>, _> = list.iter().map(|e| eval_expr(e, row, sub)).collect();
             let tv = in_membership(&v, &vals?);
             Ok(tv_to_value(if *negated { tv_not(tv) } else { tv }))
         }
-        Expr::InSubquery { expr, subquery, negated } => {
+        Expr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } => {
             let v = eval_expr(expr, row, sub)?;
             let vals = sub.eval_subquery(subquery, row)?;
             let tv = in_membership(&v, &vals);
@@ -265,7 +277,11 @@ pub fn tv_to_value(tv: Option<bool>) -> Value {
 /// else FALSE.
 pub fn in_membership(probe: &Value, members: &[Value]) -> Option<bool> {
     if probe.is_null() {
-        return if members.is_empty() { Some(false) } else { None };
+        return if members.is_empty() {
+            Some(false)
+        } else {
+            None
+        };
     }
     let mut saw_null = false;
     for m in members {
@@ -326,7 +342,12 @@ mod tests {
         let scope = ScopedRow::new(&r);
         let v = eval_expr(&Expr::col("t1", "a"), &scope, &NoSubqueries).unwrap();
         assert_eq!(v.as_i128_exact(), Some(3));
-        let v = eval_expr(&Expr::Column(ColumnRef::bare("name")), &scope, &NoSubqueries).unwrap();
+        let v = eval_expr(
+            &Expr::Column(ColumnRef::bare("name")),
+            &scope,
+            &NoSubqueries,
+        )
+        .unwrap();
         assert_eq!(v.as_str(), Some("Tom"));
         assert!(eval_expr(&Expr::col("t9", "a"), &scope, &NoSubqueries).is_err());
     }
@@ -339,8 +360,14 @@ mod tests {
         let e = Expr::eq(Expr::col("t1", "b"), Expr::lit(Value::Int(1)));
         assert_eq!(eval_predicate(&e, &scope, &NoSubqueries).unwrap(), None);
         // (b = 1) OR (a = 3) → TRUE despite the NULL
-        let e2 = Expr::or(e.clone(), Expr::eq(Expr::col("t1", "a"), Expr::lit(Value::Int(3))));
-        assert_eq!(eval_predicate(&e2, &scope, &NoSubqueries).unwrap(), Some(true));
+        let e2 = Expr::or(
+            e.clone(),
+            Expr::eq(Expr::col("t1", "a"), Expr::lit(Value::Int(3))),
+        );
+        assert_eq!(
+            eval_predicate(&e2, &scope, &NoSubqueries).unwrap(),
+            Some(true)
+        );
         // (b = 1) AND (a = 3) → NULL
         let e3 = Expr::and(e, Expr::eq(Expr::col("t1", "a"), Expr::lit(Value::Int(3))));
         assert_eq!(eval_predicate(&e3, &scope, &NoSubqueries).unwrap(), None);
@@ -383,10 +410,16 @@ mod tests {
         let scope = ScopedRow::new(&r);
         let e = Expr::binary(BinOp::Add, Expr::col("t1", "a"), Expr::lit(Value::Int(4)));
         assert_eq!(
-            eval_expr(&e, &scope, &NoSubqueries).unwrap().as_i128_exact(),
+            eval_expr(&e, &scope, &NoSubqueries)
+                .unwrap()
+                .as_i128_exact(),
             Some(7)
         );
-        let div0 = Expr::binary(BinOp::Div, Expr::lit(Value::Int(1)), Expr::lit(Value::Int(0)));
+        let div0 = Expr::binary(
+            BinOp::Div,
+            Expr::lit(Value::Int(1)),
+            Expr::lit(Value::Int(0)),
+        );
         assert!(eval_expr(&div0, &scope, &NoSubqueries).unwrap().is_null());
     }
 
@@ -394,10 +427,20 @@ mod tests {
     fn null_safe_eq_and_is_null() {
         let r = row();
         let scope = ScopedRow::new(&r);
-        let e = Expr::binary(BinOp::NullSafeEq, Expr::col("t1", "b"), Expr::lit(Value::Null));
-        assert_eq!(eval_predicate(&e, &scope, &NoSubqueries).unwrap(), Some(true));
+        let e = Expr::binary(
+            BinOp::NullSafeEq,
+            Expr::col("t1", "b"),
+            Expr::lit(Value::Null),
+        );
+        assert_eq!(
+            eval_predicate(&e, &scope, &NoSubqueries).unwrap(),
+            Some(true)
+        );
         let e = Expr::is_null(Expr::col("t1", "b"));
-        assert_eq!(eval_predicate(&e, &scope, &NoSubqueries).unwrap(), Some(true));
+        assert_eq!(
+            eval_predicate(&e, &scope, &NoSubqueries).unwrap(),
+            Some(true)
+        );
     }
 
     #[test]
@@ -410,13 +453,18 @@ mod tests {
             high: Box::new(Expr::lit(Value::Int(5))),
             negated: false,
         };
-        assert_eq!(eval_predicate(&e, &scope, &NoSubqueries).unwrap(), Some(true));
+        assert_eq!(
+            eval_predicate(&e, &scope, &NoSubqueries).unwrap(),
+            Some(true)
+        );
         let c = Expr::Cast {
             expr: Box::new(Expr::lit(Value::str("12abc"))),
             ty: crate::types::ColumnType::Int { unsigned: false },
         };
         assert_eq!(
-            eval_expr(&c, &scope, &NoSubqueries).unwrap().as_i128_exact(),
+            eval_expr(&c, &scope, &NoSubqueries)
+                .unwrap()
+                .as_i128_exact(),
             Some(12)
         );
     }
@@ -427,6 +475,9 @@ mod tests {
         let r = vec![("t".into(), "v".into(), Value::str("1985"))];
         let scope = ScopedRow::new(&r);
         let e = Expr::eq(Expr::col("t", "v"), Expr::lit(Value::Int(1985)));
-        assert_eq!(eval_predicate(&e, &scope, &NoSubqueries).unwrap(), Some(true));
+        assert_eq!(
+            eval_predicate(&e, &scope, &NoSubqueries).unwrap(),
+            Some(true)
+        );
     }
 }

@@ -176,7 +176,11 @@ pub struct HintSet {
 
 impl HintSet {
     pub fn new(label: impl Into<String>) -> Self {
-        HintSet { label: label.into(), switches: Vec::new(), hints: Vec::new() }
+        HintSet {
+            label: label.into(),
+            switches: Vec::new(),
+            hints: Vec::new(),
+        }
     }
     pub fn with_hint(mut self, h: Hint) -> Self {
         self.hints.push(h);

@@ -101,11 +101,9 @@ impl<'a> Lexer<'a> {
                 let mut end = self.pos + 1;
                 while end < b.len() {
                     let ch = b[end] as char;
-                    if ch.is_ascii_digit() || ch == '.' || ch == 'e' || ch == 'E' {
-                        end += 1;
-                    } else if (ch == '-' || ch == '+')
-                        && matches!(b[end - 1] as char, 'e' | 'E')
-                    {
+                    let exponent_sign =
+                        (ch == '-' || ch == '+') && matches!(b[end - 1] as char, 'e' | 'E');
+                    if ch.is_ascii_digit() || ch == '.' || ch == 'e' || ch == 'E' || exponent_sign {
                         end += 1;
                     } else {
                         break;
@@ -213,7 +211,10 @@ impl Parser {
         t
     }
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { message: msg.into(), offset: self.offset() })
+        Err(ParseError {
+            message: msg.into(),
+            offset: self.offset(),
+        })
     }
     fn expect_eof(&self) -> Result<(), ParseError> {
         if matches!(self.peek(), Tok::Eof) {
@@ -271,8 +272,10 @@ impl Parser {
         let mut hints = Vec::new();
         if let Tok::HintComment(h) = self.peek().clone() {
             self.bump();
-            hints = parse_hints(&h)
-                .map_err(|m| ParseError { message: m, offset: self.offset() })?;
+            hints = parse_hints(&h).map_err(|m| ParseError {
+                message: m,
+                offset: self.offset(),
+            })?;
         }
         let distinct = self.eat_keyword("DISTINCT");
         // `SELECT ALL` is a no-op modifier used in one of the paper's listings.
@@ -292,7 +295,11 @@ impl Parser {
             } else {
                 None
             };
-            joins.push(Join { join_type: jt, table, on });
+            joins.push(Join {
+                join_type: jt,
+                table,
+                on,
+            });
         }
         let where_clause = if self.eat_keyword("WHERE") {
             Some(self.parse_or()?)
@@ -373,11 +380,8 @@ impl Parser {
     fn consume_join_type(&mut self, jt: JoinType) -> Result<(), ParseError> {
         match jt {
             JoinType::Inner => {
-                if self.eat_keyword("INNER") {
-                    self.expect_keyword("JOIN")
-                } else {
-                    self.expect_keyword("JOIN")
-                }
+                let _ = self.eat_keyword("INNER");
+                self.expect_keyword("JOIN")
             }
             JoinType::LeftOuter | JoinType::RightOuter | JoinType::FullOuter => {
                 self.bump(); // LEFT/RIGHT/FULL
@@ -393,15 +397,12 @@ impl Parser {
 
     fn parse_table_ref(&mut self) -> Result<TableRef, ParseError> {
         let table = self.ident()?;
-        let alias = if self.eat_keyword("AS") {
-            Some(self.ident()?)
-        } else if matches!(self.peek(), Tok::Ident(s)
-            if !is_reserved(s))
-        {
-            Some(self.ident()?)
-        } else {
-            None
-        };
+        let alias =
+            if self.eat_keyword("AS") || matches!(self.peek(), Tok::Ident(s) if !is_reserved(s)) {
+                Some(self.ident()?)
+            } else {
+                None
+            };
         Ok(TableRef { table, alias })
     }
 
@@ -432,13 +433,21 @@ impl Parser {
                         (func, Some(self.parse_or()?))
                     };
                     self.expect_symbol(")")?;
-                    let alias = if self.eat_keyword("AS") { Some(self.ident()?) } else { None };
+                    let alias = if self.eat_keyword("AS") {
+                        Some(self.ident()?)
+                    } else {
+                        None
+                    };
                     return Ok(SelectItem::Aggregate { func, arg, alias });
                 }
             }
         }
         let expr = self.parse_or()?;
-        let alias = if self.eat_keyword("AS") { Some(self.ident()?) } else { None };
+        let alias = if self.eat_keyword("AS") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
         Ok(SelectItem::Expr { expr, alias })
     }
 
@@ -483,7 +492,10 @@ impl Parser {
         if self.eat_keyword("IS") {
             let negated = self.eat_keyword("NOT");
             self.expect_keyword("NULL")?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         // [NOT] IN / BETWEEN
         let negated = self.eat_keyword("NOT");
@@ -503,7 +515,11 @@ impl Parser {
                 list.push(self.parse_or()?);
             }
             self.expect_symbol(")")?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         if self.eat_keyword("BETWEEN") {
             let low = self.parse_additive()?;
@@ -579,7 +595,10 @@ impl Parser {
         if self.at_symbol("-") {
             self.bump();
             let e = self.parse_unary()?;
-            return Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(e) });
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(e),
+            });
         }
         self.parse_primary()
     }
@@ -637,7 +656,10 @@ impl Parser {
                             self.expect_symbol("(")?;
                             let sub = self.parse_select()?;
                             self.expect_symbol(")")?;
-                            Ok(Expr::Exists { subquery: Box::new(sub), negated: true })
+                            Ok(Expr::Exists {
+                                subquery: Box::new(sub),
+                                negated: true,
+                            })
                         } else {
                             let e = self.parse_not()?;
                             Ok(Expr::not(e))
@@ -648,7 +670,10 @@ impl Parser {
                         self.expect_symbol("(")?;
                         let sub = self.parse_select()?;
                         self.expect_symbol(")")?;
-                        Ok(Expr::Exists { subquery: Box::new(sub), negated: false })
+                        Ok(Expr::Exists {
+                            subquery: Box::new(sub),
+                            negated: false,
+                        })
                     }
                     "CAST" => {
                         self.bump();
@@ -657,7 +682,10 @@ impl Parser {
                         self.expect_keyword("AS")?;
                         let ty = self.parse_type()?;
                         self.expect_symbol(")")?;
-                        Ok(Expr::Cast { expr: Box::new(e), ty })
+                        Ok(Expr::Cast {
+                            expr: Box::new(e),
+                            ty,
+                        })
                     }
                     _ => {
                         self.bump();

@@ -59,7 +59,11 @@ fn render_stmt_into(stmt: &SelectStmt, out: &mut String) {
             .order_by
             .iter()
             .map(|ob| {
-                format!("{}{}", render_expr(&ob.expr), if ob.asc { "" } else { " DESC" })
+                format!(
+                    "{}{}",
+                    render_expr(&ob.expr),
+                    if ob.asc { "" } else { " DESC" }
+                )
             })
             .collect();
         out.push_str(&o.join(", "));
@@ -107,7 +111,13 @@ fn prec(op: BinOp) -> u8 {
     match op {
         BinOp::Or => 1,
         BinOp::And => 2,
-        BinOp::Eq | BinOp::NullSafeEq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+        BinOp::Eq
+        | BinOp::NullSafeEq
+        | BinOp::Ne
+        | BinOp::Lt
+        | BinOp::Le
+        | BinOp::Gt
+        | BinOp::Ge => 3,
         BinOp::Add | BinOp::Sub => 4,
         BinOp::Mul | BinOp::Div => 5,
     }
@@ -146,7 +156,12 @@ fn render_expr_prec(e: &Expr, parent: u8) -> String {
             ),
             parent,
         ),
-        Expr::Between { expr, low, high, negated } => wrap_if_nested(
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => wrap_if_nested(
             format!(
                 "{}{} BETWEEN {} AND {}",
                 render_expr_prec(expr, 6),
@@ -156,7 +171,11 @@ fn render_expr_prec(e: &Expr, parent: u8) -> String {
             ),
             parent,
         ),
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let items: Vec<String> = list.iter().map(|e| render_expr_prec(e, 0)).collect();
             wrap_if_nested(
                 format!(
@@ -168,7 +187,11 @@ fn render_expr_prec(e: &Expr, parent: u8) -> String {
                 parent,
             )
         }
-        Expr::InSubquery { expr, subquery, negated } => wrap_if_nested(
+        Expr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } => wrap_if_nested(
             format!(
                 "{}{} IN ({})",
                 render_expr_prec(expr, 6),
@@ -281,7 +304,10 @@ mod tests {
             alias: Some("cnt".into()),
         }];
         q.group_by = vec![Expr::col("T4", "price")];
-        q.order_by = vec![OrderBy { expr: Expr::col("T4", "price"), asc: false }];
+        q.order_by = vec![OrderBy {
+            expr: Expr::col("T4", "price"),
+            asc: false,
+        }];
         q.limit = Some(10);
         let sql = render_stmt(&q);
         assert!(sql.contains("COUNT(*) AS cnt"));

@@ -10,14 +10,28 @@ use std::fmt;
 /// SQL column types supported by the wide-table generator and the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ColumnType {
-    TinyInt { unsigned: bool },
-    SmallInt { unsigned: bool },
-    MediumInt { unsigned: bool },
-    Int { unsigned: bool },
-    BigInt { unsigned: bool },
+    TinyInt {
+        unsigned: bool,
+    },
+    SmallInt {
+        unsigned: bool,
+    },
+    MediumInt {
+        unsigned: bool,
+    },
+    Int {
+        unsigned: bool,
+    },
+    BigInt {
+        unsigned: bool,
+    },
     /// `DECIMAL(precision, scale)`, optionally ZEROFILL (which implies
     /// unsigned display semantics in MySQL).
-    Decimal { precision: u8, scale: u8, zerofill: bool },
+    Decimal {
+        precision: u8,
+        scale: u8,
+        zerofill: bool,
+    },
     Float,
     Double,
     /// `VARCHAR(n)`
@@ -155,7 +169,11 @@ impl fmt::Display for ColumnType {
             ColumnType::MediumInt { unsigned } => write!(f, "mediumint(9){}", u(*unsigned)),
             ColumnType::Int { unsigned } => write!(f, "int(16){}", u(*unsigned)),
             ColumnType::BigInt { unsigned } => write!(f, "bigint(64){}", u(*unsigned)),
-            ColumnType::Decimal { precision, scale, zerofill } => {
+            ColumnType::Decimal {
+                precision,
+                scale,
+                zerofill,
+            } => {
                 write!(f, "decimal({precision},{scale})")?;
                 if *zerofill {
                     write!(f, " zerofill")?;
@@ -183,7 +201,11 @@ pub struct ColumnDef {
 
 impl ColumnDef {
     pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
-        ColumnDef { name: name.into(), ty, nullable: true }
+        ColumnDef {
+            name: name.into(),
+            ty,
+            nullable: true,
+        }
     }
 
     pub fn not_null(mut self) -> Self {
@@ -198,10 +220,18 @@ mod tests {
 
     #[test]
     fn type_names_match_mysql_style() {
-        assert_eq!(ColumnType::BigInt { unsigned: false }.to_string(), "bigint(64)");
+        assert_eq!(
+            ColumnType::BigInt { unsigned: false }.to_string(),
+            "bigint(64)"
+        );
         assert_eq!(ColumnType::Varchar(511).to_string(), "varchar(511)");
         assert_eq!(
-            ColumnType::Decimal { precision: 10, scale: 0, zerofill: true }.to_string(),
+            ColumnType::Decimal {
+                precision: 10,
+                scale: 0,
+                zerofill: true
+            }
+            .to_string(),
             "decimal(10,0) zerofill"
         );
         assert_eq!(
@@ -252,7 +282,10 @@ mod tests {
     fn graph_labels_cover_paper_examples() {
         // Figure 6 uses labels: int, bigint, char, blob.
         assert_eq!(ColumnType::Int { unsigned: false }.graph_label(), "int");
-        assert_eq!(ColumnType::BigInt { unsigned: true }.graph_label(), "bigint");
+        assert_eq!(
+            ColumnType::BigInt { unsigned: true }.graph_label(),
+            "bigint"
+        );
         assert_eq!(ColumnType::Char(10).graph_label(), "char");
         assert_eq!(ColumnType::Text.graph_label(), "blob");
     }

@@ -29,7 +29,10 @@ impl Decimal {
 
     /// Build from an integer (scale 0).
     pub fn from_int(v: i64) -> Self {
-        Decimal { mantissa: v as i128, scale: 0 }
+        Decimal {
+            mantissa: v as i128,
+            scale: 0,
+        }
     }
 
     /// Lossy conversion to double, used by coercion paths.
@@ -330,9 +333,7 @@ pub fn hash_key(v: &Value) -> HashKey {
         }
         Value::Float(f) => float_key(*f as f64),
         Value::Double(f) => float_key(*f),
-        Value::Varchar(s) | Value::Text(s) => {
-            HashKey::Str(s.trim_end_matches(' ').to_lowercase())
-        }
+        Value::Varchar(s) | Value::Text(s) => HashKey::Str(s.trim_end_matches(' ').to_lowercase()),
     }
 }
 
@@ -406,7 +407,10 @@ mod tests {
             sql_compare(&Value::Double(0.0), &Value::Double(-0.0)).is_eq(),
             Some(true)
         );
-        assert_eq!(hash_key(&Value::Double(0.0)), hash_key(&Value::Double(-0.0)));
+        assert_eq!(
+            hash_key(&Value::Double(0.0)),
+            hash_key(&Value::Double(-0.0))
+        );
         assert_eq!(hash_key(&Value::Int(0)), hash_key(&Value::Double(-0.0)));
     }
 

@@ -37,7 +37,9 @@ impl Row {
 
     /// A row of `n` NULLs (the padding side of outer joins).
     pub fn nulls(n: usize) -> Row {
-        Row { values: vec![Value::Null; n] }
+        Row {
+            values: vec![Value::Null; n],
+        }
     }
 }
 
@@ -60,7 +62,10 @@ pub struct ResultSet {
 
 impl ResultSet {
     pub fn new(columns: Vec<String>) -> Self {
-        ResultSet { columns, rows: Vec::new() }
+        ResultSet {
+            columns,
+            rows: Vec::new(),
+        }
     }
 
     pub fn row_count(&self) -> usize {
@@ -184,7 +189,10 @@ mod tests {
     use super::*;
 
     fn rs(rows: Vec<Vec<Value>>) -> ResultSet {
-        ResultSet { columns: vec!["c0".into()], rows: rows.into_iter().map(Row::new).collect() }
+        ResultSet {
+            columns: vec!["c0".into()],
+            rows: rows.into_iter().map(Row::new).collect(),
+        }
     }
 
     #[test]
@@ -198,8 +206,16 @@ mod tests {
 
     #[test]
     fn bag_equality_ignores_order() {
-        let a = rs(vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(2)]]);
-        let b = rs(vec![vec![Value::Int(2)], vec![Value::Int(1)], vec![Value::Int(2)]]);
+        let a = rs(vec![
+            vec![Value::Int(1)],
+            vec![Value::Int(2)],
+            vec![Value::Int(2)],
+        ]);
+        let b = rs(vec![
+            vec![Value::Int(2)],
+            vec![Value::Int(1)],
+            vec![Value::Int(2)],
+        ]);
         assert!(a.same_bag(&b));
         let c = rs(vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
         assert!(!a.same_bag(&c));

@@ -121,10 +121,11 @@ impl Table {
             .first()
             .map(|c| c.eq_ignore_ascii_case(col))
             .unwrap_or(false)
-            || self
-                .keys
-                .iter()
-                .any(|k| k.first().map(|c| c.eq_ignore_ascii_case(col)).unwrap_or(false))
+            || self.keys.iter().any(|k| {
+                k.first()
+                    .map(|c| c.eq_ignore_ascii_case(col))
+                    .unwrap_or(false)
+            })
     }
 
     /// Render a MySQL-style `CREATE TABLE`, as shown in the paper's listings.
@@ -204,7 +205,9 @@ impl Catalog {
     }
 
     pub fn iter(&self) -> impl Iterator<Item = &Table> {
-        self.order.iter().filter_map(|n| self.tables.get(&n.to_lowercase()))
+        self.order
+            .iter()
+            .filter_map(|n| self.tables.get(&n.to_lowercase()))
     }
 
     /// All declared foreign-key relationships as
@@ -246,10 +249,18 @@ mod tests {
         )
         .with_primary_key(vec!["RowID"]);
         t.keys.push(vec!["goodsId".into()]);
-        t.push_row(Row::new(vec![Value::Int(0), Value::Int(1111), Value::str("book")]))
-            .unwrap();
-        t.push_row(Row::new(vec![Value::Int(1), Value::Int(1112), Value::str("food")]))
-            .unwrap();
+        t.push_row(Row::new(vec![
+            Value::Int(0),
+            Value::Int(1111),
+            Value::str("book"),
+        ]))
+        .unwrap();
+        t.push_row(Row::new(vec![
+            Value::Int(1),
+            Value::Int(1112),
+            Value::str("food"),
+        ]))
+        .unwrap();
         t
     }
 
@@ -257,7 +268,10 @@ mod tests {
     fn column_lookup_is_case_insensitive() {
         let t = goods_table();
         assert_eq!(t.column_index("GOODSNAME"), Some(2));
-        assert_eq!(t.column_type("goodsid"), Some(ColumnType::Int { unsigned: false }));
+        assert_eq!(
+            t.column_type("goodsid"),
+            Some(ColumnType::Int { unsigned: false })
+        );
         assert!(t.column_index("missing").is_none());
     }
 
@@ -266,7 +280,11 @@ mod tests {
         let mut t = goods_table();
         assert!(t.push_row(Row::new(vec![Value::Int(9)])).is_err());
         assert!(t
-            .push_row(Row::new(vec![Value::Int(2), Value::str("oops"), Value::str("x")]))
+            .push_row(Row::new(vec![
+                Value::Int(2),
+                Value::str("oops"),
+                Value::str("x")
+            ]))
             .is_err());
         assert!(t
             .push_row(Row::new(vec![Value::Int(2), Value::Null, Value::Null]))

@@ -24,8 +24,8 @@ impl WideTable {
     /// Create an empty wide table with the given attribute columns
     /// (a `RowID` column is prepended automatically).
     pub fn new(name: impl Into<String>, attrs: Vec<ColumnDef>) -> Self {
-        let mut columns = vec![ColumnDef::new(ROW_ID, ColumnType::BigInt { unsigned: false })
-            .not_null()];
+        let mut columns =
+            vec![ColumnDef::new(ROW_ID, ColumnType::BigInt { unsigned: false }).not_null()];
         columns.extend(attrs);
         let table = Table::new(name, columns).with_primary_key(vec![ROW_ID]);
         WideTable { table }
@@ -97,8 +97,10 @@ mod tests {
                 ColumnDef::new("price", ColumnType::Int { unsigned: false }),
             ],
         );
-        w.append(vec![Value::str("0001"), Value::Int(1111), Value::Int(15)]).unwrap();
-        w.append(vec![Value::str("0001"), Value::Int(1112), Value::Int(5)]).unwrap();
+        w.append(vec![Value::str("0001"), Value::Int(1111), Value::Int(15)])
+            .unwrap();
+        w.append(vec![Value::str("0001"), Value::Int(1112), Value::Int(5)])
+            .unwrap();
         w
     }
 

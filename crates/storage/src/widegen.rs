@@ -27,15 +27,20 @@ pub struct ShoppingConfig {
 
 impl Default for ShoppingConfig {
     fn default() -> Self {
-        ShoppingConfig { n_rows: 400, n_goods: 24, n_users: 16, n_orders: 120, seed: 7 }
+        ShoppingConfig {
+            n_rows: 400,
+            n_goods: 24,
+            n_users: 16,
+            n_orders: 120,
+            seed: 7,
+        }
     }
 }
 
 /// Goods names reused so that `goodsName → price` has interesting duplicate
 /// structure (several goods share a name and hence a price).
 const GOODS_NAMES: &[&str] = &[
-    "book", "food", "flower", "phone", "chair", "lamp", "cup", "pen", "desk", "shoe", "hat",
-    "ball",
+    "book", "food", "flower", "phone", "chair", "lamp", "cup", "pen", "desk", "shoe", "hat", "ball",
 ];
 
 /// Generate the shopping-order wide table.
@@ -49,7 +54,14 @@ pub fn shopping_orders(cfg: &ShoppingConfig) -> WideTable {
             ColumnDef::new("goodsName", ColumnType::Varchar(100)),
             ColumnDef::new("userId", ColumnType::Varchar(20)),
             ColumnDef::new("userName", ColumnType::Varchar(100)),
-            ColumnDef::new("price", ColumnType::Decimal { precision: 10, scale: 2, zerofill: false }),
+            ColumnDef::new(
+                "price",
+                ColumnType::Decimal {
+                    precision: 10,
+                    scale: 2,
+                    zerofill: false,
+                },
+            ),
             ColumnDef::new("quantity", ColumnType::Int { unsigned: false }),
             ColumnDef::new("orderDate", ColumnType::Date),
         ],
@@ -66,7 +78,9 @@ pub fn shopping_orders(cfg: &ShoppingConfig) -> WideTable {
         let idx = GOODS_NAMES.iter().position(|n| *n == name).unwrap_or(0) as i128;
         Decimal::new(((idx % 5) + 1) * 500, 2) // 5.00 … 25.00, reused
     };
-    let user_names = ["Tom", "Peter", "Bob", "Alice", "Carol", "Dave", "Erin", "Frank"];
+    let user_names = [
+        "Tom", "Peter", "Bob", "Alice", "Carol", "Dave", "Erin", "Frank",
+    ];
     for _ in 0..cfg.n_rows {
         let good = rng.gen_range(0..cfg.n_goods);
         let user = rng.gen_range(0..cfg.n_users);
@@ -126,7 +140,14 @@ pub fn tpch_like(cfg: &TpchLikeConfig) -> WideTable {
             ColumnDef::new("orderkey", ColumnType::BigInt { unsigned: false }),
             ColumnDef::new("partkey", ColumnType::Int { unsigned: false }),
             ColumnDef::new("partname", ColumnType::Varchar(55)),
-            ColumnDef::new("retailprice", ColumnType::Decimal { precision: 12, scale: 2, zerofill: false }),
+            ColumnDef::new(
+                "retailprice",
+                ColumnType::Decimal {
+                    precision: 12,
+                    scale: 2,
+                    zerofill: false,
+                },
+            ),
             ColumnDef::new("suppkey", ColumnType::Int { unsigned: false }),
             ColumnDef::new("suppname", ColumnType::Varchar(25)),
             ColumnDef::new("custkey", ColumnType::Int { unsigned: false }),
@@ -137,7 +158,9 @@ pub fn tpch_like(cfg: &TpchLikeConfig) -> WideTable {
             ColumnDef::new("shipdate", ColumnType::Date),
         ],
     );
-    let nations = ["ALGERIA", "BRAZIL", "CANADA", "DENMARK", "EGYPT", "FRANCE", "GERMANY"];
+    let nations = [
+        "ALGERIA", "BRAZIL", "CANADA", "DENMARK", "EGYPT", "FRANCE", "GERMANY",
+    ];
     for i in 0..cfg.n_rows {
         let part = rng.gen_range(0..cfg.n_parts) as i64;
         let supp = rng.gen_range(0..cfg.n_suppliers) as i64;
@@ -183,7 +206,12 @@ pub struct RandomFdConfig {
 
 impl Default for RandomFdConfig {
     fn default() -> Self {
-        RandomFdConfig { n_groups: 3, n_rows: 300, cardinality: 20, seed: 3 }
+        RandomFdConfig {
+            n_groups: 3,
+            n_rows: 300,
+            cardinality: 20,
+            seed: 3,
+        }
     }
 }
 
@@ -200,7 +228,11 @@ pub fn random_fd_table(cfg: &RandomFdConfig) -> WideTable {
         cols.push(ColumnDef::new(format!("a{g}"), ColumnType::Varchar(30)));
         cols.push(ColumnDef::new(
             format!("b{g}"),
-            if g % 2 == 0 { ColumnType::Double } else { ColumnType::Int { unsigned: false } },
+            if g % 2 == 0 {
+                ColumnType::Double
+            } else {
+                ColumnType::Int { unsigned: false }
+            },
         ));
     }
     let mut w = WideTable::new("wide_random", cols);
@@ -268,7 +300,10 @@ mod tests {
         let a = shopping_orders(&ShoppingConfig::default());
         let b = shopping_orders(&ShoppingConfig::default());
         assert_eq!(a.table.rows, b.table.rows);
-        let c = shopping_orders(&ShoppingConfig { seed: 99, ..Default::default() });
+        let c = shopping_orders(&ShoppingConfig {
+            seed: 99,
+            ..Default::default()
+        });
         assert_ne!(a.table.rows, c.table.rows);
     }
 
@@ -285,11 +320,20 @@ mod tests {
 
     #[test]
     fn random_fd_table_chains_hold() {
-        let cfg = RandomFdConfig { n_groups: 4, ..Default::default() };
+        let cfg = RandomFdConfig {
+            n_groups: 4,
+            ..Default::default()
+        };
         let w = random_fd_table(&cfg);
         for g in 0..4 {
-            assert!(fd_holds(&w, &format!("k{g}"), &format!("a{g}")), "k{g}→a{g}");
-            assert!(fd_holds(&w, &format!("a{g}"), &format!("b{g}")), "a{g}→b{g}");
+            assert!(
+                fd_holds(&w, &format!("k{g}"), &format!("a{g}")),
+                "k{g}→a{g}"
+            );
+            assert!(
+                fd_holds(&w, &format!("a{g}"), &format!("b{g}")),
+                "a{g}→b{g}"
+            );
         }
         assert_eq!(w.attr_columns().len(), 12);
     }

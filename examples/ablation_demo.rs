@@ -4,27 +4,40 @@
 //! Run with: `cargo run --release --example ablation_demo`
 
 use tqs_core::dsg::{DsgConfig, WideSource};
-use tqs_core::tqs::{TqsConfig, TqsRunner};
+use tqs_core::tqs::{TqsConfig, TqsSession};
 use tqs_engine::ProfileId;
 use tqs_schema::NoiseConfig;
 use tqs_storage::widegen::ShoppingConfig;
 
 fn run(label: &str, noise: bool, use_gt: bool, use_kqe: bool, iterations: usize) {
     let dsg_cfg = DsgConfig {
-        source: WideSource::Shopping(ShoppingConfig { n_rows: 200, ..Default::default() }),
+        source: WideSource::Shopping(ShoppingConfig {
+            n_rows: 200,
+            ..Default::default()
+        }),
         fd: Default::default(),
         noise: if noise {
-            Some(NoiseConfig { epsilon: 0.04, seed: 19, max_injections: 24 })
+            Some(NoiseConfig {
+                epsilon: 0.04,
+                seed: 19,
+                max_injections: 24,
+            })
         } else {
             None
         },
     };
-    let mut runner = TqsRunner::new(
-        ProfileId::MysqlLike,
-        &dsg_cfg,
-        TqsConfig { iterations, use_ground_truth: use_gt, use_kqe, ..Default::default() },
-    );
-    let stats = runner.run();
+    let mut session = TqsSession::builder()
+        .profile(ProfileId::MysqlLike)
+        .dsg_config(&dsg_cfg)
+        .config(TqsConfig {
+            iterations,
+            use_ground_truth: use_gt,
+            use_kqe,
+            ..Default::default()
+        })
+        .build()
+        .expect("session build");
+    let stats = session.run();
     println!(
         "{:<10} diversity={:<6} bugs={:<4} types={}",
         label, stats.diversity, stats.bug_count, stats.bug_type_count
@@ -32,7 +45,10 @@ fn run(label: &str, noise: bool, use_gt: bool, use_kqe: bool, iterations: usize)
 }
 
 fn main() {
-    let iterations: usize = std::env::var("TQS_ITER").ok().and_then(|s| s.parse().ok()).unwrap_or(200);
+    let iterations: usize = std::env::var("TQS_ITER")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
     run("TQS", true, true, true, iterations);
     run("TQS!Noise", false, true, true, iterations);
     run("TQS!GT", true, false, true, iterations);

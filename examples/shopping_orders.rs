@@ -11,8 +11,15 @@ use tqs_sql::parser::parse_stmt;
 use tqs_storage::widegen::{shopping_orders, ShoppingConfig};
 
 fn main() {
-    let wide = shopping_orders(&ShoppingConfig { n_rows: 120, ..Default::default() });
-    println!("wide table: {} rows, {} attribute columns", wide.row_count(), wide.attr_names().len());
+    let wide = shopping_orders(&ShoppingConfig {
+        n_rows: 120,
+        ..Default::default()
+    });
+    println!(
+        "wide table: {} rows, {} attribute columns",
+        wide.row_count(),
+        wide.attr_names().len()
+    );
 
     let fds = FdSet::discover(&wide, &FdDiscoveryConfig::default());
     println!("\ndiscovered FDs:");
@@ -34,10 +41,20 @@ fn main() {
         println!("{}", t.create_table_sql());
     }
 
-    let noise = inject_noise(&mut db, &NoiseConfig { epsilon: 0.05, seed: 3, max_injections: 12 });
+    let noise = inject_noise(
+        &mut db,
+        &NoiseConfig {
+            epsilon: 0.05,
+            seed: 3,
+            max_injections: 12,
+        },
+    );
     println!("\ninjected {} noise records:", noise.len());
     for n in &noise {
-        println!("  {:?} {} in {}.{} row {}", n.kind, n.value, n.table, n.column, n.schema_row);
+        println!(
+            "  {:?} {} in {}.{} row {}",
+            n.kind, n.value, n.table, n.column, n.schema_row
+        );
     }
 
     // Example 3.5 style query: price of 'flower' goods through a join.

@@ -1,0 +1,16 @@
+//! # tqs
+//!
+//! Facade crate for the TQS workspace (Transformed Query Synthesis, a
+//! reproduction of the SIGMOD 2023 paper on detecting logic bugs in join
+//! optimization). It re-exports every workspace crate under one roof and
+//! hosts the repository-level examples and integration tests.
+//!
+//! Start with [`tqs_core::tqs::TqsSession`] and the
+//! [`tqs_core::backend::DbmsConnector`] trait; the README walks through both.
+
+pub use tqs_core;
+pub use tqs_engine;
+pub use tqs_graph;
+pub use tqs_schema;
+pub use tqs_sql;
+pub use tqs_storage;

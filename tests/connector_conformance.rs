@@ -1,0 +1,104 @@
+//! Every shipped `DbmsConnector` implementation must pass the shared
+//! conformance suite: plan invariance and ground-truth soundness on pristine
+//! builds, observable misbehavior on fault-seeded builds — both directly and
+//! through the recording proxy (which must be transparent).
+
+use tqs_core::backend::{DbmsConnector, EngineConnector, RecordingConnector, TraceEvent};
+use tqs_core::conformance::{assert_connector_conformance, BuildKind};
+use tqs_engine::ProfileId;
+
+#[test]
+fn engine_connector_pristine_builds_conform() {
+    for profile in ProfileId::ALL {
+        let mut conn = EngineConnector::pristine(profile);
+        assert_connector_conformance(&mut conn, BuildKind::Pristine);
+    }
+}
+
+#[test]
+fn engine_connector_seeded_builds_conform() {
+    for profile in ProfileId::ALL {
+        let mut conn = EngineConnector::faulty(profile);
+        assert_connector_conformance(&mut conn, BuildKind::Seeded);
+    }
+}
+
+#[test]
+fn recording_connector_is_a_transparent_pristine_proxy() {
+    let mut conn = RecordingConnector::new(EngineConnector::pristine(ProfileId::MysqlLike));
+    assert_connector_conformance(&mut conn, BuildKind::Pristine);
+    // the proxy observed the whole session
+    assert!(
+        conn.trace()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::LoadCatalog { .. })),
+        "trace must include the catalog load"
+    );
+    assert!(
+        conn.trace().len() > 100,
+        "trace too short: {}",
+        conn.trace().len()
+    );
+}
+
+#[test]
+fn recording_connector_is_a_transparent_seeded_proxy() {
+    let mut conn = RecordingConnector::new(EngineConnector::faulty(ProfileId::TidbLike));
+    assert_connector_conformance(&mut conn, BuildKind::Seeded);
+    // the trace carries the fault provenance the seeded build produced
+    let fired_in_trace = conn.trace().iter().any(
+        |e| matches!(e, TraceEvent::Statement { outcome: Ok((_, fired)), .. } if !fired.is_empty()),
+    );
+    assert!(
+        fired_in_trace,
+        "seeded faults must be visible in the recorded trace"
+    );
+    assert!(conn.replay_log().contains("EXEC"));
+}
+
+#[test]
+fn conformance_catches_a_connector_that_hides_misbehavior() {
+    // A deliberately broken proxy that launders every fault away — the suite
+    // must reject it on a seeded build.
+    struct FaultHidingConnector(EngineConnector);
+
+    impl DbmsConnector for FaultHidingConnector {
+        fn info(&self) -> tqs_core::backend::ConnectorInfo {
+            self.0.info()
+        }
+
+        fn load_catalog(
+            &mut self,
+            catalog: &tqs_storage::Catalog,
+        ) -> Result<(), tqs_core::backend::ConnectorError> {
+            self.0.load_catalog(catalog)
+        }
+
+        fn execute_with_hints(
+            &mut self,
+            stmt: &tqs_sql::ast::SelectStmt,
+            _hints: &tqs_sql::hints::HintSet,
+        ) -> Result<tqs_core::backend::SqlOutcome, tqs_core::backend::ConnectorError> {
+            // always execute the default plan and strip the provenance
+            let mut out = self.0.execute(stmt)?;
+            out.fired.clear();
+            Ok(out)
+        }
+
+        fn explain(
+            &mut self,
+            stmt: &tqs_sql::ast::SelectStmt,
+        ) -> Result<String, tqs_core::backend::ConnectorError> {
+            self.0.explain(stmt)
+        }
+    }
+
+    let mut conn = FaultHidingConnector(EngineConnector::pristine(ProfileId::XdbLike));
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        assert_connector_conformance(&mut conn, BuildKind::Seeded);
+    }));
+    assert!(
+        outcome.is_err(),
+        "the suite must reject a connector that never misbehaves"
+    );
+}

@@ -4,16 +4,23 @@
 
 use tqs_core::baselines::{run_baseline, Baseline, BaselineConfig};
 use tqs_core::dsg::{DsgConfig, DsgDatabase, WideSource};
-use tqs_core::tqs::{TqsConfig, TqsRunner};
-use tqs_engine::{DbmsProfile, ProfileId};
+use tqs_core::tqs::{TqsConfig, TqsSession};
+use tqs_engine::ProfileId;
 use tqs_schema::NoiseConfig;
 use tqs_storage::widegen::ShoppingConfig;
 
 fn dsg() -> DsgDatabase {
     DsgDatabase::build(&DsgConfig {
-        source: WideSource::Shopping(ShoppingConfig { n_rows: 200, ..Default::default() }),
+        source: WideSource::Shopping(ShoppingConfig {
+            n_rows: 200,
+            ..Default::default()
+        }),
         fd: Default::default(),
-        noise: Some(NoiseConfig { epsilon: 0.04, seed: 3, max_injections: 24 }),
+        noise: Some(NoiseConfig {
+            epsilon: 0.04,
+            seed: 3,
+            max_injections: 24,
+        }),
     })
 }
 
@@ -21,14 +28,20 @@ fn dsg() -> DsgDatabase {
 fn tqs_dominates_baselines_on_mysql_like() {
     let d = dsg();
     let budget = 150usize;
-    let mut tqs = TqsRunner::with_database(
-        ProfileId::MysqlLike,
-        DbmsProfile::build(ProfileId::MysqlLike),
-        d.clone(),
-        TqsConfig { iterations: budget, ..Default::default() },
-    );
+    let mut tqs = TqsSession::builder()
+        .profile(ProfileId::MysqlLike)
+        .dsg(d.clone())
+        .config(TqsConfig {
+            iterations: budget,
+            ..Default::default()
+        })
+        .build()
+        .unwrap();
     let tqs_stats = tqs.run();
-    let base_cfg = BaselineConfig { iterations: budget, ..Default::default() };
+    let base_cfg = BaselineConfig {
+        iterations: budget,
+        ..Default::default()
+    };
     let pqs = run_baseline(Baseline::Pqs, ProfileId::MysqlLike, &d, &base_cfg);
     let tlp = run_baseline(Baseline::Tlp, ProfileId::MysqlLike, &d, &base_cfg);
 
@@ -59,13 +72,17 @@ fn ground_truth_catches_more_than_differential_testing() {
     // plan the same way (e.g. the constant-cache fault).
     let d = dsg();
     let run = |use_gt: bool| {
-        let mut runner = TqsRunner::with_database(
-            ProfileId::MysqlLike,
-            DbmsProfile::build(ProfileId::MysqlLike),
-            d.clone(),
-            TqsConfig { iterations: 150, use_ground_truth: use_gt, ..Default::default() },
-        );
-        runner.run()
+        let mut session = TqsSession::builder()
+            .profile(ProfileId::MysqlLike)
+            .dsg(d.clone())
+            .config(TqsConfig {
+                iterations: 150,
+                use_ground_truth: use_gt,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
+        session.run()
     };
     let with_gt = run(true);
     let without_gt = run(false);

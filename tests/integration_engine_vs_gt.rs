@@ -2,9 +2,12 @@
 //! set, a pristine engine's result matches the wide-table ground truth —
 //! i.e. the DSG ground-truth machinery and the engine agree on SQL semantics.
 
-use tqs_core::dsg::{DsgConfig, DsgDatabase, QueryGenConfig, QueryGenerator, UniformScorer, WideSource};
+use tqs_core::backend::{DbmsConnector, EngineConnector};
+use tqs_core::dsg::{
+    DsgConfig, DsgDatabase, QueryGenConfig, QueryGenerator, UniformScorer, WideSource,
+};
 use tqs_core::hintgen::hint_sets_for;
-use tqs_engine::{Database, DbmsProfile, ProfileId};
+use tqs_engine::ProfileId;
 use tqs_schema::{GroundTruthEvaluator, NoiseConfig};
 use tqs_sql::render::render_stmt;
 use tqs_storage::widegen::ShoppingConfig;
@@ -12,14 +15,24 @@ use tqs_storage::widegen::ShoppingConfig;
 #[test]
 fn pristine_engines_match_ground_truth_on_many_generated_queries() {
     let dsg = DsgDatabase::build(&DsgConfig {
-        source: WideSource::Shopping(ShoppingConfig { n_rows: 180, ..Default::default() }),
+        source: WideSource::Shopping(ShoppingConfig {
+            n_rows: 180,
+            ..Default::default()
+        }),
         fd: Default::default(),
-        noise: Some(NoiseConfig { epsilon: 0.05, seed: 41, max_injections: 20 }),
+        noise: Some(NoiseConfig {
+            epsilon: 0.05,
+            seed: 41,
+            max_injections: 20,
+        }),
     });
     let gt = GroundTruthEvaluator::new(&dsg.db);
     for profile in ProfileId::ALL {
-        let mut engine = Database::new(dsg.db.catalog.clone(), DbmsProfile::pristine(profile));
-        let mut gen = QueryGenerator::new(QueryGenConfig { seed: profile as u64 + 100, ..Default::default() });
+        let mut conn = EngineConnector::connect_pristine(profile, &dsg);
+        let mut gen = QueryGenerator::new(QueryGenConfig {
+            seed: profile as u64 + 100,
+            ..Default::default()
+        });
         let mut checked = 0;
         for _ in 0..120 {
             let stmt = gen.generate(&dsg, None, &UniformScorer);
@@ -28,7 +41,7 @@ fn pristine_engines_match_ground_truth_on_many_generated_queries() {
                 Err(_) => continue,
             };
             for hs in hint_sets_for(profile, &stmt) {
-                let out = match engine.execute_with_hints(&stmt, &hs) {
+                let out = match conn.execute_with_hints(&stmt, &hs) {
                     Ok(o) => o,
                     Err(_) => continue,
                 };
@@ -45,6 +58,9 @@ fn pristine_engines_match_ground_truth_on_many_generated_queries() {
                 checked += 1;
             }
         }
-        assert!(checked > 200, "{profile:?}: too few verified executions ({checked})");
+        assert!(
+            checked > 200,
+            "{profile:?}: too few verified executions ({checked})"
+        );
     }
 }
