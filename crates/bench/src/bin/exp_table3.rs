@@ -1,6 +1,13 @@
 //! Table 3: the tested DBMS inventory (here: the four simulated profiles and
-//! their metadata).
+//! their metadata), plus the registered test oracles reported through the
+//! `Oracle` trait.
 
+use tqs_bench::standard_dsg;
+use tqs_core::backend::EngineConnector;
+use tqs_core::dsg::DsgDatabase;
+use tqs_core::oracle::{
+    DifferentialOracle, NorecOracle, Oracle, PlanDiffOracle, PqsOracle, TlpOracle, TqsOracle,
+};
 use tqs_engine::{DbmsProfile, ProfileId};
 
 fn main() {
@@ -28,4 +35,19 @@ fn main() {
             p.info.first_release
         );
     }
+
+    // The oracle inventory, each named through the `Oracle` trait.
+    let dsg = DsgDatabase::build(&standard_dsg(40, 3));
+    let oracles: Vec<Box<dyn Oracle>> = vec![
+        Box::new(TqsOracle::new(&dsg)),
+        Box::new(PlanDiffOracle::new(&dsg)),
+        Box::new(PqsOracle::new(&dsg)),
+        Box::new(TlpOracle),
+        Box::new(NorecOracle),
+        Box::new(DifferentialOracle::new(
+            EngineConnector::connect_columnar_pristine(ProfileId::MysqlLike, &dsg),
+        )),
+    ];
+    let names: Vec<&str> = oracles.iter().map(|o| o.name()).collect();
+    println!("\nregistered oracles: {}", names.join(", "));
 }

@@ -10,8 +10,8 @@ fn main() {
     let iterations = budget(400);
     println!("Table 4 — detected bugs per DBMS ({iterations} queries per DBMS)\n");
     println!(
-        "{:<14} {:>6} {:>10}   bug types (root causes)",
-        "DBMS", "bugs", "bug types"
+        "{:<14} {:<8} {:>6} {:>10}   bug types (root causes)",
+        "DBMS", "oracle", "bugs", "bug types"
     );
     let mut total_bugs = 0;
     for profile in ProfileId::ALL {
@@ -19,8 +19,8 @@ fn main() {
         let stats = session.run();
         total_bugs += stats.bug_count;
         println!(
-            "{:<14} {:>6} {:>10}",
-            stats.dbms, stats.bug_count, stats.bug_type_count
+            "{:<14} {:<8} {:>6} {:>10}",
+            stats.dbms, stats.tool, stats.bug_count, stats.bug_type_count
         );
         for fault in session.bugs.implicated_faults() {
             println!(

@@ -13,7 +13,7 @@ fn run(
     use_gt: bool,
     use_kqe: bool,
     iterations: usize,
-) -> (usize, usize, usize) {
+) -> (String, (usize, usize, usize)) {
     let mut session = TqsSession::builder()
         .profile(profile)
         .dsg_config(dsg_cfg)
@@ -26,7 +26,8 @@ fn run(
         .build()
         .expect("session build");
     let s = session.run();
-    (s.diversity, s.bug_count, s.bug_type_count)
+    // The oracle names itself through the trait: "TQS" or "TQS!GT".
+    (s.tool, (s.diversity, s.bug_count, s.bug_type_count))
 }
 
 fn main() {
@@ -40,14 +41,15 @@ fn main() {
         let with_noise = standard_dsg(250, 31);
         let mut no_noise = standard_dsg(250, 31);
         no_noise.noise = None;
+        let (tqs_name, full) = run(profile, &with_noise, true, true, iterations);
+        let (_, without_noise) = run(profile, &no_noise, true, true, iterations);
+        let (diff_name, without_gt) = run(profile, &with_noise, false, true, iterations);
+        let (_, without_kqe) = run(profile, &with_noise, true, false, iterations);
         let rows = [
-            ("TQS", run(profile, &with_noise, true, true, iterations)),
-            ("TQS!Noise", run(profile, &no_noise, true, true, iterations)),
-            ("TQS!GT", run(profile, &with_noise, false, true, iterations)),
-            (
-                "TQS!KQE",
-                run(profile, &with_noise, true, false, iterations),
-            ),
+            (tqs_name, full),
+            ("TQS!Noise".to_string(), without_noise),
+            (diff_name, without_gt),
+            ("TQS!KQE".to_string(), without_kqe),
         ];
         for (label, (div, bugs, types)) in rows {
             println!(

@@ -8,22 +8,30 @@
 //! database — statement execution (plain, hinted, or raw SQL), `EXPLAIN`,
 //! hint-dialect metadata, catalog loading, and fault-fired introspection.
 //!
-//! Two implementations ship here:
+//! Three implementations ship here:
 //!
-//! * [`EngineConnector`] — the in-process simulated DBMS
-//!   ([`tqs_engine::Database`]) in one of its four profile builds.
+//! * [`EngineConnector`] — the in-process simulated DBMS in one of its four
+//!   profile builds, executed either row-at-a-time
+//!   ([`tqs_engine::Database`]) or batch-at-a-time over column vectors
+//!   ([`tqs_engine::ColumnarDatabase`], see
+//!   [`EngineConnector::columnar`]). The two executors carry disjoint fault
+//!   complements, which is what makes cross-engine differential testing
+//!   ([`crate::oracle::DifferentialOracle`]) meaningful.
 //! * [`RecordingConnector`] — a transparent proxy over any connector that
-//!   logs every statement and outcome, for later replay or audit.
+//!   logs every statement and its full outcome.
+//! * [`ReplayConnector`] — serves recorded outcomes back from such a trace,
+//!   turning any recorded bug-hunt session into a deterministic regression
+//!   suite that runs without the original backend.
 //!
-//! New backends (a second simulated engine build, a SQLite shim, a networked
-//! DBMS) implement the trait without touching the rest of tqs-core; the
-//! README's "Writing a new connector" section walks through it, and
-//! [`crate::conformance`] provides the shared behavioral test suite every
-//! implementation should pass.
+//! New backends (a SQLite shim, a networked DBMS) implement the trait without
+//! touching the rest of tqs-core; the README's "Writing a new connector"
+//! section walks through it, and [`crate::conformance`] provides the shared
+//! behavioral test suite every implementation should pass.
 
+use std::collections::HashMap;
 use std::fmt;
 
-use tqs_engine::{Database, DbmsProfile, FaultKind, ProfileId};
+use tqs_engine::{ColumnarDatabase, Database, DbmsProfile, FaultKind, ProfileId};
 use tqs_sql::ast::SelectStmt;
 use tqs_sql::hints::HintSet;
 use tqs_sql::parser::parse_stmt;
@@ -114,17 +122,24 @@ pub trait DbmsConnector {
     }
 }
 
-/// The first connector: the in-process simulated DBMS of [`tqs_engine`].
+/// The two executors an [`EngineConnector`] can host.
+enum EngineBackend {
+    Row(Database),
+    Columnar(ColumnarDatabase),
+}
+
+/// The first connector: the in-process simulated DBMS of [`tqs_engine`],
+/// hosting either the row executor or the columnar executor.
 pub struct EngineConnector {
-    db: Database,
+    backend: EngineBackend,
     dialect: ProfileId,
 }
 
 impl EngineConnector {
-    /// Connector over an explicit engine build (profile + fault complement).
+    /// Connector over an explicit row-engine build (profile + faults).
     pub fn new(dialect: ProfileId, profile: DbmsProfile) -> Self {
         EngineConnector {
-            db: Database::new(Catalog::new(), profile),
+            backend: EngineBackend::Row(Database::new(Catalog::new(), profile)),
             dialect,
         }
     }
@@ -139,22 +154,64 @@ impl EngineConnector {
         Self::new(id, DbmsProfile::pristine(id))
     }
 
+    /// The second engine: the columnar (batch-at-a-time) build of `id`,
+    /// seeded with the columnar fault complement
+    /// ([`tqs_engine::FaultKind::COLUMNAR`]).
+    pub fn columnar(id: ProfileId) -> Self {
+        EngineConnector {
+            backend: EngineBackend::Columnar(ColumnarDatabase::new(
+                Catalog::new(),
+                DbmsProfile::columnar(id),
+            )),
+            dialect: id,
+        }
+    }
+
+    /// A fault-free columnar build of `id` — the reference engine for
+    /// cross-engine differential testing.
+    pub fn columnar_pristine(id: ProfileId) -> Self {
+        EngineConnector {
+            backend: EngineBackend::Columnar(ColumnarDatabase::new(
+                Catalog::new(),
+                DbmsProfile::columnar_pristine(id),
+            )),
+            dialect: id,
+        }
+    }
+
     /// Factory helper: the faulty build of `id`, already loaded with the DSG
     /// database's catalog — what [`crate::baselines::run_baseline`] and the
     /// experiment binaries use to obtain a ready engine connector.
     pub fn connect(id: ProfileId, dsg: &DsgDatabase) -> Self {
-        let mut c = Self::faulty(id);
-        c.load_catalog(&dsg.db.catalog)
-            .expect("engine catalog load is infallible");
-        c
+        Self::faulty(id).loaded(dsg)
     }
 
     /// Factory helper: like [`connect`](Self::connect) but fault-free.
     pub fn connect_pristine(id: ProfileId, dsg: &DsgDatabase) -> Self {
-        let mut c = Self::pristine(id);
-        c.load_catalog(&dsg.db.catalog)
+        Self::pristine(id).loaded(dsg)
+    }
+
+    /// Factory helper: the faulty columnar build, catalog loaded.
+    pub fn connect_columnar(id: ProfileId, dsg: &DsgDatabase) -> Self {
+        Self::columnar(id).loaded(dsg)
+    }
+
+    /// Factory helper: the fault-free columnar build, catalog loaded.
+    pub fn connect_columnar_pristine(id: ProfileId, dsg: &DsgDatabase) -> Self {
+        Self::columnar_pristine(id).loaded(dsg)
+    }
+
+    fn loaded(mut self, dsg: &DsgDatabase) -> Self {
+        self.load_catalog(&dsg.db.catalog)
             .expect("engine catalog load is infallible");
-        c
+        self
+    }
+
+    fn profile(&self) -> &DbmsProfile {
+        match &self.backend {
+            EngineBackend::Row(db) => &db.profile,
+            EngineBackend::Columnar(db) => db.profile(),
+        }
     }
 }
 
@@ -178,14 +235,17 @@ fn engine_outcome(
 impl DbmsConnector for EngineConnector {
     fn info(&self) -> ConnectorInfo {
         ConnectorInfo {
-            name: self.db.profile.info.name.clone(),
-            version: self.db.profile.info.version.clone(),
+            name: self.profile().info.name.clone(),
+            version: self.profile().info.version.clone(),
             dialect: self.dialect,
         }
     }
 
     fn load_catalog(&mut self, catalog: &Catalog) -> Result<(), ConnectorError> {
-        self.db.catalog = catalog.clone();
+        match &mut self.backend {
+            EngineBackend::Row(db) => db.catalog = catalog.clone(),
+            EngineBackend::Columnar(db) => db.set_catalog(catalog.clone()),
+        }
         Ok(())
     }
 
@@ -194,25 +254,38 @@ impl DbmsConnector for EngineConnector {
         stmt: &SelectStmt,
         hints: &HintSet,
     ) -> Result<SqlOutcome, ConnectorError> {
-        engine_outcome(self.db.execute_with_hints(stmt, hints))
+        engine_outcome(match &mut self.backend {
+            EngineBackend::Row(db) => db.execute_with_hints(stmt, hints),
+            EngineBackend::Columnar(db) => db.execute_with_hints(stmt, hints),
+        })
     }
 
     fn explain(&mut self, stmt: &SelectStmt) -> Result<String, ConnectorError> {
-        self.db
-            .explain(stmt)
-            .map_err(|e| ConnectorError::new(e.to_string()))
+        match &self.backend {
+            EngineBackend::Row(db) => db.explain(stmt),
+            EngineBackend::Columnar(db) => db.explain(stmt),
+        }
+        .map_err(|e| ConnectorError::new(e.to_string()))
     }
 
     fn execute(&mut self, stmt: &SelectStmt) -> Result<SqlOutcome, ConnectorError> {
-        engine_outcome(self.db.execute(stmt))
+        engine_outcome(match &self.backend {
+            EngineBackend::Row(db) => db.execute(stmt),
+            EngineBackend::Columnar(db) => db.execute(stmt),
+        })
     }
 
     fn execute_sql(&mut self, sql: &str) -> Result<SqlOutcome, ConnectorError> {
-        engine_outcome(self.db.execute_sql(sql))
+        engine_outcome(match &self.backend {
+            EngineBackend::Row(db) => db.execute_sql(sql),
+            EngineBackend::Columnar(db) => db.execute_sql(sql),
+        })
     }
 }
 
-/// One entry in a [`RecordingConnector`] trace.
+/// One entry in a [`RecordingConnector`] trace. Statement entries keep the
+/// *full* result set (not just the row count) so a [`ReplayConnector`] can
+/// serve the recorded session verbatim.
 #[derive(Debug, Clone)]
 pub enum TraceEvent {
     LoadCatalog {
@@ -222,8 +295,8 @@ pub enum TraceEvent {
         /// Hint-set label ("default" for plain execution, "sql" for raw text).
         label: String,
         sql: String,
-        /// `Ok((row_count, fired))` or the error message.
-        outcome: Result<(usize, Vec<FaultKind>), String>,
+        /// The recorded outcome, or the error message.
+        outcome: Result<SqlOutcome, String>,
     },
     Explain {
         sql: String,
@@ -241,9 +314,12 @@ impl fmt::Display for TraceEvent {
                 sql,
                 outcome,
             } => match outcome {
-                Ok((rows, fired)) => {
-                    write!(f, "EXEC\t{label}\t{sql}\t{rows} rows\tfired={fired:?}")
-                }
+                Ok(out) => write!(
+                    f,
+                    "EXEC\t{label}\t{sql}\t{} rows\tfired={:?}",
+                    out.result.row_count(),
+                    out.fired
+                ),
                 Err(e) => write!(f, "EXEC\t{label}\t{sql}\tERROR: {e}"),
             },
             TraceEvent::Explain { sql, outcome } => match outcome {
@@ -290,6 +366,11 @@ impl<C: DbmsConnector> RecordingConnector<C> {
         self.inner
     }
 
+    /// A [`ReplayConnector`] serving this trace (recorded so far).
+    pub fn replay(&self) -> ReplayConnector {
+        ReplayConnector::from_trace(self.inner.info(), self.trace.clone())
+    }
+
     fn record_statement(
         &mut self,
         label: &str,
@@ -300,7 +381,7 @@ impl<C: DbmsConnector> RecordingConnector<C> {
             label: label.to_string(),
             sql,
             outcome: match outcome {
-                Ok(o) => Ok((o.result.row_count(), o.fired.clone())),
+                Ok(o) => Ok(o.clone()),
                 Err(e) => Err(e.message.clone()),
             },
         });
@@ -351,6 +432,134 @@ impl<C: DbmsConnector> DbmsConnector for RecordingConnector<C> {
         let out = self.inner.execute_sql(sql);
         self.record_statement("sql", sql.to_string(), &out);
         out
+    }
+}
+
+/// The replay-from-log backend: serves outcomes recorded by a
+/// [`RecordingConnector`] without the original engine. Statements are keyed
+/// by `(hint-set label, rendered SQL)` and served in recording order; a key
+/// whose queue is exhausted keeps returning its last recorded outcome (the
+/// simulated engines are deterministic, so repeats agree). A statement that
+/// was never recorded surfaces as a [`ConnectorError`] — which a driver
+/// counts as a skip, exactly like any other backend failure.
+///
+/// Because query generation is seeded, replaying a recorded bug-hunt session
+/// with the same session configuration reproduces its statements — and
+/// therefore its verdicts — exactly, turning any recorded hunt into a
+/// deterministic regression suite.
+pub struct ReplayConnector {
+    info: ConnectorInfo,
+    statements: HashMap<(String, String), std::collections::VecDeque<Result<SqlOutcome, String>>>,
+    explains: HashMap<String, std::collections::VecDeque<Result<String, String>>>,
+}
+
+impl ReplayConnector {
+    /// Build a replay backend from a recorded trace. `info` is what the
+    /// replayed backend will report (a [`RecordingConnector`] passes its
+    /// inner connector's info through [`RecordingConnector::replay`]).
+    pub fn from_trace(info: ConnectorInfo, trace: Vec<TraceEvent>) -> Self {
+        let mut statements: HashMap<_, std::collections::VecDeque<_>> = HashMap::new();
+        let mut explains: HashMap<_, std::collections::VecDeque<_>> = HashMap::new();
+        for ev in trace {
+            match ev {
+                TraceEvent::LoadCatalog { .. } => {}
+                TraceEvent::Statement {
+                    label,
+                    sql,
+                    outcome,
+                } => {
+                    statements
+                        .entry((label, sql))
+                        .or_default()
+                        .push_back(outcome);
+                }
+                TraceEvent::Explain { sql, outcome } => {
+                    explains.entry(sql).or_default().push_back(outcome);
+                }
+            }
+        }
+        ReplayConnector {
+            info,
+            statements,
+            explains,
+        }
+    }
+
+    /// How many distinct (label, sql) statement keys the trace recorded.
+    pub fn statement_count(&self) -> usize {
+        self.statements.len()
+    }
+
+    /// Pop the next recorded outcome; an exhausted queue keeps serving its
+    /// last entry (the simulated engines are deterministic, so repeats of a
+    /// statement agree with the recording).
+    fn drain<T: Clone>(
+        queue: &mut std::collections::VecDeque<Result<T, String>>,
+    ) -> Result<T, ConnectorError> {
+        let outcome = if queue.len() > 1 {
+            queue.pop_front().expect("non-empty queue")
+        } else {
+            queue.front().cloned().expect("non-empty queue")
+        };
+        outcome.map_err(ConnectorError::new)
+    }
+
+    fn serve(&mut self, label: &str, sql: String) -> Result<SqlOutcome, ConnectorError> {
+        let key = (label.to_string(), sql);
+        let Some(queue) = self.statements.get_mut(&key) else {
+            return Err(ConnectorError::new(format!(
+                "replay miss: `{}` [{}] was not recorded",
+                key.1, key.0
+            )));
+        };
+        Self::drain(queue)
+    }
+}
+
+impl DbmsConnector for ReplayConnector {
+    fn info(&self) -> ConnectorInfo {
+        self.info.clone()
+    }
+
+    fn load_catalog(&mut self, _catalog: &Catalog) -> Result<(), ConnectorError> {
+        // The data lives in the recorded outcomes; any catalog is accepted so
+        // the standard session assembly works unchanged.
+        Ok(())
+    }
+
+    fn execute_with_hints(
+        &mut self,
+        stmt: &SelectStmt,
+        hints: &HintSet,
+    ) -> Result<SqlOutcome, ConnectorError> {
+        self.serve(&hints.label, tqs_sql::render::render_stmt(stmt))
+    }
+
+    fn explain(&mut self, stmt: &SelectStmt) -> Result<String, ConnectorError> {
+        let sql = tqs_sql::render::render_stmt(stmt);
+        let Some(queue) = self.explains.get_mut(&sql) else {
+            return Err(ConnectorError::new(format!(
+                "replay miss: EXPLAIN `{sql}` was not recorded"
+            )));
+        };
+        Self::drain(queue)
+    }
+
+    fn execute(&mut self, stmt: &SelectStmt) -> Result<SqlOutcome, ConnectorError> {
+        self.serve("default", tqs_sql::render::render_stmt(stmt))
+    }
+
+    fn execute_sql(&mut self, sql: &str) -> Result<SqlOutcome, ConnectorError> {
+        // Raw text is recorded verbatim under the "sql" label; fall back to
+        // the parsed rendering in case the recording side executed the
+        // normalized statement instead.
+        match self.serve("sql", sql.to_string()) {
+            Ok(out) => Ok(out),
+            Err(_) => {
+                let stmt = parse_stmt(sql).map_err(|e| ConnectorError::new(e.to_string()))?;
+                self.execute(&stmt)
+            }
+        }
     }
 }
 
@@ -441,5 +650,65 @@ mod tests {
         assert_eq!(log.lines().count(), 5);
         assert!(log.contains("EXPLAIN"));
         assert!(log.contains("ERROR"));
+    }
+
+    #[test]
+    fn columnar_connector_reports_columnar_metadata() {
+        for id in ProfileId::ALL {
+            let conn = EngineConnector::columnar(id);
+            let info = conn.info();
+            assert!(info.name.contains("[columnar]"), "{}", info.name);
+            assert_eq!(info.dialect, id);
+        }
+    }
+
+    #[test]
+    fn columnar_connector_agrees_with_row_connector_when_pristine() {
+        let dsg = small_dsg();
+        let mut row = EngineConnector::connect_pristine(ProfileId::MysqlLike, &dsg);
+        let mut col = EngineConnector::connect_columnar_pristine(ProfileId::MysqlLike, &dsg);
+        let table = &dsg.db.metas[0].name;
+        let cols = &dsg.db.metas[0].columns;
+        let sql = format!("SELECT {table}.{} FROM {table}", cols[0]);
+        let a = row.execute_sql(&sql).unwrap();
+        let b = col.execute_sql(&sql).unwrap();
+        assert!(a.result.same_bag(&b.result));
+        assert!(col
+            .explain(&parse_stmt(&sql).unwrap())
+            .unwrap()
+            .contains("columnar"));
+    }
+
+    #[test]
+    fn replay_connector_serves_recorded_outcomes_deterministically() {
+        let dsg = small_dsg();
+        let mut rec = RecordingConnector::new(EngineConnector::connect(ProfileId::XdbLike, &dsg));
+        let table = &dsg.db.metas[0].name;
+        let col = &dsg.db.metas[0].columns[0];
+        let stmt = parse_stmt(&format!("SELECT {table}.{col} FROM {table}")).unwrap();
+        let hs = HintSet::new("hash-join");
+        let live_plain = rec.execute(&stmt).unwrap();
+        let live_hinted = rec.execute_with_hints(&stmt, &hs).unwrap();
+        let live_explain = rec.explain(&stmt).unwrap();
+        assert!(rec.execute_sql("SELECT x.a FROM missing x").is_err());
+
+        let mut replay = rec.replay();
+        assert_eq!(replay.info().name, "X-DB-like");
+        assert!(replay.statement_count() >= 3);
+        replay.load_catalog(&dsg.db.catalog).unwrap();
+        // Recorded statements come back with full, identical result sets —
+        // repeatedly, since the queue keeps serving its last outcome.
+        for _ in 0..2 {
+            let plain = replay.execute(&stmt).unwrap();
+            assert!(plain.result.same_bag(&live_plain.result));
+            assert_eq!(plain.fired, live_plain.fired);
+        }
+        let hinted = replay.execute_with_hints(&stmt, &hs).unwrap();
+        assert!(hinted.result.same_bag(&live_hinted.result));
+        assert_eq!(replay.explain(&stmt).unwrap(), live_explain);
+        // Recorded errors replay as errors; unrecorded statements miss.
+        assert!(replay.execute_sql("SELECT x.a FROM missing x").is_err());
+        let other = parse_stmt(&format!("SELECT {table}.{col} FROM {table} WHERE 1 = 2"));
+        assert!(replay.execute(&other.unwrap()).is_err(), "unrecorded stmt");
     }
 }

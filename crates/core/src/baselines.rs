@@ -2,22 +2,24 @@
 //! multi-table queries the way the paper adapts SQLancer — queries and data
 //! are random, no ground truth, no knowledge-guided exploration.
 //!
-//! All three baselines drive the DBMS exclusively through
-//! [`DbmsConnector`], so they run unchanged against any backend.
+//! The checking logic itself lives in [`crate::oracle`] ([`PqsOracle`],
+//! [`TlpOracle`], [`NorecOracle`]); this module is the *runner*: it supplies
+//! each baseline's query distribution (PQS restricts itself to pivot-style
+//! point queries) and drives the oracle through the shared metric loop. All
+//! three baselines talk to the DBMS exclusively through [`DbmsConnector`],
+//! so they run unchanged against any backend.
 
 use crate::backend::{DbmsConnector, EngineConnector};
-use crate::bugs::{make_report, BugLog, Oracle};
+use crate::bugs::BugLog;
 use crate::dsg::{DsgDatabase, QueryGenConfig, QueryGenerator, UniformScorer};
+use crate::oracle::{NorecOracle, Oracle, OracleVerdict, PqsOracle, TlpOracle};
 use crate::tqs::{RunStats, TimelinePoint};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tqs_engine::ProfileId;
 use tqs_graph::plangraph::query_graph_with_subqueries;
 use tqs_graph::{embed_graph, GraphIndex};
-use tqs_sql::ast::{BinOp, Expr, SelectItem, SelectStmt};
-use tqs_sql::hints::{Hint, HintSet};
-use tqs_sql::value::Value;
-use tqs_storage::{ResultSet, Row};
+use tqs_sql::ast::{Expr, SelectItem, SelectStmt};
 
 /// Which baseline to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +35,15 @@ impl Baseline {
             Baseline::Pqs => "PQS",
             Baseline::Tlp => "TLP",
             Baseline::NoRec => "NoRec",
+        }
+    }
+
+    /// The [`Oracle`] implementing this baseline's check.
+    pub fn oracle(self, dsg: &DsgDatabase) -> Box<dyn Oracle> {
+        match self {
+            Baseline::Pqs => Box::new(PqsOracle::new(dsg)),
+            Baseline::Tlp => Box::new(TlpOracle),
+            Baseline::NoRec => Box::new(NorecOracle),
         }
     }
 }
@@ -78,6 +89,23 @@ pub fn run_baseline_on(
     dsg: &DsgDatabase,
     cfg: &BaselineConfig,
 ) -> RunStats {
+    let mut oracle = baseline.oracle(dsg);
+    run_oracle_on(oracle.as_mut(), Some(baseline), conn, dsg, cfg)
+}
+
+/// Drive *any* oracle through the baseline metric loop: generate queries,
+/// track structural diversity, count de-duplicated bugs. `baseline` only
+/// selects the query distribution (PQS uses pivot queries); pass `None` for
+/// the generic random-walk distribution — this is how a custom oracle (e.g.
+/// a cross-engine [`crate::oracle::DifferentialOracle`]) is benchmarked on
+/// the same footing as the shipped ones.
+pub fn run_oracle_on(
+    oracle: &mut dyn Oracle,
+    baseline: Option<Baseline>,
+    conn: &mut dyn DbmsConnector,
+    dsg: &DsgDatabase,
+    cfg: &BaselineConfig,
+) -> RunStats {
     let dbms_name = conn.info().name;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut generator = QueryGenerator::new(QueryGenConfig {
@@ -90,7 +118,7 @@ pub fn run_baseline_on(
     let mut bugs = BugLog::new();
     let mut stats = RunStats {
         dbms: dbms_name.clone(),
-        tool: baseline.name().to_string(),
+        tool: oracle.name().to_string(),
         queries_generated: 0,
         queries_executed: 0,
         queries_skipped: 0,
@@ -106,21 +134,21 @@ pub fn run_baseline_on(
         // PQS additionally restricts itself to pivot-style point queries,
         // which is why its structural diversity stays low.
         let stmt = match baseline {
-            Baseline::Pqs => pivot_query(dsg, &mut rng),
+            Some(Baseline::Pqs) => pivot_query(dsg, &mut rng),
             _ => generator.generate(dsg, None, &UniformScorer),
         };
         stats.queries_generated += 1;
         let qg = query_graph_with_subqueries(&stmt, &dsg.schema_desc);
         index.insert(&qg, embed_graph(&qg, 2));
-        let found = match baseline {
-            Baseline::Pqs => check_pqs(&stmt, dsg, conn, &dbms_name, &mut bugs),
-            Baseline::Tlp => check_tlp(&stmt, conn, &dbms_name, &mut bugs),
-            Baseline::NoRec => check_norec(&stmt, conn, &dbms_name, &mut bugs),
-        };
-        if found.is_some() {
-            stats.queries_executed += 1;
-        } else {
-            stats.queries_skipped += 1;
+        match oracle.check(&stmt, conn) {
+            OracleVerdict::Skip => stats.queries_skipped += 1,
+            OracleVerdict::Pass => stats.queries_executed += 1,
+            OracleVerdict::Bugs(reports) => {
+                stats.queries_executed += 1;
+                for r in reports {
+                    bugs.push(r);
+                }
+            }
         }
         if (i + 1) % cfg.queries_per_hour == 0 || i + 1 == cfg.iterations {
             let hour = (i + 1).div_ceil(cfg.queries_per_hour);
@@ -175,157 +203,6 @@ fn pivot_query(dsg: &DsgDatabase, rng: &mut StdRng) -> SelectStmt {
     }
     stmt.where_clause = Expr::conjunction(preds);
     stmt
-}
-
-/// PQS oracle: the pivot row's projected values must appear in the result.
-fn check_pqs(
-    stmt: &SelectStmt,
-    dsg: &DsgDatabase,
-    conn: &mut dyn DbmsConnector,
-    dbms_name: &str,
-    bugs: &mut BugLog,
-) -> Option<()> {
-    let out = conn.execute(stmt).ok()?;
-    // Recompute the expected pivot values straight from the stored table.
-    let base = &stmt.from.base.table;
-    let table = dsg.db.catalog.table(base)?;
-    let expected_rows: Vec<Row> = table
-        .rows
-        .iter()
-        .filter(|r| {
-            // check the pivot predicate directly against the row
-            match &stmt.where_clause {
-                Some(w) => {
-                    let scope: Vec<(String, String, Value)> = table
-                        .columns
-                        .iter()
-                        .zip(&r.values)
-                        .map(|(c, v)| (base.clone(), c.name.clone(), v.clone()))
-                        .collect();
-                    let resolver = tqs_sql::eval::ScopedRow::new(&scope);
-                    tqs_sql::eval::eval_predicate(w, &resolver, &tqs_sql::eval::NoSubqueries)
-                        .ok()
-                        .flatten()
-                        == Some(true)
-                }
-                None => true,
-            }
-        })
-        .map(|r| {
-            Row::new(
-                stmt.items
-                    .iter()
-                    .filter_map(|i| match i {
-                        SelectItem::Expr {
-                            expr: Expr::Column(c),
-                            ..
-                        } => table.column_index(&c.column).map(|idx| r.get(idx).clone()),
-                        _ => None,
-                    })
-                    .collect(),
-            )
-        })
-        .collect();
-    let expected = ResultSet {
-        columns: vec![],
-        rows: expected_rows,
-    };
-    if !expected.subset_of(&out.result) {
-        bugs.push(make_report(
-            dbms_name,
-            Oracle::PivotMissing,
-            stmt,
-            &HintSet::new("default"),
-            &expected,
-            &out.result,
-            out.fired.clone(),
-            None,
-        ));
-    }
-    Some(())
-}
-
-/// TLP oracle: |Q ∧ p| + |Q ∧ ¬p| + |Q ∧ p IS NULL| must equal |Q|.
-fn check_tlp(
-    stmt: &SelectStmt,
-    conn: &mut dyn DbmsConnector,
-    dbms_name: &str,
-    bugs: &mut BugLog,
-) -> Option<()> {
-    let base = conn.execute(stmt).ok()?;
-    // partitioning predicate over a projected column
-    let col = stmt.items.iter().find_map(|i| match i {
-        SelectItem::Expr {
-            expr: Expr::Column(c),
-            ..
-        } => Some(c.clone()),
-        _ => None,
-    })?;
-    let p = Expr::binary(
-        BinOp::Ge,
-        Expr::Column(col.clone()),
-        Expr::lit(Value::Int(0)),
-    );
-    let mut total = 0usize;
-    for variant in [p.clone(), Expr::not(p.clone()), Expr::is_null(p.clone())] {
-        let mut q = stmt.clone();
-        q.where_clause = Some(match &q.where_clause {
-            Some(w) => Expr::and(w.clone(), variant),
-            None => variant,
-        });
-        let out = conn.execute(&q).ok()?;
-        total += out.result.row_count();
-    }
-    if total != base.result.row_count() {
-        bugs.push(make_report(
-            dbms_name,
-            Oracle::Partitioning,
-            stmt,
-            &HintSet::new("tlp-partitions"),
-            &base.result,
-            &base.result,
-            base.fired.clone(),
-            None,
-        ));
-    }
-    Some(())
-}
-
-/// NoRec oracle: the optimized query and a de-optimized execution (nested
-/// loops, no semi-join transformation, no materialization) must agree.
-fn check_norec(
-    stmt: &SelectStmt,
-    conn: &mut dyn DbmsConnector,
-    dbms_name: &str,
-    bugs: &mut BugLog,
-) -> Option<()> {
-    let optimized = conn.execute(stmt).ok()?;
-    let tables: Vec<String> = stmt
-        .from
-        .tables()
-        .iter()
-        .map(|t| t.binding().to_string())
-        .collect();
-    let deopt = HintSet::new("norec-deopt")
-        .with_hint(Hint::NlJoin(tables))
-        .with_hint(Hint::NoSemiJoin)
-        .with_hint(Hint::Materialization(false));
-    let reference = conn.execute_with_hints(stmt, &deopt).ok()?;
-    if !optimized.result.same_bag(&reference.result) {
-        let mut fired = optimized.fired.clone();
-        fired.extend(reference.fired.clone());
-        bugs.push(make_report(
-            dbms_name,
-            Oracle::NonOptimizingRewrite,
-            stmt,
-            &deopt,
-            &reference.result,
-            &optimized.result,
-            fired,
-            None,
-        ));
-    }
-    Some(())
 }
 
 #[cfg(test)]
@@ -417,5 +294,30 @@ mod tests {
         assert_eq!(Baseline::Pqs.name(), "PQS");
         assert_eq!(Baseline::Tlp.name(), "TLP");
         assert_eq!(Baseline::NoRec.name(), "NoRec");
+        let d = dsg();
+        for b in [Baseline::Pqs, Baseline::Tlp, Baseline::NoRec] {
+            assert_eq!(b.oracle(&d).name(), b.name());
+        }
+    }
+
+    #[test]
+    fn any_oracle_runs_through_the_metric_loop() {
+        // The runner is oracle-agnostic: the full TQS oracle benchmarks on
+        // the same footing as the baselines.
+        let d = dsg();
+        let mut oracle = crate::oracle::TqsOracle::new(&d);
+        let mut conn = EngineConnector::connect(ProfileId::MysqlLike, &d);
+        let stats = run_oracle_on(
+            &mut oracle,
+            None,
+            &mut conn,
+            &d,
+            &BaselineConfig {
+                iterations: 60,
+                ..cfg()
+            },
+        );
+        assert_eq!(stats.tool, "TQS");
+        assert!(stats.bug_count > 0, "TQS through the runner found nothing");
     }
 }

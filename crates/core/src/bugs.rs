@@ -2,6 +2,7 @@
 //! C-Reduce-style test-case minimizer.
 
 use crate::backend::DbmsConnector;
+use crate::oracle::{Oracle, OracleVerdict};
 use serde::Serialize;
 use tqs_engine::FaultKind;
 use tqs_schema::GroundTruthEvaluator;
@@ -10,13 +11,18 @@ use tqs_sql::hints::HintSet;
 use tqs_sql::render::render_stmt;
 use tqs_storage::ResultSet;
 
-/// How a bug was established.
+/// How a bug was established — the verdict class a report carries. The
+/// checking logic itself lives behind the [`Oracle`] trait
+/// (see [`crate::oracle`]); this enum only labels the evidence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
-pub enum Oracle {
+pub enum OracleKind {
     /// Result set differs from the wide-table ground truth.
     GroundTruth,
     /// Two physical plans of the same query disagree (differential testing).
     Differential,
+    /// Two engine builds disagree on the same statement (cross-engine
+    /// differential testing).
+    CrossEngine,
     /// A pivot row that must appear in the result is missing (PQS).
     PivotMissing,
     /// Ternary partitioning counts do not add up (TLP).
@@ -29,7 +35,7 @@ pub enum Oracle {
 #[derive(Debug, Clone, Serialize)]
 pub struct BugReport {
     pub dbms: String,
-    pub oracle: Oracle,
+    pub oracle: OracleKind,
     pub sql: String,
     pub transformed_sql: String,
     pub hint_label: String,
@@ -125,7 +131,7 @@ pub fn minimize_query(
     conn: &mut dyn DbmsConnector,
     gt: &GroundTruthEvaluator<'_>,
 ) -> SelectStmt {
-    let still_fails = |candidate: &SelectStmt, conn: &mut dyn DbmsConnector| -> bool {
+    let mut still_fails = |candidate: &SelectStmt, conn: &mut dyn DbmsConnector| -> bool {
         let truth = match gt.evaluate(candidate) {
             Ok(t) => t,
             Err(_) => return false,
@@ -135,6 +141,30 @@ pub fn minimize_query(
             Err(_) => false,
         }
     };
+    minimize_by(stmt, conn, &mut still_fails)
+}
+
+/// Oracle-driven minimizer: shrink `stmt` while `oracle` keeps returning a
+/// bug verdict for the candidate on `conn`. Works with *any*
+/// [`Oracle`] implementation — ground truth, cross-engine differential,
+/// or a baseline — instead of being hardwired to one verdict procedure.
+pub fn minimize_with_oracle(
+    stmt: &SelectStmt,
+    oracle: &mut dyn Oracle,
+    conn: &mut dyn DbmsConnector,
+) -> SelectStmt {
+    let mut still_fails = |candidate: &SelectStmt, conn: &mut dyn DbmsConnector| -> bool {
+        matches!(oracle.check(candidate, conn), OracleVerdict::Bugs(_))
+    };
+    minimize_by(stmt, conn, &mut still_fails)
+}
+
+/// The shared reduction loop behind both minimizers.
+fn minimize_by(
+    stmt: &SelectStmt,
+    conn: &mut dyn DbmsConnector,
+    still_fails: &mut dyn FnMut(&SelectStmt, &mut dyn DbmsConnector) -> bool,
+) -> SelectStmt {
     let mut current = stmt.clone();
     if !still_fails(&current, conn) {
         return current;
@@ -216,7 +246,7 @@ fn strip_binding_references(stmt: &mut SelectStmt, binding: &str) {
 #[allow(clippy::too_many_arguments)]
 pub fn make_report(
     dbms: &str,
-    oracle: Oracle,
+    oracle: OracleKind,
     stmt: &SelectStmt,
     hints: &HintSet,
     expected: &ResultSet,
@@ -257,7 +287,7 @@ mod tests {
         let stmt = parse_stmt("SELECT t1.a FROM t1 JOIN t2 ON t1.a = t2.a").unwrap();
         make_report(
             "MySQL-like",
-            Oracle::GroundTruth,
+            OracleKind::GroundTruth,
             &stmt,
             &HintSet::new(hint),
             &ResultSet::new(vec!["a".into()]),
@@ -309,7 +339,7 @@ mod tests {
             ));
         let r = make_report(
             "TiDB-like",
-            Oracle::Differential,
+            OracleKind::Differential,
             &stmt,
             &hints,
             &ResultSet::new(vec![]),

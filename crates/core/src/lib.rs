@@ -5,7 +5,11 @@
 //!
 //! * [`backend`] — the [`backend::DbmsConnector`] boundary between the
 //!   harness and the DBMS it drives, with the in-process engine connector
-//!   and a recording proxy.
+//!   (row or columnar executor), a recording proxy and a replay-from-log
+//!   backend.
+//! * [`oracle`] — the pluggable [`oracle::Oracle`] layer: ground truth,
+//!   plan-differential, the PQS/TLP/NoRec baselines and cross-engine
+//!   differential testing as uniform, composable checkers.
 //! * [`conformance`] — the behavioral contract every connector must pass.
 //! * [`dsg`] — Data-guided Schema and query Generation: the data pipeline
 //!   (wide table → FDs → 3NF schema → noise → bitmap machinery) and the
@@ -56,18 +60,23 @@ pub mod conformance;
 pub mod dsg;
 pub mod hintgen;
 pub mod kqe;
+pub mod oracle;
 pub mod parallel;
 pub mod tqs;
 
 pub use backend::{
-    ConnectorError, ConnectorInfo, DbmsConnector, EngineConnector, RecordingConnector, SqlOutcome,
-    TraceEvent,
+    ConnectorError, ConnectorInfo, DbmsConnector, EngineConnector, RecordingConnector,
+    ReplayConnector, SqlOutcome, TraceEvent,
 };
-pub use baselines::{run_baseline, run_baseline_on, Baseline, BaselineConfig};
-pub use bugs::{BugLog, BugReport, Oracle};
+pub use baselines::{run_baseline, run_baseline_on, run_oracle_on, Baseline, BaselineConfig};
+pub use bugs::{minimize_query, minimize_with_oracle, BugLog, BugReport, OracleKind};
 pub use conformance::{assert_connector_conformance, BuildKind};
 pub use dsg::{DsgConfig, DsgDatabase, QueryGenConfig, QueryGenerator, UniformScorer, WideSource};
 pub use hintgen::hint_sets_for;
 pub use kqe::{Kqe, KqeConfig, KqeScorer};
-pub use parallel::{parallel_explore, ParallelStats};
+pub use oracle::{
+    DifferentialOracle, NorecOracle, Oracle, OracleVerdict, PlanDiffOracle, PqsOracle, TlpOracle,
+    TqsOracle,
+};
+pub use parallel::{parallel_explore, parallel_explore_with, ParallelStats};
 pub use tqs::{RunStats, TimelinePoint, TqsConfig, TqsSession, TqsSessionBuilder};

@@ -1,0 +1,631 @@
+//! The pluggable test-oracle layer.
+//!
+//! Every way of deciding "is this result wrong?" is an [`Oracle`]: a named
+//! checker that takes one statement and one backend and returns a
+//! [`OracleVerdict`]. The orchestrator ([`crate::tqs::TqsSession`]), the
+//! baseline runner ([`crate::baselines`]), the parallel explorer and the
+//! oracle-driven minimizer ([`crate::bugs::minimize_with_oracle`]) all drive
+//! `&mut dyn Oracle`, so oracles compose, swap and compare uniformly:
+//!
+//! * [`TqsOracle`] — the paper's oracle: every hint-forced transformed query
+//!   must match the wide-table ground truth.
+//! * [`PlanDiffOracle`] — the `TQS!GT` ablation: transformed plans must agree
+//!   with the default plan (no ground truth).
+//! * [`PqsOracle`], [`TlpOracle`], [`NorecOracle`] — the §5.2 baselines.
+//! * [`DifferentialOracle`] — cross-engine differential testing: the same
+//!   statement on two *different engine builds* (e.g. the row engine vs the
+//!   columnar engine) must agree. This oracle owns a second connector, which
+//!   is impossible to express as a per-query check against a single backend —
+//!   the reason the oracle layer is a trait and not an enum.
+
+use crate::backend::DbmsConnector;
+use crate::bugs::{make_report, minimize_query, BugReport, OracleKind};
+use crate::dsg::DsgDatabase;
+use crate::hintgen::hint_sets_for;
+use std::sync::Arc;
+use tqs_schema::GroundTruthEvaluator;
+use tqs_sql::ast::{BinOp, Expr, SelectItem, SelectStmt};
+use tqs_sql::hints::{Hint, HintSet};
+use tqs_sql::value::Value;
+use tqs_storage::{ResultSet, Row};
+
+/// Outcome of checking one statement with one oracle.
+#[derive(Debug, Clone)]
+pub enum OracleVerdict {
+    /// The statement was executed and no bug was observed.
+    Pass,
+    /// The oracle could not apply to this statement (unsupported shape,
+    /// execution failure); the statement does not count as tested.
+    Skip,
+    /// One report per observed violation, ready for the [`crate::bugs::BugLog`].
+    Bugs(Vec<BugReport>),
+}
+
+impl OracleVerdict {
+    /// Did the oracle actually exercise the statement (pass or bug)?
+    pub fn executed(&self) -> bool {
+        !matches!(self, OracleVerdict::Skip)
+    }
+}
+
+/// A pluggable test oracle: one statement in, a verdict out.
+pub trait Oracle {
+    /// Display name ("TQS", "PQS", "differential-vs-…"); used as the `tool`
+    /// column of [`crate::tqs::RunStats`].
+    fn name(&self) -> &str;
+
+    /// Check `stmt` against `conn`. Implementations may execute the
+    /// statement any number of times, on any plans, or on backends they own.
+    fn check(&mut self, stmt: &SelectStmt, conn: &mut dyn DbmsConnector) -> OracleVerdict;
+}
+
+/// The TQS oracle (Algorithm 1 lines 11-15): transform the query into every
+/// hint set of the backend's dialect, execute each, and verify every result
+/// against the wide-table ground truth.
+pub struct TqsOracle {
+    dsg: Arc<DsgDatabase>,
+    minimize: bool,
+}
+
+impl TqsOracle {
+    /// Standalone constructor (clones the DSG once). Prefer
+    /// [`shared`](Self::shared) when the caller already holds the database
+    /// behind an `Arc` — a session or a worker fleet should not duplicate it.
+    pub fn new(dsg: &DsgDatabase) -> Self {
+        Self::shared(Arc::new(dsg.clone()))
+    }
+
+    /// Zero-copy constructor over a shared DSG database.
+    pub fn shared(dsg: Arc<DsgDatabase>) -> Self {
+        TqsOracle {
+            dsg,
+            minimize: false,
+        }
+    }
+
+    /// Run the reducer on each mismatch before reporting it.
+    pub fn with_minimize(mut self, minimize: bool) -> Self {
+        self.minimize = minimize;
+        self
+    }
+}
+
+impl Oracle for TqsOracle {
+    fn name(&self) -> &str {
+        "TQS"
+    }
+
+    fn check(&mut self, stmt: &SelectStmt, conn: &mut dyn DbmsConnector) -> OracleVerdict {
+        let gt = GroundTruthEvaluator::new(&self.dsg.db);
+        let truth = match gt.evaluate(stmt) {
+            Ok(t) => t,
+            Err(_) => return OracleVerdict::Skip,
+        };
+        let info = conn.info();
+        let mut executed = false;
+        let mut reports = Vec::new();
+        for hs in hint_sets_for(info.dialect, stmt) {
+            let out = match conn.execute_with_hints(stmt, &hs) {
+                Ok(o) => o,
+                Err(_) => continue,
+            };
+            executed = true;
+            if !truth.matches(&out.result) {
+                let minimized = if self.minimize {
+                    Some(minimize_query(stmt, &hs, conn, &gt))
+                } else {
+                    None
+                };
+                reports.push(make_report(
+                    &info.name,
+                    OracleKind::GroundTruth,
+                    stmt,
+                    &hs,
+                    &truth.result,
+                    &out.result,
+                    out.fired.clone(),
+                    minimized.as_ref(),
+                ));
+            }
+        }
+        match (executed, reports.is_empty()) {
+            (false, _) => OracleVerdict::Skip,
+            (true, true) => OracleVerdict::Pass,
+            (true, false) => OracleVerdict::Bugs(reports),
+        }
+    }
+}
+
+/// The `TQS!GT` ablation oracle: the same hint-set transformations, but
+/// verified against the default plan's result instead of the ground truth —
+/// plain single-engine differential testing. It keeps the DSG only to skip
+/// the statements whose ground truth is unsupported, so the ablation runs on
+/// exactly the same query population as full TQS.
+pub struct PlanDiffOracle {
+    dsg: Arc<DsgDatabase>,
+}
+
+impl PlanDiffOracle {
+    /// Standalone constructor (clones the DSG once); see
+    /// [`shared`](Self::shared).
+    pub fn new(dsg: &DsgDatabase) -> Self {
+        Self::shared(Arc::new(dsg.clone()))
+    }
+
+    /// Zero-copy constructor over a shared DSG database.
+    pub fn shared(dsg: Arc<DsgDatabase>) -> Self {
+        PlanDiffOracle { dsg }
+    }
+}
+
+impl Oracle for PlanDiffOracle {
+    fn name(&self) -> &str {
+        "TQS!GT"
+    }
+
+    fn check(&mut self, stmt: &SelectStmt, conn: &mut dyn DbmsConnector) -> OracleVerdict {
+        let gt = GroundTruthEvaluator::new(&self.dsg.db);
+        if gt.evaluate(stmt).is_err() {
+            return OracleVerdict::Skip;
+        }
+        let info = conn.info();
+        let mut outcomes = Vec::new();
+        for hs in hint_sets_for(info.dialect, stmt) {
+            if let Ok(out) = conn.execute_with_hints(stmt, &hs) {
+                outcomes.push((hs, out));
+            }
+        }
+        if outcomes.is_empty() {
+            return OracleVerdict::Skip;
+        }
+        let (_, base) = &outcomes[0];
+        let mut reports = Vec::new();
+        for (hs, out) in &outcomes[1..] {
+            if !base.result.same_bag(&out.result) {
+                reports.push(make_report(
+                    &info.name,
+                    OracleKind::Differential,
+                    stmt,
+                    hs,
+                    &base.result,
+                    &out.result,
+                    out.fired.clone(),
+                    None,
+                ));
+            }
+        }
+        if reports.is_empty() {
+            OracleVerdict::Pass
+        } else {
+            OracleVerdict::Bugs(reports)
+        }
+    }
+}
+
+/// The PQS oracle: the rows of the base table satisfying the pivot predicate
+/// must appear in the result (checked in bag subset mode against the stored
+/// table, no ground-truth machinery). Only *pivot-shaped* statements — a
+/// single-table scan projecting plain columns, no subqueries/aggregates/
+/// DISTINCT/LIMIT — are checkable; anything else is skipped, which is
+/// exactly why PQS's structural diversity stays low in Figure 8.
+pub struct PqsOracle {
+    dsg: Arc<DsgDatabase>,
+}
+
+impl PqsOracle {
+    /// Standalone constructor (clones the DSG once); see
+    /// [`shared`](Self::shared).
+    pub fn new(dsg: &DsgDatabase) -> Self {
+        Self::shared(Arc::new(dsg.clone()))
+    }
+
+    /// Zero-copy constructor over a shared DSG database.
+    pub fn shared(dsg: Arc<DsgDatabase>) -> Self {
+        PqsOracle { dsg }
+    }
+
+    /// Is the statement a pivot query the PQS check is sound for?
+    fn pivot_shaped(stmt: &SelectStmt) -> bool {
+        let base = stmt.from.base.binding();
+        stmt.from.joins.is_empty()
+            && !stmt.has_subquery()
+            && !stmt.has_aggregates()
+            && stmt.group_by.is_empty()
+            && !stmt.distinct
+            && stmt.limit.is_none()
+            && stmt.items.iter().all(|i| match i {
+                SelectItem::Expr {
+                    expr: Expr::Column(c),
+                    ..
+                } => c
+                    .table
+                    .as_ref()
+                    .map(|t| t.eq_ignore_ascii_case(base))
+                    .unwrap_or(true),
+                _ => false,
+            })
+    }
+}
+
+impl Oracle for PqsOracle {
+    fn name(&self) -> &str {
+        "PQS"
+    }
+
+    fn check(&mut self, stmt: &SelectStmt, conn: &mut dyn DbmsConnector) -> OracleVerdict {
+        if !Self::pivot_shaped(stmt) {
+            return OracleVerdict::Skip;
+        }
+        let out = match conn.execute(stmt) {
+            Ok(o) => o,
+            Err(_) => return OracleVerdict::Skip,
+        };
+        let base = &stmt.from.base.table;
+        let Some(table) = self.dsg.db.catalog.table(base) else {
+            return OracleVerdict::Skip;
+        };
+        // Recompute the expected pivot values straight from the stored table.
+        let expected_rows: Vec<Row> = table
+            .rows
+            .iter()
+            .filter(|r| match &stmt.where_clause {
+                Some(w) => {
+                    let scope: Vec<(String, String, Value)> = table
+                        .columns
+                        .iter()
+                        .zip(&r.values)
+                        .map(|(c, v)| (base.clone(), c.name.clone(), v.clone()))
+                        .collect();
+                    let resolver = tqs_sql::eval::ScopedRow::new(&scope);
+                    tqs_sql::eval::eval_predicate(w, &resolver, &tqs_sql::eval::NoSubqueries)
+                        .ok()
+                        .flatten()
+                        == Some(true)
+                }
+                None => true,
+            })
+            .map(|r| {
+                Row::new(
+                    stmt.items
+                        .iter()
+                        .filter_map(|i| match i {
+                            SelectItem::Expr {
+                                expr: Expr::Column(c),
+                                ..
+                            } => table.column_index(&c.column).map(|idx| r.get(idx).clone()),
+                            _ => None,
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let expected = ResultSet {
+            columns: vec![],
+            rows: expected_rows,
+        };
+        if !expected.subset_of(&out.result) {
+            OracleVerdict::Bugs(vec![make_report(
+                &conn.info().name,
+                OracleKind::PivotMissing,
+                stmt,
+                &HintSet::new("default"),
+                &expected,
+                &out.result,
+                out.fired.clone(),
+                None,
+            )])
+        } else {
+            OracleVerdict::Pass
+        }
+    }
+}
+
+/// The TLP oracle: |Q ∧ p| + |Q ∧ ¬p| + |Q ∧ p IS NULL| must equal |Q|.
+pub struct TlpOracle;
+
+impl Oracle for TlpOracle {
+    fn name(&self) -> &str {
+        "TLP"
+    }
+
+    fn check(&mut self, stmt: &SelectStmt, conn: &mut dyn DbmsConnector) -> OracleVerdict {
+        let base = match conn.execute(stmt) {
+            Ok(o) => o,
+            Err(_) => return OracleVerdict::Skip,
+        };
+        // partitioning predicate over a projected column
+        let Some(col) = stmt.items.iter().find_map(|i| match i {
+            SelectItem::Expr {
+                expr: Expr::Column(c),
+                ..
+            } => Some(c.clone()),
+            _ => None,
+        }) else {
+            return OracleVerdict::Skip;
+        };
+        let p = Expr::binary(
+            BinOp::Ge,
+            Expr::Column(col.clone()),
+            Expr::lit(Value::Int(0)),
+        );
+        let mut total = 0usize;
+        for variant in [p.clone(), Expr::not(p.clone()), Expr::is_null(p.clone())] {
+            let mut q = stmt.clone();
+            q.where_clause = Some(match &q.where_clause {
+                Some(w) => Expr::and(w.clone(), variant),
+                None => variant,
+            });
+            let out = match conn.execute(&q) {
+                Ok(o) => o,
+                Err(_) => return OracleVerdict::Skip,
+            };
+            total += out.result.row_count();
+        }
+        if total != base.result.row_count() {
+            OracleVerdict::Bugs(vec![make_report(
+                &conn.info().name,
+                OracleKind::Partitioning,
+                stmt,
+                &HintSet::new("tlp-partitions"),
+                &base.result,
+                &base.result,
+                base.fired.clone(),
+                None,
+            )])
+        } else {
+            OracleVerdict::Pass
+        }
+    }
+}
+
+/// The NoRec oracle: the optimized query and a de-optimized execution (nested
+/// loops, no semi-join transformation, no materialization) must agree.
+pub struct NorecOracle;
+
+impl Oracle for NorecOracle {
+    fn name(&self) -> &str {
+        "NoRec"
+    }
+
+    fn check(&mut self, stmt: &SelectStmt, conn: &mut dyn DbmsConnector) -> OracleVerdict {
+        let optimized = match conn.execute(stmt) {
+            Ok(o) => o,
+            Err(_) => return OracleVerdict::Skip,
+        };
+        let tables: Vec<String> = stmt
+            .from
+            .tables()
+            .iter()
+            .map(|t| t.binding().to_string())
+            .collect();
+        let deopt = HintSet::new("norec-deopt")
+            .with_hint(Hint::NlJoin(tables))
+            .with_hint(Hint::NoSemiJoin)
+            .with_hint(Hint::Materialization(false));
+        let reference = match conn.execute_with_hints(stmt, &deopt) {
+            Ok(o) => o,
+            Err(_) => return OracleVerdict::Skip,
+        };
+        if !optimized.result.same_bag(&reference.result) {
+            let mut fired = optimized.fired.clone();
+            fired.extend(reference.fired.clone());
+            OracleVerdict::Bugs(vec![make_report(
+                &conn.info().name,
+                OracleKind::NonOptimizingRewrite,
+                stmt,
+                &deopt,
+                &reference.result,
+                &optimized.result,
+                fired,
+                None,
+            )])
+        } else {
+            OracleVerdict::Pass
+        }
+    }
+}
+
+/// Cross-engine differential testing: execute every hint-set transformation
+/// of the statement on the backend under test *and* on a second, independent
+/// engine build owned by the oracle, and report any divergence.
+///
+/// With disjoint fault complements (row engine's Table 4 faults vs the
+/// columnar engine's batching faults) a pristine second engine acts as a
+/// ground-truth stand-in, and a faulty one yields two-sided detection. This
+/// is the first oracle that *requires* the trait: it owns a whole connector,
+/// not just a per-query check.
+pub struct DifferentialOracle {
+    reference: Box<dyn DbmsConnector>,
+    name: String,
+}
+
+impl DifferentialOracle {
+    /// `reference` must already have the catalog under test loaded (e.g. via
+    /// [`crate::backend::EngineConnector::connect_columnar_pristine`]).
+    pub fn new(reference: impl DbmsConnector + 'static) -> Self {
+        Self::boxed(Box::new(reference))
+    }
+
+    pub fn boxed(reference: Box<dyn DbmsConnector>) -> Self {
+        let name = format!("differential-vs-{}", reference.info().name);
+        DifferentialOracle { reference, name }
+    }
+
+    /// The reference connector (e.g. to load a catalog or inspect a trace).
+    pub fn reference_mut(&mut self) -> &mut dyn DbmsConnector {
+        self.reference.as_mut()
+    }
+}
+
+impl Oracle for DifferentialOracle {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn check(&mut self, stmt: &SelectStmt, conn: &mut dyn DbmsConnector) -> OracleVerdict {
+        let info = conn.info();
+        let mut executed = false;
+        let mut reports = Vec::new();
+        for hs in hint_sets_for(info.dialect, stmt) {
+            let (Ok(out), Ok(reference)) = (
+                conn.execute_with_hints(stmt, &hs),
+                self.reference.execute_with_hints(stmt, &hs),
+            ) else {
+                continue;
+            };
+            executed = true;
+            if !reference.result.same_bag(&out.result) {
+                let mut fired = out.fired.clone();
+                fired.extend(reference.fired.clone());
+                reports.push(make_report(
+                    &info.name,
+                    OracleKind::CrossEngine,
+                    stmt,
+                    &hs,
+                    &reference.result,
+                    &out.result,
+                    fired,
+                    None,
+                ));
+            }
+        }
+        match (executed, reports.is_empty()) {
+            (false, _) => OracleVerdict::Skip,
+            (true, true) => OracleVerdict::Pass,
+            (true, false) => OracleVerdict::Bugs(reports),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::EngineConnector;
+    use crate::dsg::{DsgConfig, WideSource};
+    use tqs_engine::ProfileId;
+    use tqs_schema::NoiseConfig;
+    use tqs_sql::parser::parse_stmt;
+    use tqs_storage::widegen::ShoppingConfig;
+
+    fn dsg() -> DsgDatabase {
+        DsgDatabase::build(&DsgConfig {
+            source: WideSource::Shopping(ShoppingConfig {
+                n_rows: 120,
+                ..Default::default()
+            }),
+            fd: Default::default(),
+            noise: Some(NoiseConfig {
+                epsilon: 0.04,
+                seed: 11,
+                max_injections: 12,
+            }),
+        })
+    }
+
+    fn sample_queries(d: &DsgDatabase, n: usize) -> Vec<SelectStmt> {
+        use crate::dsg::{QueryGenerator, UniformScorer};
+        let mut gen = QueryGenerator::new(Default::default());
+        (0..n)
+            .map(|_| gen.generate(d, None, &UniformScorer))
+            .collect()
+    }
+
+    #[test]
+    fn tqs_oracle_passes_on_pristine_and_flags_faulty() {
+        let d = dsg();
+        let mut oracle = TqsOracle::new(&d);
+        let mut pristine = EngineConnector::connect_pristine(ProfileId::MysqlLike, &d);
+        let mut faulty = EngineConnector::connect(ProfileId::MysqlLike, &d);
+        let mut bugs = 0;
+        for stmt in sample_queries(&d, 60) {
+            if let OracleVerdict::Bugs(r) = oracle.check(&stmt, &mut pristine) {
+                panic!("false positive on pristine: {r:#?}");
+            }
+            if let OracleVerdict::Bugs(r) = oracle.check(&stmt, &mut faulty) {
+                bugs += r.len();
+            }
+        }
+        assert!(bugs > 0, "TQS oracle found nothing on a faulty build");
+        assert_eq!(oracle.name(), "TQS");
+    }
+
+    #[test]
+    fn baseline_oracles_are_sound_on_pristine_builds() {
+        let d = dsg();
+        let mut conn = EngineConnector::connect_pristine(ProfileId::TidbLike, &d);
+        let mut oracles: Vec<Box<dyn Oracle>> = vec![
+            Box::new(PqsOracle::new(&d)),
+            Box::new(TlpOracle),
+            Box::new(NorecOracle),
+            Box::new(PlanDiffOracle::new(&d)),
+        ];
+        for stmt in sample_queries(&d, 30) {
+            for o in oracles.iter_mut() {
+                if let OracleVerdict::Bugs(r) = o.check(&stmt, &mut conn) {
+                    panic!("{} false positive: {r:#?}", o.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn differential_oracle_passes_when_both_engines_are_pristine() {
+        let d = dsg();
+        let mut oracle = DifferentialOracle::new(EngineConnector::connect_columnar_pristine(
+            ProfileId::MysqlLike,
+            &d,
+        ));
+        assert!(oracle.name().contains("columnar"));
+        let mut conn = EngineConnector::connect_pristine(ProfileId::MysqlLike, &d);
+        let mut executed = 0;
+        for stmt in sample_queries(&d, 40) {
+            match oracle.check(&stmt, &mut conn) {
+                OracleVerdict::Bugs(r) => panic!("pristine engines diverged: {r:#?}"),
+                OracleVerdict::Pass => executed += 1,
+                OracleVerdict::Skip => {}
+            }
+        }
+        assert!(executed > 20, "only {executed} statements executed");
+    }
+
+    #[test]
+    fn oracle_driven_minimizer_shrinks_a_cross_engine_reproducer() {
+        let d = dsg();
+        let mut oracle = DifferentialOracle::new(EngineConnector::connect_columnar_pristine(
+            ProfileId::TidbLike,
+            &d,
+        ));
+        let mut conn = EngineConnector::connect(ProfileId::TidbLike, &d);
+        for stmt in sample_queries(&d, 120) {
+            if matches!(oracle.check(&stmt, &mut conn), OracleVerdict::Bugs(_)) {
+                let minimized = crate::bugs::minimize_with_oracle(&stmt, &mut oracle, &mut conn);
+                assert!(minimized.from.joins.len() <= stmt.from.joins.len());
+                assert!(matches!(
+                    oracle.check(&minimized, &mut conn),
+                    OracleVerdict::Bugs(_)
+                ));
+                return;
+            }
+        }
+        panic!("cross-engine differential oracle never fired on a faulty build");
+    }
+
+    #[test]
+    fn verdict_executed_flag() {
+        assert!(OracleVerdict::Pass.executed());
+        assert!(OracleVerdict::Bugs(Vec::new()).executed());
+        assert!(!OracleVerdict::Skip.executed());
+    }
+
+    #[test]
+    fn tlp_skips_aggregates_without_projected_columns() {
+        let d = dsg();
+        let mut conn = EngineConnector::connect_pristine(ProfileId::MysqlLike, &d);
+        let table = &d.db.metas[0].name;
+        let stmt = parse_stmt(&format!("SELECT COUNT(*) AS c FROM {table}")).unwrap();
+        assert!(matches!(
+            TlpOracle.check(&stmt, &mut conn),
+            OracleVerdict::Skip
+        ));
+    }
+}

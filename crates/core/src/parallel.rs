@@ -6,19 +6,19 @@
 //! client, and measure how many queries the fleet processes within a fixed
 //! wall-clock budget.
 //!
-//! The explorer is backend-agnostic: callers hand it a connector factory and
-//! every worker drives its own [`DbmsConnector`] replica.
+//! The explorer is backend- and oracle-agnostic: callers hand it a connector
+//! factory (and optionally an oracle factory) and every worker drives its own
+//! [`DbmsConnector`] replica through its own [`Oracle`].
 
 use crate::backend::{ConnectorError, DbmsConnector};
 use crate::dsg::{DsgDatabase, QueryGenConfig, QueryGenerator, WalkScorer};
-use crate::hintgen::hint_sets_for;
+use crate::oracle::{Oracle, OracleVerdict, TqsOracle};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 use tqs_graph::embedding::embed_graph;
 use tqs_graph::plangraph::query_graph_with_subqueries;
 use tqs_graph::{GraphIndex, LabeledGraph};
-use tqs_schema::GroundTruthEvaluator;
 
 /// Result of one parallel exploration run.
 #[derive(Debug, Clone)]
@@ -44,15 +44,9 @@ impl WalkScorer for SharedScorer<'_> {
     }
 }
 
-/// Run `clients` workers for `budget` wall-clock time. Every worker obtains
-/// its own backend replica from `connect` (called with the client index),
-/// loads the DSG catalog into it, generates queries with the shared adaptive
-/// scorer, executes all hint-set transformations and verifies them against
-/// the ground truth.
-///
-/// Returns an error when any worker's connector rejects the catalog; the
-/// remaining workers stop at their next iteration (rather than burning the
-/// whole budget) and the partial counts are discarded.
+/// Run `clients` workers for `budget` wall-clock time with the default
+/// ground-truth oracle ([`TqsOracle`]) per worker. See
+/// [`parallel_explore_with`] for the oracle-agnostic variant.
 pub fn parallel_explore<C, F>(
     dsg: &DsgDatabase,
     clients: usize,
@@ -63,6 +57,36 @@ pub fn parallel_explore<C, F>(
 where
     C: DbmsConnector,
     F: Fn(usize) -> C + Sync,
+{
+    // One shared copy of the DSG for the whole fleet — workers clone the
+    // catalog into their backend replicas, but the oracle side is shared.
+    let shared = std::sync::Arc::new(dsg.clone());
+    parallel_explore_with(dsg, clients, budget, seed, connect, move |_| {
+        Box::new(TqsOracle::shared(std::sync::Arc::clone(&shared)))
+    })
+}
+
+/// Run `clients` workers for `budget` wall-clock time. Every worker obtains
+/// its own backend replica from `connect` and its own verdict procedure from
+/// `make_oracle` (each called with the client index), loads the DSG catalog
+/// into the replica, generates queries with the shared adaptive scorer and
+/// drives every statement through its `&mut dyn Oracle`.
+///
+/// Returns an error when any worker's connector rejects the catalog; the
+/// remaining workers stop at their next iteration (rather than burning the
+/// whole budget) and the partial counts are discarded.
+pub fn parallel_explore_with<C, F, G>(
+    dsg: &DsgDatabase,
+    clients: usize,
+    budget: Duration,
+    seed: u64,
+    connect: F,
+    make_oracle: G,
+) -> Result<ParallelStats, ConnectorError>
+where
+    C: DbmsConnector,
+    F: Fn(usize) -> C + Sync,
+    G: Fn(usize) -> Box<dyn Oracle> + Sync,
 {
     let shared_index = Mutex::new(GraphIndex::new());
     let queries = AtomicUsize::new(0);
@@ -77,6 +101,7 @@ where
             let queries = &queries;
             let bugs = &bugs;
             let connect = &connect;
+            let make_oracle = &make_oracle;
             let load_error = &load_error;
             let abort = &abort;
             scope.spawn(move || {
@@ -86,7 +111,7 @@ where
                     abort.store(true, Ordering::Relaxed);
                     return;
                 }
-                let dialect = conn.info().dialect;
+                let mut oracle = make_oracle(client);
                 let mut generator = QueryGenerator::new(QueryGenConfig {
                     seed: seed ^ ((client as u64 + 1) * 0x9E37_79B9),
                     ..Default::default()
@@ -95,7 +120,6 @@ where
                     index: shared_index,
                     knn_k: 5,
                 };
-                let gt = GroundTruthEvaluator::new(&dsg.db);
                 while start.elapsed() < budget && !abort.load(Ordering::Relaxed) {
                     let stmt = generator.generate(dsg, None, &scorer);
                     let qg = query_graph_with_subqueries(&stmt, &dsg.schema_desc);
@@ -105,15 +129,11 @@ where
                         let e = embed_graph(&qg, 2);
                         idx.insert(&qg, e);
                     }
-                    let truth = match gt.evaluate(&stmt) {
-                        Ok(t) => t,
-                        Err(_) => continue,
-                    };
-                    for hs in hint_sets_for(dialect, &stmt) {
-                        if let Ok(out) = conn.execute_with_hints(&stmt, &hs) {
-                            if !truth.matches(&out.result) {
-                                bugs.fetch_add(1, Ordering::Relaxed);
-                            }
+                    match oracle.check(&stmt, &mut conn) {
+                        OracleVerdict::Skip => continue,
+                        OracleVerdict::Pass => {}
+                        OracleVerdict::Bugs(reports) => {
+                            bugs.fetch_add(reports.len(), Ordering::Relaxed);
                         }
                     }
                     queries.fetch_add(1, Ordering::Relaxed);
@@ -188,6 +208,27 @@ mod tests {
             one.queries_processed,
             four.queries_processed
         );
+    }
+
+    #[test]
+    fn workers_can_run_a_custom_oracle() {
+        // Cross-engine differential exploration: every worker tests the
+        // faulty row engine against its own pristine columnar replica.
+        let d = dsg();
+        let stats = parallel_explore_with(
+            &d,
+            2,
+            Duration::from_millis(250),
+            23,
+            |_| EngineConnector::faulty(ProfileId::MysqlLike),
+            |_| {
+                Box::new(crate::oracle::DifferentialOracle::new(
+                    EngineConnector::connect_columnar_pristine(ProfileId::MysqlLike, &d),
+                ))
+            },
+        )
+        .unwrap();
+        assert!(stats.queries_processed > 0);
     }
 
     #[test]

@@ -4,18 +4,19 @@
 //! (adaptive) random walk, KQE scores and records query graphs, HintGen
 //! produces transformed queries, the backend behind a
 //! [`DbmsConnector`](crate::backend::DbmsConnector) executes them, and each
-//! result set is verified against the wide-table ground truth (or, in the
-//! `!GT` ablation, against the other plans' results).
+//! statement is judged by a pluggable [`Oracle`] — the ground-truth
+//! [`TqsOracle`] by default, [`PlanDiffOracle`] for the `!GT` ablation, or
+//! any custom implementation supplied through the builder.
 
 use crate::backend::{ConnectorError, DbmsConnector, EngineConnector};
-use crate::bugs::{make_report, minimize_query, BugLog, Oracle};
+use crate::bugs::BugLog;
 use crate::dsg::{DsgConfig, DsgDatabase, QueryGenConfig, QueryGenerator, UniformScorer};
-use crate::hintgen::hint_sets_for;
 use crate::kqe::{Kqe, KqeConfig, KqeScorer};
+use crate::oracle::{Oracle, OracleVerdict, PlanDiffOracle, TqsOracle};
 use serde::Serialize;
+use std::sync::Arc;
 use tqs_engine::ProfileId;
 use tqs_graph::plangraph::query_graph_with_subqueries;
-use tqs_schema::GroundTruthEvaluator;
 use tqs_sql::ast::SelectStmt;
 
 /// Orchestrator configuration, including the ablation switches of Table 5.
@@ -78,8 +79,14 @@ pub struct RunStats {
 /// Built with [`TqsSession::builder`]; the backend is anything implementing
 /// [`DbmsConnector`] — the in-process simulated engine by default.
 pub struct TqsSession {
-    pub dsg: DsgDatabase,
+    /// Shared with the default oracle (which verifies against its ground
+    /// truth) instead of duplicated into it.
+    pub dsg: Arc<DsgDatabase>,
     pub connector: Box<dyn DbmsConnector>,
+    /// The verdict procedure. [`TqsOracle`] (ground truth) by default,
+    /// [`PlanDiffOracle`] when `use_ground_truth` is off, or anything the
+    /// builder's [`oracle`](TqsSessionBuilder::oracle) supplied.
+    pub oracle: Box<dyn Oracle>,
     pub kqe: Kqe,
     pub generator: QueryGenerator,
     pub cfg: TqsConfig,
@@ -114,6 +121,7 @@ pub struct TqsSession {
 pub struct TqsSessionBuilder {
     profile: Option<ProfileId>,
     connector: Option<Box<dyn DbmsConnector>>,
+    oracle: Option<Box<dyn Oracle>>,
     dsg: Option<DsgDatabase>,
     dsg_cfg: Option<DsgConfig>,
     cfg: TqsConfig,
@@ -140,6 +148,24 @@ impl TqsSessionBuilder {
         self
     }
 
+    /// Judge every statement with this oracle instead of the default
+    /// (ground-truth [`TqsOracle`], or [`PlanDiffOracle`] when
+    /// `use_ground_truth` is off). This is how a session runs cross-engine
+    /// differential testing: pass a
+    /// [`DifferentialOracle`](crate::oracle::DifferentialOracle) owning the
+    /// second engine build.
+    pub fn oracle(mut self, oracle: impl Oracle + 'static) -> Self {
+        self.oracle = Some(Box::new(oracle));
+        self
+    }
+
+    /// Like [`oracle`](Self::oracle), for callers assembling oracles
+    /// dynamically.
+    pub fn boxed_oracle(mut self, oracle: Box<dyn Oracle>) -> Self {
+        self.oracle = Some(oracle);
+        self
+    }
+
     /// Use an already-built DSG database (shared across sessions).
     pub fn dsg(mut self, dsg: DsgDatabase) -> Self {
         self.dsg = Some(dsg);
@@ -161,10 +187,10 @@ impl TqsSessionBuilder {
     /// Assemble the session: build (or take) the DSG database, construct the
     /// connector if none was given, and load the catalog into it.
     pub fn build(self) -> Result<TqsSession, ConnectorError> {
-        let dsg = match self.dsg {
+        let dsg = Arc::new(match self.dsg {
             Some(d) => d,
             None => DsgDatabase::build(&self.dsg_cfg.unwrap_or_default()),
-        };
+        });
         let mut connector = match self.connector {
             Some(c) => c,
             None => Box::new(EngineConnector::faulty(
@@ -173,11 +199,19 @@ impl TqsSessionBuilder {
         };
         connector.load_catalog(&dsg.db.catalog)?;
         let info = connector.info();
+        let oracle: Box<dyn Oracle> = match self.oracle {
+            Some(o) => o,
+            None if self.cfg.use_ground_truth => {
+                Box::new(TqsOracle::shared(Arc::clone(&dsg)).with_minimize(self.cfg.minimize))
+            }
+            None => Box::new(PlanDiffOracle::shared(Arc::clone(&dsg))),
+        };
         let kqe = Kqe::new(dsg.schema_desc.clone(), self.cfg.kqe.clone());
         let generator = QueryGenerator::new(self.cfg.query_gen.clone());
         Ok(TqsSession {
             dsg,
             connector,
+            oracle,
             kqe,
             generator,
             cfg: self.cfg,
@@ -207,12 +241,7 @@ impl TqsSession {
     pub fn run(&mut self) -> RunStats {
         let mut stats = RunStats {
             dbms: self.dbms_name.clone(),
-            tool: if self.cfg.use_ground_truth {
-                "TQS"
-            } else {
-                "TQS!GT"
-            }
-            .to_string(),
+            tool: self.oracle.name().to_string(),
             queries_generated: 0,
             queries_executed: 0,
             queries_skipped: 0,
@@ -266,68 +295,19 @@ impl TqsSession {
         }
     }
 
-    /// Transform, execute and verify one query. Returns false when the query
-    /// was skipped (unsupported ground-truth shape).
+    /// Run one query through the session's oracle. Returns false when the
+    /// oracle skipped the statement (unsupported shape, execution failure).
     pub fn test_one(&mut self, stmt: &SelectStmt) -> bool {
-        let gt_eval = GroundTruthEvaluator::new(&self.dsg.db);
-        let truth = match gt_eval.evaluate(stmt) {
-            Ok(t) => t,
-            Err(_) => return false,
-        };
-        let hint_sets = hint_sets_for(self.dialect, stmt);
-        let mut outcomes = Vec::new();
-        for hs in &hint_sets {
-            match self.connector.execute_with_hints(stmt, hs) {
-                Ok(out) => outcomes.push((hs.clone(), out)),
-                Err(_) => continue,
-            }
-        }
-        if outcomes.is_empty() {
-            return false;
-        }
-        if self.cfg.use_ground_truth {
-            for (hs, out) in &outcomes {
-                if !truth.matches(&out.result) {
-                    let minimized = if self.cfg.minimize {
-                        Some(minimize_query(stmt, hs, self.connector.as_mut(), &gt_eval))
-                    } else {
-                        None
-                    };
-                    let report = make_report(
-                        &self.dbms_name,
-                        Oracle::GroundTruth,
-                        stmt,
-                        hs,
-                        &truth.result,
-                        &out.result,
-                        out.fired.clone(),
-                        minimized.as_ref(),
-                    );
-                    self.bugs.push(report);
+        match self.oracle.check(stmt, self.connector.as_mut()) {
+            OracleVerdict::Skip => false,
+            OracleVerdict::Pass => true,
+            OracleVerdict::Bugs(reports) => {
+                for r in reports {
+                    self.bugs.push(r);
                 }
-            }
-        } else {
-            // Differential testing: compare every plan against the default
-            // plan's result; a bug is reported only when plans disagree.
-            let (base_hs, base) = &outcomes[0];
-            let _ = base_hs;
-            for (hs, out) in &outcomes[1..] {
-                if !base.result.same_bag(&out.result) {
-                    let report = make_report(
-                        &self.dbms_name,
-                        Oracle::Differential,
-                        stmt,
-                        hs,
-                        &base.result,
-                        &out.result,
-                        out.fired.clone(),
-                        None,
-                    );
-                    self.bugs.push(report);
-                }
+                true
             }
         }
-        true
     }
 }
 
@@ -453,6 +433,57 @@ mod tests {
             with_kqe as f64 >= without as f64 * 0.9,
             "KQE diversity {with_kqe} should not collapse below uniform {without}"
         );
+    }
+
+    #[test]
+    fn the_session_tool_label_comes_from_the_oracle() {
+        let run = |use_gt: bool| {
+            let mut session = TqsSession::builder()
+                .connector(EngineConnector::pristine(ProfileId::MysqlLike))
+                .dsg_config(&dsg_cfg(false))
+                .config(TqsConfig {
+                    iterations: 5,
+                    use_ground_truth: use_gt,
+                    ..small_cfg()
+                })
+                .build()
+                .unwrap();
+            session.run().tool
+        };
+        assert_eq!(run(true), "TQS");
+        assert_eq!(run(false), "TQS!GT");
+    }
+
+    #[test]
+    fn a_custom_oracle_drives_the_session() {
+        struct CountingOracle(usize);
+        impl crate::oracle::Oracle for CountingOracle {
+            fn name(&self) -> &str {
+                "counting"
+            }
+            fn check(
+                &mut self,
+                _stmt: &tqs_sql::ast::SelectStmt,
+                _conn: &mut dyn crate::backend::DbmsConnector,
+            ) -> OracleVerdict {
+                self.0 += 1;
+                OracleVerdict::Pass
+            }
+        }
+        let mut session = TqsSession::builder()
+            .connector(EngineConnector::pristine(ProfileId::MysqlLike))
+            .dsg_config(&dsg_cfg(false))
+            .config(TqsConfig {
+                iterations: 12,
+                ..small_cfg()
+            })
+            .oracle(CountingOracle(0))
+            .build()
+            .unwrap();
+        let stats = session.run();
+        assert_eq!(stats.tool, "counting");
+        assert_eq!(stats.queries_executed, 12);
+        assert_eq!(stats.queries_skipped, 0);
     }
 
     #[test]

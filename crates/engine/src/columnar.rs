@@ -1,0 +1,858 @@
+//! The second simulated engine: a columnar, batch-at-a-time executor.
+//!
+//! Where [`crate::engine::Database`] executes row-at-a-time over [`Rel`],
+//! [`ColumnarDatabase`] keeps every intermediate relation column-major
+//! ([`ColumnarRel`]) and drives joins and WHERE filtering in probe batches of
+//! [`ColumnarDatabase::batch_size`] rows: hashed joins encode and probe a
+//! whole batch of keys at a time, and simple `column <op> literal` conjuncts
+//! are evaluated as tight per-column loops over a selection bitmap instead of
+//! building a row scope per tuple.
+//!
+//! Both engines share the optimizer ([`Database::plan`]), the subquery
+//! machinery and the projection/aggregation tail, so on fault-free builds
+//! they are answer-identical by construction of the shared semantics — a
+//! property the workspace pins with a proptest. What differs is the physical
+//! execution — and therefore the *fault complement*: the columnar build
+//! carries [`FaultKind::COLUMNAR`] (batch-tail loss, NULL-mask misalignment,
+//! dictionary truncation, selection-bitmap corruption), which cannot occur in
+//! the row engine, and none of the Table 4 row faults. That disjointness is
+//! what makes cross-engine differential testing (`DifferentialOracle` in
+//! tqs-core) a meaningful oracle.
+
+use crate::engine::{distinct, Database, EngineError, EngineSubqueries, ExecOutcome};
+use crate::exec::{canonical_encoding, ExecContext, Rel};
+use crate::faults::{FaultKind, TriggerContext};
+use crate::plan::PhysicalJoin;
+use crate::profiles::DbmsProfile;
+use std::collections::HashMap;
+use tqs_sql::ast::{BinOp, Expr, JoinType, SelectStmt};
+use tqs_sql::eval::{eval_predicate, ScopedRow};
+use tqs_sql::hints::HintSet;
+use tqs_sql::parser::parse_stmt;
+use tqs_sql::value::{null_safe_eq, sql_compare, SqlCmp, Value};
+use tqs_storage::{Catalog, Table};
+
+/// Default number of rows per probe/filter batch.
+pub const DEFAULT_BATCH_SIZE: usize = 64;
+
+/// A column-major intermediate relation: one `Vec<Value>` per output column,
+/// all of equal length.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnarRel {
+    /// (binding, column name) per column, parallel to `columns`.
+    pub cols: Vec<(String, String)>,
+    pub columns: Vec<Vec<Value>>,
+}
+
+impl ColumnarRel {
+    pub fn scan(table: &Table, binding: &str) -> ColumnarRel {
+        let mut columns = vec![Vec::with_capacity(table.rows.len()); table.columns.len()];
+        for row in &table.rows {
+            for (ci, v) in row.values.iter().enumerate() {
+                columns[ci].push(v.clone());
+            }
+        }
+        ColumnarRel {
+            cols: table
+                .columns
+                .iter()
+                .map(|c| (binding.to_string(), c.name.clone()))
+                .collect(),
+            columns,
+        }
+    }
+
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.first().map(|c| c.len()).unwrap_or(0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn col_index(&self, binding: Option<&str>, col: &str) -> Option<usize> {
+        self.cols.iter().position(|(b, c)| {
+            c.eq_ignore_ascii_case(col)
+                && binding.map(|q| q.eq_ignore_ascii_case(b)).unwrap_or(true)
+        })
+    }
+
+    /// Scope entries for row `i`, consumable by the reference evaluator.
+    pub fn scope(&self, i: usize) -> Vec<(String, String, Value)> {
+        self.cols
+            .iter()
+            .zip(self.columns.iter())
+            .map(|((b, c), col)| (b.clone(), c.clone(), col[i].clone()))
+            .collect()
+    }
+
+    fn push_gathered(&mut self, src: &ColumnarRel, row: usize, offset: usize) {
+        for (ci, col) in src.columns.iter().enumerate() {
+            self.columns[offset + ci].push(col[row].clone());
+        }
+    }
+
+    fn push_nulls(&mut self, offset: usize, width: usize) {
+        for ci in 0..width {
+            self.columns[offset + ci].push(Value::Null);
+        }
+    }
+
+    /// Row-major view, for handing the tail of the pipeline (projection,
+    /// aggregation) to the shared engine code.
+    pub fn to_rel(&self) -> Rel {
+        let n = self.len();
+        let mut rows = Vec::with_capacity(n);
+        for i in 0..n {
+            rows.push(self.columns.iter().map(|c| c[i].clone()).collect());
+        }
+        Rel {
+            cols: self.cols.clone(),
+            rows,
+        }
+    }
+}
+
+/// The columnar simulated DBMS: shares the optimizer, catalog, session
+/// switches and subquery machinery with [`Database`], but executes through
+/// the vectorized pipeline in this module.
+#[derive(Debug, Clone)]
+pub struct ColumnarDatabase {
+    inner: Database,
+    pub batch_size: usize,
+}
+
+impl ColumnarDatabase {
+    pub fn new(catalog: Catalog, profile: DbmsProfile) -> Self {
+        ColumnarDatabase {
+            inner: Database::new(catalog, profile),
+            batch_size: DEFAULT_BATCH_SIZE,
+        }
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.inner.catalog
+    }
+
+    pub fn set_catalog(&mut self, catalog: Catalog) {
+        self.inner.catalog = catalog;
+    }
+
+    pub fn profile(&self) -> &DbmsProfile {
+        &self.inner.profile
+    }
+
+    pub fn apply_switch(&mut self, s: tqs_sql::hints::SessionSwitch) {
+        self.inner.apply_switch(s);
+    }
+
+    pub fn reset_switches(&mut self) {
+        self.inner.reset_switches();
+    }
+
+    /// The plan the (shared) optimizer would choose.
+    pub fn plan(&self, stmt: &SelectStmt) -> Result<crate::plan::PhysicalPlan, EngineError> {
+        self.inner.plan(stmt)
+    }
+
+    /// EXPLAIN: the shared plan plus the columnar execution note.
+    pub fn explain(&self, stmt: &SelectStmt) -> Result<String, EngineError> {
+        let mut out = self.inner.explain(stmt)?;
+        out.push_str(&format!(
+            "-> executor: columnar, batch {} rows\n",
+            self.batch_size
+        ));
+        Ok(out)
+    }
+
+    /// Execute a transformed query: apply the hint set's session switches,
+    /// splice its hints into the statement, execute, then restore switches.
+    pub fn execute_with_hints(
+        &mut self,
+        stmt: &SelectStmt,
+        hints: &HintSet,
+    ) -> Result<ExecOutcome, EngineError> {
+        let saved = self.inner.switches.clone();
+        for s in &hints.switches {
+            self.inner.apply_switch(*s);
+        }
+        let mut hinted = stmt.clone();
+        hinted.hints.extend(hints.hints.iter().cloned());
+        let out = self.execute(&hinted);
+        self.inner.switches = saved;
+        out
+    }
+
+    /// Execute SQL text (parses, then executes).
+    pub fn execute_sql(&self, sql: &str) -> Result<ExecOutcome, EngineError> {
+        let stmt = parse_stmt(sql)?;
+        self.execute(&stmt)
+    }
+
+    /// Execute a statement through the columnar pipeline.
+    pub fn execute(&self, stmt: &SelectStmt) -> Result<ExecOutcome, EngineError> {
+        let plan = self.inner.plan(stmt)?;
+        let mut ctx = ExecContext::new(self.inner.profile.faults.clone());
+        ctx.switched_off = self.inner.switched_off_names();
+        ctx.materialization = self.inner.materialization_enabled(stmt);
+        ctx.subquery_present = stmt.has_subquery();
+        ctx.semi_strategy = self.inner.semi_strategy(stmt);
+
+        // Base scan, column-major.
+        let base_table = self
+            .inner
+            .catalog
+            .table(&stmt.from.base.table)
+            .ok_or_else(|| EngineError::UnknownTable(stmt.from.base.table.clone()))?;
+        let mut rel = ColumnarRel::scan(base_table, stmt.from.base.binding());
+
+        // Joins, in plan order, batch-at-a-time.
+        for pj in &plan.joins {
+            let ast_join = stmt
+                .from
+                .joins
+                .iter()
+                .find(|j| j.table.binding().eq_ignore_ascii_case(&pj.right_binding))
+                .ok_or_else(|| EngineError::Unsupported("plan/AST join mismatch".into()))?;
+            let right_table = self
+                .inner
+                .catalog
+                .table(&ast_join.table.table)
+                .ok_or_else(|| EngineError::UnknownTable(ast_join.table.table.clone()))?;
+            let right = ColumnarRel::scan(right_table, ast_join.table.binding());
+            rel = columnar_join(
+                &rel,
+                &right,
+                pj,
+                ast_join.on.as_ref(),
+                &mut ctx,
+                self.batch_size,
+            )?;
+        }
+
+        // WHERE filtering over the selection bitmap, batch-at-a-time.
+        let sub = EngineSubqueries::new(&self.inner, plan.subquery_plan, ctx.materialization);
+        if let Some(pred) = &stmt.where_clause {
+            rel = self.filter(pred, rel, &mut ctx, &sub)?;
+        }
+
+        // Projection / aggregation / DISTINCT / LIMIT share the row-engine
+        // tail — the columnar pipeline ends at the relational boundary.
+        let row_rel = rel.to_rel();
+        let mut result = if stmt.has_aggregates() || !stmt.group_by.is_empty() {
+            self.inner.aggregate(stmt, &row_rel, &sub)?
+        } else {
+            self.inner.project(stmt, &row_rel, &sub)?
+        };
+        if stmt.distinct {
+            result = distinct(result);
+        }
+        if let Some(l) = stmt.limit {
+            result.rows.truncate(l as usize);
+        }
+
+        ctx.fired.extend(sub.into_fired());
+        ctx.fired.dedup();
+        Ok(ExecOutcome {
+            result,
+            plan,
+            fired: ctx.fired,
+        })
+    }
+
+    /// Vectorized WHERE: conjuncts of the form `column <op> literal` run as
+    /// tight per-column loops over the selection bitmap; everything else
+    /// falls back to the reference evaluator per row (still batched so the
+    /// selection-bitmap fault has a lane structure to corrupt).
+    fn filter(
+        &self,
+        pred: &Expr,
+        rel: ColumnarRel,
+        ctx: &mut ExecContext,
+        sub: &EngineSubqueries<'_>,
+    ) -> Result<ColumnarRel, EngineError> {
+        let n = rel.len();
+        let mut sel = vec![true; n];
+        let mut conjuncts = Vec::new();
+        flatten_and(pred, &mut conjuncts);
+        let filter_trigger = TriggerContext::default();
+        let null_as_true = ctx
+            .faults
+            .active(FaultKind::ColumnarFilterNullAsTrue, &filter_trigger);
+        for c in conjuncts {
+            match vectorizable(c, &rel) {
+                Some((ci, op, lit, reversed)) => {
+                    let col = &rel.columns[ci];
+                    for (i, v) in col.iter().enumerate() {
+                        let truth = compare_value(v, op, lit, reversed);
+                        self.apply_truth(truth, i, &mut sel, null_as_true, ctx);
+                    }
+                }
+                None => {
+                    for i in 0..n {
+                        let scope = rel.scope(i);
+                        let resolver = ScopedRow::new(&scope);
+                        let truth = eval_predicate(c, &resolver, sub)?;
+                        self.apply_truth(truth, i, &mut sel, null_as_true, ctx);
+                    }
+                }
+            }
+        }
+        let mut out = ColumnarRel {
+            cols: rel.cols.clone(),
+            columns: vec![Vec::new(); rel.width()],
+        };
+        for (i, keep) in sel.iter().enumerate() {
+            if *keep {
+                out.push_gathered(&rel, i, 0);
+            }
+        }
+        Ok(out)
+    }
+
+    fn apply_truth(
+        &self,
+        truth: Option<bool>,
+        i: usize,
+        sel: &mut [bool],
+        null_as_true: bool,
+        ctx: &mut ExecContext,
+    ) {
+        match truth {
+            Some(true) => {}
+            // The selection-bitmap fault: the last lane of a *full* batch is
+            // never cleared, so a NULL predicate there stays selected.
+            None if null_as_true && i % self.batch_size == self.batch_size - 1 => {
+                ctx.fire(FaultKind::ColumnarFilterNullAsTrue);
+            }
+            _ => sel[i] = false,
+        }
+    }
+}
+
+/// Can this conjunct run through the vectorized comparison kernel?
+/// Returns (column index, operator, literal, literal-on-the-left).
+fn vectorizable<'a>(e: &'a Expr, rel: &ColumnarRel) -> Option<(usize, BinOp, &'a Value, bool)> {
+    let Expr::Binary { op, left, right } = e else {
+        return None;
+    };
+    if !matches!(
+        op,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::NullSafeEq
+    ) {
+        return None;
+    }
+    match (left.as_ref(), right.as_ref()) {
+        (Expr::Column(c), Expr::Literal(v)) => rel
+            .col_index(c.table.as_deref(), &c.column)
+            .map(|ci| (ci, *op, v, false)),
+        (Expr::Literal(v), Expr::Column(c)) => rel
+            .col_index(c.table.as_deref(), &c.column)
+            .map(|ci| (ci, *op, v, true)),
+        _ => None,
+    }
+}
+
+/// Three-valued comparison matching the reference evaluator's `tv_compare`.
+fn compare_value(v: &Value, op: BinOp, lit: &Value, reversed: bool) -> Option<bool> {
+    let (l, r) = if reversed { (lit, v) } else { (v, lit) };
+    if op == BinOp::NullSafeEq {
+        return Some(null_safe_eq(l, r));
+    }
+    if l.is_null() || r.is_null() {
+        return None;
+    }
+    match sql_compare(l, r) {
+        SqlCmp::Ordering(o) => Some(match op {
+            BinOp::Eq => o == std::cmp::Ordering::Equal,
+            BinOp::Ne => o != std::cmp::Ordering::Equal,
+            BinOp::Lt => o == std::cmp::Ordering::Less,
+            BinOp::Le => o != std::cmp::Ordering::Greater,
+            BinOp::Gt => o == std::cmp::Ordering::Greater,
+            BinOp::Ge => o != std::cmp::Ordering::Less,
+            _ => unreachable!("non-comparison op in vectorized kernel"),
+        }),
+        SqlCmp::Unknown => None,
+    }
+}
+
+/// Equi-key extraction over columnar relations (mirrors the row executor's).
+struct EquiKeys {
+    left_idx: Vec<usize>,
+    right_idx: Vec<usize>,
+    residual: Vec<Expr>,
+}
+
+fn extract_equi_keys(left: &ColumnarRel, right: &ColumnarRel, on: Option<&Expr>) -> EquiKeys {
+    let mut keys = EquiKeys {
+        left_idx: Vec::new(),
+        right_idx: Vec::new(),
+        residual: Vec::new(),
+    };
+    let Some(on) = on else { return keys };
+    let mut conjuncts = Vec::new();
+    flatten_and(on, &mut conjuncts);
+    for c in conjuncts {
+        if let Expr::Binary {
+            op: BinOp::Eq,
+            left: a,
+            right: b,
+        } = c
+        {
+            if let (Expr::Column(ca), Expr::Column(cb)) = (a.as_ref(), b.as_ref()) {
+                let la = left.col_index(ca.table.as_deref(), &ca.column);
+                let rb = right.col_index(cb.table.as_deref(), &cb.column);
+                if let (Some(li), Some(ri)) = (la, rb) {
+                    keys.left_idx.push(li);
+                    keys.right_idx.push(ri);
+                    continue;
+                }
+                let lb = left.col_index(cb.table.as_deref(), &cb.column);
+                let ra = right.col_index(ca.table.as_deref(), &ca.column);
+                if let (Some(li), Some(ri)) = (lb, ra) {
+                    keys.left_idx.push(li);
+                    keys.right_idx.push(ri);
+                    continue;
+                }
+            }
+        }
+        keys.residual.push(c.clone());
+    }
+    keys
+}
+
+fn flatten_and<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+    if let Expr::Binary {
+        op: BinOp::And,
+        left,
+        right,
+    } = e
+    {
+        flatten_and(left, out);
+        flatten_and(right, out);
+    } else {
+        out.push(e);
+    }
+}
+
+/// Encode the join key of row `i` against `key_cols` column vectors.
+/// `None` means a NULL key (never matches). The dictionary-truncation fault
+/// clips long varchar keys to their first 8 bytes.
+fn encode_key(
+    columns: &[Vec<Value>],
+    key_idx: &[usize],
+    i: usize,
+    truncate: bool,
+    ctx: &mut ExecContext,
+) -> Option<String> {
+    let mut out = String::new();
+    for &ci in key_idx {
+        let v = &columns[ci][i];
+        if v.is_null() {
+            return None;
+        }
+        if truncate {
+            if let Some(s) = v.as_str() {
+                if s.len() > 8 {
+                    // Clip at the last char boundary at or before byte 8 —
+                    // the fault corrupts answers, it must not panic on
+                    // multi-byte UTF-8 data.
+                    let mut cut = 8;
+                    while !s.is_char_boundary(cut) {
+                        cut -= 1;
+                    }
+                    ctx.fire(FaultKind::ColumnarDictTruncation);
+                    out.push_str(&format!("S:{}|", &s[..cut]));
+                    continue;
+                }
+            }
+        }
+        out.push_str(&canonical_encoding(v));
+        out.push('|');
+    }
+    Some(out)
+}
+
+fn residual_ok(
+    residual: &[Expr],
+    left: &ColumnarRel,
+    right: &ColumnarRel,
+    li: usize,
+    ri: usize,
+) -> bool {
+    if residual.is_empty() {
+        return true;
+    }
+    let mut scope = left.scope(li);
+    scope.extend(right.scope(ri));
+    let resolver = ScopedRow::new(&scope);
+    residual.iter().all(|p| {
+        eval_predicate(p, &resolver, &tqs_sql::eval::NoSubqueries)
+            .map(|r| r == Some(true))
+            .unwrap_or(false)
+    })
+}
+
+/// Execute one physical join step over columnar inputs: build a hash table
+/// over the build (right) side, then probe the left side one batch at a
+/// time. Non-equi joins degrade to a (correct) batched nested loop.
+pub fn columnar_join(
+    left: &ColumnarRel,
+    right: &ColumnarRel,
+    join: &PhysicalJoin,
+    on: Option<&Expr>,
+    ctx: &mut ExecContext,
+    batch_size: usize,
+) -> Result<ColumnarRel, EngineError> {
+    let t = ctx.trigger_ctx(join);
+    let keys = extract_equi_keys(left, right, on);
+    let n_left = left.len();
+
+    // Batch-tail loss: hashed probes past the last complete batch are never
+    // flushed, so those left rows vanish from the join entirely.
+    let mut live_until = n_left;
+    if !keys.left_idx.is_empty()
+        && ctx.faults.active(FaultKind::ColumnarBatchTailDrop, &t)
+        && n_left % batch_size != 0
+        && n_left > batch_size
+    {
+        live_until = (n_left / batch_size) * batch_size;
+        ctx.fire(FaultKind::ColumnarBatchTailDrop);
+    }
+
+    // Match computation.
+    let truncate = ctx.faults.active(FaultKind::ColumnarDictTruncation, &t);
+    let mut matches: Vec<Vec<usize>> = vec![Vec::new(); n_left];
+    if keys.left_idx.is_empty() {
+        // No equi key: batched nested loop (correct for cross/theta joins).
+        for (li, row_matches) in matches.iter_mut().enumerate().take(live_until) {
+            for ri in 0..right.len() {
+                if residual_ok(&keys.residual, left, right, li, ri) {
+                    row_matches.push(ri);
+                }
+            }
+        }
+    } else {
+        let mut table: HashMap<String, Vec<usize>> = HashMap::new();
+        for ri in 0..right.len() {
+            if let Some(k) = encode_key(&right.columns, &keys.right_idx, ri, truncate, ctx) {
+                table.entry(k).or_default().push(ri);
+            }
+        }
+        let mut start = 0;
+        while start < live_until {
+            let end = (start + batch_size).min(live_until);
+            for (li, row_matches) in matches[start..end].iter_mut().enumerate() {
+                let li = start + li;
+                let Some(k) = encode_key(&left.columns, &keys.left_idx, li, truncate, ctx) else {
+                    continue;
+                };
+                let mut ms = table.get(&k).cloned().unwrap_or_default();
+                ms.retain(|&ri| residual_ok(&keys.residual, left, right, li, ri));
+                *row_matches = ms;
+            }
+            start = end;
+        }
+    }
+
+    // Assemble the output column-major.
+    let (cols, left_width, right_width) = match join.join_type {
+        JoinType::Semi | JoinType::Anti => (left.cols.clone(), left.width(), 0),
+        _ => {
+            let mut c = left.cols.clone();
+            c.extend(right.cols.clone());
+            (c, left.width(), right.width())
+        }
+    };
+    let mut out = ColumnarRel {
+        columns: vec![Vec::new(); cols.len()],
+        cols,
+    };
+    let misalign = ctx.faults.active(FaultKind::ColumnarNullPadMisalign, &t);
+    let mut first_pad = true;
+    let mut right_matched = vec![false; right.len()];
+    for (li, ms) in matches.iter().enumerate().take(live_until) {
+        match join.join_type {
+            JoinType::Inner
+            | JoinType::Cross
+            | JoinType::LeftOuter
+            | JoinType::RightOuter
+            | JoinType::FullOuter => {
+                for &ri in ms {
+                    right_matched[ri] = true;
+                    out.push_gathered(left, li, 0);
+                    out.push_gathered(right, ri, left_width);
+                }
+                if ms.is_empty()
+                    && matches!(join.join_type, JoinType::LeftOuter | JoinType::FullOuter)
+                {
+                    out.push_gathered(left, li, 0);
+                    // NULL-mask misalignment: the first padded row replays
+                    // build row 0 instead of NULLs.
+                    if misalign && first_pad && !right.is_empty() {
+                        ctx.fire(FaultKind::ColumnarNullPadMisalign);
+                        out.push_gathered(right, 0, left_width);
+                    } else {
+                        out.push_nulls(left_width, right_width);
+                    }
+                    first_pad = false;
+                }
+            }
+            JoinType::Semi => {
+                if !ms.is_empty() {
+                    out.push_gathered(left, li, 0);
+                }
+            }
+            JoinType::Anti => {
+                if ms.is_empty() {
+                    out.push_gathered(left, li, 0);
+                }
+            }
+        }
+    }
+
+    // Right/full outer: pad unmatched right rows on the left side.
+    if matches!(join.join_type, JoinType::RightOuter | JoinType::FullOuter) {
+        for (ri, matched) in right_matched.iter().enumerate() {
+            if !matched {
+                if misalign && first_pad && n_left > 0 {
+                    ctx.fire(FaultKind::ColumnarNullPadMisalign);
+                    out.push_gathered(left, 0, 0);
+                } else {
+                    for ci in 0..left_width {
+                        out.columns[ci].push(Value::Null);
+                    }
+                }
+                first_pad = false;
+                out.push_gathered(right, ri, left_width);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultSet;
+    use crate::plan::JoinAlgo;
+    use crate::profiles::ProfileId;
+    use tqs_sql::types::{ColumnDef, ColumnType};
+    use tqs_storage::Row;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let mut t1 = Table::new(
+            "t1",
+            vec![
+                ColumnDef::new("id", ColumnType::BigInt { unsigned: false }).not_null(),
+                ColumnDef::new("col1", ColumnType::Int { unsigned: false }),
+            ],
+        )
+        .with_primary_key(vec!["id"]);
+        for (id, c) in [(1, Some(10)), (2, Some(20)), (3, None)] {
+            t1.push_row(Row::new(vec![
+                Value::Int(id),
+                c.map(Value::Int).unwrap_or(Value::Null),
+            ]))
+            .unwrap();
+        }
+        cat.add_table(t1);
+        let mut t2 = Table::new(
+            "t2",
+            vec![
+                ColumnDef::new("id", ColumnType::BigInt { unsigned: false }).not_null(),
+                ColumnDef::new("col1", ColumnType::Varchar(100)),
+            ],
+        )
+        .with_primary_key(vec!["id"]);
+        for (id, c) in [(10, "a"), (20, "b"), (30, "c")] {
+            t2.push_row(Row::new(vec![Value::Int(id), Value::str(c)]))
+                .unwrap();
+        }
+        cat.add_table(t2);
+        cat
+    }
+
+    fn columnar(id: ProfileId) -> ColumnarDatabase {
+        ColumnarDatabase::new(catalog(), DbmsProfile::columnar_pristine(id))
+    }
+
+    fn row_db(id: ProfileId) -> Database {
+        Database::new(catalog(), DbmsProfile::pristine(id))
+    }
+
+    #[test]
+    fn columnar_matches_row_engine_on_basic_queries() {
+        let queries = [
+            "SELECT t1.id FROM t1 WHERE t1.col1 > 10",
+            "SELECT t1.id, t2.col1 FROM t1 INNER JOIN t2 ON t1.col1 = t2.id",
+            "SELECT t1.id FROM t1 LEFT OUTER JOIN t2 ON t1.col1 = t2.id",
+            "SELECT t1.id FROM t1 WHERE t1.col1 IN (SELECT t2.id FROM t2)",
+            "SELECT t2.col1, COUNT(*) AS cnt FROM t1 JOIN t2 ON t1.col1 = t2.id GROUP BY t2.col1",
+            "SELECT DISTINCT t2.col1 FROM t2 JOIN t1 ON t2.id = t1.col1",
+        ];
+        for id in ProfileId::ALL {
+            let col = columnar(id);
+            let row = row_db(id);
+            for q in queries {
+                let a = col.execute_sql(q).unwrap_or_else(|e| panic!("{q}: {e}"));
+                let b = row.execute_sql(q).unwrap();
+                assert!(
+                    a.result.same_bag(&b.result),
+                    "{id:?} diverged on {q}: columnar {} vs row {}",
+                    a.result.pretty(),
+                    b.result.pretty()
+                );
+                assert!(a.fired.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_boundaries_do_not_change_answers_when_pristine() {
+        let mut small = columnar(ProfileId::MysqlLike);
+        small.batch_size = 2;
+        let big = columnar(ProfileId::MysqlLike);
+        let q = "SELECT t1.id, t2.col1 FROM t1 JOIN t2 ON t1.col1 = t2.id";
+        let a = small.execute_sql(q).unwrap();
+        let b = big.execute_sql(q).unwrap();
+        assert!(a.result.same_bag(&b.result));
+    }
+
+    #[test]
+    fn explain_mentions_the_columnar_executor() {
+        let db = columnar(ProfileId::TidbLike);
+        let stmt = parse_stmt("SELECT t1.id FROM t1 JOIN t2 ON t1.col1 = t2.id").unwrap();
+        let e = db.explain(&stmt).unwrap();
+        assert!(e.contains("executor: columnar"));
+    }
+
+    #[test]
+    fn batch_tail_drop_loses_probe_rows() {
+        let mut db = ColumnarDatabase::new(catalog(), DbmsProfile::columnar(ProfileId::MysqlLike));
+        db.batch_size = 2; // 3 probe rows → one full batch + a dropped tail
+        let q = "SELECT t1.id, t2.col1 FROM t1 LEFT OUTER JOIN t2 ON t1.col1 = t2.id";
+        let out = db.execute_sql(q).unwrap();
+        let mut clean = columnar(ProfileId::MysqlLike);
+        clean.batch_size = 2;
+        let clean = clean.execute_sql(q).unwrap();
+        assert!(out.fired.contains(&FaultKind::ColumnarBatchTailDrop));
+        assert!(
+            out.result.row_count() < clean.result.row_count(),
+            "tail probe rows must vanish: {} vs {}",
+            out.result.pretty(),
+            clean.result.pretty()
+        );
+    }
+
+    #[test]
+    fn null_pad_misalignment_corrupts_first_padded_row() {
+        let db = ColumnarDatabase::new(
+            catalog(),
+            DbmsProfile {
+                faults: FaultSet::of(&[FaultKind::ColumnarNullPadMisalign]),
+                ..DbmsProfile::columnar(ProfileId::MysqlLike)
+            },
+        );
+        let q = "SELECT t1.id, t2.col1 FROM t1 LEFT OUTER JOIN t2 ON t1.col1 = t2.id";
+        let out = db.execute_sql(q).unwrap();
+        assert!(out.fired.contains(&FaultKind::ColumnarNullPadMisalign));
+        let clean = columnar(ProfileId::MysqlLike).execute_sql(q).unwrap();
+        assert_eq!(out.result.row_count(), clean.result.row_count());
+        assert!(!out.result.same_bag(&clean.result));
+    }
+
+    #[test]
+    fn filter_null_as_true_keeps_a_batch_tail_lane() {
+        let mut db = ColumnarDatabase::new(
+            catalog(),
+            DbmsProfile {
+                faults: FaultSet::of(&[FaultKind::ColumnarFilterNullAsTrue]),
+                ..DbmsProfile::columnar(ProfileId::MysqlLike)
+            },
+        );
+        db.batch_size = 3; // t1 has 3 rows; row 3 (NULL col1) sits on the lane
+        let q = "SELECT t1.id FROM t1 WHERE t1.col1 > 5";
+        let out = db.execute_sql(q).unwrap();
+        assert!(out.fired.contains(&FaultKind::ColumnarFilterNullAsTrue));
+        assert_eq!(out.result.row_count(), 3, "{}", out.result.pretty());
+        let clean = columnar(ProfileId::MysqlLike).execute_sql(q).unwrap();
+        assert_eq!(clean.result.row_count(), 2);
+    }
+
+    #[test]
+    fn dict_truncation_collides_long_varchar_keys() {
+        let mut cat = Catalog::new();
+        for name in ["a", "b"] {
+            let mut t = Table::new(
+                name,
+                vec![ColumnDef::new("k", ColumnType::Varchar(100)).not_null()],
+            );
+            let suffix = if name == "a" { "left" } else { "right" };
+            t.push_row(Row::new(vec![Value::str(format!("prefix01_{suffix}"))]))
+                .unwrap();
+            cat.add_table(t);
+        }
+        let faulty = ColumnarDatabase::new(
+            cat.clone(),
+            DbmsProfile {
+                faults: FaultSet::of(&[FaultKind::ColumnarDictTruncation]),
+                ..DbmsProfile::columnar(ProfileId::MysqlLike)
+            },
+        );
+        let q = "SELECT a.k FROM a JOIN b ON a.k = b.k";
+        let out = faulty.execute_sql(q).unwrap();
+        assert!(out.fired.contains(&FaultKind::ColumnarDictTruncation));
+        assert_eq!(out.result.row_count(), 1, "truncated keys must collide");
+        let clean =
+            ColumnarDatabase::new(cat, DbmsProfile::columnar_pristine(ProfileId::MysqlLike));
+        assert_eq!(clean.execute_sql(q).unwrap().result.row_count(), 0);
+    }
+
+    #[test]
+    fn dict_truncation_survives_multibyte_utf8_keys() {
+        // A 2-byte char straddling the byte-8 cut must not panic the probe.
+        let mut cat = Catalog::new();
+        for name in ["a", "b"] {
+            let mut t = Table::new(
+                name,
+                vec![ColumnDef::new("k", ColumnType::Varchar(100)).not_null()],
+            );
+            t.push_row(Row::new(vec![Value::str(format!("aaaaaaaé-{name}"))]))
+                .unwrap();
+            cat.add_table(t);
+        }
+        let faulty = ColumnarDatabase::new(
+            cat,
+            DbmsProfile {
+                faults: FaultSet::of(&[FaultKind::ColumnarDictTruncation]),
+                ..DbmsProfile::columnar(ProfileId::MysqlLike)
+            },
+        );
+        let out = faulty
+            .execute_sql("SELECT a.k FROM a JOIN b ON a.k = b.k")
+            .unwrap();
+        assert!(out.fired.contains(&FaultKind::ColumnarDictTruncation));
+        assert_eq!(out.result.row_count(), 1, "clipped keys must collide");
+    }
+
+    #[test]
+    fn hints_steer_the_shared_optimizer() {
+        let mut db = columnar(ProfileId::MysqlLike);
+        let stmt = parse_stmt("SELECT t1.id FROM t1 JOIN t2 ON t1.col1 = t2.id").unwrap();
+        let merge = db
+            .execute_with_hints(
+                &stmt,
+                &HintSet::new("merge").with_hint(tqs_sql::hints::Hint::MergeJoin(vec![])),
+            )
+            .unwrap();
+        assert_eq!(merge.plan.joins[0].algo, JoinAlgo::SortMergeJoin);
+        let default = db.execute(&stmt).unwrap();
+        assert!(merge.result.same_bag(&default.result));
+    }
+}

@@ -74,7 +74,7 @@ pub struct ExecOutcome {
 pub struct Database {
     pub catalog: Catalog,
     pub profile: DbmsProfile,
-    switches: HashMap<SwitchName, bool>,
+    pub(crate) switches: HashMap<SwitchName, bool>,
 }
 
 impl Database {
@@ -99,7 +99,7 @@ impl Database {
         *self.switches.get(&name).unwrap_or(&true)
     }
 
-    fn switched_off_names(&self) -> Vec<&'static str> {
+    pub(crate) fn switched_off_names(&self) -> Vec<&'static str> {
         SwitchName::ALL
             .iter()
             .filter(|n| !self.switch_on(**n))
@@ -204,7 +204,7 @@ impl Database {
         })
     }
 
-    fn materialization_enabled(&self, stmt: &SelectStmt) -> bool {
+    pub(crate) fn materialization_enabled(&self, stmt: &SelectStmt) -> bool {
         if let Some(Hint::Materialization(b)) = stmt
             .hints
             .iter()
@@ -215,7 +215,7 @@ impl Database {
         self.switch_on(SwitchName::Materialization) && self.profile.default_materialization
     }
 
-    fn semi_strategy(&self, stmt: &SelectStmt) -> Option<SemiJoinStrategy> {
+    pub(crate) fn semi_strategy(&self, stmt: &SelectStmt) -> Option<SemiJoinStrategy> {
         for h in &stmt.hints {
             match h {
                 Hint::NoSemiJoin => return None,
@@ -478,13 +478,7 @@ impl Database {
 
         // WHERE filtering (with subquery strategies and the constant-cache
         // fault applied).
-        let sub = EngineSubqueries {
-            db: self,
-            plan: plan.subquery_plan,
-            materialization: ctx.materialization,
-            faults: self.profile.faults.clone(),
-            fired: RefCell::new(Vec::new()),
-        };
+        let sub = EngineSubqueries::new(self, plan.subquery_plan, ctx.materialization);
         if let Some(pred) = &stmt.where_clause {
             let pred = self.apply_constant_cache_fault(pred, &rel, &mut ctx);
             let mut kept = Vec::new();
@@ -511,7 +505,7 @@ impl Database {
             result.rows.truncate(l as usize);
         }
 
-        ctx.fired.extend(sub.fired.into_inner());
+        ctx.fired.extend(sub.into_fired());
         ctx.fired.dedup();
         Ok(ExecOutcome {
             result,
@@ -549,7 +543,7 @@ impl Database {
         rewritten
     }
 
-    fn project(
+    pub(crate) fn project(
         &self,
         stmt: &SelectStmt,
         rel: &Rel,
@@ -590,7 +584,7 @@ impl Database {
         Ok(rs)
     }
 
-    fn aggregate(
+    pub(crate) fn aggregate(
         &self,
         stmt: &SelectStmt,
         rel: &Rel,
@@ -766,8 +760,9 @@ fn rewrite_null_safe_eq(
 }
 
 /// Subquery execution for WHERE-clause IN/EXISTS, honouring the chosen
-/// subquery plan and its faults.
-struct EngineSubqueries<'a> {
+/// subquery plan and its faults. Shared with the columnar executor, whose
+/// WHERE phase delegates subquery evaluation here.
+pub(crate) struct EngineSubqueries<'a> {
     db: &'a Database,
     plan: SubqueryPlan,
     materialization: bool,
@@ -775,7 +770,21 @@ struct EngineSubqueries<'a> {
     fired: RefCell<Vec<FaultKind>>,
 }
 
-impl EngineSubqueries<'_> {
+impl<'a> EngineSubqueries<'a> {
+    pub(crate) fn new(db: &'a Database, plan: SubqueryPlan, materialization: bool) -> Self {
+        EngineSubqueries {
+            db,
+            plan,
+            materialization,
+            faults: db.profile.faults.clone(),
+            fired: RefCell::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn into_fired(self) -> Vec<FaultKind> {
+        self.fired.into_inner()
+    }
+
     fn fire(&self, kind: FaultKind) {
         let mut f = self.fired.borrow_mut();
         if !f.contains(&kind) {
@@ -870,7 +879,7 @@ fn strip_equality_conjuncts(e: &Expr) -> (Option<Expr>, bool) {
     (Expr::conjunction(kept), dropped)
 }
 
-fn distinct(rs: ResultSet) -> ResultSet {
+pub(crate) fn distinct(rs: ResultSet) -> ResultSet {
     let mut seen = std::collections::HashSet::new();
     let mut out = ResultSet::new(rs.columns.clone());
     for row in rs.rows {

@@ -97,7 +97,7 @@ impl ExecContext {
         }
     }
 
-    fn trigger_ctx(&self, join: &PhysicalJoin) -> TriggerContext {
+    pub(crate) fn trigger_ctx(&self, join: &PhysicalJoin) -> TriggerContext {
         TriggerContext {
             algo: Some(join.algo),
             join_type: Some(join.join_type),
@@ -258,7 +258,7 @@ fn encode_key(values: &[&Value], ctx: &mut ExecContext, t: &TriggerContext) -> O
     Some(out)
 }
 
-fn canonical_encoding(v: &Value) -> String {
+pub(crate) fn canonical_encoding(v: &Value) -> String {
     match tqs_sql::value::hash_key(v) {
         tqs_sql::value::HashKey::Null => "N:".to_string(),
         tqs_sql::value::HashKey::Int(i) => format!("I:{i}"),

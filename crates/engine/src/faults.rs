@@ -107,6 +107,28 @@ pub enum FaultKind {
     /// #20: incorrect semi-join with materialize execution (float keys
     /// compared after lossy f32 round-trip).
     SemiJoinFloatPrecision,
+
+    // --- Columnar-engine complement (not part of Table 4) ---
+    //
+    // The second simulated engine executes batch-at-a-time over column
+    // vectors; its latent faults live in the batching machinery rather than
+    // in any row-at-a-time join algorithm, so cross-engine differential
+    // testing between the two builds is meaningful: the complements are
+    // disjoint, and neither engine can reproduce the other's bugs.
+    /// C1: the final partial probe batch is never flushed, dropping the tail
+    /// rows of hashed joins whenever the probe side is not a whole number of
+    /// batches.
+    ColumnarBatchTailDrop,
+    /// C2: the outer-join NULL mask is misaligned by one row, so the first
+    /// padded output row replays build-side values instead of NULLs.
+    ColumnarNullPadMisalign,
+    /// C3: the dictionary encoder truncates varchar join keys to their first
+    /// 8 bytes, letting long keys with a shared prefix collide.
+    ColumnarDictTruncation,
+    /// C4: the selection bitmap is initialized to all-ones and the lane of
+    /// the last row in a full batch is never cleared, so a predicate that
+    /// evaluates to NULL there is treated as TRUE.
+    ColumnarFilterNullAsTrue,
 }
 
 impl FaultKind {
@@ -133,24 +155,43 @@ impl FaultKind {
         FaultKind::SemiJoinFloatPrecision,
     ];
 
-    /// The Table 4 row id (1-based).
+    /// The columnar engine's fault complement (ids 21..=24, outside Table 4).
+    pub const COLUMNAR: [FaultKind; 4] = [
+        FaultKind::ColumnarBatchTailDrop,
+        FaultKind::ColumnarNullPadMisalign,
+        FaultKind::ColumnarDictTruncation,
+        FaultKind::ColumnarFilterNullAsTrue,
+    ];
+
+    /// The Table 4 row id (1-based); the columnar complement continues the
+    /// numbering at 21.
     pub fn table4_id(self) -> u32 {
-        FaultKind::ALL.iter().position(|f| *f == self).unwrap() as u32 + 1
+        if let Some(i) = FaultKind::ALL.iter().position(|f| *f == self) {
+            i as u32 + 1
+        } else {
+            let i = FaultKind::COLUMNAR.iter().position(|f| *f == self).unwrap();
+            i as u32 + 21
+        }
     }
 
-    /// The DBMS this bug type is attributed to in Table 4.
+    /// The DBMS build this bug type is attributed to.
     pub fn dbms(self) -> &'static str {
         match self.table4_id() {
             1..=7 => "MySQL-like",
             8..=12 => "MariaDB-like",
             13..=17 => "TiDB-like",
-            _ => "X-DB-like",
+            18..=20 => "X-DB-like",
+            _ => "Columnar",
         }
     }
 
     pub fn severity(self) -> Severity {
         match self {
             FaultKind::SemiJoinWrongResults => Severity::Critical,
+            FaultKind::ColumnarBatchTailDrop => Severity::Critical,
+            FaultKind::ColumnarNullPadMisalign => Severity::Serious,
+            FaultKind::ColumnarDictTruncation => Severity::Major,
+            FaultKind::ColumnarFilterNullAsTrue => Severity::Serious,
             f if f.table4_id() <= 7 => Severity::Serious,
             f if f.table4_id() <= 12 => Severity::Major,
             f if f.table4_id() <= 17 => Severity::Critical,
@@ -212,13 +253,27 @@ impl FaultKind {
             }
             FaultKind::HashJoinNullMatchesEmpty => "Hash join returns wrong result sets.",
             FaultKind::SemiJoinFloatPrecision => "Incorrect semi-join with materialize execution.",
+            FaultKind::ColumnarBatchTailDrop => {
+                "Columnar hashed join drops the final partial probe batch."
+            }
+            FaultKind::ColumnarNullPadMisalign => {
+                "Columnar outer join misaligns the NULL mask on the first padded row."
+            }
+            FaultKind::ColumnarDictTruncation => {
+                "Columnar dictionary encoding truncates long varchar join keys."
+            }
+            FaultKind::ColumnarFilterNullAsTrue => {
+                "Columnar filter treats a NULL predicate as TRUE on the last batch lane."
+            }
         }
     }
 
-    /// Status as reported in Table 4.
+    /// Status as reported in Table 4 (the columnar complement is seeded by
+    /// this reproduction, not taken from the paper).
     pub fn status(self) -> &'static str {
         match self.table4_id() {
             1 | 2 | 6 | 13 | 14 | 15 | 16 | 17 | 18 | 19 => "Fixed",
+            21..=24 => "Seeded",
             _ => "Verified",
         }
     }
@@ -304,6 +359,17 @@ impl FaultKind {
             SemiJoinFloatPrecision => {
                 matches!(ctx.join_type, Some(JoinType::Semi)) && !ctx.materialization
             }
+            // Columnar complement: the batching faults live in the hashed
+            // probe pipeline, the NULL-mask fault in outer-join padding, and
+            // the selection-bitmap fault is purely data dependent.
+            ColumnarBatchTailDrop | ColumnarDictTruncation => {
+                ctx.algo.map(|a| a.uses_hashed_keys()).unwrap_or(false)
+            }
+            ColumnarNullPadMisalign => matches!(
+                ctx.join_type,
+                Some(JoinType::LeftOuter) | Some(JoinType::RightOuter) | Some(JoinType::FullOuter)
+            ),
+            ColumnarFilterNullAsTrue => true,
         }
     }
 }
@@ -420,6 +486,20 @@ mod tests {
         assert!(fs.contains(FaultKind::SemiJoinWrongResults));
         fs.disable(FaultKind::SemiJoinWrongResults);
         assert!(fs.is_empty());
+    }
+
+    #[test]
+    fn columnar_complement_is_disjoint_from_table_4() {
+        for f in FaultKind::COLUMNAR {
+            assert!(!FaultKind::ALL.contains(&f));
+            assert_eq!(f.dbms(), "Columnar");
+            assert_eq!(f.status(), "Seeded");
+            assert!(!f.description().is_empty());
+            assert!((21..=24).contains(&f.table4_id()));
+        }
+        let mut ids: Vec<u32> = FaultKind::COLUMNAR.iter().map(|f| f.table4_id()).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
     }
 
     #[test]

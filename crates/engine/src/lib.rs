@@ -7,7 +7,10 @@
 //! * [`engine`] — the optimizer (hint- and optimizer_switch-steerable) and
 //!   the executor entry points.
 //! * [`exec`] — physical operators with fault interception points.
-//! * [`faults`] — the 20-entry fault catalog modeled on Table 4.
+//! * [`columnar`] — the second engine: a columnar, batch-at-a-time executor
+//!   sharing the optimizer but carrying its own fault complement.
+//! * [`faults`] — the 20-entry fault catalog modeled on Table 4, plus the
+//!   columnar complement.
 //! * [`profiles`] — the four simulated DBMS builds with their latent faults.
 //!
 //! The engine is *correct* when its fault set is empty; every wrong answer is
@@ -15,12 +18,14 @@
 //! physical plan and data corner case, which is what makes hint-steered,
 //! ground-truth-verified testing (TQS) necessary to find them.
 
+pub mod columnar;
 pub mod engine;
 pub mod exec;
 pub mod faults;
 pub mod plan;
 pub mod profiles;
 
+pub use columnar::{ColumnarDatabase, ColumnarRel};
 pub use engine::{Database, EngineError, ExecOutcome};
 pub use exec::{ExecContext, Rel};
 pub use faults::{FaultKind, FaultSet, Severity, TriggerContext};

@@ -171,6 +171,26 @@ impl DbmsProfile {
         p.faults = FaultSet::none();
         p
     }
+
+    /// The columnar (vectorized) build of `id`: same optimizer defaults and
+    /// hint dialect, but executed batch-at-a-time over column vectors by
+    /// [`crate::columnar::ColumnarDatabase`], with the columnar fault
+    /// complement ([`FaultKind::COLUMNAR`]) instead of the Table 4 faults.
+    pub fn columnar(id: ProfileId) -> DbmsProfile {
+        let mut p = DbmsProfile::build(id);
+        p.info.name = format!("{} [columnar]", p.info.name);
+        p.info.version = format!("{}-col", p.info.version);
+        p.faults = FaultSet::of(&FaultKind::COLUMNAR);
+        p
+    }
+
+    /// A fault-free columnar build (the reference side of cross-engine
+    /// differential testing, and the parity baseline for the property tests).
+    pub fn columnar_pristine(id: ProfileId) -> DbmsProfile {
+        let mut p = DbmsProfile::columnar(id);
+        p.faults = FaultSet::none();
+        p
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +234,19 @@ mod tests {
         assert_eq!(mysql.info.first_release, 1995);
         let tidb = DbmsProfile::build(ProfileId::TidbLike);
         assert_eq!(tidb.info.github_stars, Some("31.8k"));
+    }
+
+    #[test]
+    fn columnar_builds_carry_the_columnar_complement() {
+        for id in ProfileId::ALL {
+            let p = DbmsProfile::columnar(id);
+            assert!(p.info.name.contains("[columnar]"));
+            assert_eq!(p.faults.len(), FaultKind::COLUMNAR.len());
+            for f in p.faults.kinds() {
+                assert_eq!(f.dbms(), "Columnar", "{f:?}");
+            }
+            assert!(DbmsProfile::columnar_pristine(id).faults.is_empty());
+        }
     }
 
     #[test]

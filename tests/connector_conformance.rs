@@ -24,6 +24,44 @@ fn engine_connector_seeded_builds_conform() {
 }
 
 #[test]
+fn columnar_connector_pristine_builds_conform() {
+    // The second engine must satisfy the same contract as the first: on a
+    // fault-free columnar build every hinted plan matches the ground truth.
+    for profile in ProfileId::ALL {
+        let mut conn = EngineConnector::columnar_pristine(profile);
+        assert_connector_conformance(&mut conn, BuildKind::Pristine);
+    }
+}
+
+#[test]
+fn columnar_connector_seeded_builds_conform() {
+    // The columnar fault complement must be observable through the trait.
+    for profile in ProfileId::ALL {
+        let mut conn = EngineConnector::columnar(profile);
+        assert_connector_conformance(&mut conn, BuildKind::Seeded);
+    }
+}
+
+#[test]
+fn replay_connector_of_a_recorded_pristine_session_conforms() {
+    // Record one full conformance run, then replay it without the engine:
+    // the suite's seeded generator reproduces the same statements, so the
+    // replay backend must pass the identical contract.
+    let mut rec = RecordingConnector::new(EngineConnector::pristine(ProfileId::MysqlLike));
+    assert_connector_conformance(&mut rec, BuildKind::Pristine);
+    let mut replay = rec.replay();
+    assert_connector_conformance(&mut replay, BuildKind::Pristine);
+}
+
+#[test]
+fn replay_connector_of_a_recorded_seeded_session_conforms() {
+    let mut rec = RecordingConnector::new(EngineConnector::faulty(ProfileId::TidbLike));
+    assert_connector_conformance(&mut rec, BuildKind::Seeded);
+    let mut replay = rec.replay();
+    assert_connector_conformance(&mut replay, BuildKind::Seeded);
+}
+
+#[test]
 fn recording_connector_is_a_transparent_pristine_proxy() {
     let mut conn = RecordingConnector::new(EngineConnector::pristine(ProfileId::MysqlLike));
     assert_connector_conformance(&mut conn, BuildKind::Pristine);
@@ -47,7 +85,7 @@ fn recording_connector_is_a_transparent_seeded_proxy() {
     assert_connector_conformance(&mut conn, BuildKind::Seeded);
     // the trace carries the fault provenance the seeded build produced
     let fired_in_trace = conn.trace().iter().any(
-        |e| matches!(e, TraceEvent::Statement { outcome: Ok((_, fired)), .. } if !fired.is_empty()),
+        |e| matches!(e, TraceEvent::Statement { outcome: Ok(out), .. } if !out.fired.is_empty()),
     );
     assert!(
         fired_in_trace,
