@@ -1,0 +1,128 @@
+//! Campaign experiment: fleet throughput, triage dedup ratio and resume
+//! verification for the sharded hunt-campaign subsystem.
+//!
+//! Runs one full campaign — (shard × profile × oracle) cells drained by a
+//! work-stealing worker fleet — on seeded fault builds, prints a summary
+//! table, re-opens the campaign directory through `Campaign::resume` to
+//! verify the persisted state reproduces the in-memory class set, and emits
+//! a machine-readable `BENCH_campaign.json`.
+//!
+//! Environment knobs:
+//!
+//! * `TQS_CAMPAIGN_QUERIES` — query budget per cell (default 150)
+//! * `TQS_CAMPAIGN_SHARDS` — wide-table shards (default 4)
+//! * `TQS_CAMPAIGN_WORKERS` — worker threads (default 4)
+//! * `TQS_CAMPAIGN_DIR` — campaign directory (default `target/exp_campaign`,
+//!   wiped at startup)
+//! * `TQS_CAMPAIGN_OUT` — output JSON path (default `BENCH_campaign.json`)
+
+use std::path::PathBuf;
+use tqs_bench::standard_dsg;
+use tqs_campaign::{Campaign, CampaignConfig, Json, OracleSpec};
+use tqs_engine::ProfileId;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let queries_per_cell = env_usize("TQS_CAMPAIGN_QUERIES", 150);
+    let shards = env_usize("TQS_CAMPAIGN_SHARDS", 4);
+    let workers = env_usize("TQS_CAMPAIGN_WORKERS", 4);
+    let dir = std::env::var("TQS_CAMPAIGN_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/exp_campaign"));
+    let out_path =
+        std::env::var("TQS_CAMPAIGN_OUT").unwrap_or_else(|_| "BENCH_campaign.json".to_string());
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cfg = CampaignConfig {
+        dir: dir.clone(),
+        dsg: standard_dsg(240, 77),
+        shards,
+        workers,
+        profiles: vec![ProfileId::MysqlLike, ProfileId::TidbLike],
+        oracles: vec![OracleSpec::GroundTruth, OracleSpec::CrossEngine],
+        queries_per_cell,
+        seed: 0xCA3A,
+        minimize: true,
+        max_cells_per_run: None,
+    };
+    let mut campaign = Campaign::new(cfg.clone()).expect("fresh campaign directory");
+    println!(
+        "Campaign — {} cells ({} shards × {} profiles × {} oracles), {} workers, {} queries/cell",
+        campaign.cells_total(),
+        shards,
+        cfg.profiles.len(),
+        cfg.oracles.len(),
+        workers,
+        queries_per_cell
+    );
+
+    let stats = campaign.run().expect("campaign run");
+    assert!(campaign.is_complete());
+
+    println!();
+    println!("{:<28} {:>12}", "metric", "value");
+    println!("{:<28} {:>12}", "queries executed", stats.queries);
+    println!("{:<28} {:>12.1}", "queries/sec", stats.queries_per_sec());
+    println!("{:<28} {:>12}", "raw bug reports", stats.raw_reports);
+    println!("{:<28} {:>12}", "bug classes", stats.bug_classes);
+    println!("{:<28} {:>12.1}", "dedup ratio", stats.dedup_ratio());
+    println!("{:<28} {:>12.1}", "classes/hour", stats.bugs_per_hour());
+    println!("{:<28} {:>12}", "diversity", stats.diversity);
+    println!("{:<28} {:>12}", "cells drained", stats.cells_drained);
+
+    println!();
+    println!("top bug classes (by sightings):");
+    let mut classes: Vec<_> = campaign.triage().classes().to_vec();
+    classes.sort_by_key(|c| std::cmp::Reverse(c.sightings));
+    for c in classes.iter().take(8) {
+        println!(
+            "  {:>5}×  [{}] {}",
+            c.sightings,
+            c.representative.bug_type(),
+            c.representative
+                .minimized_sql
+                .as_deref()
+                .unwrap_or(&c.representative.sql)
+        );
+    }
+
+    // Resume check: re-open the directory cold and verify the persisted
+    // corpus reproduces the in-memory deduplicated class set.
+    let resumed = Campaign::resume(cfg).expect("resume the finished campaign");
+    assert!(resumed.is_complete());
+    assert_eq!(
+        resumed.class_keys(),
+        campaign.class_keys(),
+        "persisted corpus must reproduce the class set"
+    );
+    println!();
+    println!(
+        "resume check: {} classes reload bit-identically from {}",
+        resumed.class_keys().len(),
+        dir.display()
+    );
+
+    let mut json = match stats.to_json() {
+        Json::Obj(members) => members,
+        _ => unreachable!("stats serialize to an object"),
+    };
+    json.push(("shards".to_string(), Json::count(shards)));
+    json.push(("workers".to_string(), Json::count(workers)));
+    json.push((
+        "queries_per_cell".to_string(),
+        Json::count(queries_per_cell),
+    ));
+    json.push((
+        "resume_check_classes".to_string(),
+        Json::count(resumed.class_keys().len()),
+    ));
+    let body = Json::Obj(json).to_string();
+    std::fs::write(&out_path, format!("{body}\n")).expect("write benchmark artifact");
+    println!("wrote {out_path}");
+}

@@ -1,6 +1,7 @@
 //! Figure 10: effect of parallel search — number of queries processed within
 //! a fixed wall-clock budget as the number of clients grows from 1 to 5.
 
+use std::sync::Arc;
 use std::time::Duration;
 use tqs_bench::standard_dsg;
 use tqs_core::backend::EngineConnector;
@@ -13,7 +14,7 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(2_000);
-    let dsg = DsgDatabase::build(&standard_dsg(250, 55));
+    let dsg = Arc::new(DsgDatabase::build(&standard_dsg(250, 55)));
     println!("Figure 10 — parallel search on MySQL-like ({millis} ms budget per point)");
     println!(
         "{:<8} {:>10} {:>10} {:>10}",

@@ -1,0 +1,628 @@
+//! The campaign orchestrator: a long-running, sharded, resumable bug hunt.
+//!
+//! A campaign turns the one-shot explorer into a service-shaped workload:
+//!
+//! 1. **Cell grid.** The hunt is the cross product (wide-table shard ×
+//!    fault profile × oracle). Each cell is an independent, deterministic
+//!    unit: its query stream is seeded by `(campaign seed, cell id)` and its
+//!    data partition is fixed, so a cell always produces the same verdicts
+//!    no matter when, where or after how many kills it runs.
+//! 2. **Fleet.** Cells are dealt onto work-stealing queues
+//!    ([`crate::scheduler::WorkQueues`]) and drained by worker threads, each
+//!    holding a zero-copy replica of its shard's catalog.
+//! 3. **Triage.** Raw divergences are deduplicated campaign-wide by
+//!    plan-fingerprint class ([`crate::triage::BugTriage`]); each new class
+//!    is minimized once and persisted with its witness trace.
+//! 4. **Persistence.** `checkpoint.jsonl` journals drained cells;
+//!    `corpus.jsonl` accumulates bug classes. [`Campaign::resume`] replays
+//!    both and continues with the missing cells — a killed-and-resumed
+//!    campaign converges to the identical deduplicated bug-class set as an
+//!    uninterrupted one.
+
+use crate::checkpoint::{CellRecord, Checkpoint, CheckpointHeader};
+use crate::corpus::{Corpus, CorpusEntry, StoredStatement};
+use crate::scheduler::WorkQueues;
+use crate::stats::{CampaignStats, LiveStats};
+use crate::triage::BugTriage;
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashSet};
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use tqs_core::backend::{DbmsConnector, EngineConnector, RecordingConnector};
+use tqs_core::bugs::minimize_with_oracle;
+use tqs_core::dsg::{DsgConfig, DsgDatabase, QueryGenConfig, QueryGenerator};
+use tqs_core::kqe::{Kqe, KqeConfig, KqeScorer};
+use tqs_core::oracle::{DifferentialOracle, Oracle, OracleVerdict, TqsOracle};
+use tqs_engine::ProfileId;
+use tqs_graph::embedding::embed_graph;
+use tqs_graph::plangraph::{graph_fingerprint, query_graph_with_subqueries};
+use tqs_graph::GraphIndex;
+use tqs_sql::render::render_stmt;
+
+/// Which verdict procedure a cell drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleSpec {
+    /// The paper's oracle: every hinted plan against the shard's wide-table
+    /// ground truth.
+    GroundTruth,
+    /// Cross-engine differential testing: the faulty row build against a
+    /// pristine columnar replica of the same shard.
+    CrossEngine,
+}
+
+impl OracleSpec {
+    pub fn label(self) -> &'static str {
+        match self {
+            OracleSpec::GroundTruth => "ground-truth",
+            OracleSpec::CrossEngine => "cross-engine",
+        }
+    }
+
+    /// Build the verdict procedure for one cell.
+    fn build(self, profile: ProfileId, shard: &Arc<DsgDatabase>) -> Box<dyn Oracle> {
+        match self {
+            OracleSpec::GroundTruth => Box::new(TqsOracle::shared(Arc::clone(shard))),
+            OracleSpec::CrossEngine => Box::new(DifferentialOracle::new(
+                EngineConnector::connect_columnar_pristine(profile, shard),
+            )),
+        }
+    }
+}
+
+/// Campaign configuration. The `(seed, shards, profiles, oracles,
+/// queries_per_cell)` tuple is the campaign's *identity* — it determines the
+/// cell grid and every cell's behavior, and is pinned in the checkpoint
+/// header so a resume cannot silently run a different hunt in the same
+/// directory. `workers` and `max_cells_per_run` are operational knobs and
+/// may change between runs.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Campaign directory: holds `checkpoint.jsonl` and `corpus.jsonl`.
+    pub dir: PathBuf,
+    /// The testing-database recipe (wide-table source, FDs, noise).
+    pub dsg: DsgConfig,
+    /// Row-range shards the wide table is split into (≥ 1).
+    pub shards: usize,
+    /// Worker threads draining the cell grid.
+    pub workers: usize,
+    /// Engine builds under test (one cell column per profile).
+    pub profiles: Vec<ProfileId>,
+    /// Verdict procedures (one cell column per oracle).
+    pub oracles: Vec<OracleSpec>,
+    /// Query budget per cell — cells are budget-bound, not wall-clock-bound,
+    /// which is what makes them deterministic and resumable.
+    pub queries_per_cell: usize,
+    pub seed: u64,
+    /// Minimize one representative per newly discovered class.
+    pub minimize: bool,
+    /// Stop the run after draining this many cells (the remaining cells stay
+    /// queued for the next run) — bounded sessions and kill-testing.
+    pub max_cells_per_run: Option<usize>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            dir: PathBuf::from("campaign-run"),
+            dsg: DsgConfig::default(),
+            shards: 2,
+            workers: 2,
+            profiles: vec![ProfileId::MysqlLike],
+            oracles: vec![OracleSpec::GroundTruth],
+            queries_per_cell: 100,
+            seed: 7,
+            minimize: true,
+            max_cells_per_run: None,
+        }
+    }
+}
+
+impl CampaignConfig {
+    fn header(&self) -> CheckpointHeader {
+        CheckpointHeader {
+            seed: self.seed,
+            dsg_digest: self.dsg_digest(),
+            shards: self.shards.max(1),
+            cells: self.cell_grid().len(),
+            queries_per_cell: self.queries_per_cell,
+            profiles: self.profiles.iter().map(|p| p.name().to_string()).collect(),
+            oracles: self.oracles.iter().map(|o| o.label().to_string()).collect(),
+        }
+    }
+
+    /// Digest of the testing-database recipe (source, FD discovery, noise).
+    /// Pinned in the checkpoint header: the shard databases a resume rebuilds
+    /// are a pure function of `dsg`, so a changed recipe must be rejected,
+    /// not silently hunted. `DsgConfig`'s `Debug` rendering covers every
+    /// field and is deterministic, which is all a tamper check needs.
+    fn dsg_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x1_0000_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for byte in format!("{:?}", self.dsg).as_bytes() {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+
+    /// The full cell grid, in id order.
+    fn cell_grid(&self) -> Vec<CampaignCell> {
+        let mut cells = Vec::new();
+        for shard in 0..self.shards.max(1) {
+            for &profile in &self.profiles {
+                for &oracle in &self.oracles {
+                    cells.push(CampaignCell {
+                        id: cells.len(),
+                        shard,
+                        profile,
+                        oracle,
+                    });
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// One schedulable work unit: hunt one shard on one engine build with one
+/// oracle for `queries_per_cell` statements.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignCell {
+    pub id: usize,
+    /// Index into the campaign's shard databases.
+    pub shard: usize,
+    pub profile: ProfileId,
+    pub oracle: OracleSpec,
+}
+
+/// A sharded, resumable hunt campaign (see the module docs).
+pub struct Campaign {
+    cfg: CampaignConfig,
+    shards: Vec<Arc<DsgDatabase>>,
+    cells: Vec<CampaignCell>,
+    done: HashSet<usize>,
+    triage: BugTriage,
+    corpus: Corpus,
+    checkpoint: Checkpoint,
+}
+
+impl Campaign {
+    /// Start a fresh campaign: build the shard databases (wide table
+    /// generated once, FDs shared), write the checkpoint header, and leave
+    /// every cell pending. Fails if the directory already holds a campaign —
+    /// use [`resume`](Self::resume) for that.
+    pub fn new(cfg: CampaignConfig) -> io::Result<Campaign> {
+        std::fs::create_dir_all(&cfg.dir)?;
+        let checkpoint = Checkpoint::in_dir(&cfg.dir);
+        if checkpoint.exists() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!(
+                    "{} already holds a campaign checkpoint; use Campaign::resume",
+                    cfg.dir.display()
+                ),
+            ));
+        }
+        checkpoint.create(&cfg.header())?;
+        Ok(Campaign {
+            shards: DsgDatabase::build_sharded(&cfg.dsg, cfg.shards),
+            cells: cfg.cell_grid(),
+            done: HashSet::new(),
+            triage: BugTriage::new(),
+            corpus: Corpus::in_dir(&cfg.dir),
+            checkpoint,
+            cfg,
+        })
+    }
+
+    /// Resume a campaign from its directory: replay the checkpoint journal
+    /// (which cells are drained) and the corpus (which bug classes are
+    /// known), rebuild the shard databases from the same seed, and leave the
+    /// missing cells pending. The journal header must match `cfg`'s
+    /// identity.
+    pub fn resume(cfg: CampaignConfig) -> io::Result<Campaign> {
+        let checkpoint = Checkpoint::in_dir(&cfg.dir);
+        let (header, records) = checkpoint.load()?;
+        let expected = cfg.header();
+        if header != expected {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{}: checkpoint header does not match the configuration \
+                     (on disk: {header:?}, configured: {expected:?})",
+                    cfg.dir.display()
+                ),
+            ));
+        }
+        let corpus = Corpus::in_dir(&cfg.dir);
+        let mut triage = BugTriage::new();
+        for entry in corpus.load()? {
+            if entry.report.class_key() != entry.class_key {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "{}: corpus class key `{}` disagrees with its report",
+                        corpus.path().display(),
+                        entry.class_key
+                    ),
+                ));
+            }
+            triage.admit(entry.report, entry.cell_id);
+        }
+        let cells = cfg.cell_grid();
+        let done: HashSet<usize> = records
+            .iter()
+            .map(|r| r.cell_id)
+            .filter(|id| *id < cells.len())
+            .collect();
+        Ok(Campaign {
+            shards: DsgDatabase::build_sharded(&cfg.dsg, cfg.shards),
+            cells,
+            done,
+            triage,
+            corpus,
+            checkpoint,
+            cfg,
+        })
+    }
+
+    pub fn config(&self) -> &CampaignConfig {
+        &self.cfg
+    }
+
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    pub fn triage(&self) -> &BugTriage {
+        &self.triage
+    }
+
+    /// The shard databases the fleet hunts (index = `CampaignCell::shard`).
+    pub fn shards(&self) -> &[Arc<DsgDatabase>] {
+        &self.shards
+    }
+
+    pub fn cells_total(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn cells_done(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Cells still pending, in id order.
+    pub fn pending_cells(&self) -> Vec<CampaignCell> {
+        self.cells
+            .iter()
+            .filter(|c| !self.done.contains(&c.id))
+            .copied()
+            .collect()
+    }
+
+    pub fn is_complete(&self) -> bool {
+        self.done.len() == self.cells.len()
+    }
+
+    /// The deduplicated class-key set — the campaign's primary artifact.
+    pub fn class_keys(&self) -> BTreeSet<String> {
+        self.triage.class_keys()
+    }
+
+    /// Drain (up to `max_cells_per_run`) pending cells with the worker
+    /// fleet, journaling each drained cell and appending every new bug class
+    /// to the corpus as it is discovered. Returns this run's statistics.
+    pub fn run(&mut self) -> io::Result<CampaignStats> {
+        let pending = self.pending_cells();
+        let budget = AtomicUsize::new(self.cfg.max_cells_per_run.unwrap_or(usize::MAX));
+        let queues = WorkQueues::deal(self.cfg.workers, pending);
+        let live = LiveStats::start();
+        let triage = Mutex::new(std::mem::take(&mut self.triage));
+        let diversity = Mutex::new(GraphIndex::new());
+        let io_lock = Mutex::new(());
+        let failure: Mutex<Option<io::Error>> = Mutex::new(None);
+        let abort = AtomicBool::new(false);
+        let drained: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+
+        std::thread::scope(|scope| {
+            for worker in 0..queues.workers() {
+                let queues = &queues;
+                let live = &live;
+                let triage = &triage;
+                let diversity = &diversity;
+                let io_lock = &io_lock;
+                let failure = &failure;
+                let abort = &abort;
+                let drained = &drained;
+                let budget = &budget;
+                let this = &*self;
+                scope.spawn(move || {
+                    while !abort.load(Ordering::Relaxed) {
+                        // Reserve budget before taking a cell so a bounded
+                        // run never over-drains.
+                        if budget
+                            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+                                b.checked_sub(1)
+                            })
+                            .is_err()
+                        {
+                            break;
+                        }
+                        let Some(cell) = queues.pop(worker) else {
+                            break;
+                        };
+                        match this.run_cell(&cell, triage, diversity, live, io_lock) {
+                            Ok(record) => {
+                                drained.lock().push(cell.id);
+                                live.cell_drained();
+                                let _ = record;
+                            }
+                            Err(e) => {
+                                *failure.lock() = Some(e);
+                                abort.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        self.triage = triage.into_inner();
+        for id in drained.into_inner() {
+            self.done.insert(id);
+        }
+        if let Some(e) = failure.into_inner() {
+            return Err(e);
+        }
+        Ok(live.snapshot(
+            self.cells.len(),
+            self.done.len(),
+            self.triage.class_count(),
+            diversity.into_inner().isomorphic_set_count(),
+        ))
+    }
+
+    /// Drain one cell: deterministic query stream, per-cell adaptive KQE
+    /// scorer, campaign-wide triage, witness-trace persistence.
+    fn run_cell(
+        &self,
+        cell: &CampaignCell,
+        triage: &Mutex<BugTriage>,
+        diversity: &Mutex<GraphIndex>,
+        live: &LiveStats,
+        io_lock: &Mutex<()>,
+    ) -> io::Result<CellRecord> {
+        let started = Instant::now();
+        let shard = &self.shards[cell.shard];
+        let mut conn = RecordingConnector::new(EngineConnector::faulty(cell.profile));
+        conn.load_catalog(&shard.db.catalog)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut oracle = cell.oracle.build(cell.profile, shard);
+        // Per-cell KQE state: the adaptive walk stays deterministic for the
+        // cell regardless of what the rest of the fleet is doing — the
+        // property the resume guarantee rests on.
+        let mut kqe = Kqe::new(shard.schema_desc.clone(), KqeConfig::default());
+        let mut generator = QueryGenerator::new(QueryGenConfig {
+            seed: self.cfg.seed ^ ((cell.id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            ..Default::default()
+        });
+
+        let mut queries = 0usize;
+        let mut raw_reports = 0usize;
+        let mut new_classes = 0usize;
+        for _ in 0..self.cfg.queries_per_cell {
+            let stmt = {
+                let scorer = KqeScorer { kqe: &kqe };
+                generator.generate(shard, None, &scorer)
+            };
+            let qg = query_graph_with_subqueries(&stmt, &shard.schema_desc);
+            kqe.record(&qg);
+            {
+                let mut idx = diversity.lock();
+                let e = embed_graph(&qg, 2);
+                idx.insert(&qg, e);
+            }
+            conn.take_trace(); // discard the previous statement's events
+            let reports = match oracle.check(&stmt, &mut conn) {
+                OracleVerdict::Skip => continue,
+                OracleVerdict::Pass => {
+                    queries += 1;
+                    live.add_queries(1);
+                    continue;
+                }
+                OracleVerdict::Bugs(reports) => {
+                    queries += 1;
+                    live.add_queries(1);
+                    reports
+                }
+            };
+            raw_reports += reports.len();
+            live.add_raw_reports(reports.len());
+            let fp = graph_fingerprint(&qg);
+            // Materialized lazily: almost every report is a duplicate
+            // sighting at fleet throughput, and copying full recorded result
+            // sets for those would dominate the hot path. Must be captured
+            // before the first minimization pollutes the trace.
+            let mut witness: Option<Vec<StoredStatement>> = None;
+            for report in reports {
+                let mut report = report.with_fingerprint(fp);
+                let admitted = triage.lock().admit(report.clone(), cell.id);
+                let Some(class_idx) = admitted else {
+                    continue; // duplicate sighting of a known class
+                };
+                new_classes += 1;
+                live.add_new_class();
+                let witness = witness.get_or_insert_with(|| {
+                    conn.trace()
+                        .iter()
+                        .filter_map(StoredStatement::from_event)
+                        .collect()
+                });
+                if self.cfg.minimize {
+                    let minimized =
+                        render_stmt(&minimize_with_oracle(&stmt, oracle.as_mut(), &mut conn));
+                    triage.lock().set_minimized(class_idx, minimized.clone());
+                    report.minimized_sql = Some(minimized);
+                }
+                let entry = CorpusEntry {
+                    cell_id: cell.id,
+                    class_key: report.class_key(),
+                    connector: conn.info(),
+                    report,
+                    trace: witness.clone(),
+                };
+                let _io = io_lock.lock();
+                self.corpus.append(&entry)?;
+            }
+        }
+
+        let record = CellRecord {
+            cell_id: cell.id,
+            queries,
+            raw_reports,
+            new_classes,
+            elapsed_ms: started.elapsed().as_millis() as u64,
+        };
+        let _io = io_lock.lock();
+        self.checkpoint.append_cell(&record)?;
+        Ok(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqs_core::dsg::WideSource;
+    use tqs_schema::NoiseConfig;
+    use tqs_storage::widegen::ShoppingConfig;
+
+    fn test_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tqs-campaign-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_cfg(dir: PathBuf) -> CampaignConfig {
+        CampaignConfig {
+            dir,
+            dsg: DsgConfig {
+                source: WideSource::Shopping(ShoppingConfig {
+                    n_rows: 90,
+                    ..Default::default()
+                }),
+                fd: Default::default(),
+                noise: Some(NoiseConfig {
+                    epsilon: 0.04,
+                    seed: 3,
+                    max_injections: 10,
+                }),
+            },
+            shards: 2,
+            workers: 2,
+            profiles: vec![ProfileId::MysqlLike],
+            oracles: vec![OracleSpec::GroundTruth],
+            queries_per_cell: 30,
+            seed: 99,
+            minimize: false,
+            max_cells_per_run: None,
+        }
+    }
+
+    #[test]
+    fn cell_grid_covers_the_cross_product_in_id_order() {
+        let cfg = CampaignConfig {
+            shards: 2,
+            profiles: vec![ProfileId::MysqlLike, ProfileId::TidbLike],
+            oracles: vec![OracleSpec::GroundTruth, OracleSpec::CrossEngine],
+            ..small_cfg(test_dir("grid"))
+        };
+        let cells = cfg.cell_grid();
+        assert_eq!(cells.len(), 2 * 2 * 2);
+        assert!(cells.iter().enumerate().all(|(i, c)| c.id == i));
+        assert_eq!(cells[0].shard, 0);
+        assert_eq!(cells.last().unwrap().shard, 1);
+        assert_eq!(cfg.header().cells, 8);
+    }
+
+    #[test]
+    fn fresh_campaign_runs_and_journals_every_cell() {
+        let dir = test_dir("fresh");
+        let mut campaign = Campaign::new(small_cfg(dir.clone())).unwrap();
+        assert_eq!(campaign.cells_total(), 2);
+        let stats = campaign.run().unwrap();
+        assert!(campaign.is_complete());
+        assert_eq!(stats.cells_drained, 2);
+        assert!(stats.queries > 0);
+        assert!(stats.queries_per_sec() > 0.0);
+        assert!(stats.bug_classes > 0, "seeded faults should surface");
+        assert!(stats.raw_reports >= stats.new_classes);
+        // the journal holds header + one line per cell
+        let (_, records) = campaign.checkpoint.load().unwrap();
+        assert_eq!(records.len(), 2);
+        // duplicate directory is refused
+        assert!(Campaign::new(small_cfg(dir.clone())).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_refuses_a_mismatched_header() {
+        let dir = test_dir("mismatch");
+        let mut campaign = Campaign::new(small_cfg(dir.clone())).unwrap();
+        campaign.run().unwrap();
+        let refuse = |cfg: CampaignConfig| match Campaign::resume(cfg) {
+            Ok(_) => panic!("resume accepted a mismatched header"),
+            Err(e) => assert_eq!(e.kind(), io::ErrorKind::InvalidData),
+        };
+        refuse(CampaignConfig {
+            seed: 1234,
+            ..small_cfg(dir.clone())
+        });
+        // A changed testing-database recipe is just as much a different
+        // campaign as a changed seed: the shard data would silently differ.
+        let mut other_dsg = small_cfg(dir.clone());
+        other_dsg.dsg.noise = None;
+        refuse(other_dsg);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bounded_runs_drain_in_installments() {
+        let dir = test_dir("bounded");
+        let mut campaign = Campaign::new(CampaignConfig {
+            max_cells_per_run: Some(1),
+            workers: 1,
+            ..small_cfg(dir.clone())
+        })
+        .unwrap();
+        campaign.run().unwrap();
+        assert_eq!(campaign.cells_done(), 1);
+        assert!(!campaign.is_complete());
+        campaign.run().unwrap();
+        assert!(campaign.is_complete());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn minimized_representatives_still_fail() {
+        let dir = test_dir("minimize");
+        let mut campaign = Campaign::new(CampaignConfig {
+            minimize: true,
+            shards: 1,
+            workers: 1,
+            queries_per_cell: 60,
+            ..small_cfg(dir.clone())
+        })
+        .unwrap();
+        campaign.run().unwrap();
+        let classes = campaign.triage().classes();
+        assert!(!classes.is_empty());
+        assert!(classes
+            .iter()
+            .all(|c| c.representative.minimized_sql.is_some()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,265 @@
+//! The campaign checkpoint journal.
+//!
+//! `checkpoint.jsonl` is an append-only journal in the campaign directory:
+//! the first line records the campaign's identity (seed, shard count, cell
+//! grid, per-cell budget), then one line per *completed* cell. Resuming a
+//! killed campaign replays the journal to learn which cells are already
+//! drained — cells are deterministic given the campaign seed, so re-running
+//! only the missing ones reproduces exactly the bug-class set an
+//! uninterrupted run would have produced.
+
+use crate::json::Json;
+use std::fs::OpenOptions;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// The identity of a campaign, pinned in the journal header. Resume refuses
+/// a directory whose header disagrees with the live configuration — mixing
+/// cell grids would silently skip work or re-run drained cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointHeader {
+    pub seed: u64,
+    /// Digest of the testing-database recipe (`DsgConfig`) — the shard data
+    /// a resume rebuilds must come from the same recipe the campaign
+    /// started with.
+    pub dsg_digest: u64,
+    pub shards: usize,
+    pub cells: usize,
+    pub queries_per_cell: usize,
+    pub profiles: Vec<String>,
+    pub oracles: Vec<String>,
+}
+
+impl CheckpointHeader {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "campaign".to_string(),
+                Json::str(format!("{:016x}", self.seed)),
+            ),
+            (
+                "dsg".to_string(),
+                Json::str(format!("{:016x}", self.dsg_digest)),
+            ),
+            ("shards".to_string(), Json::count(self.shards)),
+            ("cells".to_string(), Json::count(self.cells)),
+            (
+                "queries_per_cell".to_string(),
+                Json::count(self.queries_per_cell),
+            ),
+            (
+                "profiles".to_string(),
+                Json::Arr(self.profiles.iter().map(Json::str).collect()),
+            ),
+            (
+                "oracles".to_string(),
+                Json::Arr(self.oracles.iter().map(Json::str).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<CheckpointHeader, String> {
+        let count = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| format!("header missing `{k}`"))
+        };
+        let list = |k: &str| -> Result<Vec<String>, String> {
+            j.get(k)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("header missing `{k}`"))?
+                .iter()
+                .map(|s| {
+                    s.as_str()
+                        .map(String::from)
+                        .ok_or_else(|| format!("`{k}` entries must be strings"))
+                })
+                .collect()
+        };
+        let hex_field = |k: &str| -> Result<u64, String> {
+            let hex = j
+                .get(k)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("header missing `{k}`"))?;
+            u64::from_str_radix(hex, 16).map_err(|_| format!("bad `{k}` value `{hex}`"))
+        };
+        Ok(CheckpointHeader {
+            seed: hex_field("campaign")?,
+            dsg_digest: hex_field("dsg")?,
+            shards: count("shards")?,
+            cells: count("cells")?,
+            queries_per_cell: count("queries_per_cell")?,
+            profiles: list("profiles")?,
+            oracles: list("oracles")?,
+        })
+    }
+}
+
+/// One completed cell, as journaled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellRecord {
+    pub cell_id: usize,
+    /// Statements the oracle actually exercised in this cell.
+    pub queries: usize,
+    /// Raw (pre-dedup) bug reports the cell produced.
+    pub raw_reports: usize,
+    /// Bug classes this cell was first to discover.
+    pub new_classes: usize,
+    pub elapsed_ms: u64,
+}
+
+impl CellRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("cell".to_string(), Json::count(self.cell_id)),
+            ("queries".to_string(), Json::count(self.queries)),
+            ("raw".to_string(), Json::count(self.raw_reports)),
+            ("new_classes".to_string(), Json::count(self.new_classes)),
+            (
+                "elapsed_ms".to_string(),
+                Json::count(self.elapsed_ms as usize),
+            ),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<CellRecord, String> {
+        let count = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| format!("cell record missing `{k}`"))
+        };
+        Ok(CellRecord {
+            cell_id: count("cell")?,
+            queries: count("queries")?,
+            raw_reports: count("raw")?,
+            new_classes: count("new_classes")?,
+            elapsed_ms: count("elapsed_ms")? as u64,
+        })
+    }
+}
+
+/// Handle on one campaign's checkpoint journal.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    path: PathBuf,
+}
+
+impl Checkpoint {
+    pub const FILE_NAME: &'static str = "checkpoint.jsonl";
+
+    pub fn in_dir(dir: &Path) -> Checkpoint {
+        Checkpoint {
+            path: dir.join(Self::FILE_NAME),
+        }
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    pub fn exists(&self) -> bool {
+        self.path.exists()
+    }
+
+    /// Start a fresh journal (truncates), writing the header line.
+    pub fn create(&self, header: &CheckpointHeader) -> io::Result<()> {
+        let mut f = std::fs::File::create(&self.path)?;
+        let mut line = header.to_json().to_string();
+        line.push('\n');
+        f.write_all(line.as_bytes())?;
+        f.flush()
+    }
+
+    /// Journal one completed cell (callers serialize through the campaign's
+    /// io lock).
+    pub fn append_cell(&self, record: &CellRecord) -> io::Result<()> {
+        let mut f = OpenOptions::new().append(true).open(&self.path)?;
+        let mut line = record.to_json().to_string();
+        line.push('\n');
+        f.write_all(line.as_bytes())?;
+        f.flush()
+    }
+
+    /// Replay the journal: the header plus every completed cell. A torn
+    /// final line (kill mid-append) is dropped; corruption elsewhere errors.
+    pub fn load(&self) -> io::Result<(CheckpointHeader, Vec<CellRecord>)> {
+        let mut text = String::new();
+        std::fs::File::open(&self.path)?.read_to_string(&mut text)?;
+        let lines: Vec<&str> = text.split('\n').filter(|l| !l.trim().is_empty()).collect();
+        if lines.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: empty checkpoint", self.path.display()),
+            ));
+        }
+        let bad = |i: usize, msg: String| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: line {}: {msg}", self.path.display(), i + 1),
+            )
+        };
+        let header = Json::parse(lines[0])
+            .map_err(|e| e.to_string())
+            .and_then(|j| CheckpointHeader::from_json(&j))
+            .map_err(|m| bad(0, m))?;
+        let mut cells = Vec::new();
+        for (i, line) in lines.iter().enumerate().skip(1) {
+            let parsed = Json::parse(line)
+                .map_err(|e| e.to_string())
+                .and_then(|j| CellRecord::from_json(&j));
+            match parsed {
+                Ok(r) => cells.push(r),
+                Err(_) if i + 1 == lines.len() && !text.ends_with('\n') => break,
+                Err(m) => return Err(bad(i, m)),
+            }
+        }
+        Ok((header, cells))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> CheckpointHeader {
+        CheckpointHeader {
+            seed: 0xDEAD_BEEF,
+            dsg_digest: 0xD16E_5700,
+            shards: 4,
+            cells: 8,
+            queries_per_cell: 100,
+            profiles: vec!["MySQL-like".into(), "TiDB-like".into()],
+            oracles: vec!["ground-truth".into()],
+        }
+    }
+
+    #[test]
+    fn journal_round_trips_header_and_cells() {
+        let dir = std::env::temp_dir().join(format!("tqs-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = Checkpoint::in_dir(&dir);
+        ckpt.create(&header()).unwrap();
+        for id in [2usize, 5] {
+            ckpt.append_cell(&CellRecord {
+                cell_id: id,
+                queries: 90,
+                raw_reports: 14,
+                new_classes: 3,
+                elapsed_ms: 120,
+            })
+            .unwrap();
+        }
+        let (h, cells) = ckpt.load().unwrap();
+        assert_eq!(h, header());
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[1].cell_id, 5);
+        // torn tail is dropped
+        {
+            let mut f = OpenOptions::new().append(true).open(ckpt.path()).unwrap();
+            f.write_all(b"{\"cell\": 6, \"quer").unwrap();
+        }
+        let (_, cells) = ckpt.load().unwrap();
+        assert_eq!(cells.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,83 @@
+//! # tqs-campaign
+//!
+//! Long-running, sharded, resumable bug-hunt campaigns on top of the TQS
+//! harness. Where `tqs_core::parallel` answers "how fast can a fleet explore
+//! for N seconds", this crate answers the production question: "keep hunting
+//! this system for days, across partitions and engine builds, survive
+//! restarts, and don't drown me in duplicate reports."
+//!
+//! * [`campaign`] — the orchestrator: the (shard × profile × oracle) cell
+//!   grid, the worker fleet, [`Campaign::new`] / [`Campaign::resume`] /
+//!   [`Campaign::run`].
+//! * [`scheduler`] — work-stealing cell queues.
+//! * [`triage`] — plan-fingerprint deduplication of raw divergences into bug
+//!   classes, one minimized representative per class.
+//! * [`corpus`] — the append-only JSONL bug corpus with replayable witness
+//!   traces ([`CorpusEntry::replay_connector`]).
+//! * [`checkpoint`] — the cell-completion journal behind resume.
+//! * [`stats`] — live fleet counters and the `BENCH_campaign.json` snapshot.
+//! * [`json`] — the dependency-free JSON used by all of the above (the
+//!   workspace's serde is an offline no-op shim).
+//!
+//! ## Determinism contract
+//!
+//! Campaign cells are deterministic: a cell's query stream depends only on
+//! `(campaign seed, cell id)` and its own per-cell KQE state, and its data
+//! partition is fixed by the shard spec. Thread scheduling may reorder which
+//! worker drains which cell — and therefore which duplicate sighting gets to
+//! *name* a class first — but the deduplicated **bug-class set** of a
+//! finished campaign is a pure function of the configuration. That is the
+//! property the resume machinery leans on: kill a campaign at any point,
+//! `resume` it (any number of times, with any worker count), and the final
+//! class set is bit-identical to an uninterrupted run's.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tqs_campaign::{Campaign, CampaignConfig, OracleSpec};
+//! use tqs_core::dsg::{DsgConfig, WideSource};
+//! use tqs_engine::ProfileId;
+//! use tqs_storage::widegen::ShoppingConfig;
+//!
+//! let dir = std::env::temp_dir().join(format!("tqs-doc-campaign-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let mut campaign = Campaign::new(CampaignConfig {
+//!     dir: dir.clone(),
+//!     dsg: DsgConfig {
+//!         source: WideSource::Shopping(ShoppingConfig { n_rows: 80, ..Default::default() }),
+//!         ..Default::default()
+//!     },
+//!     shards: 2,
+//!     workers: 2,
+//!     profiles: vec![ProfileId::MysqlLike],
+//!     oracles: vec![OracleSpec::GroundTruth],
+//!     queries_per_cell: 20,
+//!     seed: 11,
+//!     minimize: false,
+//!     max_cells_per_run: None,
+//! })
+//! .unwrap();
+//! let stats = campaign.run().unwrap();
+//! assert!(campaign.is_complete());
+//! assert!(stats.queries > 0);
+//! // The same directory resumes to the same (already complete) state.
+//! let resumed = Campaign::resume(campaign.config().clone()).unwrap();
+//! assert_eq!(resumed.class_keys(), campaign.class_keys());
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+pub mod campaign;
+pub mod checkpoint;
+pub mod corpus;
+pub mod json;
+pub mod scheduler;
+pub mod stats;
+pub mod triage;
+
+pub use campaign::{Campaign, CampaignCell, CampaignConfig, OracleSpec};
+pub use checkpoint::{CellRecord, Checkpoint, CheckpointHeader};
+pub use corpus::{Corpus, CorpusEntry, StoredStatement};
+pub use json::Json;
+pub use scheduler::WorkQueues;
+pub use stats::{CampaignStats, LiveStats};
+pub use triage::{BugTriage, TriageClass};

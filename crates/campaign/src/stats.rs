@@ -1,0 +1,205 @@
+//! Live and final campaign statistics.
+//!
+//! Workers publish progress through a shared, lock-free [`LiveStats`]; a
+//! monitor (or the final report) snapshots it into [`CampaignStats`], the
+//! machine-readable record that `exp_campaign` serializes into
+//! `BENCH_campaign.json`.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Shared atomic counters the worker fleet bumps as it hunts.
+#[derive(Debug)]
+pub struct LiveStats {
+    started: Instant,
+    /// Statements the oracles actually exercised (skips excluded).
+    queries: AtomicUsize,
+    /// Raw (pre-dedup) bug reports.
+    raw_reports: AtomicUsize,
+    /// Bug classes newly discovered this run.
+    new_classes: AtomicUsize,
+    /// Cells fully drained this run.
+    cells_drained: AtomicUsize,
+}
+
+impl LiveStats {
+    pub fn start() -> LiveStats {
+        LiveStats {
+            started: Instant::now(),
+            queries: AtomicUsize::new(0),
+            raw_reports: AtomicUsize::new(0),
+            new_classes: AtomicUsize::new(0),
+            cells_drained: AtomicUsize::new(0),
+        }
+    }
+
+    pub fn add_queries(&self, n: usize) {
+        self.queries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_raw_reports(&self, n: usize) {
+        self.raw_reports.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_new_class(&self) {
+        self.new_classes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn cell_drained(&self) {
+        self.cells_drained.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters. `total_classes`/`cells_total`/`diversity` come
+    /// from the campaign (they include state resumed from disk, which the
+    /// live counters deliberately do not).
+    pub fn snapshot(
+        &self,
+        cells_total: usize,
+        cells_done: usize,
+        total_classes: usize,
+        diversity: usize,
+    ) -> CampaignStats {
+        CampaignStats {
+            elapsed: self.started.elapsed(),
+            queries: self.queries.load(Ordering::Relaxed),
+            raw_reports: self.raw_reports.load(Ordering::Relaxed),
+            new_classes: self.new_classes.load(Ordering::Relaxed),
+            cells_drained: self.cells_drained.load(Ordering::Relaxed),
+            cells_done,
+            cells_total,
+            bug_classes: total_classes,
+            diversity,
+        }
+    }
+}
+
+/// One snapshot of campaign progress (per *run* — a resumed campaign starts
+/// fresh counters but carries its class/cell totals forward).
+#[derive(Debug, Clone)]
+pub struct CampaignStats {
+    pub elapsed: Duration,
+    /// Statements exercised this run.
+    pub queries: usize,
+    /// Raw bug reports this run (pre-dedup).
+    pub raw_reports: usize,
+    /// Classes newly discovered this run.
+    pub new_classes: usize,
+    /// Cells drained this run.
+    pub cells_drained: usize,
+    /// Cells done overall, including previous runs of the campaign.
+    pub cells_done: usize,
+    pub cells_total: usize,
+    /// Deduplicated bug classes overall (resumed state included).
+    pub bug_classes: usize,
+    /// Distinct isomorphic query structures explored this run.
+    pub diversity: usize,
+}
+
+impl CampaignStats {
+    /// Fleet throughput: oracle-exercised statements per wall-clock second.
+    pub fn queries_per_sec(&self) -> f64 {
+        self.queries as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Raw divergence sightings per hour — the flood the triage collapses.
+    pub fn raw_reports_per_hour(&self) -> f64 {
+        self.raw_reports as f64 / (self.elapsed.as_secs_f64().max(1e-9) / 3600.0)
+    }
+
+    /// Newly discovered bug classes per hour of campaign time.
+    pub fn bugs_per_hour(&self) -> f64 {
+        self.new_classes as f64 / (self.elapsed.as_secs_f64().max(1e-9) / 3600.0)
+    }
+
+    /// Raw sightings per distinct class this run — how hard the fleet would
+    /// drown a human without fingerprint triage. 0 when nothing was found.
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.new_classes == 0 {
+            return 0.0;
+        }
+        self.raw_reports as f64 / self.new_classes as f64
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "elapsed_sec".to_string(),
+                Json::Num(self.elapsed.as_secs_f64()),
+            ),
+            ("queries".to_string(), Json::count(self.queries)),
+            (
+                "queries_per_sec".to_string(),
+                Json::Num(self.queries_per_sec()),
+            ),
+            ("raw_reports".to_string(), Json::count(self.raw_reports)),
+            (
+                "raw_reports_per_hour".to_string(),
+                Json::Num(self.raw_reports_per_hour()),
+            ),
+            ("new_classes".to_string(), Json::count(self.new_classes)),
+            ("bug_classes".to_string(), Json::count(self.bug_classes)),
+            ("bugs_per_hour".to_string(), Json::Num(self.bugs_per_hour())),
+            ("dedup_ratio".to_string(), Json::Num(self.dedup_ratio())),
+            ("cells_drained".to_string(), Json::count(self.cells_drained)),
+            ("cells_done".to_string(), Json::count(self.cells_done)),
+            ("cells_total".to_string(), Json::count(self.cells_total)),
+            ("diversity".to_string(), Json::count(self.diversity)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_carries_live_counters_and_campaign_totals() {
+        let live = LiveStats::start();
+        live.add_queries(10);
+        live.add_queries(5);
+        live.add_raw_reports(6);
+        live.add_new_class();
+        live.add_new_class();
+        live.cell_drained();
+        let s = live.snapshot(8, 5, 4, 17);
+        assert_eq!(s.queries, 15);
+        assert_eq!(s.raw_reports, 6);
+        assert_eq!(s.new_classes, 2);
+        assert_eq!(s.cells_drained, 1);
+        assert_eq!(s.cells_done, 5);
+        assert_eq!(s.cells_total, 8);
+        assert_eq!(s.bug_classes, 4);
+        assert_eq!(s.diversity, 17);
+        assert!((s.dedup_ratio() - 3.0).abs() < 1e-9);
+        assert!(s.queries_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn json_snapshot_has_the_bench_fields() {
+        let live = LiveStats::start();
+        live.add_queries(4);
+        let j = live.snapshot(2, 2, 1, 3).to_json();
+        let parsed = Json::parse(&j.to_string()).unwrap();
+        for key in [
+            "elapsed_sec",
+            "queries",
+            "queries_per_sec",
+            "raw_reports",
+            "bug_classes",
+            "dedup_ratio",
+            "cells_total",
+            "diversity",
+        ] {
+            assert!(parsed.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(parsed.get("queries").unwrap().as_usize(), Some(4));
+    }
+
+    #[test]
+    fn dedup_ratio_is_zero_without_classes() {
+        let live = LiveStats::start();
+        live.add_raw_reports(3);
+        assert_eq!(live.snapshot(1, 0, 0, 0).dedup_ratio(), 0.0);
+    }
+}

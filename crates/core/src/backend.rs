@@ -352,6 +352,14 @@ impl<C: DbmsConnector> RecordingConnector<C> {
         &self.trace
     }
 
+    /// Drain the recorded trace, leaving the recorder empty. Long-running
+    /// drivers (a campaign worker recording a witness per statement) call
+    /// this between statements so the trace holds exactly one statement's
+    /// events instead of growing for the whole hunt.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace)
+    }
+
     /// The trace as a line-oriented text log (one event per line).
     pub fn replay_log(&self) -> String {
         let mut out = String::new();

@@ -47,15 +47,42 @@ pub struct BugReport {
     pub fired: Vec<FaultKind>,
     /// Minimized reproducer, if the reducer was run.
     pub minimized_sql: Option<String>,
+    /// Canonical plan-graph fingerprint of the failing query
+    /// ([`tqs_graph::plangraph::plan_fingerprint`]), stamped by whoever holds
+    /// the schema description (the session, the campaign worker). `None`
+    /// when no fingerprint was computed — de-duplication then falls back to
+    /// the coarse [`signature`](Self::signature).
+    pub fingerprint: Option<u64>,
 }
 
 impl BugReport {
+    /// Attach the canonical plan-graph fingerprint of the failing query.
+    pub fn with_fingerprint(mut self, fingerprint: u64) -> Self {
+        self.fingerprint = Some(fingerprint);
+        self
+    }
+
     /// Signature used for de-duplication: bugs with the same root cause and
     /// the same join-structure shape are counted once per "bug", many such
     /// bugs map to one "bug type".
     pub fn signature(&self) -> String {
         let faults: Vec<String> = self.fired.iter().map(|f| format!("{f:?}")).collect();
         format!("{}|{}|{}", self.dbms, faults.join(","), self.hint_label)
+    }
+
+    /// The bug-*class* key a fleet deduplicates on: root-cause faults plus
+    /// the canonical plan-graph fingerprint. Two hint sets tripping the same
+    /// fault on isomorphic queries are one class, while the same fault on a
+    /// structurally different plan stays a separate class. Falls back to the
+    /// coarse [`signature`](Self::signature) when no fingerprint was stamped.
+    pub fn class_key(&self) -> String {
+        match self.fingerprint {
+            Some(fp) => {
+                let faults: Vec<String> = self.fired.iter().map(|f| format!("{f:?}")).collect();
+                format!("{}|{}|plan:{fp:016x}", self.dbms, faults.join(","))
+            }
+            None => self.signature(),
+        }
     }
 
     /// The bug *type* identifiers (Table 4 granularity): one entry per
@@ -86,10 +113,12 @@ impl BugLog {
         BugLog::default()
     }
 
-    /// Add a report unless an identical-signature bug is already logged.
-    /// Returns true when the report was new.
+    /// Add a report unless its bug class is already logged. Classes are the
+    /// plan-fingerprint [`BugReport::class_key`] when a fingerprint was
+    /// stamped, and the coarse [`BugReport::signature`] otherwise. Returns
+    /// true when the report was new.
     pub fn push(&mut self, report: BugReport) -> bool {
-        if self.seen_signatures.insert(report.signature()) {
+        if self.seen_signatures.insert(report.class_key()) {
             self.reports.push(report);
             true
         } else {
@@ -274,6 +303,7 @@ pub fn make_report(
         observed_rows: observed.row_count(),
         fired,
         minimized_sql: minimized.map(render_stmt),
+        fingerprint: None,
     }
 }
 
@@ -317,6 +347,36 @@ mod tests {
         // two distinct root causes → two bug types
         assert_eq!(log.bug_type_count(), 2);
         assert_eq!(log.implicated_faults().len(), 2);
+    }
+
+    #[test]
+    fn plan_fingerprint_refines_and_collapses_classes() {
+        let mut log = BugLog::new();
+        // Same fault through two hint sets on isomorphic plans: one class.
+        assert!(log.push(
+            report(vec![FaultKind::MergeJoinDropsLastRun], "merge-join").with_fingerprint(0xA1)
+        ));
+        assert!(!log.push(
+            report(vec![FaultKind::MergeJoinDropsLastRun], "stream-agg").with_fingerprint(0xA1)
+        ));
+        // Same fault and hint on a structurally different plan: a new class.
+        assert!(log.push(
+            report(vec![FaultKind::MergeJoinDropsLastRun], "merge-join").with_fingerprint(0xB2)
+        ));
+        assert_eq!(log.bug_count(), 2);
+        // Without a fingerprint the old signature keeps deduplicating.
+        let coarse = report(vec![FaultKind::MergeJoinDropsLastRun], "merge-join");
+        assert_eq!(coarse.class_key(), coarse.signature());
+        assert!(log.push(coarse));
+    }
+
+    #[test]
+    fn class_key_embeds_the_fingerprint() {
+        let r = report(vec![FaultKind::HashJoinNullMatchesEmpty], "hash-join")
+            .with_fingerprint(0xDEAD_BEEF);
+        assert!(r.class_key().ends_with("|plan:00000000deadbeef"));
+        assert!(r.class_key().contains("HashJoinNullMatchesEmpty"));
+        assert!(!r.class_key().contains("hash-join"), "hint label dropped");
     }
 
     #[test]

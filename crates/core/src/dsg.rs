@@ -18,7 +18,7 @@ use tqs_sql::value::Value;
 use tqs_storage::widegen::{
     random_fd_table, shopping_orders, tpch_like, RandomFdConfig, ShoppingConfig, TpchLikeConfig,
 };
-use tqs_storage::WideTable;
+use tqs_storage::{WideTable, WideTableShard};
 
 /// Which wide-table source to use (substitutes for the paper's UCI / TPC-H
 /// datasets).
@@ -32,6 +32,19 @@ pub enum WideSource {
 impl Default for WideSource {
     fn default() -> Self {
         WideSource::Shopping(ShoppingConfig::default())
+    }
+}
+
+impl WideSource {
+    /// Generate the wide table this source describes. Exposed so that a
+    /// sharded campaign can generate `T_w` exactly once, share it behind an
+    /// `Arc`, and build per-shard databases from row-range views of it.
+    pub fn generate(&self) -> WideTable {
+        match self {
+            WideSource::Shopping(c) => shopping_orders(c),
+            WideSource::TpchLike(c) => tpch_like(c),
+            WideSource::RandomFd(c) => random_fd_table(c),
+        }
     }
 }
 
@@ -59,14 +72,27 @@ pub struct DsgDatabase {
 impl DsgDatabase {
     /// Run the full DSG data pipeline.
     pub fn build(cfg: &DsgConfig) -> DsgDatabase {
-        let wide: WideTable = match &cfg.source {
-            WideSource::Shopping(c) => shopping_orders(c),
-            WideSource::TpchLike(c) => tpch_like(c),
-            WideSource::RandomFd(c) => random_fd_table(c),
-        };
+        let wide = cfg.source.generate();
         let fds = FdSet::discover(&wide, &cfg.fd);
-        let mut db = normalize(wide, &fds);
-        let noise = match &cfg.noise {
+        DsgDatabase::from_wide_with_fds(wide, &fds, cfg.noise.as_ref())
+    }
+
+    /// Build the database from an already-generated wide table and an
+    /// already-discovered FD set.
+    ///
+    /// This is the shard entry point: FDs discovered on the *full* wide
+    /// table hold on every row subset, so normalizing each shard with the
+    /// shared FD set yields the same schema (tables, columns, join edges) on
+    /// every shard — queries, ground truth and plan-graph fingerprints stay
+    /// comparable across the whole fleet while each worker only materializes
+    /// its own partition.
+    pub fn from_wide_with_fds(
+        wide: WideTable,
+        fds: &FdSet,
+        noise_cfg: Option<&NoiseConfig>,
+    ) -> DsgDatabase {
+        let mut db = normalize(wide, fds);
+        let noise = match noise_cfg {
             Some(nc) => inject_noise(&mut db, nc),
             None => Vec::new(),
         };
@@ -105,6 +131,35 @@ impl DsgDatabase {
             noise,
             value_pool,
         }
+    }
+
+    /// Build `count` row-range shard databases. The wide table is generated
+    /// once and shared behind an `Arc`; FDs are discovered once on the full
+    /// table; each shard materializes only its own row partition and runs
+    /// the rest of the pipeline (normalization, noise, value pools) on it.
+    /// With `count == 1` this is the unsharded database in a vector.
+    pub fn build_sharded(cfg: &DsgConfig, count: usize) -> Vec<std::sync::Arc<DsgDatabase>> {
+        let wide = std::sync::Arc::new(cfg.source.generate());
+        let fds = FdSet::discover(&wide, &cfg.fd);
+        WideTableShard::split(wide, count)
+            .into_iter()
+            .map(|shard| {
+                // Per-shard noise seed (shard 0 keeps the configured seed,
+                // so a 1-shard build is *exactly* `DsgDatabase::build`): the
+                // same injection pattern on every shard would make shard 0's
+                // bugs predict every other shard's, which defeats
+                // partitioned exploration.
+                let noise = cfg.noise.clone().map(|mut nc| {
+                    nc.seed ^= (shard.spec().index as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+                    nc
+                });
+                std::sync::Arc::new(DsgDatabase::from_wide_with_fds(
+                    shard.materialize(),
+                    &fds,
+                    noise.as_ref(),
+                ))
+            })
+            .collect()
     }
 
     pub fn sample_values(&self, table: &str, column: &str) -> &[Value] {
@@ -586,6 +641,48 @@ mod tests {
             ok >= 35,
             "ground truth should be recoverable for most queries, got {ok}/40"
         );
+    }
+
+    #[test]
+    fn sharded_databases_share_one_schema_and_partition_the_rows() {
+        let cfg = DsgConfig {
+            source: WideSource::Shopping(ShoppingConfig {
+                n_rows: 120,
+                ..Default::default()
+            }),
+            fd: FdDiscoveryConfig::default(),
+            noise: None,
+        };
+        let full = DsgDatabase::build(&cfg);
+        let shards = DsgDatabase::build_sharded(&cfg, 3);
+        assert_eq!(shards.len(), 3);
+        for s in &shards {
+            // FDs come from the full table, so every shard normalizes to the
+            // same schema — queries and fingerprints are fleet-comparable.
+            assert_eq!(s.schema_desc.tables, full.schema_desc.tables);
+            assert_eq!(s.schema_desc.join_edges, full.schema_desc.join_edges);
+            assert!(s.db.wide.row_count() < full.db.wide.row_count());
+        }
+        let total: usize = shards.iter().map(|s| s.db.wide.row_count()).sum();
+        assert_eq!(total, full.db.wide.row_count());
+        // One shard is the whole database — including the noise pipeline:
+        // shard 0 keeps the configured noise seed, so a single-shard build
+        // injects the identical noise records as the plain build.
+        let noisy_cfg = DsgConfig {
+            noise: Some(NoiseConfig {
+                epsilon: 0.04,
+                seed: 5,
+                max_injections: 10,
+            }),
+            ..cfg
+        };
+        let noisy_full = DsgDatabase::build(&noisy_cfg);
+        let noisy_whole = DsgDatabase::build_sharded(&noisy_cfg, 1);
+        assert_eq!(
+            noisy_whole[0].db.wide.row_count(),
+            noisy_full.db.wide.row_count()
+        );
+        assert_eq!(noisy_whole[0].noise.len(), noisy_full.noise.len());
     }
 
     #[test]

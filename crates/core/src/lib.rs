@@ -78,5 +78,7 @@ pub use oracle::{
     DifferentialOracle, NorecOracle, Oracle, OracleVerdict, PlanDiffOracle, PqsOracle, TlpOracle,
     TqsOracle,
 };
-pub use parallel::{parallel_explore, parallel_explore_with, ParallelStats};
+pub use parallel::{
+    parallel_explore, parallel_explore_sharded, parallel_explore_with, ParallelStats,
+};
 pub use tqs::{RunStats, TimelinePoint, TqsConfig, TqsSession, TqsSessionBuilder};

@@ -9,21 +9,39 @@
 //! The explorer is backend- and oracle-agnostic: callers hand it a connector
 //! factory (and optionally an oracle factory) and every worker drives its own
 //! [`DbmsConnector`] replica through its own [`Oracle`].
+//!
+//! Two scale properties matter for fleets:
+//!
+//! * **Zero-copy replicas.** The DSG database is taken behind an [`Arc`] and
+//!   the catalog's tables are `Arc`-shared ([`tqs_storage::Catalog`]), so a
+//!   worker "loading" the testing database into its engine replica bumps
+//!   reference counts instead of cloning row storage.
+//! * **Sharding.** [`parallel_explore_sharded`] spreads workers over
+//!   row-range shard databases ([`DsgDatabase::build_sharded`]): every worker
+//!   hunts one partition of the wide table instead of the whole catalog,
+//!   which is how a campaign scales past the memory of a single replica.
 
 use crate::backend::{ConnectorError, DbmsConnector};
 use crate::dsg::{DsgDatabase, QueryGenConfig, QueryGenerator, WalkScorer};
 use crate::oracle::{Oracle, OracleVerdict, TqsOracle};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tqs_graph::embedding::embed_graph;
 use tqs_graph::plangraph::query_graph_with_subqueries;
 use tqs_graph::{GraphIndex, LabeledGraph};
 
+/// Shard-aware oracle factory: `(client index, the worker's shard database)
+/// -> verdict procedure`.
+type ShardOracleFactory<'a> = dyn Fn(usize, &Arc<DsgDatabase>) -> Box<dyn Oracle> + Sync + 'a;
+
 /// Result of one parallel exploration run.
 #[derive(Debug, Clone)]
 pub struct ParallelStats {
     pub clients: usize,
+    /// Number of distinct shard databases the fleet hunted (1 = unsharded).
+    pub shards: usize,
     pub queries_processed: usize,
     pub bugs_found: usize,
     pub diversity: usize,
@@ -46,9 +64,10 @@ impl WalkScorer for SharedScorer<'_> {
 
 /// Run `clients` workers for `budget` wall-clock time with the default
 /// ground-truth oracle ([`TqsOracle`]) per worker. See
-/// [`parallel_explore_with`] for the oracle-agnostic variant.
+/// [`parallel_explore_with`] for the oracle-agnostic variant and
+/// [`parallel_explore_sharded`] for partitioned hunts.
 pub fn parallel_explore<C, F>(
-    dsg: &DsgDatabase,
+    dsg: &Arc<DsgDatabase>,
     clients: usize,
     budget: Duration,
     seed: u64,
@@ -58,25 +77,24 @@ where
     C: DbmsConnector,
     F: Fn(usize) -> C + Sync,
 {
-    // One shared copy of the DSG for the whole fleet — workers clone the
-    // catalog into their backend replicas, but the oracle side is shared.
-    let shared = std::sync::Arc::new(dsg.clone());
-    parallel_explore_with(dsg, clients, budget, seed, connect, move |_| {
-        Box::new(TqsOracle::shared(std::sync::Arc::clone(&shared)))
+    let shards = [Arc::clone(dsg)];
+    explore_fleet(&shards, clients, budget, seed, &connect, &|_, shard| {
+        Box::new(TqsOracle::shared(Arc::clone(shard)))
     })
 }
 
 /// Run `clients` workers for `budget` wall-clock time. Every worker obtains
 /// its own backend replica from `connect` and its own verdict procedure from
-/// `make_oracle` (each called with the client index), loads the DSG catalog
-/// into the replica, generates queries with the shared adaptive scorer and
-/// drives every statement through its `&mut dyn Oracle`.
+/// `make_oracle` (each called with the client index), loads the shared DSG
+/// catalog into the replica (an `Arc` bump per table, not a copy), generates
+/// queries with the shared adaptive scorer and drives every statement
+/// through its `&mut dyn Oracle`.
 ///
 /// Returns an error when any worker's connector rejects the catalog; the
 /// remaining workers stop at their next iteration (rather than burning the
 /// whole budget) and the partial counts are discarded.
 pub fn parallel_explore_with<C, F, G>(
-    dsg: &DsgDatabase,
+    dsg: &Arc<DsgDatabase>,
     clients: usize,
     budget: Duration,
     seed: u64,
@@ -88,6 +106,69 @@ where
     F: Fn(usize) -> C + Sync,
     G: Fn(usize) -> Box<dyn Oracle> + Sync,
 {
+    let shards = [Arc::clone(dsg)];
+    explore_fleet(&shards, clients, budget, seed, &connect, &|client, _| {
+        make_oracle(client)
+    })
+}
+
+/// Sharded fleet exploration: worker `i` hunts shard `i % shards.len()` —
+/// it loads only its partition's catalog and generates queries from its
+/// partition's schema view. `make_oracle` receives the client index *and*
+/// the worker's shard database, so shard-local verdict procedures (a
+/// [`TqsOracle`] over the shard's own ground truth) come for free:
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use tqs_core::backend::EngineConnector;
+/// use tqs_core::dsg::{DsgConfig, DsgDatabase};
+/// use tqs_core::oracle::TqsOracle;
+/// use tqs_core::parallel::parallel_explore_sharded;
+/// use tqs_engine::ProfileId;
+///
+/// let shards = DsgDatabase::build_sharded(&DsgConfig::default(), 2);
+/// let stats = parallel_explore_sharded(
+///     &shards,
+///     2,
+///     Duration::from_millis(50),
+///     7,
+///     |_| EngineConnector::faulty(ProfileId::MysqlLike),
+///     |_, shard| Box::new(TqsOracle::shared(Arc::clone(shard))),
+/// )
+/// .unwrap();
+/// assert_eq!(stats.shards, 2);
+/// ```
+pub fn parallel_explore_sharded<C, F, G>(
+    shards: &[Arc<DsgDatabase>],
+    clients: usize,
+    budget: Duration,
+    seed: u64,
+    connect: F,
+    make_oracle: G,
+) -> Result<ParallelStats, ConnectorError>
+where
+    C: DbmsConnector,
+    F: Fn(usize) -> C + Sync,
+    G: Fn(usize, &Arc<DsgDatabase>) -> Box<dyn Oracle> + Sync,
+{
+    explore_fleet(shards, clients, budget, seed, &connect, &make_oracle)
+}
+
+/// The shared fleet loop behind the three public entry points.
+fn explore_fleet<C, F>(
+    shards: &[Arc<DsgDatabase>],
+    clients: usize,
+    budget: Duration,
+    seed: u64,
+    connect: &F,
+    make_oracle: &ShardOracleFactory<'_>,
+) -> Result<ParallelStats, ConnectorError>
+where
+    C: DbmsConnector,
+    F: Fn(usize) -> C + Sync,
+{
+    assert!(!shards.is_empty(), "at least one shard database required");
     let shared_index = Mutex::new(GraphIndex::new());
     let queries = AtomicUsize::new(0);
     let bugs = AtomicUsize::new(0);
@@ -97,21 +178,22 @@ where
 
     std::thread::scope(|scope| {
         for client in 0..clients {
+            let shard = &shards[client % shards.len()];
             let shared_index = &shared_index;
             let queries = &queries;
             let bugs = &bugs;
-            let connect = &connect;
-            let make_oracle = &make_oracle;
             let load_error = &load_error;
             let abort = &abort;
             scope.spawn(move || {
                 let mut conn = connect(client);
-                if let Err(e) = conn.load_catalog(&dsg.db.catalog) {
+                // With `Arc`-shared catalog tables this load is reference
+                // bumps, not a copy of the shard's rows.
+                if let Err(e) = conn.load_catalog(&shard.db.catalog) {
                     *load_error.lock() = Some(e);
                     abort.store(true, Ordering::Relaxed);
                     return;
                 }
-                let mut oracle = make_oracle(client);
+                let mut oracle = make_oracle(client, shard);
                 let mut generator = QueryGenerator::new(QueryGenConfig {
                     seed: seed ^ ((client as u64 + 1) * 0x9E37_79B9),
                     ..Default::default()
@@ -121,8 +203,8 @@ where
                     knn_k: 5,
                 };
                 while start.elapsed() < budget && !abort.load(Ordering::Relaxed) {
-                    let stmt = generator.generate(dsg, None, &scorer);
-                    let qg = query_graph_with_subqueries(&stmt, &dsg.schema_desc);
+                    let stmt = generator.generate(shard, None, &scorer);
+                    let qg = query_graph_with_subqueries(&stmt, &shard.schema_desc);
                     {
                         // synchronization cost of the central server
                         let mut idx = shared_index.lock();
@@ -148,6 +230,9 @@ where
     let diversity = shared_index.lock().isomorphic_set_count();
     Ok(ParallelStats {
         clients,
+        // Worker i hunts shard i % shards.len(), so with fewer clients than
+        // shards the tail shards are never assigned.
+        shards: shards.len().min(clients),
         queries_processed: queries.load(Ordering::Relaxed),
         bugs_found: bugs.load(Ordering::Relaxed),
         diversity,
@@ -164,8 +249,8 @@ mod tests {
     use tqs_schema::NoiseConfig;
     use tqs_storage::widegen::ShoppingConfig;
 
-    fn dsg() -> DsgDatabase {
-        DsgDatabase::build(&DsgConfig {
+    fn dsg_cfg() -> DsgConfig {
+        DsgConfig {
             source: WideSource::Shopping(ShoppingConfig {
                 n_rows: 80,
                 ..Default::default()
@@ -176,7 +261,11 @@ mod tests {
                 seed: 2,
                 max_injections: 8,
             }),
-        })
+        }
+    }
+
+    fn dsg() -> Arc<DsgDatabase> {
+        Arc::new(DsgDatabase::build(&dsg_cfg()))
     }
 
     #[test]
@@ -187,6 +276,7 @@ mod tests {
         })
         .unwrap();
         assert_eq!(stats.clients, 1);
+        assert_eq!(stats.shards, 1);
         assert!(stats.queries_processed > 0);
         assert!(stats.diversity > 0);
     }
@@ -215,15 +305,16 @@ mod tests {
         // Cross-engine differential exploration: every worker tests the
         // faulty row engine against its own pristine columnar replica.
         let d = dsg();
+        let oracle_dsg = Arc::clone(&d);
         let stats = parallel_explore_with(
             &d,
             2,
             Duration::from_millis(250),
             23,
             |_| EngineConnector::faulty(ProfileId::MysqlLike),
-            |_| {
+            move |_| {
                 Box::new(crate::oracle::DifferentialOracle::new(
-                    EngineConnector::connect_columnar_pristine(ProfileId::MysqlLike, &d),
+                    EngineConnector::connect_columnar_pristine(ProfileId::MysqlLike, &oracle_dsg),
                 ))
             },
         )
@@ -242,5 +333,22 @@ mod tests {
         .unwrap();
         assert_eq!(stats.clients, 2);
         assert!(stats.queries_processed > 0);
+    }
+
+    #[test]
+    fn sharded_fleet_hunts_partitions() {
+        let shards = DsgDatabase::build_sharded(&dsg_cfg(), 2);
+        let stats = parallel_explore_sharded(
+            &shards,
+            2,
+            Duration::from_millis(300),
+            29,
+            |_| EngineConnector::faulty(ProfileId::MysqlLike),
+            |_, shard| Box::new(TqsOracle::shared(Arc::clone(shard))),
+        )
+        .unwrap();
+        assert_eq!(stats.shards, 2);
+        assert!(stats.queries_processed > 0);
+        assert!(stats.diversity > 0);
     }
 }

@@ -297,13 +297,17 @@ impl TqsSession {
 
     /// Run one query through the session's oracle. Returns false when the
     /// oracle skipped the statement (unsupported shape, execution failure).
+    /// Every report is stamped with the statement's canonical plan-graph
+    /// fingerprint before entering the log, so the log deduplicates at
+    /// bug-class granularity (see [`crate::bugs::BugReport::class_key`]).
     pub fn test_one(&mut self, stmt: &SelectStmt) -> bool {
         match self.oracle.check(stmt, self.connector.as_mut()) {
             OracleVerdict::Skip => false,
             OracleVerdict::Pass => true,
             OracleVerdict::Bugs(reports) => {
+                let fp = tqs_graph::plangraph::plan_fingerprint(stmt, &self.dsg.schema_desc);
                 for r in reports {
-                    self.bugs.push(r);
+                    self.bugs.push(r.with_fingerprint(fp));
                 }
                 true
             }

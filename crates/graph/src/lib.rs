@@ -17,7 +17,10 @@ pub mod plangraph;
 pub use embedding::{cosine_similarity, embed_graph, Embedding, EMBED_DIM};
 pub use graph::{Edge, LabeledGraph, Node};
 pub use index::{GraphIndex, IndexedGraph};
-pub use plangraph::{query_graph, query_graph_with_subqueries, PlanIterativeGraph, SchemaDesc};
+pub use plangraph::{
+    graph_fingerprint, plan_fingerprint, query_graph, query_graph_with_subqueries,
+    PlanIterativeGraph, SchemaDesc,
+};
 
 #[cfg(test)]
 mod proptests {

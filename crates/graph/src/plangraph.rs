@@ -230,6 +230,37 @@ fn lookup_type(stmt: &SelectStmt, schema: &SchemaDesc, binding: &str, column: &s
         .to_string()
 }
 
+/// A stable 64-bit fingerprint of a labeled graph, derived from its
+/// Weisfeiler-Lehman canonical form: isomorphic graphs always share a
+/// fingerprint, and the richly-labeled query graphs TQS generates make
+/// collisions between structurally different queries vanishingly rare.
+///
+/// The hash is FNV-1a over the canonical string — deliberately *not*
+/// [`std::hash::DefaultHasher`], whose output is not specified to be stable
+/// across Rust releases. Campaign corpora persist these fingerprints to disk
+/// and must reload them unchanged years later.
+pub fn graph_fingerprint(g: &LabeledGraph) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x1_0000_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for byte in g.canonical_form(3).as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The canonical plan-graph fingerprint of one statement: the
+/// [`graph_fingerprint`] of its query graph (subquery marker included).
+/// Two statements that map to isomorphic sub-graphs of the plan-iterative
+/// graph — the same join structure over the same column types and operator
+/// roles — share a fingerprint, which is exactly the granularity at which a
+/// fleet-scale hunt wants to deduplicate bug reports: thousands of raw
+/// divergences collapse to one class per plan shape.
+pub fn plan_fingerprint(stmt: &SelectStmt, schema: &SchemaDesc) -> u64 {
+    graph_fingerprint(&query_graph_with_subqueries(stmt, schema))
+}
+
 /// Convenience: does the query contain a subquery? Subqueries add a
 /// `subquery`-labeled node so structurally different queries stay
 /// distinguishable.
@@ -330,6 +361,40 @@ mod tests {
             query_graph_with_subqueries(&a, &s).canonical_form(3),
             query_graph_with_subqueries(&b, &s).canonical_form(3)
         );
+    }
+
+    #[test]
+    fn plan_fingerprint_tracks_canonical_form() {
+        let s = schema();
+        let a = parse_stmt("SELECT T3.goodsName FROM T1 INNER JOIN T3 ON T1.goodsId = T3.goodsId")
+            .unwrap();
+        let b = parse_stmt("SELECT T3.goodsName FROM T1 INNER JOIN T3 ON T3.goodsId = T1.goodsId")
+            .unwrap();
+        let c =
+            parse_stmt("SELECT T3.goodsName FROM T1 LEFT OUTER JOIN T3 ON T1.goodsId = T3.goodsId")
+                .unwrap();
+        // Isomorphic queries collapse to one fingerprint; a different join
+        // type is a different bug class.
+        assert_eq!(plan_fingerprint(&a, &s), plan_fingerprint(&b, &s));
+        assert_ne!(plan_fingerprint(&a, &s), plan_fingerprint(&c, &s));
+    }
+
+    #[test]
+    fn graph_fingerprint_is_the_documented_fnv1a() {
+        // Pin the exact hash of a known canonical form so corpora persisted
+        // by older builds keep deduplicating correctly against newer ones.
+        let mut g = LabeledGraph::default();
+        g.add_node("table");
+        let expected = {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in g.canonical_form(3).as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x1_0000_0000_01b3);
+            }
+            h
+        };
+        assert_eq!(graph_fingerprint(&g), expected);
+        assert_ne!(graph_fingerprint(&g), 0);
     }
 
     #[test]

@@ -172,13 +172,27 @@ impl<'a> GroundTruthEvaluator<'a> {
             .filter(|(_, v)| **v)
             .map(|(b, _)| b)
             .collect();
+        // Deduplicate witnesses by schema-row *identity* (the RowID-map
+        // targets), not by cell values: many wide rows witness the same
+        // combination of schema rows (that is what denormalization means),
+        // but two *distinct* schema rows whose contents happen to coincide —
+        // e.g. after NULL-noise corrupted their keys — must keep their own
+        // result rows, exactly as a physical scan returns both.
         let mut scoped_rows: Vec<Vec<(String, String, Value)>> = Vec::new();
         let mut seen = std::collections::HashSet::new();
         for wide_row in acc.ones() {
-            let scope = self.scope_for(wide_row, &visible_bindings);
-            let fp = scope_fingerprint(&scope);
-            if seen.insert(fp) {
-                scoped_rows.push(scope);
+            let identity: Vec<Option<u32>> = visible_bindings
+                .iter()
+                .map(|(_, table)| {
+                    if self.db.bitmap.get(table, wide_row) {
+                        self.db.rowid_map.get(wide_row, table)
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            if seen.insert(identity) {
+                scoped_rows.push(self.scope_for(wide_row, &visible_bindings));
             }
         }
 

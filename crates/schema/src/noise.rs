@@ -5,12 +5,13 @@
 //!
 //! One deliberate deviation from the paper's literal description: the Case-2
 //! insertion (adding a wide row that keeps the referenced dimension content
-//! reachable) is only performed when the referenced rows would otherwise
+//! reachable) is only performed when some referenced row would otherwise
 //! become unreachable from the wide table. When other wide rows still map to
-//! the same dimension rows, inserting a duplicate would make full-outer-join
-//! ground truth over-count, so we skip it — this is exactly the paper's own
-//! requirement that injected noise "does not violate the ground-truth results
-//! of normal data".
+//! all the same dimension rows, inserting a duplicate witness is pointless,
+//! so we skip it; when the insert does happen, any redundant witnesses it
+//! carries are collapsed by the ground truth's identity-based row
+//! deduplication — this is exactly the paper's own requirement that injected
+//! noise "does not violate the ground-truth results of normal data".
 
 use crate::normalize::NormalizedDb;
 use rand::rngs::StdRng;
@@ -216,20 +217,26 @@ pub fn apply_noise(
             .ok()?;
     }
 
-    // 2. Decide whether the synchronization needs the insertion rule: only
-    //    when every dependent-table target row would otherwise lose its last
-    //    wide-table witness.
+    // 2. Decide whether the synchronization needs the insertion rule: when
+    //    *any* dependent-table target row would otherwise lose its last
+    //    wide-table witness. Witness loss is per table, so requiring it of
+    //    every table at once would leave single-table orphans behind —
+    //    injections interact: an earlier corruption may already have drained
+    //    all other witnesses of one target while its siblings keep theirs.
+    //    The inserted row adds a redundant witness for the targets that are
+    //    still reachable, which the ground truth's identity-based
+    //    deduplication renders harmless.
     let needs_insert = match case {
         NoiseCase::PrimaryKey => true,
         NoiseCase::ForeignKey => dep_tables
             .iter()
-            .all(|t| match db.rowid_map.get(exemplar, t) {
+            .any(|t| match db.rowid_map.get(exemplar, t) {
                 Some(target) => db
                     .rowid_map
                     .reverse(t, target)
                     .iter()
                     .all(|r| affected.contains(r)),
-                None => true,
+                None => false,
             }),
     };
 

@@ -7,15 +7,19 @@
 //! * [`table`] — tables with key/foreign-key metadata and the [`table::Catalog`]
 //!   loaded into each simulated DBMS.
 //! * [`wide`] — the wide table `T_w` with explicit `RowID`s.
+//! * [`shard`] — zero-copy row-range shard views over the wide table, the
+//!   unit of data partitioning for fleet-scale hunt campaigns.
 //! * [`widegen`] — synthetic wide-table generators standing in for the UCI
 //!   KDD-Cup dataset and denormalized TPC-H samples used in the paper.
 
 pub mod row;
+pub mod shard;
 pub mod table;
 pub mod wide;
 pub mod widegen;
 
 pub use row::{ResultSet, Row};
+pub use shard::{ShardSpec, WideTableShard};
 pub use table::{Catalog, ForeignKey, Table};
 pub use wide::{WideTable, ROW_ID};
 

@@ -3,6 +3,7 @@
 use crate::row::Row;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 use tqs_sql::types::{ColumnDef, ColumnType};
 use tqs_sql::value::Value;
 
@@ -164,9 +165,16 @@ impl Table {
 
 /// A named collection of tables — the testing database produced by DSG and
 /// loaded into each simulated DBMS.
+///
+/// Tables are held behind [`Arc`], so cloning a catalog — which every worker
+/// replica in a hunt does when it loads the testing database into its backend
+/// — shares the (read-only) row storage instead of duplicating it. Mutation
+/// through [`table_mut`](Catalog::table_mut) stays possible via copy-on-write
+/// (`Arc::make_mut`): noise injection runs before the catalog is shared and
+/// pays nothing; a hypothetical post-share writer pays for its own copy.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Catalog {
-    tables: HashMap<String, Table>,
+    tables: HashMap<String, Arc<Table>>,
     /// Insertion order, so schema graphs and dumps are deterministic.
     order: Vec<String>,
 }
@@ -177,6 +185,12 @@ impl Catalog {
     }
 
     pub fn add_table(&mut self, table: Table) {
+        self.add_shared_table(Arc::new(table));
+    }
+
+    /// Insert an already-shared table without copying its rows (shard views
+    /// and worker replicas hand catalogs around this way).
+    pub fn add_shared_table(&mut self, table: Arc<Table>) {
         let key = table.name.to_lowercase();
         if !self.tables.contains_key(&key) {
             self.order.push(table.name.clone());
@@ -185,11 +199,18 @@ impl Catalog {
     }
 
     pub fn table(&self, name: &str) -> Option<&Table> {
-        self.tables.get(&name.to_lowercase())
+        self.tables.get(&name.to_lowercase()).map(Arc::as_ref)
     }
 
+    /// The shared handle of a table (zero-copy; used to build shard views).
+    pub fn shared_table(&self, name: &str) -> Option<Arc<Table>> {
+        self.tables.get(&name.to_lowercase()).cloned()
+    }
+
+    /// Copy-on-write mutable access: cheap while the table is unshared,
+    /// clones the row storage the first time a *shared* table is mutated.
     pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
-        self.tables.get_mut(&name.to_lowercase())
+        self.tables.get_mut(&name.to_lowercase()).map(Arc::make_mut)
     }
 
     pub fn table_names(&self) -> Vec<String> {
@@ -207,7 +228,7 @@ impl Catalog {
     pub fn iter(&self) -> impl Iterator<Item = &Table> {
         self.order
             .iter()
-            .filter_map(|n| self.tables.get(&n.to_lowercase()))
+            .filter_map(|n| self.tables.get(&n.to_lowercase()).map(Arc::as_ref))
     }
 
     /// All declared foreign-key relationships as
@@ -348,5 +369,35 @@ mod tests {
         assert!(cat.table("t3").is_some());
         assert_eq!(cat.foreign_key_edges().len(), 1);
         assert_eq!(cat.total_rows(), 2);
+    }
+
+    #[test]
+    fn catalog_clone_shares_row_storage() {
+        let mut cat = Catalog::new();
+        cat.add_table(goods_table());
+        let replica = cat.clone();
+        let a = cat.shared_table("T3").unwrap();
+        let b = replica.shared_table("T3").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "worker replicas must not copy rows");
+    }
+
+    #[test]
+    fn table_mut_copies_on_write_without_touching_replicas() {
+        let mut cat = Catalog::new();
+        cat.add_table(goods_table());
+        let replica = cat.clone();
+        cat.table_mut("T3")
+            .unwrap()
+            .set_cell(0, "goodsName", Value::Null)
+            .unwrap();
+        assert_eq!(
+            cat.table("T3").unwrap().cell(0, "goodsName"),
+            Some(&Value::Null)
+        );
+        assert_eq!(
+            replica.table("T3").unwrap().cell(0, "goodsName"),
+            Some(&Value::str("book")),
+            "copy-on-write must leave shared replicas unchanged"
+        );
     }
 }

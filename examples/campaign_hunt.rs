@@ -1,0 +1,103 @@
+//! Start, kill and resume a sharded hunt campaign.
+//!
+//! Demonstrates the campaign lifecycle end to end: a fresh campaign over a
+//! (shard × profile × oracle) cell grid, a bounded first session (standing
+//! in for a killed process), a resume that picks up the missing cells, and
+//! the triage/corpus state that survives on disk throughout.
+//!
+//! Run with: `cargo run --release --example campaign_hunt`
+
+use tqs_campaign::{Campaign, CampaignConfig, Corpus, OracleSpec};
+use tqs_core::dsg::{DsgConfig, WideSource};
+use tqs_engine::ProfileId;
+use tqs_schema::NoiseConfig;
+use tqs_storage::widegen::ShoppingConfig;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("tqs-campaign-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The campaign identity: seed, shard count, cell budget, profiles and
+    // oracles. Everything below is reproducible from this block.
+    let cfg = CampaignConfig {
+        dir: dir.clone(),
+        dsg: DsgConfig {
+            source: WideSource::Shopping(ShoppingConfig {
+                n_rows: 150,
+                ..Default::default()
+            }),
+            fd: Default::default(),
+            noise: Some(NoiseConfig {
+                epsilon: 0.04,
+                seed: 21,
+                max_injections: 16,
+            }),
+        },
+        shards: 2,
+        workers: 2,
+        profiles: vec![ProfileId::MysqlLike, ProfileId::TidbLike],
+        oracles: vec![OracleSpec::GroundTruth],
+        queries_per_cell: 60,
+        seed: 2024,
+        minimize: true,
+        max_cells_per_run: None,
+    };
+
+    // Session 1: drain only part of the grid, then "die".
+    let mut first = Campaign::new(CampaignConfig {
+        max_cells_per_run: Some(2),
+        ..cfg.clone()
+    })
+    .expect("fresh campaign directory");
+    println!(
+        "session 1: {} cells queued in {}",
+        first.cells_total(),
+        dir.display()
+    );
+    let stats = first.run().expect("bounded first session");
+    println!(
+        "session 1: drained {}/{} cells, {} queries ({:.0}/sec), {} raw reports -> {} classes",
+        first.cells_done(),
+        first.cells_total(),
+        stats.queries,
+        stats.queries_per_sec(),
+        stats.raw_reports,
+        stats.bug_classes,
+    );
+    drop(first); // the kill: nothing survives but the campaign directory
+
+    // Session 2: resume from the journal and finish the grid.
+    let mut second = Campaign::resume(cfg).expect("resume from checkpoint");
+    println!(
+        "session 2: resumed with {}/{} cells done, {} classes known",
+        second.cells_done(),
+        second.cells_total(),
+        second.class_keys().len(),
+    );
+    let stats = second.run().expect("resumed session");
+    assert!(second.is_complete());
+    println!(
+        "session 2: campaign complete — {} classes total (dedup ratio this session: {:.1})",
+        second.class_keys().len(),
+        stats.dedup_ratio(),
+    );
+
+    // The corpus holds one minimized representative per class, each with a
+    // replayable witness trace.
+    let entries = Corpus::in_dir(&dir).load().expect("load corpus");
+    println!("\ncorpus: {} entries, e.g.:", entries.len());
+    for entry in entries.iter().take(3) {
+        println!(
+            "  [{}] {} — minimized: {}",
+            entry.report.bug_type(),
+            entry.report.dbms,
+            entry
+                .report
+                .minimized_sql
+                .as_deref()
+                .unwrap_or("(not minimized)"),
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).expect("clean up the example directory");
+}

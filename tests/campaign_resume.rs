@@ -1,0 +1,174 @@
+//! Campaign-level integration tests: the resume determinism contract, the
+//! sharded-vs-unsharded bug-class comparison, and corpus replay.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use tqs_campaign::{Campaign, CampaignConfig, Corpus, OracleSpec};
+use tqs_core::backend::DbmsConnector;
+use tqs_core::dsg::{DsgConfig, WideSource};
+use tqs_engine::ProfileId;
+use tqs_schema::NoiseConfig;
+use tqs_sql::hints::HintSet;
+use tqs_sql::parser::parse_stmt;
+use tqs_storage::widegen::ShoppingConfig;
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tqs-resume-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One seeded-fault campaign configuration; identical across directories so
+/// runs are comparable.
+fn cfg(dir: PathBuf, shards: usize, queries_per_cell: usize) -> CampaignConfig {
+    CampaignConfig {
+        dir,
+        dsg: DsgConfig {
+            source: WideSource::Shopping(ShoppingConfig {
+                n_rows: 100,
+                ..Default::default()
+            }),
+            fd: Default::default(),
+            noise: Some(NoiseConfig {
+                epsilon: 0.04,
+                seed: 17,
+                max_injections: 12,
+            }),
+        },
+        shards,
+        workers: 2,
+        profiles: vec![ProfileId::MysqlLike],
+        oracles: vec![OracleSpec::GroundTruth],
+        queries_per_cell,
+        seed: 4242,
+        minimize: true,
+        max_cells_per_run: None,
+    }
+}
+
+#[test]
+fn killed_and_resumed_campaign_matches_uninterrupted_run() {
+    // Uninterrupted reference run.
+    let dir_a = test_dir("uninterrupted");
+    let mut uninterrupted = Campaign::new(cfg(dir_a.clone(), 2, 40)).unwrap();
+    let stats = uninterrupted.run().unwrap();
+    assert!(uninterrupted.is_complete());
+    assert!(stats.bug_classes > 0, "seeded faults should surface");
+
+    // Same campaign identity in a second directory, killed after one cell.
+    let dir_b = test_dir("killed");
+    let mut killed = Campaign::new(CampaignConfig {
+        max_cells_per_run: Some(1),
+        workers: 1,
+        ..cfg(dir_b.clone(), 2, 40)
+    })
+    .unwrap();
+    killed.run().unwrap();
+    assert!(!killed.is_complete());
+    drop(killed); // the "kill": all in-memory state is gone
+
+    // Resume from disk (different worker count on purpose — an operational
+    // knob, not part of the campaign identity) and finish.
+    let mut resumed = Campaign::resume(cfg(dir_b.clone(), 2, 40)).unwrap();
+    assert_eq!(resumed.cells_done(), 1);
+    resumed.run().unwrap();
+    assert!(resumed.is_complete());
+
+    // The deduplicated bug-class set is bit-identical.
+    assert_eq!(
+        resumed.class_keys(),
+        uninterrupted.class_keys(),
+        "killed+resumed campaign must reproduce the uninterrupted class set"
+    );
+
+    // And the persisted corpora agree with the in-memory triage state.
+    let persisted: BTreeSet<String> = Corpus::in_dir(&dir_b)
+        .load()
+        .unwrap()
+        .into_iter()
+        .map(|e| e.class_key)
+        .collect();
+    assert_eq!(persisted, resumed.class_keys());
+
+    // Resuming a *complete* campaign is a no-op that changes nothing.
+    let mut again = Campaign::resume(cfg(dir_b.clone(), 2, 40)).unwrap();
+    let stats = again.run().unwrap();
+    assert_eq!(stats.cells_drained, 0);
+    assert_eq!(again.class_keys(), uninterrupted.class_keys());
+
+    std::fs::remove_dir_all(&dir_a).unwrap();
+    std::fs::remove_dir_all(&dir_b).unwrap();
+}
+
+#[test]
+fn sharded_and_unsharded_hunts_find_the_same_fault_classes() {
+    // Same total query budget, same seeded fault build: two shards hunting
+    // half the data each vs one worker over the whole catalog.
+    let dir_sharded = test_dir("sharded");
+    let mut sharded = Campaign::new(cfg(dir_sharded.clone(), 2, 150)).unwrap();
+    sharded.run().unwrap();
+
+    let dir_whole = test_dir("whole");
+    let mut whole = Campaign::new(cfg(dir_whole.clone(), 1, 300)).unwrap();
+    whole.run().unwrap();
+
+    // Root-cause granularity (the paper's Table 4 "bug type" level): the
+    // individual faults implicated across all classes. Which *combinations*
+    // fire together depends on the exact query mix, but partitioned hunting
+    // must not lose root-cause coverage relative to the monolithic hunt.
+    let implicated = |c: &Campaign| -> BTreeSet<String> {
+        c.triage()
+            .fault_classes()
+            .iter()
+            .flat_map(|combo| combo.split('+').map(str::to_string))
+            .collect()
+    };
+    let sharded_faults = implicated(&sharded);
+    let whole_faults = implicated(&whole);
+    assert!(!sharded_faults.is_empty());
+    assert!(!whole_faults.is_empty());
+    let missed: Vec<&String> = whole_faults.difference(&sharded_faults).collect();
+    let extra: Vec<&String> = sharded_faults.difference(&whole_faults).collect();
+    assert!(
+        missed.is_empty() && extra.is_empty(),
+        "root-cause sets diverged; sharded missed {missed:?}, found extra {extra:?}"
+    );
+
+    std::fs::remove_dir_all(&dir_sharded).unwrap();
+    std::fs::remove_dir_all(&dir_whole).unwrap();
+}
+
+#[test]
+fn corpus_witnesses_replay_without_the_engine() {
+    let dir = test_dir("replay");
+    let mut campaign = Campaign::new(cfg(dir.clone(), 1, 60)).unwrap();
+    campaign.run().unwrap();
+    let entries = Corpus::in_dir(&dir).load().unwrap();
+    assert!(!entries.is_empty());
+    for entry in &entries {
+        // Every persisted class carries a witness trace; serving it back
+        // through the replay backend reproduces the recorded outcomes
+        // bit-for-bit, without the faulty engine build.
+        assert!(!entry.trace.is_empty());
+        let mut replay = entry.replay_connector();
+        assert_eq!(replay.info().name, entry.connector.name);
+        for stored in &entry.trace {
+            let Ok(stmt) = parse_stmt(&stored.sql) else {
+                continue;
+            };
+            let outcome = replay.execute_with_hints(&stmt, &HintSet::new(&stored.label));
+            match &stored.error {
+                Some(_) => assert!(outcome.is_err(), "recorded error must replay as error"),
+                None => {
+                    let out = outcome.expect("recorded statement must replay");
+                    assert_eq!(out.result.row_count(), stored.rows.len());
+                    assert_eq!(out.fired, stored.fired);
+                }
+            }
+        }
+        // A fingerprint-stamped report deduplicates under the same key after
+        // the disk round-trip.
+        assert_eq!(entry.report.class_key(), entry.class_key);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
