@@ -16,41 +16,17 @@
 //!   wiped at startup)
 //! * `TQS_CAMPAIGN_OUT` — output JSON path (default `BENCH_campaign.json`)
 
-use std::path::PathBuf;
-use tqs_bench::standard_dsg;
-use tqs_campaign::{Campaign, CampaignConfig, Json, OracleSpec};
-use tqs_engine::ProfileId;
-
-fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
-}
+use tqs_bench::standard_campaign_config;
+use tqs_campaign::{Campaign, Json};
 
 fn main() {
-    let queries_per_cell = env_usize("TQS_CAMPAIGN_QUERIES", 150);
-    let shards = env_usize("TQS_CAMPAIGN_SHARDS", 4);
-    let workers = env_usize("TQS_CAMPAIGN_WORKERS", 4);
-    let dir = std::env::var("TQS_CAMPAIGN_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| PathBuf::from("target/exp_campaign"));
+    let cfg = standard_campaign_config();
+    let (queries_per_cell, shards, workers) = (cfg.queries_per_cell, cfg.shards, cfg.workers);
+    let dir = cfg.dir.clone();
     let out_path =
         std::env::var("TQS_CAMPAIGN_OUT").unwrap_or_else(|_| "BENCH_campaign.json".to_string());
     let _ = std::fs::remove_dir_all(&dir);
 
-    let cfg = CampaignConfig {
-        dir: dir.clone(),
-        dsg: standard_dsg(240, 77),
-        shards,
-        workers,
-        profiles: vec![ProfileId::MysqlLike, ProfileId::TidbLike],
-        oracles: vec![OracleSpec::GroundTruth, OracleSpec::CrossEngine],
-        queries_per_cell,
-        seed: 0xCA3A,
-        minimize: true,
-        max_cells_per_run: None,
-    };
     let mut campaign = Campaign::new(cfg.clone()).expect("fresh campaign directory");
     println!(
         "Campaign — {} cells ({} shards × {} profiles × {} oracles), {} workers, {} queries/cell",

@@ -1,0 +1,133 @@
+//! Regression-replay experiment: re-verify every persisted bug class of the
+//! standard campaign against the faulty and fault-free engine builds.
+//!
+//! Reads the campaign directory `exp_campaign` produced (the two binaries
+//! share the `TQS_CAMPAIGN_*` knobs, so they agree on the campaign identity;
+//! a mismatch is rejected by the checkpoint-header check). When the directory
+//! holds no campaign yet, a fresh hunt runs first so the binary also works
+//! standalone. Then:
+//!
+//! 1. every corpus class is replayed (witness trace) and re-executed (live)
+//!    against the faulty build — all classes must still fail — and the
+//!    fault-free build — all classes must be fixed;
+//! 2. the corpus is compacted to one representative per surviving class
+//!    (`TQS_REVERIFY_KEEP_FIXED=1` keeps fixed/stale classes too);
+//! 3. a machine-readable `BENCH_reverify.json` is written
+//!    (`TQS_REVERIFY_OUT` overrides the path);
+//! 4. the process exits non-zero if any class re-verified `Flaky` — on
+//!    deterministic simulated engines that can only mean harness or corpus
+//!    drift, so CI fails the job.
+
+use tqs_bench::standard_campaign_config;
+use tqs_campaign::{
+    BuildSpec, Campaign, Checkpoint, Corpus, Json, ReverifyCampaign, ReverifyConfig, ReverifyStatus,
+};
+
+fn main() {
+    let cfg = standard_campaign_config();
+    let out_path =
+        std::env::var("TQS_REVERIFY_OUT").unwrap_or_else(|_| "BENCH_reverify.json".to_string());
+    let keep_fixed = std::env::var("TQS_REVERIFY_KEEP_FIXED").as_deref() == Ok("1");
+
+    if !Checkpoint::in_dir(&cfg.dir).exists() {
+        println!(
+            "no campaign found in {}; hunting one first",
+            cfg.dir.display()
+        );
+        let mut campaign = Campaign::new(cfg.clone()).expect("fresh campaign directory");
+        campaign.run().expect("campaign hunt");
+    }
+
+    let reverify = ReverifyCampaign::load(ReverifyConfig {
+        campaign: cfg.clone(),
+        builds: vec![BuildSpec::Faulty, BuildSpec::Pristine],
+        workers: cfg.workers,
+    })
+    .expect("load the campaign corpus for re-verification");
+    println!(
+        "Re-verify — {} corpus classes × {} builds, {} workers, corpus {}",
+        reverify.entries().len(),
+        reverify.config().builds.len(),
+        reverify.config().workers,
+        reverify.campaign().corpus().path().display()
+    );
+
+    let (report, stats) = reverify.run();
+
+    println!();
+    println!(
+        "{:<12} {:>14} {:>8} {:>8} {:>8}",
+        "build", "still-failing", "fixed", "flaky", "stale"
+    );
+    for build in reverify.config().builds.iter().copied() {
+        println!(
+            "{:<12} {:>14} {:>8} {:>8} {:>8}",
+            build.label(),
+            report.count_on(build, ReverifyStatus::StillFailing),
+            report.count_on(build, ReverifyStatus::Fixed),
+            report.count_on(build, ReverifyStatus::Flaky),
+            report.count_on(build, ReverifyStatus::Stale),
+        );
+    }
+    println!(
+        "\n{} verdicts in {:.2}s ({:.1} checks/sec)",
+        stats.verdicts,
+        stats.elapsed.as_secs_f64(),
+        stats.checks_per_sec()
+    );
+    for v in &report.verdicts {
+        if matches!(v.status, ReverifyStatus::Flaky | ReverifyStatus::Stale) {
+            println!(
+                "  {} [{} build] {}: {}",
+                v.status.label(),
+                v.build.label(),
+                v.class_key,
+                v.detail
+            );
+        }
+    }
+
+    // Compaction: one representative per surviving class; fixed/stale
+    // classes are garbage-collected unless explicitly kept.
+    let corpus = Corpus::in_dir(&cfg.dir);
+    let compaction = corpus
+        .compact(|key| report.retain_class(key, keep_fixed))
+        .expect("compact the corpus");
+    println!(
+        "\ncompaction: kept {} classes, dropped {} duplicates and {} retired classes \
+         (keep_fixed={keep_fixed})",
+        compaction.kept, compaction.duplicates_dropped, compaction.classes_dropped
+    );
+
+    let mut json = match stats.to_json() {
+        Json::Obj(members) => members,
+        _ => unreachable!("stats serialize to an object"),
+    };
+    for build in reverify.config().builds.iter().copied() {
+        for status in ReverifyStatus::ALL {
+            json.push((
+                format!("{}_{}", build.label(), status.label().replace('-', "_")),
+                Json::count(report.count_on(build, status)),
+            ));
+        }
+    }
+    json.push(("compaction_kept".to_string(), Json::count(compaction.kept)));
+    json.push((
+        "compaction_dropped_classes".to_string(),
+        Json::count(compaction.classes_dropped),
+    ));
+    json.push(("report".to_string(), report.to_json()));
+    let body = Json::Obj(json).to_string();
+    std::fs::write(&out_path, format!("{body}\n")).expect("write benchmark artifact");
+    println!("wrote {out_path}");
+
+    // CI gate: flaky classifications mean replay and live re-execution
+    // disagree — impossible on healthy deterministic engines.
+    if stats.flaky > 0 {
+        eprintln!(
+            "error: {} flaky classification(s) — replay and live re-execution disagree",
+            stats.flaky
+        );
+        std::process::exit(1);
+    }
+}

@@ -3,6 +3,8 @@
 //! (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
 //! recorded results).
 
+use std::path::PathBuf;
+use tqs_campaign::{CampaignConfig, OracleSpec};
 use tqs_core::backend::EngineConnector;
 use tqs_core::dsg::{DsgConfig, DsgDatabase, WideSource};
 use tqs_core::tqs::{TqsConfig, TqsSession};
@@ -48,6 +50,43 @@ pub fn budget(default: usize) -> usize {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(default)
+}
+
+/// A `usize` environment knob with a default.
+pub fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The standard hunt campaign, built from the shared `TQS_CAMPAIGN_*`
+/// environment knobs:
+///
+/// * `TQS_CAMPAIGN_QUERIES` — query budget per cell (default 150)
+/// * `TQS_CAMPAIGN_SHARDS` — wide-table shards (default 4)
+/// * `TQS_CAMPAIGN_WORKERS` — worker threads (default 4)
+/// * `TQS_CAMPAIGN_DIR` — campaign directory (default `target/exp_campaign`)
+///
+/// `exp_campaign` hunts it and `exp_reverify` re-verifies its corpus, so the
+/// campaign *identity* (seed, recipe, grid, budget) lives in exactly one
+/// place — a knob mismatch between the two binaries is caught by the
+/// checkpoint-header check instead of silently re-verifying a different hunt.
+pub fn standard_campaign_config() -> CampaignConfig {
+    CampaignConfig {
+        dir: std::env::var("TQS_CAMPAIGN_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("target/exp_campaign")),
+        dsg: standard_dsg(240, 77),
+        shards: env_usize("TQS_CAMPAIGN_SHARDS", 4),
+        workers: env_usize("TQS_CAMPAIGN_WORKERS", 4),
+        profiles: vec![ProfileId::MysqlLike, ProfileId::TidbLike],
+        oracles: vec![OracleSpec::GroundTruth, OracleSpec::CrossEngine],
+        queries_per_cell: env_usize("TQS_CAMPAIGN_QUERIES", 150),
+        seed: 0xCA3A,
+        minimize: true,
+        max_cells_per_run: None,
+    }
 }
 
 #[cfg(test)]

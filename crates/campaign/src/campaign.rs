@@ -62,7 +62,7 @@ impl OracleSpec {
     }
 
     /// Build the verdict procedure for one cell.
-    fn build(self, profile: ProfileId, shard: &Arc<DsgDatabase>) -> Box<dyn Oracle> {
+    pub(crate) fn build(self, profile: ProfileId, shard: &Arc<DsgDatabase>) -> Box<dyn Oracle> {
         match self {
             OracleSpec::GroundTruth => Box::new(TqsOracle::shared(Arc::clone(shard))),
             OracleSpec::CrossEngine => Box::new(DifferentialOracle::new(
@@ -226,6 +226,10 @@ impl Campaign {
     /// identity.
     pub fn resume(cfg: CampaignConfig) -> io::Result<Campaign> {
         let checkpoint = Checkpoint::in_dir(&cfg.dir);
+        // A kill mid-append leaves a torn final line; truncate it so this
+        // run's appends start on a fresh line instead of merging into it.
+        checkpoint.repair_torn_tail()?;
+        Corpus::in_dir(&cfg.dir).repair_torn_tail()?;
         let (header, records) = checkpoint.load()?;
         let expected = cfg.header();
         if header != expected {
@@ -285,6 +289,13 @@ impl Campaign {
     /// The shard databases the fleet hunts (index = `CampaignCell::shard`).
     pub fn shards(&self) -> &[Arc<DsgDatabase>] {
         &self.shards
+    }
+
+    /// The full cell grid, in id order (`cells()[id].id == id`). Corpus
+    /// entries name their discovering cell by id; re-verification resolves
+    /// the shard and oracle of a persisted class through this.
+    pub fn cells(&self) -> &[CampaignCell] {
+        &self.cells
     }
 
     pub fn cells_total(&self) -> usize {

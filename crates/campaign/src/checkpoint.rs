@@ -180,6 +180,13 @@ impl Checkpoint {
         f.flush()
     }
 
+    /// Truncate a torn final line left by a kill mid-append so later
+    /// appends start on a fresh line (see
+    /// [`Corpus::repair_torn_tail`](crate::corpus::Corpus::repair_torn_tail)).
+    pub fn repair_torn_tail(&self) -> io::Result<bool> {
+        crate::corpus::repair_torn_tail(&self.path)
+    }
+
     /// Replay the journal: the header plus every completed cell. A torn
     /// final line (kill mid-append) is dropped; corruption elsewhere errors.
     pub fn load(&self) -> io::Result<(CheckpointHeader, Vec<CellRecord>)> {
@@ -209,7 +216,13 @@ impl Checkpoint {
                 .and_then(|j| CellRecord::from_json(&j));
             match parsed {
                 Ok(r) => cells.push(r),
-                Err(_) if i + 1 == lines.len() && !text.ends_with('\n') => break,
+                Err(_) if i + 1 == lines.len() && !text.ends_with('\n') => {
+                    eprintln!(
+                        "warning: {}: dropping torn final line (interrupted write)",
+                        self.path.display()
+                    );
+                    break;
+                }
                 Err(m) => return Err(bad(i, m)),
             }
         }

@@ -439,6 +439,10 @@ impl Corpus {
                 Ok(e) => entries.push(e),
                 Err((idx, _)) if idx + 1 == lines.len() && !text.ends_with('\n') => {
                     // torn tail line from a kill mid-write: drop it
+                    eprintln!(
+                        "warning: {}: dropping torn final line (interrupted write)",
+                        self.path.display()
+                    );
                     break;
                 }
                 Err((idx, msg)) => {
@@ -451,6 +455,111 @@ impl Corpus {
         }
         Ok(entries)
     }
+
+    /// Truncate a torn final line left by a kill mid-append (the file does
+    /// not end in a newline), so the campaign's next append starts on a
+    /// fresh line instead of merging into the partial record. Our writers
+    /// emit each record and its newline in one write, so a missing final
+    /// newline always means the last append never completed — dropping it is
+    /// exactly the resume semantics. Returns whether anything was truncated;
+    /// a healthy (or absent) file is untouched.
+    pub fn repair_torn_tail(&self) -> io::Result<bool> {
+        repair_torn_tail(&self.path)
+    }
+
+    /// Rewrite the corpus keeping **one representative entry per class key
+    /// accepted by `retain`**: the class's first minimized entry, or its
+    /// first entry when none was minimized. Classes `retain` rejects (fixed
+    /// or stale under re-verification) are garbage-collected wholesale.
+    ///
+    /// Output order follows each surviving class's first appearance and the
+    /// serialization is deterministic, so compaction is **idempotent**: a
+    /// second pass over a compacted corpus rewrites it byte-identically.
+    /// The rewrite goes through a temp file + rename, so a kill mid-compact
+    /// leaves the original corpus intact.
+    pub fn compact(&self, retain: impl Fn(&str) -> bool) -> io::Result<CompactionStats> {
+        let entries = self.load()?;
+        let mut kept: Vec<CorpusEntry> = Vec::new();
+        let mut index: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        let mut stats = CompactionStats::default();
+        for entry in entries {
+            if !retain(&entry.class_key) {
+                stats.classes_dropped += 1;
+                continue;
+            }
+            match index.get(&entry.class_key) {
+                None => {
+                    index.insert(entry.class_key.clone(), kept.len());
+                    kept.push(entry);
+                }
+                Some(&at) => {
+                    stats.duplicates_dropped += 1;
+                    if kept[at].report.minimized_sql.is_none()
+                        && entry.report.minimized_sql.is_some()
+                    {
+                        kept[at] = entry;
+                    }
+                }
+            }
+        }
+        stats.kept = kept.len();
+        let mut text = String::new();
+        for entry in &kept {
+            text.push_str(&entry.to_json().to_string());
+            text.push('\n');
+        }
+        let tmp = self.path.with_extension("jsonl.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            // Flush the data to disk before the rename commits: rename
+            // metadata is not ordered after data blocks on every filesystem,
+            // and a power cut in that window would replace the corpus with
+            // an empty file — far worse than the torn tail appends risk.
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        Ok(stats)
+    }
+}
+
+/// Shared torn-tail truncation for the line-oriented campaign files (the
+/// corpus and the checkpoint journal). Works on raw bytes: a kill can land
+/// mid-way through a multi-byte UTF-8 character, which would make a
+/// string-level read fail with `InvalidData` — the very state this repair
+/// exists to recover from.
+pub(crate) fn repair_torn_tail(path: &Path) -> io::Result<bool> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(false),
+        Err(e) => return Err(e),
+    };
+    if bytes.is_empty() || bytes.ends_with(b"\n") {
+        return Ok(false);
+    }
+    let keep = bytes
+        .iter()
+        .rposition(|b| *b == b'\n')
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    eprintln!(
+        "warning: {}: truncating torn final line (interrupted write)",
+        path.display()
+    );
+    let f = OpenOptions::new().write(true).open(path)?;
+    f.set_len(keep as u64)?;
+    Ok(true)
+}
+
+/// Outcome of one [`Corpus::compact`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Entries surviving the pass (one per retained class).
+    pub kept: usize,
+    /// Extra entries of retained classes that were collapsed away.
+    pub duplicates_dropped: usize,
+    /// Entries whose whole class was garbage-collected.
+    pub classes_dropped: usize,
 }
 
 #[cfg(test)]
@@ -556,6 +665,70 @@ mod tests {
         let loaded = corpus.load().unwrap();
         assert_eq!(loaded.len(), 2);
         assert_eq!(loaded[0].class_key, sample_entry().class_key);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn repair_truncates_tails_torn_inside_a_multibyte_char() {
+        let dir = std::env::temp_dir().join(format!("tqs-torn-utf8-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let corpus = Corpus::in_dir(&dir);
+        let _ = std::fs::remove_file(corpus.path());
+        assert!(!corpus.repair_torn_tail().unwrap(), "absent file untouched");
+        corpus.append(&sample_entry()).unwrap();
+        assert!(
+            !corpus.repair_torn_tail().unwrap(),
+            "healthy file untouched"
+        );
+        // A kill can land mid-way through a multi-byte UTF-8 character:
+        // 0xCE is the first byte of a two-byte sequence, never valid alone.
+        {
+            let mut f = OpenOptions::new().append(true).open(corpus.path()).unwrap();
+            f.write_all(b"{\"class\": \"\xCE").unwrap();
+        }
+        assert!(corpus.repair_torn_tail().unwrap());
+        assert_eq!(corpus.load().unwrap().len(), 1);
+        assert!(!corpus.repair_torn_tail().unwrap(), "repair is idempotent");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_keeps_one_minimized_representative_per_surviving_class() {
+        let dir = std::env::temp_dir().join(format!("tqs-compact-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let corpus = Corpus::in_dir(&dir);
+        let _ = std::fs::remove_file(corpus.path());
+        // Class A twice (first sighting unminimized, second minimized) and
+        // class B once; B's class is garbage-collected by `retain`.
+        let mut raw = sample_entry();
+        raw.report.minimized_sql = None;
+        corpus.append(&raw).unwrap();
+        corpus.append(&sample_entry()).unwrap();
+        let mut fixed = sample_entry();
+        fixed.report.fingerprint = Some(0x0B);
+        fixed.class_key = fixed.report.class_key();
+        corpus.append(&fixed).unwrap();
+
+        let keep = sample_entry().class_key;
+        let stats = corpus.compact(|k| k == keep).unwrap();
+        assert_eq!(
+            stats,
+            CompactionStats {
+                kept: 1,
+                duplicates_dropped: 1,
+                classes_dropped: 1,
+            }
+        );
+        let survivors = corpus.load().unwrap();
+        assert_eq!(survivors.len(), 1);
+        assert_eq!(survivors[0].class_key, keep);
+        assert!(survivors[0].report.minimized_sql.is_some());
+
+        // Idempotent: the second pass is a byte-identical no-op.
+        let before = std::fs::read(corpus.path()).unwrap();
+        let again = corpus.compact(|k| k == keep).unwrap();
+        assert_eq!((again.duplicates_dropped, again.classes_dropped), (0, 0));
+        assert_eq!(std::fs::read(corpus.path()).unwrap(), before);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -138,7 +138,12 @@ impl fmt::Display for Json {
             Json::Null => f.write_str("null"),
             Json::Bool(b) => write!(f, "{b}"),
             Json::Num(n) => {
-                if n.fract() == 0.0 && n.abs() < 9e15 {
+                if !n.is_finite() {
+                    // NaN/∞ have no JSON representation: reject them to
+                    // `null` rather than emit a token no parser (including
+                    // ours) accepts, which would tear the enclosing line.
+                    f.write_str("null")
+                } else if n.fract() == 0.0 && n.abs() < 9e15 {
                     write!(f, "{}", *n as i64)
                 } else {
                     write!(f, "{n:?}")
@@ -407,5 +412,108 @@ mod tests {
         assert_eq!(v.get("b").unwrap().as_bool(), Some(false));
         assert_eq!(v.get("missing"), None);
         assert_eq!(Json::Null.get("s"), None);
+    }
+
+    #[test]
+    fn non_finite_numbers_are_rejected() {
+        // The writer refuses to emit tokens outside the JSON grammar…
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+        assert_eq!(Json::Num(f64::NEG_INFINITY).to_string(), "null");
+        // …and the parser refuses to accept them.
+        assert!(Json::parse("NaN").is_err());
+        assert!(Json::parse("Infinity").is_err());
+        assert!(Json::parse("-Infinity").is_err());
+        assert!(Json::parse("[1,NaN]").is_err());
+    }
+}
+
+#[cfg(test)]
+mod fuzz {
+    //! Round-trip fuzzing of the writer/parser pair: random documents must
+    //! survive `to_string` → `parse` exactly, and truncated documents must
+    //! error instead of panicking.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Strings exercising every escape path: quotes, backslashes, the named
+    /// control escapes, raw C0 control chars (`\u{01}`–`\u{08}` take the
+    /// `\uXXXX` path) and non-ASCII.
+    const STRINGS: &str = "[a-zA-Z0-9\"\\\\\n\r\t\u{01}-\u{08}/ α-ωß]{0,16}";
+
+    fn leaf() -> BoxedStrategy<Json> {
+        prop_oneof![
+            Just(Json::Null),
+            any::<bool>().prop_map(Json::Bool),
+            // Integers in the exact-i64-print range.
+            (-9_000_000_000_000i64..9_000_000_000_000).prop_map(|n| Json::Num(n as f64)),
+            // Dyadic fractions round-trip f64 text exactly.
+            (-1_000_000i64..1_000_000).prop_map(|n| Json::Num(n as f64 / 64.0)),
+            STRINGS.prop_map(Json::Str),
+        ]
+        .boxed()
+    }
+
+    fn arb_json(depth: u32) -> BoxedStrategy<Json> {
+        if depth == 0 {
+            return leaf();
+        }
+        prop_oneof![
+            leaf(),
+            proptest::collection::vec(arb_json(depth - 1), 0..4).prop_map(Json::Arr),
+            proptest::collection::vec((STRINGS, arb_json(depth - 1)), 0..4).prop_map(Json::Obj),
+        ]
+        .boxed()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn documents_round_trip_exactly(v in arb_json(3)) {
+            let text = v.to_string();
+            let back = Json::parse(&text)
+                .map_err(|e| TestCaseError::fail(format!("{e} in {text:?}")))?;
+            prop_assert_eq!(&back, &v);
+            // Serialization is deterministic (what compaction idempotence
+            // leans on): a second trip prints the same bytes.
+            prop_assert_eq!(back.to_string(), text);
+        }
+
+        #[test]
+        fn string_escapes_round_trip(s in STRINGS) {
+            let j = Json::str(s);
+            let text = j.to_string();
+            let back = Json::parse(&text)
+                .map_err(|e| TestCaseError::fail(format!("{e} in {text:?}")))?;
+            prop_assert_eq!(back, j);
+        }
+
+        #[test]
+        fn truncated_documents_error_instead_of_panicking(
+            v in arb_json(2),
+            cut in 0usize..10_000,
+        ) {
+            let text = v.to_string();
+            prop_assert!(!text.is_empty());
+            let mut at = cut % text.len();
+            while !text.is_char_boundary(at) {
+                at -= 1;
+            }
+            let prefix = &text[..at];
+            match &v {
+                // Containers and strings always need their closer, so every
+                // strict prefix must fail to parse (never panic).
+                Json::Arr(_) | Json::Obj(_) | Json::Str(_) => {
+                    prop_assert!(Json::parse(prefix).is_err(), "parsed {prefix:?}");
+                }
+                // Scalar prefixes may legitimately parse ("12" from "123");
+                // the property is only that nothing panics.
+                _ => {
+                    let _ = Json::parse(prefix);
+                }
+            }
+        }
     }
 }

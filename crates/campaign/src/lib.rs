@@ -13,7 +13,12 @@
 //! * [`triage`] — plan-fingerprint deduplication of raw divergences into bug
 //!   classes, one minimized representative per class.
 //! * [`corpus`] — the append-only JSONL bug corpus with replayable witness
-//!   traces ([`CorpusEntry::replay_connector`]).
+//!   traces ([`CorpusEntry::replay_connector`]) and one-representative-per-
+//!   class compaction ([`Corpus::compact`]).
+//! * [`reverify`] — the regression subsystem: [`ReverifyCampaign`] replays
+//!   every persisted bug class (witness replay + live re-execution) against
+//!   chosen engine builds and classifies it `StillFailing` / `Fixed` /
+//!   `Flaky` / `Stale`.
 //! * [`checkpoint`] — the cell-completion journal behind resume.
 //! * [`stats`] — live fleet counters and the `BENCH_campaign.json` snapshot.
 //! * [`json`] — the dependency-free JSON used by all of the above (the
@@ -70,14 +75,18 @@ pub mod campaign;
 pub mod checkpoint;
 pub mod corpus;
 pub mod json;
+pub mod reverify;
 pub mod scheduler;
 pub mod stats;
 pub mod triage;
 
 pub use campaign::{Campaign, CampaignCell, CampaignConfig, OracleSpec};
 pub use checkpoint::{CellRecord, Checkpoint, CheckpointHeader};
-pub use corpus::{Corpus, CorpusEntry, StoredStatement};
+pub use corpus::{CompactionStats, Corpus, CorpusEntry, StoredStatement};
 pub use json::Json;
+pub use reverify::{
+    BuildSpec, ClassVerdict, ReverifyCampaign, ReverifyConfig, ReverifyReport, ReverifyStatus,
+};
 pub use scheduler::WorkQueues;
-pub use stats::{CampaignStats, LiveStats};
+pub use stats::{CampaignStats, LiveStats, ReverifyStats};
 pub use triage::{BugTriage, TriageClass};

@@ -1,0 +1,654 @@
+//! Corpus re-verification: regression campaigns that replay every persisted
+//! bug class against chosen engine builds.
+//!
+//! A hunt campaign's corpus is a *regression* asset as much as a discovery
+//! log: every deduplicated class carries the statement that exposed it and a
+//! replayable witness trace. [`ReverifyCampaign`] turns that asset into an
+//! automatic check on engine changes. For every corpus class and every
+//! configured [`BuildSpec`] it runs two legs:
+//!
+//! 1. **Replay leg** — the persisted witness trace is served back through a
+//!    [`ReplayConnector`] and the cell's original oracle re-checks the
+//!    originating statement against it. This asks: *does the recorded
+//!    evidence still demonstrate the recorded divergence* under today's
+//!    harness (schema rebuild, hint generation, ground truth)?
+//! 2. **Live leg** — the statement is re-executed end to end on a freshly
+//!    connected engine build (the faulty build that produced the corpus, a
+//!    fault-free build standing in for "every bug fixed", or anything in
+//!    between). This asks: *does the bug still fire on this build?*
+//!
+//! The two legs classify each (class, build) pair:
+//!
+//! * [`ReverifyStatus::StillFailing`] — witness reproduces **and** the live
+//!   build still trips the same root cause. The regression is still open.
+//! * [`ReverifyStatus::Fixed`] — witness reproduces, live build passes. The
+//!   bug this class tracked no longer occurs on this build.
+//! * [`ReverifyStatus::Flaky`] — replay and live disagree about the class
+//!   itself: the witness no longer reproduces the recorded divergence (with
+//!   the live build firing or not). Deterministic engines should never
+//!   produce this; it flags harness or corpus drift and fails CI.
+//! * [`ReverifyStatus::Stale`] — the entry can no longer be checked at all:
+//!   the SQL does not parse, the rebuilt shard schema lost a referenced
+//!   table, or the trace no longer serves the witness statement.
+//!
+//! Verdicts aggregate into a machine-readable [`ReverifyReport`] (hand-rolled
+//! [`crate::json`], like every campaign artifact), which also drives corpus
+//! compaction: [`ReverifyReport::retain_class`] keeps classes that still fail
+//! (or are flaky — contested evidence is not discharged) and garbage-collects
+//! `Fixed`/`Stale` classes unless the caller opts into keeping them
+//! ([`Corpus::compact`](crate::corpus::Corpus::compact)).
+//!
+//! Like a hunt, re-verification shards across a worker fleet: (entry × build)
+//! pairs are dealt onto the campaign scheduler's work-stealing queues and the
+//! report is assembled in deterministic (entry, build) order regardless of
+//! which worker drained which pair.
+
+use crate::campaign::{Campaign, CampaignConfig};
+use crate::corpus::CorpusEntry;
+use crate::json::Json;
+use crate::scheduler::WorkQueues;
+use crate::stats::ReverifyStats;
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::io;
+use std::sync::Arc;
+use std::time::Instant;
+use tqs_core::backend::EngineConnector;
+use tqs_core::bugs::BugReport;
+use tqs_core::dsg::DsgDatabase;
+use tqs_engine::ProfileId;
+use tqs_sql::parser::parse_stmt;
+
+/// Which engine build a class is re-executed against. Builds apply to the
+/// *entry's own profile* (the cell that discovered it), so one re-verification
+/// covers a mixed-profile corpus uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildSpec {
+    /// The seeded-fault build that produced the corpus — the "nothing was
+    /// fixed yet" baseline; every sound class re-verifies `StillFailing`.
+    Faulty,
+    /// The fault-free build of the same profile — models "every root cause
+    /// fixed"; every sound class re-verifies `Fixed`.
+    Pristine,
+}
+
+impl BuildSpec {
+    pub const ALL: [BuildSpec; 2] = [BuildSpec::Faulty, BuildSpec::Pristine];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            BuildSpec::Faulty => "faulty",
+            BuildSpec::Pristine => "pristine",
+        }
+    }
+
+    pub fn from_label(label: &str) -> Result<BuildSpec, String> {
+        Self::ALL
+            .into_iter()
+            .find(|b| b.label() == label)
+            .ok_or_else(|| format!("unknown build spec `{label}`"))
+    }
+
+    /// A live connector for this build of `profile`, catalog loaded.
+    fn connect(self, profile: ProfileId, shard: &Arc<DsgDatabase>) -> EngineConnector {
+        match self {
+            BuildSpec::Faulty => EngineConnector::connect(profile, shard),
+            BuildSpec::Pristine => EngineConnector::connect_pristine(profile, shard),
+        }
+    }
+}
+
+/// Verdict for one (class, build) pair. Declared in ascending severity so
+/// [`ReverifyReport::class_status`] can aggregate across builds with `max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ReverifyStatus {
+    /// The entry can no longer be checked (schema/SQL/trace no longer loads).
+    Stale,
+    /// The witness reproduces but the live build no longer fails.
+    Fixed,
+    /// Replay and live disagree: the witness no longer demonstrates the
+    /// recorded class. Should never happen on deterministic engines.
+    Flaky,
+    /// The witness reproduces and the live build still fails.
+    StillFailing,
+}
+
+impl ReverifyStatus {
+    pub const ALL: [ReverifyStatus; 4] = [
+        ReverifyStatus::Stale,
+        ReverifyStatus::Fixed,
+        ReverifyStatus::Flaky,
+        ReverifyStatus::StillFailing,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            ReverifyStatus::Stale => "stale",
+            ReverifyStatus::Fixed => "fixed",
+            ReverifyStatus::Flaky => "flaky",
+            ReverifyStatus::StillFailing => "still-failing",
+        }
+    }
+
+    pub fn from_label(label: &str) -> Result<ReverifyStatus, String> {
+        Self::ALL
+            .into_iter()
+            .find(|s| s.label() == label)
+            .ok_or_else(|| format!("unknown reverify status `{label}`"))
+    }
+}
+
+/// One (class, build) verdict of a re-verification run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassVerdict {
+    /// The corpus class ([`CorpusEntry::class_key`]).
+    pub class_key: String,
+    /// The campaign cell that discovered the class (fixes shard + oracle).
+    pub cell_id: usize,
+    /// Profile of the build under test (the discovering cell's).
+    pub profile: String,
+    pub build: BuildSpec,
+    pub status: ReverifyStatus,
+    /// Replay leg: the persisted witness still demonstrates the recorded
+    /// divergence.
+    pub replay_reproduced: bool,
+    /// Live leg: re-execution on this build still trips the class's root
+    /// cause.
+    pub live_failing: bool,
+    /// Human-readable reason for `Stale`/`Flaky` verdicts (empty otherwise).
+    pub detail: String,
+}
+
+impl ClassVerdict {
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("class".to_string(), Json::str(&self.class_key)),
+            ("cell".to_string(), Json::count(self.cell_id)),
+            ("profile".to_string(), Json::str(&self.profile)),
+            ("build".to_string(), Json::str(self.build.label())),
+            ("status".to_string(), Json::str(self.status.label())),
+            ("replay".to_string(), Json::Bool(self.replay_reproduced)),
+            ("live".to_string(), Json::Bool(self.live_failing)),
+        ];
+        if !self.detail.is_empty() {
+            members.push(("detail".to_string(), Json::str(&self.detail)));
+        }
+        Json::Obj(members)
+    }
+
+    pub fn from_json(j: &Json) -> Result<ClassVerdict, String> {
+        let str_field = |k: &str| -> Result<String, String> {
+            j.get(k)
+                .and_then(Json::as_str)
+                .map(String::from)
+                .ok_or_else(|| format!("verdict missing `{k}`"))
+        };
+        let bool_field = |k: &str| -> Result<bool, String> {
+            j.get(k)
+                .and_then(Json::as_bool)
+                .ok_or_else(|| format!("verdict missing `{k}`"))
+        };
+        Ok(ClassVerdict {
+            class_key: str_field("class")?,
+            cell_id: j
+                .get("cell")
+                .and_then(Json::as_usize)
+                .ok_or("verdict missing `cell`")?,
+            profile: str_field("profile")?,
+            build: BuildSpec::from_label(&str_field("build")?)?,
+            status: ReverifyStatus::from_label(&str_field("status")?)?,
+            replay_reproduced: bool_field("replay")?,
+            live_failing: bool_field("live")?,
+            detail: j
+                .get("detail")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+        })
+    }
+}
+
+/// The machine-readable outcome of one re-verification run: every (class,
+/// build) verdict, in deterministic (corpus, build) order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReverifyReport {
+    pub verdicts: Vec<ClassVerdict>,
+}
+
+impl ReverifyReport {
+    /// How many verdicts carry `status`.
+    pub fn count(&self, status: ReverifyStatus) -> usize {
+        self.verdicts.iter().filter(|v| v.status == status).count()
+    }
+
+    /// How many verdicts against `build` carry `status`.
+    pub fn count_on(&self, build: BuildSpec, status: ReverifyStatus) -> usize {
+        self.verdicts
+            .iter()
+            .filter(|v| v.build == build && v.status == status)
+            .count()
+    }
+
+    /// The distinct class keys the report covers.
+    pub fn classes(&self) -> BTreeSet<String> {
+        self.verdicts.iter().map(|v| v.class_key.clone()).collect()
+    }
+
+    /// A class's status aggregated across every build it was checked on:
+    /// the most severe verdict (`StillFailing > Flaky > Fixed > Stale`), so
+    /// a class fixed on one build but failing on another stays open.
+    pub fn class_status(&self, class_key: &str) -> Option<ReverifyStatus> {
+        self.verdicts
+            .iter()
+            .filter(|v| v.class_key == class_key)
+            .map(|v| v.status)
+            .max()
+    }
+
+    /// Should compaction keep `class_key`? `StillFailing` and `Flaky`
+    /// classes always survive (contested evidence is not discharged);
+    /// `Fixed`/`Stale` classes survive only with `keep_fixed`. Classes the
+    /// report never checked are kept — re-verification must not
+    /// garbage-collect what it did not verify.
+    pub fn retain_class(&self, class_key: &str, keep_fixed: bool) -> bool {
+        match self.class_status(class_key) {
+            Some(ReverifyStatus::StillFailing) | Some(ReverifyStatus::Flaky) | None => true,
+            Some(ReverifyStatus::Fixed) | Some(ReverifyStatus::Stale) => keep_fixed,
+        }
+    }
+
+    /// The class keys [`retain_class`](Self::retain_class) keeps.
+    pub fn surviving_classes(&self, keep_fixed: bool) -> BTreeSet<String> {
+        self.classes()
+            .into_iter()
+            .filter(|k| self.retain_class(k, keep_fixed))
+            .collect()
+    }
+
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![("classes".to_string(), Json::count(self.classes().len()))];
+        for status in ReverifyStatus::ALL {
+            members.push((
+                status.label().replace('-', "_"),
+                Json::count(self.count(status)),
+            ));
+        }
+        members.push((
+            "verdicts".to_string(),
+            Json::Arr(self.verdicts.iter().map(ClassVerdict::to_json).collect()),
+        ));
+        Json::Obj(members)
+    }
+
+    pub fn from_json(j: &Json) -> Result<ReverifyReport, String> {
+        let verdicts = j
+            .get("verdicts")
+            .and_then(Json::as_arr)
+            .ok_or("report missing `verdicts`")?
+            .iter()
+            .map(ClassVerdict::from_json)
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(ReverifyReport { verdicts })
+    }
+}
+
+/// Configuration of one re-verification run.
+#[derive(Debug, Clone)]
+pub struct ReverifyConfig {
+    /// The campaign whose corpus is re-verified. Its identity must match the
+    /// directory's checkpoint header — re-verification rebuilds the shard
+    /// databases from this recipe, and silently re-verifying against
+    /// different data would be meaningless.
+    pub campaign: CampaignConfig,
+    /// Engine builds every class is re-executed against.
+    pub builds: Vec<BuildSpec>,
+    /// Worker threads draining the (entry × build) grid.
+    pub workers: usize,
+}
+
+/// A loaded re-verification campaign: the resumed hunt campaign (validated
+/// header, rebuilt shards, cell grid) plus its corpus entries.
+pub struct ReverifyCampaign {
+    cfg: ReverifyConfig,
+    campaign: Campaign,
+    entries: Vec<CorpusEntry>,
+}
+
+impl ReverifyCampaign {
+    /// Open the campaign directory (via [`Campaign::resume`], which refuses a
+    /// mismatched identity) and load its corpus.
+    pub fn load(cfg: ReverifyConfig) -> io::Result<ReverifyCampaign> {
+        let campaign = Campaign::resume(cfg.campaign.clone())?;
+        let entries = campaign.corpus().load()?;
+        Ok(ReverifyCampaign {
+            cfg,
+            campaign,
+            entries,
+        })
+    }
+
+    pub fn config(&self) -> &ReverifyConfig {
+        &self.cfg
+    }
+
+    /// The underlying (resumed) hunt campaign.
+    pub fn campaign(&self) -> &Campaign {
+        &self.campaign
+    }
+
+    /// The corpus entries under re-verification, in corpus order.
+    pub fn entries(&self) -> &[CorpusEntry] {
+        &self.entries
+    }
+
+    /// Re-verify every corpus class against every configured build with the
+    /// worker fleet. Verdicts are deterministic per (entry, build) — thread
+    /// scheduling only changes who computes them — and the report lists them
+    /// in (corpus, build) order.
+    pub fn run(&self) -> (ReverifyReport, ReverifyStats) {
+        let started = Instant::now();
+        let units: Vec<(usize, usize)> = (0..self.entries.len())
+            .flat_map(|e| (0..self.cfg.builds.len()).map(move |b| (e, b)))
+            .collect();
+        let queues = WorkQueues::deal(self.cfg.workers, units);
+        let verdicts: Mutex<Vec<((usize, usize), ClassVerdict)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for worker in 0..queues.workers() {
+                let queues = &queues;
+                let verdicts = &verdicts;
+                let this = &*self;
+                scope.spawn(move || {
+                    while let Some((e, b)) = queues.pop(worker) {
+                        let verdict = this.verify_one(&this.entries[e], this.cfg.builds[b]);
+                        verdicts.lock().push(((e, b), verdict));
+                    }
+                });
+            }
+        });
+        let mut verdicts = verdicts.into_inner();
+        verdicts.sort_by_key(|(unit, _)| *unit);
+        let report = ReverifyReport {
+            verdicts: verdicts.into_iter().map(|(_, v)| v).collect(),
+        };
+        let stats = ReverifyStats {
+            elapsed: started.elapsed(),
+            entries: self.entries.len(),
+            builds: self.cfg.builds.len(),
+            verdicts: report.verdicts.len(),
+            still_failing: report.count(ReverifyStatus::StillFailing),
+            fixed: report.count(ReverifyStatus::Fixed),
+            flaky: report.count(ReverifyStatus::Flaky),
+            stale: report.count(ReverifyStatus::Stale),
+        };
+        (report, stats)
+    }
+
+    /// Both legs for one (entry, build) pair.
+    fn verify_one(&self, entry: &CorpusEntry, build: BuildSpec) -> ClassVerdict {
+        let verdict =
+            |profile: &str, status: ReverifyStatus, replay: bool, live: bool, detail: String| {
+                ClassVerdict {
+                    class_key: entry.class_key.clone(),
+                    cell_id: entry.cell_id,
+                    profile: profile.to_string(),
+                    build,
+                    status,
+                    replay_reproduced: replay,
+                    live_failing: live,
+                    detail,
+                }
+            };
+        let stale = |profile: &str, detail: String| {
+            verdict(profile, ReverifyStatus::Stale, false, false, detail)
+        };
+
+        let Some(cell) = self.campaign.cells().get(entry.cell_id).copied() else {
+            return stale(
+                entry.connector.dialect.name(),
+                format!("cell {} is outside the campaign grid", entry.cell_id),
+            );
+        };
+        let profile = cell.profile.name();
+        let shard = &self.campaign.shards()[cell.shard];
+        let stmt = match parse_stmt(&entry.report.sql) {
+            Ok(stmt) => stmt,
+            Err(e) => return stale(profile, format!("sql no longer parses: {e}")),
+        };
+        for table in stmt.from.tables() {
+            if shard.db.catalog.table(&table.table).is_none() {
+                return stale(
+                    profile,
+                    format!(
+                        "table `{}` missing from the rebuilt shard schema",
+                        table.table
+                    ),
+                );
+            }
+        }
+        let replay = entry.replay_connector();
+        if !replay.contains(&entry.report.hint_label, &entry.report.sql) {
+            return stale(
+                profile,
+                format!(
+                    "witness trace no longer serves the failing statement [{}]",
+                    entry.report.hint_label
+                ),
+            );
+        }
+
+        // Replay leg: the recorded witness, re-judged by the cell's oracle.
+        let mut replay = replay;
+        let replay_verdict = cell
+            .oracle
+            .build(cell.profile, shard)
+            .check(&stmt, &mut replay);
+        if !replay_verdict.executed() {
+            return stale(
+                profile,
+                "witness trace no longer serves the oracle's statements".to_string(),
+            );
+        }
+        let replay_reproduced = matches_class(&entry.report, replay_verdict.into_bugs());
+
+        // Live leg: a fresh end-to-end execution on the build under test.
+        let mut conn = build.connect(cell.profile, shard);
+        let live_verdict = cell
+            .oracle
+            .build(cell.profile, shard)
+            .check(&stmt, &mut conn);
+        if !live_verdict.executed() {
+            return stale(
+                profile,
+                format!("live re-execution on the {} build skipped", build.label()),
+            );
+        }
+        let live_failing = matches_class(&entry.report, live_verdict.into_bugs());
+
+        let (status, detail) = match (replay_reproduced, live_failing) {
+            (true, true) => (ReverifyStatus::StillFailing, String::new()),
+            (true, false) => (ReverifyStatus::Fixed, String::new()),
+            (false, true) => (
+                ReverifyStatus::Flaky,
+                "witness replay no longer reproduces the class but live re-execution still \
+                 trips it"
+                    .to_string(),
+            ),
+            (false, false) => (
+                ReverifyStatus::Flaky,
+                "neither witness replay nor live re-execution reproduces the recorded class"
+                    .to_string(),
+            ),
+        };
+        verdict(profile, status, replay_reproduced, live_failing, detail)
+    }
+}
+
+/// Does any of `candidates` re-establish `recorded`'s class? Matching is by
+/// build-independent [`BugReport::cause_key`]; candidates inherit the
+/// recorded fingerprint — they re-executed the *same* statement, whose
+/// canonical plan graph is by construction the recorded one — so the
+/// comparison reduces to the root-cause fault set (plus hint label when no
+/// fingerprint was ever stamped).
+fn matches_class(recorded: &BugReport, candidates: Vec<BugReport>) -> bool {
+    let want = recorded.cause_key();
+    candidates.into_iter().any(|mut report| {
+        report.fingerprint = recorded.fingerprint;
+        report.cause_key() == want
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::OracleSpec;
+    use tqs_core::dsg::{DsgConfig, WideSource};
+    use tqs_schema::NoiseConfig;
+    use tqs_storage::widegen::ShoppingConfig;
+
+    fn test_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tqs-reverify-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cfg(dir: std::path::PathBuf) -> CampaignConfig {
+        CampaignConfig {
+            dir,
+            dsg: DsgConfig {
+                source: WideSource::Shopping(ShoppingConfig {
+                    n_rows: 90,
+                    ..Default::default()
+                }),
+                fd: Default::default(),
+                noise: Some(NoiseConfig {
+                    epsilon: 0.04,
+                    seed: 5,
+                    max_injections: 10,
+                }),
+            },
+            shards: 2,
+            workers: 2,
+            profiles: vec![ProfileId::MysqlLike],
+            oracles: vec![OracleSpec::GroundTruth],
+            queries_per_cell: 30,
+            seed: 77,
+            minimize: false,
+            max_cells_per_run: None,
+        }
+    }
+
+    fn sample_verdict(status: ReverifyStatus, build: BuildSpec) -> ClassVerdict {
+        ClassVerdict {
+            class_key: "MySQL-like|SemiJoinWrongResults|plan:00000000000000a1".into(),
+            cell_id: 3,
+            profile: "MySQL-like".into(),
+            build,
+            status,
+            replay_reproduced: status != ReverifyStatus::Stale,
+            live_failing: status == ReverifyStatus::StillFailing,
+            detail: match status {
+                ReverifyStatus::Stale => "sql no longer parses: boom".into(),
+                _ => String::new(),
+            },
+        }
+    }
+
+    #[test]
+    fn verdicts_round_trip_through_json() {
+        for status in ReverifyStatus::ALL {
+            for build in BuildSpec::ALL {
+                let v = sample_verdict(status, build);
+                let back = ClassVerdict::from_json(&Json::parse(&v.to_json().to_string()).unwrap())
+                    .unwrap();
+                assert_eq!(back, v);
+            }
+        }
+    }
+
+    #[test]
+    fn report_aggregates_by_severity_and_gc_spares_the_unverified() {
+        let mut report = ReverifyReport::default();
+        report
+            .verdicts
+            .push(sample_verdict(ReverifyStatus::Fixed, BuildSpec::Pristine));
+        report.verdicts.push(sample_verdict(
+            ReverifyStatus::StillFailing,
+            BuildSpec::Faulty,
+        ));
+        let key = &report.verdicts[0].class_key.clone();
+        // Fixed on pristine + still failing on faulty → the class stays open.
+        assert_eq!(report.class_status(key), Some(ReverifyStatus::StillFailing));
+        assert!(report.retain_class(key, false));
+        // A class the report never saw is never garbage-collected.
+        assert!(report.retain_class("never-checked", false));
+        assert_eq!(report.count(ReverifyStatus::Fixed), 1);
+        assert_eq!(
+            report.count_on(BuildSpec::Faulty, ReverifyStatus::StillFailing),
+            1
+        );
+        assert_eq!(report.surviving_classes(false).len(), 1);
+        // Round trip the whole report.
+        let back = ReverifyReport::from_json(&Json::parse(&report.to_json().to_string()).unwrap())
+            .unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn status_severity_order_backs_the_aggregation() {
+        assert!(ReverifyStatus::StillFailing > ReverifyStatus::Flaky);
+        assert!(ReverifyStatus::Flaky > ReverifyStatus::Fixed);
+        assert!(ReverifyStatus::Fixed > ReverifyStatus::Stale);
+        for s in ReverifyStatus::ALL {
+            assert_eq!(ReverifyStatus::from_label(s.label()), Ok(s));
+        }
+        for b in BuildSpec::ALL {
+            assert_eq!(BuildSpec::from_label(b.label()), Ok(b));
+        }
+    }
+
+    #[test]
+    fn corrupted_entries_re_verify_as_stale() {
+        let dir = test_dir("stale");
+        let mut campaign = Campaign::new(cfg(dir.clone())).unwrap();
+        campaign.run().unwrap();
+        let corpus = campaign.corpus().clone();
+        let mut entries = corpus.load().unwrap();
+        assert!(!entries.is_empty());
+
+        // Corrupt one entry three ways: unparseable sql, a dropped table,
+        // and a witness trace that no longer covers the failing statement.
+        let template = entries.remove(0);
+        let mut bad_sql = template.clone();
+        bad_sql.report.sql = "SELECT FROM WHERE".into();
+        let mut bad_table = template.clone();
+        bad_table.report.sql = "SELECT Gone.x FROM Gone".into();
+        let mut bad_trace = template.clone();
+        bad_trace.trace.clear();
+        let mut out_of_grid = template.clone();
+        out_of_grid.cell_id = 999;
+        // Rewrite the corpus with only the corrupted variants.
+        let text: String = [&bad_sql, &bad_table, &bad_trace, &out_of_grid]
+            .iter()
+            .map(|e| format!("{}\n", e.to_json()))
+            .collect();
+        std::fs::write(corpus.path(), text).unwrap();
+
+        let reverify = ReverifyCampaign::load(ReverifyConfig {
+            campaign: cfg(dir.clone()),
+            builds: vec![BuildSpec::Faulty],
+            workers: 2,
+        })
+        .unwrap();
+        let (report, stats) = reverify.run();
+        assert_eq!(stats.verdicts, 4);
+        assert_eq!(stats.stale, 4, "{report:#?}");
+        assert!(report
+            .verdicts
+            .iter()
+            .all(|v| v.status == ReverifyStatus::Stale && !v.detail.is_empty()));
+        // Stale classes are garbage-collected unless kept.
+        assert!(!report.retain_class(&template.class_key, false));
+        assert!(report.retain_class(&template.class_key, true));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -498,6 +498,15 @@ impl ReplayConnector {
         self.statements.len()
     }
 
+    /// Does the trace hold an outcome for `(label, sql)`? Re-verification
+    /// uses this to tell a *stale* witness (the failing statement was never
+    /// recorded, so the trace cannot testify) from a witness that replays
+    /// but no longer demonstrates the divergence.
+    pub fn contains(&self, label: &str, sql: &str) -> bool {
+        self.statements
+            .contains_key(&(label.to_string(), sql.to_string()))
+    }
+
     /// Pop the next recorded outcome; an exhausted queue keeps serving its
     /// last entry (the simulated engines are deterministic, so repeats of a
     /// statement agree with the recording).

@@ -70,18 +70,29 @@ impl BugReport {
         format!("{}|{}|{}", self.dbms, faults.join(","), self.hint_label)
     }
 
-    /// The bug-*class* key a fleet deduplicates on: root-cause faults plus
-    /// the canonical plan-graph fingerprint. Two hint sets tripping the same
-    /// fault on isomorphic queries are one class, while the same fault on a
-    /// structurally different plan stays a separate class. Falls back to the
-    /// coarse [`signature`](Self::signature) when no fingerprint was stamped.
+    /// The bug-*class* key a fleet deduplicates on: the build name plus the
+    /// build-independent [`cause_key`](Self::cause_key) — structurally, so
+    /// the two can never drift apart. Two hint sets tripping the same fault
+    /// on isomorphic queries are one class, while the same fault on a
+    /// structurally different plan stays a separate class. Without a
+    /// stamped fingerprint this degenerates to the coarse
+    /// [`signature`](Self::signature).
     pub fn class_key(&self) -> String {
+        format!("{}|{}", self.dbms, self.cause_key())
+    }
+
+    /// Build-independent root cause: root-cause faults plus the canonical
+    /// plan-graph fingerprint (falling back to the hint label when no
+    /// fingerprint was stamped) — [`class_key`](Self::class_key) without the
+    /// build name. Re-verification matches live re-executions of a corpus
+    /// class against the recorded report with it, so a class keeps its
+    /// identity across engine builds of the same profile (faulty vs
+    /// fault-free) whose connector names differ.
+    pub fn cause_key(&self) -> String {
+        let faults: Vec<String> = self.fired.iter().map(|f| format!("{f:?}")).collect();
         match self.fingerprint {
-            Some(fp) => {
-                let faults: Vec<String> = self.fired.iter().map(|f| format!("{f:?}")).collect();
-                format!("{}|{}|plan:{fp:016x}", self.dbms, faults.join(","))
-            }
-            None => self.signature(),
+            Some(fp) => format!("{}|plan:{fp:016x}", faults.join(",")),
+            None => format!("{}|{}", faults.join(","), self.hint_label),
         }
     }
 

@@ -46,6 +46,16 @@ impl OracleVerdict {
     pub fn executed(&self) -> bool {
         !matches!(self, OracleVerdict::Skip)
     }
+
+    /// The reports of a bug verdict; empty for pass/skip. For drivers (like
+    /// corpus re-verification) that only care *which* bugs fired, not
+    /// whether the statement counted as tested.
+    pub fn into_bugs(self) -> Vec<BugReport> {
+        match self {
+            OracleVerdict::Bugs(reports) => reports,
+            OracleVerdict::Pass | OracleVerdict::Skip => Vec::new(),
+        }
+    }
 }
 
 /// A pluggable test oracle: one statement in, a verdict out.

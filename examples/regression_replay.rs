@@ -1,0 +1,127 @@
+//! Regression replay: re-verify a bug corpus against engine builds and
+//! compact it.
+//!
+//! Walks the full regression loop: hunt a small campaign on a seeded-fault
+//! build, then re-verify every persisted class against (a) the same faulty
+//! build — every class must still fail — and (b) the fault-free build of the
+//! same profile — every class must come back fixed, the situation after the
+//! developers patched every root cause. Finally compact the corpus: one
+//! minimized representative per class that still fails, fixed classes
+//! garbage-collected.
+//!
+//! Run with: `cargo run --release --example regression_replay`
+
+use tqs_campaign::{
+    BuildSpec, Campaign, CampaignConfig, Corpus, OracleSpec, ReverifyCampaign, ReverifyConfig,
+};
+use tqs_core::dsg::{DsgConfig, WideSource};
+use tqs_engine::ProfileId;
+use tqs_schema::NoiseConfig;
+use tqs_storage::widegen::ShoppingConfig;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("tqs-reverify-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = CampaignConfig {
+        dir: dir.clone(),
+        dsg: DsgConfig {
+            source: WideSource::Shopping(ShoppingConfig {
+                n_rows: 120,
+                ..Default::default()
+            }),
+            fd: Default::default(),
+            noise: Some(NoiseConfig {
+                epsilon: 0.04,
+                seed: 9,
+                max_injections: 12,
+            }),
+        },
+        shards: 2,
+        workers: 2,
+        profiles: vec![ProfileId::MysqlLike],
+        oracles: vec![OracleSpec::GroundTruth],
+        queries_per_cell: 50,
+        seed: 31337,
+        minimize: true,
+        max_cells_per_run: None,
+    };
+
+    // Step 1: hunt. The corpus accumulates one entry per bug class, each
+    // with a minimized reproducer and a replayable witness trace.
+    let mut campaign = Campaign::new(cfg.clone()).expect("fresh campaign directory");
+    campaign.run().expect("hunt");
+    println!(
+        "hunted {} bug classes into {}",
+        campaign.class_keys().len(),
+        dir.display()
+    );
+
+    // Step 2: re-verify against the faulty build (nothing fixed yet) and
+    // the pristine build (everything fixed).
+    let reverify = ReverifyCampaign::load(ReverifyConfig {
+        campaign: cfg.clone(),
+        builds: vec![BuildSpec::Faulty, BuildSpec::Pristine],
+        workers: 2,
+    })
+    .expect("load corpus");
+    let (report, stats) = reverify.run();
+    println!(
+        "\nre-verified {} classes × {} builds in {:.2}s:",
+        stats.entries,
+        stats.builds,
+        stats.elapsed.as_secs_f64()
+    );
+    for v in &report.verdicts {
+        println!(
+            "  [{:8}] {:13} replay={} live={}  {}",
+            v.build.label(),
+            v.status.label(),
+            v.replay_reproduced,
+            v.live_failing,
+            v.class_key
+        );
+    }
+
+    // Step 3: compact. Classes that still fail anywhere survive with one
+    // representative; a class fixed on *every* checked build would be
+    // garbage-collected (here everything still fails on the faulty build,
+    // so the corpus keeps its full class set).
+    let corpus = Corpus::in_dir(&dir);
+    let first = corpus
+        .compact(|key| report.retain_class(key, false))
+        .expect("compact");
+    let bytes = std::fs::read(corpus.path()).expect("read compacted corpus");
+    let second = corpus
+        .compact(|key| report.retain_class(key, false))
+        .expect("compact again");
+    assert_eq!(
+        bytes,
+        std::fs::read(corpus.path()).expect("re-read"),
+        "compaction is idempotent"
+    );
+    println!(
+        "\ncompaction: kept {} classes (second pass byte-identical: kept {}, dropped {})",
+        first.kept,
+        second.kept,
+        second.duplicates_dropped + second.classes_dropped
+    );
+
+    // A corpus re-verified only against the fixed build garbage-collects
+    // completely — found bugs stayed found until the fixes landed.
+    let (fixed_report, _) = ReverifyCampaign::load(ReverifyConfig {
+        campaign: cfg,
+        builds: vec![BuildSpec::Pristine],
+        workers: 2,
+    })
+    .expect("reload corpus")
+    .run();
+    let gc = corpus
+        .compact(|key| fixed_report.retain_class(key, false))
+        .expect("garbage-collect");
+    println!(
+        "after the fixes land: {} classes kept, {} retired — regression corpus clean",
+        gc.kept, gc.classes_dropped
+    );
+
+    std::fs::remove_dir_all(&dir).expect("clean up the example directory");
+}

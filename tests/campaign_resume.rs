@@ -101,6 +101,68 @@ fn killed_and_resumed_campaign_matches_uninterrupted_run() {
 }
 
 #[test]
+fn torn_final_lines_are_skipped_and_resume_reproduces_the_class_set() {
+    // Reference: the uninterrupted run's deduplicated class set.
+    let dir_ref = test_dir("torn-ref");
+    let mut reference = Campaign::new(cfg(dir_ref.clone(), 2, 40)).unwrap();
+    reference.run().unwrap();
+
+    // Same campaign, killed after one cell — and killed *mid-write*: both
+    // the corpus and the checkpoint journal end in a torn partial line, the
+    // on-disk state a power cut during an append leaves behind.
+    let dir = test_dir("torn");
+    let mut killed = Campaign::new(CampaignConfig {
+        max_cells_per_run: Some(1),
+        workers: 1,
+        ..cfg(dir.clone(), 2, 40)
+    })
+    .unwrap();
+    killed.run().unwrap();
+    drop(killed);
+    for file in ["corpus.jsonl", "checkpoint.jsonl"] {
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join(file))
+            .unwrap();
+        use std::io::Write;
+        // No trailing newline: a partial append, not a corrupt record.
+        f.write_all(b"{\"cell\": 1, \"class\": \"SemiJo").unwrap();
+    }
+
+    // Resume skips the torn tails (with a warning on stderr) and completes
+    // to the exact class set of the uninterrupted run.
+    let mut resumed = Campaign::resume(cfg(dir.clone(), 2, 40)).unwrap();
+    assert_eq!(
+        resumed.cells_done(),
+        1,
+        "torn tail must not eat the journal"
+    );
+    resumed.run().unwrap();
+    assert!(resumed.is_complete());
+    assert_eq!(
+        resumed.class_keys(),
+        reference.class_keys(),
+        "resume over torn tails must reproduce the uninterrupted class set"
+    );
+
+    // Resume truncated the torn tails before appending, so both files are
+    // clean line-oriented JSONL again: the corpus loads in full and agrees
+    // with the in-memory triage.
+    let persisted: BTreeSet<String> = Corpus::in_dir(&dir)
+        .load()
+        .unwrap()
+        .into_iter()
+        .map(|e| e.class_key)
+        .collect();
+    assert_eq!(persisted, resumed.class_keys());
+    let (_, records) = tqs_campaign::Checkpoint::in_dir(&dir).load().unwrap();
+    assert_eq!(records.len(), resumed.cells_total());
+
+    std::fs::remove_dir_all(&dir_ref).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn sharded_and_unsharded_hunts_find_the_same_fault_classes() {
     // Same total query budget, same seeded fault build: two shards hunting
     // half the data each vs one worker over the whole catalog.

@@ -1,0 +1,134 @@
+//! Property tests for the sharding layer: row-range shard views of random
+//! tables reassemble to exactly the full wide table (no gaps, no overlaps),
+//! and `DsgDatabase::build_sharded` yields one identical schema on every
+//! partition.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tqs_core::dsg::{DsgConfig, DsgDatabase, WideSource};
+use tqs_sql::types::{ColumnDef, ColumnType};
+use tqs_sql::value::Value;
+use tqs_storage::widegen::ShoppingConfig;
+use tqs_storage::{Row, ShardSpec, WideTable, WideTableShard};
+
+/// A two-attribute wide table holding the given rows.
+fn wide_table(rows: &[(i64, Option<i64>)]) -> WideTable {
+    let mut w = WideTable::new(
+        "Tw",
+        vec![
+            ColumnDef::new("a", ColumnType::Int { unsigned: false }),
+            ColumnDef::new("b", ColumnType::Int { unsigned: false }),
+        ],
+    );
+    for (a, b) in rows {
+        w.append(vec![
+            Value::Int(*a),
+            b.map(Value::Int).unwrap_or(Value::Null),
+        ])
+        .expect("rows match the wide schema");
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `ShardSpec::row_range` partitions `0..total` for any (total, count):
+    /// contiguous, gap-free, overlap-free, sizes balanced within one row.
+    #[test]
+    fn shard_ranges_partition_any_row_space(total in 0usize..600, count in 1usize..17) {
+        let mut next = 0usize;
+        for spec in ShardSpec::split(count) {
+            let range = spec.row_range(total);
+            prop_assert_eq!(range.start, next);
+            prop_assert!(range.len() >= total / count);
+            prop_assert!(range.len() <= total / count + 1);
+            next = range.end;
+        }
+        prop_assert_eq!(next, total);
+    }
+
+    /// Shard views over a random catalog reassemble to exactly the full
+    /// table: concatenating every shard's rows in shard order reproduces the
+    /// original row sequence, and materialized shards keep the attribute
+    /// values while re-densifying `RowID`s.
+    #[test]
+    fn shard_views_reassemble_the_wide_table(
+        rows in proptest::collection::vec(
+            ((-1000i64..1000), proptest::option::of(0i64..50)),
+            0..120,
+        ),
+        count in 1usize..9,
+    ) {
+        let wide = Arc::new(wide_table(&rows));
+        let shards = WideTableShard::split(Arc::clone(&wide), count);
+        prop_assert_eq!(shards.len(), count);
+
+        // Zero-copy: every view shares the one underlying table.
+        for shard in &shards {
+            prop_assert!(Arc::ptr_eq(shard.wide(), &wide));
+        }
+
+        // No gaps, no overlaps, nothing reordered.
+        let reassembled: Vec<Row> = shards
+            .iter()
+            .flat_map(|s| s.rows().iter().cloned())
+            .collect();
+        prop_assert_eq!(&reassembled, &wide.table.rows);
+
+        // Attribute values survive materialization shard-locally.
+        let mut attrs = Vec::new();
+        for shard in &shards {
+            let owned = shard.materialize();
+            prop_assert_eq!(owned.row_count(), shard.row_count());
+            for i in 0..shard.row_count() {
+                prop_assert_eq!(shard.attrs_of(i), owned.attrs_of(i as u64));
+                attrs.push(owned.attrs_of(i as u64).expect("row in range"));
+            }
+        }
+        let expected: Vec<Vec<Value>> = rows
+            .iter()
+            .map(|(a, b)| vec![Value::Int(*a), b.map(Value::Int).unwrap_or(Value::Null)])
+            .collect();
+        prop_assert_eq!(attrs, expected);
+    }
+}
+
+proptest! {
+    // Each case normalizes several databases; a handful of cases keeps the
+    // suite fast while still varying rows, seeds and shard counts.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Sharded DSG builds agree on the schema: every partition normalizes to
+    /// the same tables, columns and join edges as the unsharded build (the
+    /// property that keeps queries, ground truth and plan fingerprints
+    /// comparable fleet-wide), while the shard row spaces partition the
+    /// generated wide table.
+    #[test]
+    fn build_sharded_schemas_are_identical_across_partitions(
+        n_rows in 40usize..120,
+        count in 1usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = DsgConfig {
+            source: WideSource::Shopping(ShoppingConfig {
+                n_rows,
+                seed,
+                ..Default::default()
+            }),
+            fd: Default::default(),
+            noise: None,
+        };
+        let full = DsgDatabase::build(&cfg);
+        let shards = DsgDatabase::build_sharded(&cfg, count);
+        prop_assert_eq!(shards.len(), count);
+        for shard in &shards {
+            prop_assert_eq!(&shard.schema_desc.tables, &full.schema_desc.tables);
+            prop_assert_eq!(&shard.schema_desc.columns, &full.schema_desc.columns);
+            prop_assert_eq!(&shard.schema_desc.join_edges, &full.schema_desc.join_edges);
+        }
+        // The shard wide tables partition the full wide table's rows.
+        let total: usize = shards.iter().map(|s| s.db.wide.row_count()).sum();
+        prop_assert_eq!(total, full.db.wide.row_count());
+    }
+}
