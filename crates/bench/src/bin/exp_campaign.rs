@@ -45,6 +45,12 @@ fn main() {
     println!("{:<28} {:>12}", "metric", "value");
     println!("{:<28} {:>12}", "queries executed", stats.queries);
     println!("{:<28} {:>12.1}", "queries/sec", stats.queries_per_sec());
+    println!("{:<28} {:>12}", "engine statements", stats.statements);
+    println!(
+        "{:<28} {:>12.1}",
+        "statements/sec",
+        stats.statements_per_sec()
+    );
     println!("{:<28} {:>12}", "raw bug reports", stats.raw_reports);
     println!("{:<28} {:>12}", "bug classes", stats.bug_classes);
     println!("{:<28} {:>12.1}", "dedup ratio", stats.dedup_ratio());

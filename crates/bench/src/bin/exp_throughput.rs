@@ -1,0 +1,139 @@
+//! Execution-path throughput experiment: statements/sec through the row and
+//! columnar engines, plus join and group-by microloops, on the standard
+//! testing database. Emits `BENCH_throughput.json`.
+//!
+//! This is the microbenchmark behind the allocation-free hot-path work
+//! (binary `KeyBuf` join keys, compiled predicate scopes, column pruning):
+//! `exp_campaign` measures the whole fleet, this binary isolates the
+//! per-statement execution rate the fleet multiplies.
+//!
+//! Environment knobs:
+//!
+//! * `TQS_THROUGHPUT_ITERS` — iterations per workload (default 300)
+//! * `TQS_THROUGHPUT_OUT` — output JSON path (default `BENCH_throughput.json`)
+
+use std::time::Instant;
+use tqs_bench::{env_usize, standard_dsg};
+use tqs_campaign::Json;
+use tqs_core::dsg::DsgDatabase;
+use tqs_engine::{ColumnarDatabase, Database, DbmsProfile, ProfileId};
+use tqs_sql::parser::parse_stmt;
+
+/// The workload mix: one statement per hot execution path.
+const WORKLOADS: &[(&str, &str)] = &[
+    (
+        "hash_join",
+        "SELECT T1.goodsId, T2.goodsName FROM T1 INNER JOIN T2 ON T1.goodsId = T2.goodsId",
+    ),
+    (
+        "merge_join",
+        "SELECT /*+ MERGE_JOIN(T2) */ T1.goodsId, T2.goodsName FROM T1 \
+         INNER JOIN T2 ON T1.goodsId = T2.goodsId",
+    ),
+    (
+        "nested_loop_join",
+        "SELECT /*+ NL_JOIN(T2) */ T1.goodsId, T2.goodsName FROM T1 \
+         INNER JOIN T2 ON T1.goodsId = T2.goodsId",
+    ),
+    (
+        "three_way_join",
+        "SELECT T3.price FROM T1 INNER JOIN T2 ON T1.goodsId = T2.goodsId \
+         INNER JOIN T3 ON T2.goodsName = T3.goodsName",
+    ),
+    (
+        "cross_join",
+        "SELECT T2.goodsId FROM T1 CROSS JOIN T4 CROSS JOIN T2",
+    ),
+    (
+        "group_by",
+        "SELECT T2.goodsName, COUNT(*) AS cnt FROM T1 INNER JOIN T2 \
+         ON T1.goodsId = T2.goodsId GROUP BY T2.goodsName",
+    ),
+    (
+        "subquery_filter",
+        "SELECT T1.orderId FROM T1 WHERE T1.goodsId IN \
+         (SELECT T2.goodsId FROM T2 WHERE T2.goodsName = 'book')",
+    ),
+];
+
+fn run_workloads<F>(label: &str, mut execute: F, iters: usize) -> Vec<(String, Json)>
+where
+    F: FnMut(&str) -> usize,
+{
+    let mut members = Vec::new();
+    let mut total_stmts = 0usize;
+    let mut total_secs = 0f64;
+    for (name, sql) in WORKLOADS {
+        let started = Instant::now();
+        let mut rows = 0usize;
+        for _ in 0..iters {
+            rows = execute(sql);
+        }
+        let secs = started.elapsed().as_secs_f64().max(1e-9);
+        let qps = iters as f64 / secs;
+        println!("{label:>9} {name:<18} {qps:>12.1} stmts/sec  ({rows} rows)");
+        members.push((format!("{label}_{name}_per_sec"), Json::Num(qps)));
+        total_stmts += iters;
+        total_secs += secs;
+    }
+    let overall = total_stmts as f64 / total_secs.max(1e-9);
+    println!("{label:>9} {:<18} {overall:>12.1} stmts/sec", "OVERALL");
+    members.push((format!("{label}_overall_per_sec"), Json::Num(overall)));
+    members
+}
+
+fn main() {
+    let iters = env_usize("TQS_THROUGHPUT_ITERS", 300);
+    let out_path =
+        std::env::var("TQS_THROUGHPUT_OUT").unwrap_or_else(|_| "BENCH_throughput.json".to_string());
+
+    // The same testing database the campaign hunts (first shard of 2).
+    let shards = DsgDatabase::build_sharded(&standard_dsg(240, 77), 2);
+    let catalog = shards[0].db.catalog.clone();
+    for (name, sql) in WORKLOADS {
+        // fail fast if a workload references a table this schema lacks
+        let stmt = parse_stmt(sql).unwrap_or_else(|e| panic!("{name}: {e}"));
+        for t in stmt.from.tables() {
+            assert!(
+                catalog.table(&t.table).is_some(),
+                "{name}: schema lost table {}",
+                t.table
+            );
+        }
+    }
+
+    println!(
+        "Throughput — {} iterations per workload, faulty MySQL-like build\n",
+        iters
+    );
+    let row_db = Database::new(catalog.clone(), DbmsProfile::build(ProfileId::MysqlLike));
+    let mut members = run_workloads(
+        "row",
+        |sql| {
+            row_db
+                .execute_sql(sql)
+                .unwrap_or_else(|e| panic!("row workload failed: {sql}: {e}"))
+                .result
+                .row_count()
+        },
+        iters,
+    );
+    println!();
+    let col_db = ColumnarDatabase::new(catalog, DbmsProfile::columnar(ProfileId::MysqlLike));
+    members.extend(run_workloads(
+        "columnar",
+        |sql| {
+            col_db
+                .execute_sql(sql)
+                .unwrap_or_else(|e| panic!("columnar workload failed: {sql}: {e}"))
+                .result
+                .row_count()
+        },
+        iters,
+    ));
+    members.push(("iters".to_string(), Json::count(iters)));
+
+    let body = Json::Obj(members).to_string();
+    std::fs::write(&out_path, format!("{body}\n")).expect("write benchmark artifact");
+    println!("\nwrote {out_path}");
+}

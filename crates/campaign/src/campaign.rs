@@ -42,6 +42,14 @@ use tqs_graph::plangraph::{graph_fingerprint, query_graph_with_subqueries};
 use tqs_graph::GraphIndex;
 use tqs_sql::render::render_stmt;
 
+/// Engine-level statement executions in a recorded trace slice.
+fn count_statements(events: &[tqs_core::backend::TraceEvent]) -> usize {
+    events
+        .iter()
+        .filter(|e| matches!(e, tqs_core::backend::TraceEvent::Statement { .. }))
+        .count()
+}
+
 /// Which verdict procedure a cell drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OracleSpec {
@@ -437,7 +445,8 @@ impl Campaign {
                 let e = embed_graph(&qg, 2);
                 idx.insert(&qg, e);
             }
-            conn.take_trace(); // discard the previous statement's events
+            // Drain (and count) the previous statement's engine events.
+            live.add_statements(count_statements(&conn.take_trace()));
             let reports = match oracle.check(&stmt, &mut conn) {
                 OracleVerdict::Skip => continue,
                 OracleVerdict::Pass => {
@@ -481,7 +490,7 @@ impl Campaign {
                 }
                 let entry = CorpusEntry {
                     cell_id: cell.id,
-                    class_key: report.class_key(),
+                    class_key: report.class_key().to_string(),
                     connector: conn.info(),
                     report,
                     trace: witness.clone(),
@@ -490,6 +499,8 @@ impl Campaign {
                 self.corpus.append(&entry)?;
             }
         }
+
+        live.add_statements(count_statements(&conn.take_trace()));
 
         let record = CellRecord {
             cell_id: cell.id,

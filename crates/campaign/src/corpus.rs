@@ -364,6 +364,7 @@ impl CorpusEntry {
                 .and_then(Json::as_str)
                 .map(String::from),
             fingerprint,
+            keys: Default::default(),
         };
         let trace = j
             .get("trace")
@@ -579,6 +580,7 @@ mod tests {
             fired: vec![FaultKind::HashJoinNullMatchesEmpty],
             minimized_sql: Some("SELECT T1.a FROM T1".into()),
             fingerprint: Some(0xfeed_beef_dead_cafe),
+            keys: Default::default(),
         };
         let trace = vec![
             StoredStatement {
@@ -604,7 +606,7 @@ mod tests {
         ];
         CorpusEntry {
             cell_id: 7,
-            class_key: report.class_key(),
+            class_key: report.class_key().to_string(),
             connector: ConnectorInfo {
                 name: "MySQL-like".into(),
                 version: "8.0.28-sim".into(),
@@ -705,8 +707,10 @@ mod tests {
         corpus.append(&raw).unwrap();
         corpus.append(&sample_entry()).unwrap();
         let mut fixed = sample_entry();
-        fixed.report.fingerprint = Some(0x0B);
-        fixed.class_key = fixed.report.class_key();
+        // `with_fingerprint` resets the report's memoized keys; a direct
+        // field write would leave the cached class key stale.
+        fixed.report = fixed.report.clone().with_fingerprint(0x0B);
+        fixed.class_key = fixed.report.class_key().to_string();
         corpus.append(&fixed).unwrap();
 
         let keep = sample_entry().class_key;

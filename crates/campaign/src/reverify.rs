@@ -492,7 +492,7 @@ impl ReverifyCampaign {
 fn matches_class(recorded: &BugReport, candidates: Vec<BugReport>) -> bool {
     let want = recorded.cause_key();
     candidates.into_iter().any(|mut report| {
-        report.fingerprint = recorded.fingerprint;
+        report.set_fingerprint(recorded.fingerprint);
         report.cause_key() == want
     })
 }

@@ -15,6 +15,10 @@ pub struct LiveStats {
     started: Instant,
     /// Statements the oracles actually exercised (skips excluded).
     queries: AtomicUsize,
+    /// Engine-level statements executed (every hinted plan, replay and
+    /// minimization probe behind each oracle-level query) — the counter the
+    /// execution hot path drives directly.
+    statements: AtomicUsize,
     /// Raw (pre-dedup) bug reports.
     raw_reports: AtomicUsize,
     /// Bug classes newly discovered this run.
@@ -28,6 +32,7 @@ impl LiveStats {
         LiveStats {
             started: Instant::now(),
             queries: AtomicUsize::new(0),
+            statements: AtomicUsize::new(0),
             raw_reports: AtomicUsize::new(0),
             new_classes: AtomicUsize::new(0),
             cells_drained: AtomicUsize::new(0),
@@ -36,6 +41,10 @@ impl LiveStats {
 
     pub fn add_queries(&self, n: usize) {
         self.queries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_statements(&self, n: usize) {
+        self.statements.fetch_add(n, Ordering::Relaxed);
     }
 
     pub fn add_raw_reports(&self, n: usize) {
@@ -63,6 +72,7 @@ impl LiveStats {
         CampaignStats {
             elapsed: self.started.elapsed(),
             queries: self.queries.load(Ordering::Relaxed),
+            statements: self.statements.load(Ordering::Relaxed),
             raw_reports: self.raw_reports.load(Ordering::Relaxed),
             new_classes: self.new_classes.load(Ordering::Relaxed),
             cells_drained: self.cells_drained.load(Ordering::Relaxed),
@@ -81,6 +91,9 @@ pub struct CampaignStats {
     pub elapsed: Duration,
     /// Statements exercised this run.
     pub queries: usize,
+    /// Engine-level statements executed this run (hinted plans, replays and
+    /// minimization probes included).
+    pub statements: usize,
     /// Raw bug reports this run (pre-dedup).
     pub raw_reports: usize,
     /// Classes newly discovered this run.
@@ -100,6 +113,12 @@ impl CampaignStats {
     /// Fleet throughput: oracle-exercised statements per wall-clock second.
     pub fn queries_per_sec(&self) -> f64 {
         self.queries as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Raw engine throughput: statements executed per wall-clock second —
+    /// the rate the allocation-free execution path feeds directly.
+    pub fn statements_per_sec(&self) -> f64 {
+        self.statements as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
 
     /// Raw divergence sightings per hour — the flood the triage collapses.
@@ -131,6 +150,11 @@ impl CampaignStats {
             (
                 "queries_per_sec".to_string(),
                 Json::Num(self.queries_per_sec()),
+            ),
+            ("statements".to_string(), Json::count(self.statements)),
+            (
+                "statements_per_sec".to_string(),
+                Json::Num(self.statements_per_sec()),
             ),
             ("raw_reports".to_string(), Json::count(self.raw_reports)),
             (

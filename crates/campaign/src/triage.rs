@@ -44,14 +44,16 @@ impl BugTriage {
     /// representative and persisting the class), `None` when it was a
     /// duplicate sighting.
     pub fn admit(&mut self, report: BugReport, cell_id: usize) -> Option<usize> {
-        let key = report.class_key();
-        match self.by_key.get(&key) {
+        // Duplicate sightings (the overwhelming majority at fleet
+        // throughput) borrow the report's memoized key — no allocation.
+        match self.by_key.get(report.class_key()) {
             Some(&idx) => {
                 self.classes[idx].sightings += 1;
                 None
             }
             None => {
                 let idx = self.classes.len();
+                let key = report.class_key().to_string();
                 self.by_key.insert(key.clone(), idx);
                 self.classes.push(TriageClass {
                     key,
@@ -127,6 +129,7 @@ mod tests {
             fired: vec![fault],
             minimized_sql: None,
             fingerprint: Some(fp),
+            keys: Default::default(),
         }
     }
 

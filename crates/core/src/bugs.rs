@@ -52,22 +52,55 @@ pub struct BugReport {
     /// the schema description (the session, the campaign worker). `None`
     /// when no fingerprint was computed — de-duplication then falls back to
     /// the coarse [`signature`](Self::signature).
+    ///
+    /// Key-relevant fields (`dbms`, `fired`, `hint_label`, this one) feed the
+    /// memoized dedup keys; code that mutates them after a key was read must
+    /// reset [`keys`](Self::keys) (or go through
+    /// [`with_fingerprint`](Self::with_fingerprint), which does).
     pub fingerprint: Option<u64>,
+    /// Lazily memoized dedup keys — campaign-wide triage calls
+    /// [`signature`](Self::signature)/[`class_key`](Self::class_key) once per
+    /// *sighting*, and at fleet throughput re-`format!`ing them per
+    /// divergence dominated triage allocation.
+    pub keys: KeyCache,
+}
+
+/// Lazily computed [`BugReport`] dedup keys. Opaque on purpose: resetting it
+/// to `KeyCache::default()` is the only outside operation, for callers that
+/// mutate a report's key-relevant fields in place.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct KeyCache {
+    signature: std::sync::OnceLock<String>,
+    cause: std::sync::OnceLock<String>,
+    class: std::sync::OnceLock<String>,
 }
 
 impl BugReport {
     /// Attach the canonical plan-graph fingerprint of the failing query.
     pub fn with_fingerprint(mut self, fingerprint: u64) -> Self {
-        self.fingerprint = Some(fingerprint);
+        self.set_fingerprint(Some(fingerprint));
         self
+    }
+
+    /// Set (or clear) the fingerprint in place, dropping the memoized keys it
+    /// feeds — the sanctioned way to re-key an existing report.
+    pub fn set_fingerprint(&mut self, fingerprint: Option<u64>) {
+        self.fingerprint = fingerprint;
+        self.keys = KeyCache::default();
+    }
+
+    fn fault_labels(&self) -> String {
+        let faults: Vec<String> = self.fired.iter().map(|f| format!("{f:?}")).collect();
+        faults.join(",")
     }
 
     /// Signature used for de-duplication: bugs with the same root cause and
     /// the same join-structure shape are counted once per "bug", many such
-    /// bugs map to one "bug type".
-    pub fn signature(&self) -> String {
-        let faults: Vec<String> = self.fired.iter().map(|f| format!("{f:?}")).collect();
-        format!("{}|{}|{}", self.dbms, faults.join(","), self.hint_label)
+    /// bugs map to one "bug type". Computed once per report.
+    pub fn signature(&self) -> &str {
+        self.keys
+            .signature
+            .get_or_init(|| format!("{}|{}|{}", self.dbms, self.fault_labels(), self.hint_label))
     }
 
     /// The bug-*class* key a fleet deduplicates on: the build name plus the
@@ -76,9 +109,11 @@ impl BugReport {
     /// on isomorphic queries are one class, while the same fault on a
     /// structurally different plan stays a separate class. Without a
     /// stamped fingerprint this degenerates to the coarse
-    /// [`signature`](Self::signature).
-    pub fn class_key(&self) -> String {
-        format!("{}|{}", self.dbms, self.cause_key())
+    /// [`signature`](Self::signature). Computed once per report.
+    pub fn class_key(&self) -> &str {
+        self.keys
+            .class
+            .get_or_init(|| format!("{}|{}", self.dbms, self.cause_key()))
     }
 
     /// Build-independent root cause: root-cause faults plus the canonical
@@ -87,13 +122,12 @@ impl BugReport {
     /// build name. Re-verification matches live re-executions of a corpus
     /// class against the recorded report with it, so a class keeps its
     /// identity across engine builds of the same profile (faulty vs
-    /// fault-free) whose connector names differ.
-    pub fn cause_key(&self) -> String {
-        let faults: Vec<String> = self.fired.iter().map(|f| format!("{f:?}")).collect();
-        match self.fingerprint {
-            Some(fp) => format!("{}|plan:{fp:016x}", faults.join(",")),
-            None => format!("{}|{}", faults.join(","), self.hint_label),
-        }
+    /// fault-free) whose connector names differ. Computed once per report.
+    pub fn cause_key(&self) -> &str {
+        self.keys.cause.get_or_init(|| match self.fingerprint {
+            Some(fp) => format!("{}|plan:{fp:016x}", self.fault_labels()),
+            None => format!("{}|{}", self.fault_labels(), self.hint_label),
+        })
     }
 
     /// The bug *type* identifiers (Table 4 granularity): one entry per
@@ -129,12 +163,12 @@ impl BugLog {
     /// stamped, and the coarse [`BugReport::signature`] otherwise. Returns
     /// true when the report was new.
     pub fn push(&mut self, report: BugReport) -> bool {
-        if self.seen_signatures.insert(report.class_key()) {
-            self.reports.push(report);
-            true
-        } else {
-            false
+        if self.seen_signatures.contains(report.class_key()) {
+            return false;
         }
+        self.seen_signatures.insert(report.class_key().to_string());
+        self.reports.push(report);
+        true
     }
 
     pub fn bug_count(&self) -> usize {
@@ -315,6 +349,7 @@ pub fn make_report(
         fired,
         minimized_sql: minimized.map(render_stmt),
         fingerprint: None,
+        keys: KeyCache::default(),
     }
 }
 

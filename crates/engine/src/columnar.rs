@@ -20,16 +20,16 @@
 //! tqs-core) a meaningful oracle.
 
 use crate::engine::{distinct, Database, EngineError, EngineSubqueries, ExecOutcome};
-use crate::exec::{canonical_encoding, ExecContext, Rel};
+use crate::exec::{ColumnPruner, ExecContext, Rel, ScopeLayout};
 use crate::faults::{FaultKind, TriggerContext};
 use crate::plan::PhysicalJoin;
 use crate::profiles::DbmsProfile;
 use std::collections::HashMap;
-use tqs_sql::ast::{BinOp, Expr, JoinType, SelectStmt};
-use tqs_sql::eval::{eval_predicate, ScopedRow};
+use tqs_sql::ast::{BinOp, ColumnRef, Expr, JoinType, SelectStmt};
+use tqs_sql::eval::{eval_predicate, ColumnResolver};
 use tqs_sql::hints::HintSet;
 use tqs_sql::parser::parse_stmt;
-use tqs_sql::value::{null_safe_eq, sql_compare, SqlCmp, Value};
+use tqs_sql::value::{null_safe_eq, sql_compare, KeyBuf, SqlCmp, Value};
 use tqs_storage::{Catalog, Table};
 
 /// Default number of rows per probe/filter batch.
@@ -46,7 +46,10 @@ pub struct ColumnarRel {
 
 impl ColumnarRel {
     pub fn scan(table: &Table, binding: &str) -> ColumnarRel {
-        let mut columns = vec![Vec::with_capacity(table.rows.len()); table.columns.len()];
+        // `vec![v; n]` clones drop the capacity; build each Vec explicitly.
+        let mut columns: Vec<Vec<Value>> = (0..table.columns.len())
+            .map(|_| Vec::with_capacity(table.rows.len()))
+            .collect();
         for row in &table.rows {
             for (ci, v) in row.values.iter().enumerate() {
                 columns[ci].push(v.clone());
@@ -57,6 +60,31 @@ impl ColumnarRel {
                 .columns
                 .iter()
                 .map(|c| (binding.to_string(), c.name.clone()))
+                .collect(),
+            columns,
+        }
+    }
+
+    /// Scan only the columns the statement can observe (see
+    /// [`ColumnPruner`]) — the columnar analogue of [`Rel::scan_pruned`];
+    /// a skipped column is simply never gathered.
+    pub fn scan_pruned(table: &Table, binding: &str, pruner: &ColumnPruner) -> ColumnarRel {
+        let keep = pruner.keep_indices(table, binding);
+        if keep.len() == table.columns.len() {
+            return ColumnarRel::scan(table, binding);
+        }
+        let mut columns: Vec<Vec<Value>> = (0..keep.len())
+            .map(|_| Vec::with_capacity(table.rows.len()))
+            .collect();
+        for row in &table.rows {
+            for (out_ci, &i) in keep.iter().enumerate() {
+                columns[out_ci].push(row.values[i].clone());
+            }
+        }
+        ColumnarRel {
+            cols: keep
+                .iter()
+                .map(|&i| (binding.to_string(), table.columns[i].name.clone()))
                 .collect(),
             columns,
         }
@@ -81,13 +109,11 @@ impl ColumnarRel {
         })
     }
 
-    /// Scope entries for row `i`, consumable by the reference evaluator.
-    pub fn scope(&self, i: usize) -> Vec<(String, String, Value)> {
-        self.cols
-            .iter()
-            .zip(self.columns.iter())
-            .map(|((b, c), col)| (b.clone(), c.clone(), col[i].clone()))
-            .collect()
+    /// Allocation-free resolver for row `i`, consumable by the reference
+    /// evaluator — gathers nothing; the one matched value is cloned on
+    /// resolution.
+    pub fn resolver(&self, i: usize) -> ColRow<'_> {
+        ColRow { rel: self, i }
     }
 
     fn push_gathered(&mut self, src: &ColumnarRel, row: usize, offset: usize) {
@@ -208,7 +234,8 @@ impl ColumnarDatabase {
             .catalog
             .table(&stmt.from.base.table)
             .ok_or_else(|| EngineError::UnknownTable(stmt.from.base.table.clone()))?;
-        let mut rel = ColumnarRel::scan(base_table, stmt.from.base.binding());
+        let pruner = ColumnPruner::new(stmt);
+        let mut rel = ColumnarRel::scan_pruned(base_table, stmt.from.base.binding(), &pruner);
 
         // Joins, in plan order, batch-at-a-time.
         for pj in &plan.joins {
@@ -223,7 +250,7 @@ impl ColumnarDatabase {
                 .catalog
                 .table(&ast_join.table.table)
                 .ok_or_else(|| EngineError::UnknownTable(ast_join.table.table.clone()))?;
-            let right = ColumnarRel::scan(right_table, ast_join.table.binding());
+            let right = ColumnarRel::scan_pruned(right_table, ast_join.table.binding(), &pruner);
             rel = columnar_join(
                 &rel,
                 &right,
@@ -294,8 +321,7 @@ impl ColumnarDatabase {
                 }
                 None => {
                     for i in 0..n {
-                        let scope = rel.scope(i);
-                        let resolver = ScopedRow::new(&scope);
+                        let resolver = rel.resolver(i);
                         let truth = eval_predicate(c, &resolver, sub)?;
                         self.apply_truth(truth, i, &mut sel, null_as_true, ctx);
                     }
@@ -439,21 +465,38 @@ fn flatten_and<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
     }
 }
 
-/// Encode the join key of row `i` against `key_cols` column vectors.
-/// `None` means a NULL key (never matches). The dictionary-truncation fault
-/// clips long varchar keys to their first 8 bytes.
-fn encode_key(
+/// Borrow-based resolver over row `i` of a columnar relation.
+pub struct ColRow<'a> {
+    rel: &'a ColumnarRel,
+    i: usize,
+}
+
+impl ColumnResolver for ColRow<'_> {
+    fn resolve(&self, col: &ColumnRef) -> Option<Value> {
+        self.rel
+            .col_index(col.table.as_deref(), &col.column)
+            .map(|ci| self.rel.columns[ci][self.i].clone())
+    }
+}
+
+/// Encode the join key of row `i` against `key_idx` column vectors into
+/// `buf` (cleared first). Returns `false` for a NULL key (never matches).
+/// The dictionary-truncation fault clips long varchar keys to their first 8
+/// bytes — raw, without the canonical case folding, exactly like the old
+/// `"S:{clip}|"` text segment.
+fn encode_key_into(
     columns: &[Vec<Value>],
     key_idx: &[usize],
     i: usize,
     truncate: bool,
     ctx: &mut ExecContext,
-) -> Option<String> {
-    let mut out = String::new();
+    buf: &mut KeyBuf,
+) -> bool {
+    buf.clear();
     for &ci in key_idx {
         let v = &columns[ci][i];
         if v.is_null() {
-            return None;
+            return false;
         }
         if truncate {
             if let Some(s) = v.as_str() {
@@ -466,19 +509,41 @@ fn encode_key(
                         cut -= 1;
                     }
                     ctx.fire(FaultKind::ColumnarDictTruncation);
-                    out.push_str(&format!("S:{}|", &s[..cut]));
+                    buf.push_str_raw(&s[..cut]);
                     continue;
                 }
             }
         }
-        out.push_str(&canonical_encoding(v));
-        out.push('|');
+        buf.push_canonical(v);
     }
-    Some(out)
+    true
+}
+
+/// Borrow-based resolver over one candidate row pair of columnar inputs,
+/// driven by a compiled [`ScopeLayout`].
+struct ColScopedPair<'a> {
+    layout: &'a ScopeLayout,
+    left: &'a ColumnarRel,
+    right: &'a ColumnarRel,
+    li: usize,
+    ri: usize,
+}
+
+impl ColumnResolver for ColScopedPair<'_> {
+    fn resolve(&self, col: &ColumnRef) -> Option<Value> {
+        self.layout.lookup(col).map(|(right, offset)| {
+            if right {
+                self.right.columns[offset][self.ri].clone()
+            } else {
+                self.left.columns[offset][self.li].clone()
+            }
+        })
+    }
 }
 
 fn residual_ok(
     residual: &[Expr],
+    layout: &ScopeLayout,
     left: &ColumnarRel,
     right: &ColumnarRel,
     li: usize,
@@ -487,9 +552,13 @@ fn residual_ok(
     if residual.is_empty() {
         return true;
     }
-    let mut scope = left.scope(li);
-    scope.extend(right.scope(ri));
-    let resolver = ScopedRow::new(&scope);
+    let resolver = ColScopedPair {
+        layout,
+        left,
+        right,
+        li,
+        ri,
+    };
     residual.iter().all(|p| {
         eval_predicate(p, &resolver, &tqs_sql::eval::NoSubqueries)
             .map(|r| r == Some(true))
@@ -510,6 +579,9 @@ pub fn columnar_join(
 ) -> Result<ColumnarRel, EngineError> {
     let t = ctx.trigger_ctx(join);
     let keys = extract_equi_keys(left, right, on);
+    let layout = ScopeLayout::compile(&keys.residual, &|b, c| left.col_index(b, c), &|b, c| {
+        right.col_index(b, c)
+    });
     let n_left = left.len();
 
     // Batch-tail loss: hashed probes past the last complete batch are never
@@ -531,16 +603,29 @@ pub fn columnar_join(
         // No equi key: batched nested loop (correct for cross/theta joins).
         for (li, row_matches) in matches.iter_mut().enumerate().take(live_until) {
             for ri in 0..right.len() {
-                if residual_ok(&keys.residual, left, right, li, ri) {
+                if residual_ok(&keys.residual, &layout, left, right, li, ri) {
                     row_matches.push(ri);
                 }
             }
         }
     } else {
-        let mut table: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut table: HashMap<KeyBuf, Vec<usize>> = HashMap::new();
+        let mut scratch = KeyBuf::new();
         for ri in 0..right.len() {
-            if let Some(k) = encode_key(&right.columns, &keys.right_idx, ri, truncate, ctx) {
-                table.entry(k).or_default().push(ri);
+            if encode_key_into(
+                &right.columns,
+                &keys.right_idx,
+                ri,
+                truncate,
+                ctx,
+                &mut scratch,
+            ) {
+                match table.get_mut(&scratch) {
+                    Some(bucket) => bucket.push(ri),
+                    None => {
+                        table.insert(scratch.clone(), vec![ri]);
+                    }
+                }
             }
         }
         let mut start = 0;
@@ -548,11 +633,18 @@ pub fn columnar_join(
             let end = (start + batch_size).min(live_until);
             for (li, row_matches) in matches[start..end].iter_mut().enumerate() {
                 let li = start + li;
-                let Some(k) = encode_key(&left.columns, &keys.left_idx, li, truncate, ctx) else {
+                if !encode_key_into(
+                    &left.columns,
+                    &keys.left_idx,
+                    li,
+                    truncate,
+                    ctx,
+                    &mut scratch,
+                ) {
                     continue;
-                };
-                let mut ms = table.get(&k).cloned().unwrap_or_default();
-                ms.retain(|&ri| residual_ok(&keys.residual, left, right, li, ri));
+                }
+                let mut ms = table.get(&scratch).cloned().unwrap_or_default();
+                ms.retain(|&ri| residual_ok(&keys.residual, &layout, left, right, li, ri));
                 *row_matches = ms;
             }
             start = end;

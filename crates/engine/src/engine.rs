@@ -1,20 +1,20 @@
 //! The simulated DBMS: optimizer (hint- and switch-steerable plan choice),
 //! statement execution and the session interface used by TQS.
 
-use crate::exec::{execute_join, ExecContext, ExecError, Rel};
+use crate::exec::{execute_join, ColumnPruner, ExecContext, ExecError, Rel};
 use crate::faults::{FaultKind, FaultSet};
 use crate::plan::{JoinAlgo, PhysicalJoin, PhysicalPlan, SubqueryPlan};
 use crate::profiles::DbmsProfile;
 use std::cell::RefCell;
 use std::collections::HashMap;
-use tqs_sql::ast::{AggFunc, BinOp, Expr, JoinType, SelectItem, SelectStmt};
+use tqs_sql::ast::{AggFunc, BinOp, ColumnRef, Expr, JoinType, SelectItem, SelectStmt};
 use tqs_sql::eval::{
-    eval_expr, eval_predicate, ChainedResolver, ColumnResolver, EvalError, ScopedRow,
-    SubqueryHandler,
+    eval_expr, eval_predicate, ChainedResolver, ColumnResolver, EvalError, SubqueryHandler,
+    SubqueryMemo,
 };
 use tqs_sql::hints::{Hint, HintSet, SemiJoinStrategy, SessionSwitch, SwitchName};
 use tqs_sql::parser::{parse_stmt, ParseError};
-use tqs_sql::value::{sql_compare, SqlCmp, Value};
+use tqs_sql::value::{sql_compare, KeyBuf, SqlCmp, Value};
 use tqs_storage::{Catalog, ResultSet, Row};
 
 /// Errors surfaced by the engine.
@@ -453,12 +453,13 @@ impl Database {
         ctx.subquery_present = stmt.has_subquery();
         ctx.semi_strategy = self.semi_strategy(stmt);
 
-        // Base scan.
+        // Base scan (pruned to the columns the statement can observe).
+        let pruner = ColumnPruner::new(stmt);
         let base_table = self
             .catalog
             .table(&stmt.from.base.table)
             .ok_or_else(|| EngineError::UnknownTable(stmt.from.base.table.clone()))?;
-        let mut rel = Rel::scan(base_table, stmt.from.base.binding());
+        let mut rel = Rel::scan_pruned(base_table, stmt.from.base.binding(), &pruner);
 
         // Joins, in plan order.
         for pj in &plan.joins {
@@ -472,7 +473,7 @@ impl Database {
                 .catalog
                 .table(&ast_join.table.table)
                 .ok_or_else(|| EngineError::UnknownTable(ast_join.table.table.clone()))?;
-            let right = Rel::scan(right_table, ast_join.table.binding());
+            let right = Rel::scan_pruned(right_table, ast_join.table.binding(), &pruner);
             rel = execute_join(&rel, &right, pj, ast_join.on.as_ref(), &mut ctx)?;
         }
 
@@ -483,8 +484,7 @@ impl Database {
             let pred = self.apply_constant_cache_fault(pred, &rel, &mut ctx);
             let mut kept = Vec::new();
             for row in &rel.rows {
-                let scope = rel.scope(row);
-                let resolver = ScopedRow::new(&scope);
+                let resolver = rel.resolver(row);
                 if eval_predicate(&pred, &resolver, &sub)? == Some(true) {
                     kept.push(row.clone());
                 }
@@ -569,8 +569,7 @@ impl Database {
         }
         let mut rs = ResultSet::new(columns);
         for row in &rel.rows {
-            let scope = rel.scope(row);
-            let resolver = ScopedRow::new(&scope);
+            let resolver = rel.resolver(row);
             let mut out = Vec::new();
             for item in &stmt.items {
                 match item {
@@ -590,24 +589,27 @@ impl Database {
         rel: &Rel,
         sub: &EngineSubqueries<'_>,
     ) -> Result<ResultSet, EngineError> {
-        let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
-        let mut order = Vec::new();
+        let mut groups: HashMap<KeyBuf, Vec<usize>> = HashMap::new();
+        let mut order: Vec<KeyBuf> = Vec::new();
+        let mut key = KeyBuf::new();
         for (i, row) in rel.rows.iter().enumerate() {
-            let scope = rel.scope(row);
-            let resolver = ScopedRow::new(&scope);
-            let mut key = String::new();
+            let resolver = rel.resolver(row);
+            key.clear();
             for g in &stmt.group_by {
                 let v = eval_expr(g, &resolver, sub)?;
-                key.push_str(&format!("{}:{v}\u{1}", v.type_tag()));
+                key.push_group(&v);
             }
-            if !groups.contains_key(&key) {
-                order.push(key.clone());
+            match groups.get_mut(&key) {
+                Some(members) => members.push(i),
+                None => {
+                    order.push(key.clone());
+                    groups.insert(key.clone(), vec![i]);
+                }
             }
-            groups.entry(key).or_default().push(i);
         }
         if stmt.group_by.is_empty() && groups.is_empty() {
-            order.push(String::new());
-            groups.insert(String::new(), Vec::new());
+            order.push(KeyBuf::new());
+            groups.insert(KeyBuf::new(), Vec::new());
         }
         let columns: Vec<String> = stmt
             .items
@@ -633,10 +635,7 @@ impl Database {
                     }
                     SelectItem::Expr { expr, .. } => {
                         let v = match members.first() {
-                            Some(&i) => {
-                                let scope = rel.scope(&rel.rows[i]);
-                                eval_expr(expr, &ScopedRow::new(&scope), sub)?
-                            }
+                            Some(&i) => eval_expr(expr, &rel.resolver(&rel.rows[i]), sub)?,
                             None => Value::Null,
                         };
                         out.push(v);
@@ -645,8 +644,7 @@ impl Database {
                         let mut vals = Vec::new();
                         if let Some(e) = arg {
                             for &i in members {
-                                let scope = rel.scope(&rel.rows[i]);
-                                vals.push(eval_expr(e, &ScopedRow::new(&scope), sub)?);
+                                vals.push(eval_expr(e, &rel.resolver(&rel.rows[i]), sub)?);
                             }
                         }
                         out.push(eval_agg(*func, members.len(), &vals));
@@ -768,6 +766,10 @@ pub(crate) struct EngineSubqueries<'a> {
     materialization: bool,
     faults: FaultSet,
     fired: RefCell<Vec<FaultKind>>,
+    /// Memo for *uncorrelated* subqueries (shared semantics with the
+    /// ground-truth evaluator — see [`SubqueryMemo`]): recomputing a
+    /// row-invariant subquery per outer row dominated the filter phase.
+    memo: SubqueryMemo,
 }
 
 impl<'a> EngineSubqueries<'a> {
@@ -778,6 +780,7 @@ impl<'a> EngineSubqueries<'a> {
             materialization,
             faults: db.profile.faults.clone(),
             fired: RefCell::new(Vec::new()),
+            memo: SubqueryMemo::new(),
         }
     }
 
@@ -793,8 +796,8 @@ impl<'a> EngineSubqueries<'a> {
     }
 }
 
-impl SubqueryHandler for EngineSubqueries<'_> {
-    fn eval_subquery(
+impl EngineSubqueries<'_> {
+    fn eval_subquery_inner(
         &self,
         stmt: &SelectStmt,
         outer: &dyn ColumnResolver,
@@ -831,11 +834,15 @@ impl SubqueryHandler for EngineSubqueries<'_> {
                 ))
             }
         };
-        let rel = Rel::scan(table, &binding);
         let mut out = Vec::new();
-        for row in &rel.rows {
-            let scope = rel.scope(row);
-            let inner = ScopedRow::new(&scope);
+        for row in &table.rows {
+            // Borrow the stored row directly — no per-call table clone, no
+            // per-row scope materialization.
+            let inner = TableRow {
+                binding: &binding,
+                table,
+                row: &row.values,
+            };
             let resolver = ChainedResolver {
                 inner: &inner,
                 outer,
@@ -866,6 +873,51 @@ impl SubqueryHandler for EngineSubqueries<'_> {
     }
 }
 
+impl SubqueryHandler for EngineSubqueries<'_> {
+    fn eval_subquery(
+        &self,
+        stmt: &SelectStmt,
+        outer: &dyn ColumnResolver,
+    ) -> Result<Vec<Value>, EvalError> {
+        let cacheable = self
+            .db
+            .catalog
+            .table(&stmt.from.base.table)
+            .map(|t| {
+                stmt.is_uncorrelated_single_table(&|name| {
+                    t.columns.iter().any(|c| c.name.eq_ignore_ascii_case(name))
+                })
+            })
+            .unwrap_or(false);
+        self.memo
+            .get_or_eval(stmt, cacheable, || self.eval_subquery_inner(stmt, outer))
+    }
+}
+
+/// Borrow-based resolver over one stored table row (subquery scans): the
+/// same resolution rules as a scanned relation's scope, without cloning the
+/// table or materializing per-row scope entries.
+struct TableRow<'a> {
+    binding: &'a str,
+    table: &'a tqs_storage::Table,
+    row: &'a [Value],
+}
+
+impl ColumnResolver for TableRow<'_> {
+    fn resolve(&self, col: &ColumnRef) -> Option<Value> {
+        if let Some(q) = &col.table {
+            if !q.eq_ignore_ascii_case(self.binding) {
+                return None;
+            }
+        }
+        self.table
+            .columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(&col.column))
+            .map(|i| self.row[i].clone())
+    }
+}
+
 /// Split equality conjuncts out of a predicate; returns (remaining, dropped?).
 fn strip_equality_conjuncts(e: &Expr) -> (Option<Expr>, bool) {
     let mut conjuncts = Vec::new();
@@ -880,25 +932,7 @@ fn strip_equality_conjuncts(e: &Expr) -> (Option<Expr>, bool) {
 }
 
 pub(crate) fn distinct(rs: ResultSet) -> ResultSet {
-    let mut seen = std::collections::HashSet::new();
-    let mut out = ResultSet::new(rs.columns.clone());
-    for row in rs.rows {
-        let fp: String = row
-            .values
-            .iter()
-            .map(|v| {
-                if v.is_null() {
-                    "\u{0}N\u{1}".to_string()
-                } else {
-                    format!("{}:{v}\u{1}", v.type_tag())
-                }
-            })
-            .collect();
-        if seen.insert(fp) {
-            out.rows.push(row);
-        }
-    }
-    out
+    rs.into_distinct()
 }
 
 #[cfg(test)]

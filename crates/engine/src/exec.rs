@@ -10,10 +10,10 @@
 use crate::faults::{FaultKind, FaultSet, TriggerContext};
 use crate::plan::{JoinAlgo, PhysicalJoin};
 use std::collections::HashMap;
-use tqs_sql::ast::{BinOp, Expr, JoinType};
-use tqs_sql::eval::{eval_predicate, NoSubqueries, ScopedRow};
+use tqs_sql::ast::{BinOp, ColumnRef, Expr, JoinType};
+use tqs_sql::eval::{eval_predicate, ColumnResolver, NoSubqueries, SliceRow};
 use tqs_sql::hints::SemiJoinStrategy;
-use tqs_sql::value::{sql_compare, SqlCmp, Value};
+use tqs_sql::value::{sql_compare, KeyBuf, SqlCmp, Value};
 use tqs_storage::Table;
 
 /// An intermediate relation: bound columns plus rows.
@@ -33,6 +33,29 @@ impl Rel {
                 .map(|c| (binding.to_string(), c.name.clone()))
                 .collect(),
             rows: table.rows.iter().map(|r| r.values.clone()).collect(),
+        }
+    }
+
+    /// Scan only the columns the statement can observe (see
+    /// [`ColumnPruner`]). Row count and row order are those of the full
+    /// scan; only unreferenced column values are skipped, so every
+    /// downstream operator — joins, faults, filters, projection — sees
+    /// bit-identical data on the columns that exist.
+    pub fn scan_pruned(table: &Table, binding: &str, pruner: &ColumnPruner) -> Rel {
+        let keep = pruner.keep_indices(table, binding);
+        if keep.len() == table.columns.len() {
+            return Rel::scan(table, binding);
+        }
+        Rel {
+            cols: keep
+                .iter()
+                .map(|&i| (binding.to_string(), table.columns[i].name.clone()))
+                .collect(),
+            rows: table
+                .rows
+                .iter()
+                .map(|r| keep.iter().map(|&i| r.values[i].clone()).collect())
+                .collect(),
         }
     }
 
@@ -57,13 +80,89 @@ impl Rel {
         })
     }
 
-    /// Scope entries for one row, consumable by the reference evaluator.
-    pub fn scope(&self, row: &[Value]) -> Vec<(String, String, Value)> {
-        self.cols
+    /// Allocation-free resolver for one row, consumable by the reference
+    /// evaluator — borrows the relation's column metadata and the row slice
+    /// instead of cloning both into an owned scope.
+    pub fn resolver<'a>(&'a self, row: &'a [Value]) -> SliceRow<'a> {
+        SliceRow::new(&self.cols, row)
+    }
+}
+
+/// Plan-time column pruning: which `(binding, column)` pairs a statement can
+/// observe, resolved once per execution so scans stop materializing values
+/// no operator will ever read. A cross-join chain that only projects one
+/// column used to clone every column of every table through every
+/// intermediate relation.
+///
+/// Conservative by construction: a `SELECT *` disables pruning entirely, a
+/// bare (unqualified) reference keeps that column on *every* binding, and
+/// references inside correlated subqueries are collected too (deep walk).
+/// Pruned execution is therefore observation-equivalent: row counts, row
+/// order, and every referencable value — including every fault's observable
+/// effect — are unchanged.
+#[derive(Debug)]
+pub struct ColumnPruner {
+    /// `SELECT *` present: keep everything.
+    wildcard: bool,
+    /// Lower-cased `(binding, column)` pairs referenced with a qualifier.
+    qualified: std::collections::HashSet<(String, String)>,
+    /// Lower-cased bare column names (kept on every binding).
+    bare: std::collections::HashSet<String>,
+}
+
+impl ColumnPruner {
+    pub fn new(stmt: &tqs_sql::ast::SelectStmt) -> ColumnPruner {
+        let wildcard = stmt
+            .items
             .iter()
-            .zip(row.iter())
-            .map(|((b, c), v)| (b.clone(), c.clone(), v.clone()))
-            .collect()
+            .any(|i| matches!(i, tqs_sql::ast::SelectItem::Wildcard));
+        let mut refs = Vec::new();
+        stmt.collect_column_refs_deep(&mut refs);
+        let mut qualified = std::collections::HashSet::new();
+        let mut bare = std::collections::HashSet::new();
+        for c in refs {
+            match &c.table {
+                Some(t) => {
+                    qualified.insert((t.to_lowercase(), c.column.to_lowercase()));
+                }
+                None => {
+                    bare.insert(c.column.to_lowercase());
+                }
+            }
+        }
+        ColumnPruner {
+            wildcard,
+            qualified,
+            bare,
+        }
+    }
+
+    /// Must `column` of `binding` stay materialized?
+    pub fn keep(&self, binding: &str, column: &str) -> bool {
+        if self.wildcard {
+            return true;
+        }
+        let col = column.to_lowercase();
+        self.bare.contains(&col) || self.qualified.contains(&(binding.to_lowercase(), col))
+    }
+
+    /// The column indices of `table` a pruned scan under `binding` must
+    /// materialize. Never empty: a relation that keeps zero columns would
+    /// lose its row count (the columnar engine derives `len()` from its
+    /// first column), so an entirely unreferenced table — e.g. the pure
+    /// cardinality factor of a `CROSS JOIN` — keeps its first column.
+    pub fn keep_indices(&self, table: &Table, binding: &str) -> Vec<usize> {
+        let keep: Vec<usize> = table
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| self.keep(binding, &c.name))
+            .map(|(i, _)| i)
+            .collect();
+        if keep.is_empty() && !table.columns.is_empty() {
+            return vec![0];
+        }
+        keep
     }
 }
 
@@ -194,47 +293,65 @@ fn flatten_and<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
 }
 
 /// Correct value-level key equality (used by the non-hashed algorithms).
-fn keys_equal_correct(a: &[&Value], b: &[&Value]) -> bool {
-    a.iter().zip(b.iter()).all(|(x, y)| {
-        if x.is_null() || y.is_null() {
-            return false;
-        }
-        matches!(
-            sql_compare(x, y),
-            SqlCmp::Ordering(std::cmp::Ordering::Equal)
-        )
-    })
+fn keys_equal_correct(lrow: &[Value], rrow: &[Value], keys: &EquiKeys) -> bool {
+    keys.left_idx
+        .iter()
+        .zip(keys.right_idx.iter())
+        .all(|(&li, &ri)| {
+            let (x, y) = (&lrow[li], &rrow[ri]);
+            if x.is_null() || y.is_null() {
+                return false;
+            }
+            matches!(
+                sql_compare(x, y),
+                SqlCmp::Ordering(std::cmp::Ordering::Equal)
+            )
+        })
 }
 
-/// Encoded key for the hash-based algorithms, with fault interception.
-/// `None` means "never matches" (the correct treatment of NULL keys).
-fn encode_key(values: &[&Value], ctx: &mut ExecContext, t: &TriggerContext) -> Option<String> {
-    let mut out = String::new();
-    for v in values {
+/// Encode one row's join key for the hash-based algorithms into `buf`
+/// (cleared first), with fault interception. Returns `false` when the key
+/// can never match (the correct treatment of NULL keys, and the
+/// boundary-overflow fault). The fault segments encode bit-for-bit the same
+/// equivalences as the retired `"S:|"` / `"F:0|"` / `"D:{double}|"` text
+/// encoding, so every fault fires and collides on exactly the same rows —
+/// pinned by the property tests below against the legacy reference.
+fn encode_key_into(
+    row: &[Value],
+    idx: &[usize],
+    ctx: &mut ExecContext,
+    t: &TriggerContext,
+    buf: &mut KeyBuf,
+) -> bool {
+    buf.clear();
+    for &i in idx {
+        let v = &row[i];
         if v.is_null() {
             if ctx.active(FaultKind::HashJoinNullMatchesEmpty, t) {
                 ctx.fire(FaultKind::HashJoinNullMatchesEmpty);
-                out.push_str("S:|");
+                // NULL keys collide with the canonical empty string.
+                buf.push_str_folded("");
                 continue;
             }
             if ctx.active(FaultKind::SemiJoinFloatPrecision, t) {
                 ctx.fire(FaultKind::SemiJoinFloatPrecision);
-                out.push_str("F:0|");
+                // NULL keys collide with values whose f32 round-trip is +0.
+                buf.push_f64_bits(KeyBuf::TAG_DOUBLE, 0.0);
                 continue;
             }
-            return None;
+            return false;
         }
         // Boundary values vanish into an unprobed overflow bucket.
         if ctx.active(FaultKind::HashJoinMaterializationZeroSplit, t) && is_boundary_like(v) {
             ctx.fire(FaultKind::HashJoinMaterializationZeroSplit);
-            return None;
+            return false;
         }
         // Long varchar keys get routed through a lossy double conversion.
         if ctx.active(FaultKind::HashJoinVarcharViaDouble, t) {
             if let Some(s) = v.as_str() {
                 if s.len() > 8 {
                     ctx.fire(FaultKind::HashJoinVarcharViaDouble);
-                    out.push_str(&format!("D:{}|", v.as_f64_lossy().unwrap_or(0.0)));
+                    buf.push_f64_bits(KeyBuf::TAG_LOSSY_DOUBLE, v.as_f64_lossy().unwrap_or(0.0));
                     continue;
                 }
             }
@@ -247,17 +364,20 @@ fn encode_key(values: &[&Value], ctx: &mut ExecContext, t: &TriggerContext) -> O
                     if rounded != f {
                         ctx.fire(FaultKind::SemiJoinFloatPrecision);
                     }
-                    out.push_str(&format!("F:{rounded}|"));
+                    buf.push_f64_bits(KeyBuf::TAG_DOUBLE, rounded);
                     continue;
                 }
             }
         }
-        out.push_str(&canonical_encoding(v));
-        out.push('|');
+        buf.push_canonical(v);
     }
-    Some(out)
+    true
 }
 
+/// Canonical *text* rendering of a value under correct key semantics. No
+/// longer on the per-row path: the merge join renders it once per distinct
+/// key run to order runs exactly as the old string keys sorted, so the
+/// first/last-run faults keep skipping the same runs they always did.
 pub(crate) fn canonical_encoding(v: &Value) -> String {
     match tqs_sql::value::hash_key(v) {
         tqs_sql::value::HashKey::Null => "N:".to_string(),
@@ -272,7 +392,11 @@ fn is_boundary_like(v: &Value) -> bool {
         Value::Int(i) => *i >= 32_767 || *i <= -32_767,
         Value::UInt(u) => *u >= 32_767,
         Value::Varchar(s) | Value::Text(s) => {
-            s.len() >= 8 && s.chars().all(|c| c == s.chars().next().unwrap())
+            let mut chars = s.chars();
+            match chars.next() {
+                Some(first) => s.len() >= 8 && chars.all(|c| c == first),
+                None => false,
+            }
         }
         Value::Float(f) => f.is_sign_negative() && *f == 0.0,
         Value::Double(f) => f.is_sign_negative() && *f == 0.0,
@@ -280,14 +404,100 @@ fn is_boundary_like(v: &Value) -> bool {
     }
 }
 
+/// Residual-predicate column references resolved to a side and a column
+/// offset once per join — the compiled scope that lets residual evaluation
+/// borrow the candidate row slices instead of cloning a full two-sided
+/// scope (binding + column name + value per column) for every candidate
+/// pair.
+pub(crate) struct ScopeLayout {
+    entries: Vec<ScopeEntry>,
+}
+
+struct ScopeEntry {
+    /// The reference text this entry compiles (qualifier + column).
+    table: Option<String>,
+    column: String,
+    /// Resolved target: right side? plus the column offset on that side.
+    right: bool,
+    offset: usize,
+}
+
+impl ScopeLayout {
+    /// Resolve every distinct column reference in `residual` against the
+    /// join inputs, left columns before right — the same first-match order
+    /// the old per-row scope scan used.
+    pub(crate) fn compile(
+        residual: &[Expr],
+        left_index: &dyn Fn(Option<&str>, &str) -> Option<usize>,
+        right_index: &dyn Fn(Option<&str>, &str) -> Option<usize>,
+    ) -> ScopeLayout {
+        let mut entries: Vec<ScopeEntry> = Vec::new();
+        for pred in residual {
+            for c in pred.column_refs() {
+                if entries.iter().any(|e| e.matches(c)) {
+                    continue;
+                }
+                let target = left_index(c.table.as_deref(), &c.column)
+                    .map(|o| (false, o))
+                    .or_else(|| right_index(c.table.as_deref(), &c.column).map(|o| (true, o)));
+                if let Some((right, offset)) = target {
+                    entries.push(ScopeEntry {
+                        table: c.table.clone(),
+                        column: c.column.clone(),
+                        right,
+                        offset,
+                    });
+                }
+            }
+        }
+        ScopeLayout { entries }
+    }
+
+    pub(crate) fn lookup(&self, col: &ColumnRef) -> Option<(bool, usize)> {
+        self.entries
+            .iter()
+            .find(|e| e.matches(col))
+            .map(|e| (e.right, e.offset))
+    }
+}
+
+impl ScopeEntry {
+    fn matches(&self, col: &ColumnRef) -> bool {
+        self.column.eq_ignore_ascii_case(&col.column)
+            && match (&self.table, &col.table) {
+                (None, None) => true,
+                (Some(a), Some(b)) => a.eq_ignore_ascii_case(b),
+                _ => false,
+            }
+    }
+}
+
+/// Borrow-based resolver over one candidate row pair, driven by a compiled
+/// [`ScopeLayout`].
+struct ScopedPair<'a> {
+    layout: &'a ScopeLayout,
+    lrow: &'a [Value],
+    rrow: &'a [Value],
+}
+
+impl ColumnResolver for ScopedPair<'_> {
+    fn resolve(&self, col: &ColumnRef) -> Option<Value> {
+        self.layout.lookup(col).map(|(right, offset)| {
+            if right {
+                self.rrow[offset].clone()
+            } else {
+                self.lrow[offset].clone()
+            }
+        })
+    }
+}
+
 /// Residual ON predicates evaluated on the combined row.
-fn residual_ok(residual: &[Expr], left: &Rel, right: &Rel, lrow: &[Value], rrow: &[Value]) -> bool {
+fn residual_ok(residual: &[Expr], layout: &ScopeLayout, lrow: &[Value], rrow: &[Value]) -> bool {
     if residual.is_empty() {
         return true;
     }
-    let mut scope = left.scope(lrow);
-    scope.extend(right.scope(rrow));
-    let resolver = ScopedRow::new(&scope);
+    let resolver = ScopedPair { layout, lrow, rrow };
     residual.iter().all(|p| {
         eval_predicate(p, &resolver, &NoSubqueries)
             .map(|r| r == Some(true))
@@ -305,6 +515,9 @@ pub fn execute_join(
 ) -> Result<Rel, ExecError> {
     let t = ctx.trigger_ctx(join);
     let keys = extract_equi_keys(left, right, on);
+    let layout = ScopeLayout::compile(&keys.residual, &|b, c| left.col_index(b, c), &|b, c| {
+        right.col_index(b, c)
+    });
 
     // Compute the match matrix: for each left row, the list of matching right
     // row indices. Algorithms differ in how matches are found (and therefore
@@ -313,10 +526,10 @@ pub fn execute_join(
         JoinAlgo::HashJoin
         | JoinAlgo::IndexJoin
         | JoinAlgo::BatchedKeyAccess
-        | JoinAlgo::BlockNestedLoopHashed => hashed_matches(left, right, &keys, join, ctx, &t),
-        JoinAlgo::SortMergeJoin => merge_matches(left, right, &keys, join, ctx, &t),
+        | JoinAlgo::BlockNestedLoopHashed => hashed_matches(left, right, &keys, &layout, ctx, &t),
+        JoinAlgo::SortMergeJoin => merge_matches(left, right, &keys, &layout, ctx, &t),
         JoinAlgo::NestedLoop | JoinAlgo::BlockNestedLoop => {
-            loop_matches(left, right, &keys, join, ctx, &t)
+            loop_matches(left, right, &keys, &layout, ctx, &t)
         }
     };
 
@@ -473,42 +686,153 @@ struct MatchSideEffects {
     null_right_rows: Vec<usize>,
 }
 
+/// Is canonical-key equality ([`KeyBuf::push_canonical`] / [`hash_key`]
+/// (tqs_sql::value::hash_key)) guaranteed to agree with [`sql_compare`]
+/// equality on every cross-side pair of these key columns?
+///
+/// Proven only for two data shapes, checked against the actual column
+/// values:
+///
+/// * **all strings** — `collate_cmp` equality and the folded hash key apply
+///   the same lowercase + trailing-space-trim equivalence;
+/// * **all exact small integers** (`as_i128_exact` within ±2⁵³) —
+///   `sql_compare` takes the exact i128 path and `hash_key` maps the same
+///   i128.
+///
+/// Everything else bails to the compare loop: a string meeting a number
+/// coerces under SQL but not under the hash key; fractional decimals compare
+/// exactly under SQL but hash through a lossy f64; integers beyond 2⁵³ can
+/// equal a double under lossy comparison while hashing differently. Each
+/// key column pair must be string-vs-string or int-vs-int (an all-NULL /
+/// empty column matches anything — NULL keys never match rows anyway).
+fn hash_equivalent_keys(left: &Rel, right: &Rel, keys: &EquiKeys) -> bool {
+    #[derive(PartialEq, Clone, Copy)]
+    enum ColClass {
+        Empty,
+        Str,
+        SmallInt,
+    }
+    const EXACT_F64_INT: u128 = 1 << 53;
+    let classify = |rows: &[Vec<Value>], idx: usize| -> Option<ColClass> {
+        let mut class = ColClass::Empty;
+        for row in rows {
+            let v = &row[idx];
+            if v.is_null() {
+                continue;
+            }
+            let this = if v.as_str().is_some() {
+                ColClass::Str
+            } else if matches!(v.as_i128_exact(), Some(i) if i.unsigned_abs() <= EXACT_F64_INT) {
+                ColClass::SmallInt
+            } else {
+                return None; // floats, fractional decimals, huge integers
+            };
+            if class == ColClass::Empty {
+                class = this;
+            } else if class != this {
+                return None; // mixed strings and numbers within one column
+            }
+        }
+        Some(class)
+    };
+    keys.left_idx
+        .iter()
+        .zip(keys.right_idx.iter())
+        .all(
+            |(&li, &ri)| match (classify(&left.rows, li), classify(&right.rows, ri)) {
+                (Some(a), Some(b)) => a == b || a == ColClass::Empty || b == ColClass::Empty,
+                _ => false,
+            },
+        )
+}
+
+/// The nested-loop algorithms with an equi key: identical match decisions to
+/// the O(|L|·|R|) compare loop, computed by hashing canonical keys — valid
+/// only when [`hash_equivalent_keys`] holds. No key-encoding faults apply on
+/// this path (those belong to the hash-join algorithms); the NULL/row-0
+/// confusion fault is reproduced exactly.
+fn loop_matches_hashed(
+    left: &Rel,
+    right: &Rel,
+    keys: &EquiKeys,
+    layout: &ScopeLayout,
+    ctx: &mut ExecContext,
+    t: &TriggerContext,
+) -> (Vec<Vec<usize>>, MatchSideEffects) {
+    let mut table: HashMap<KeyBuf, Vec<usize>> = HashMap::new();
+    let mut scratch = KeyBuf::new();
+    for (ri, rrow) in right.rows.iter().enumerate() {
+        if keys.right_idx.iter().any(|&i| rrow[i].is_null()) {
+            continue;
+        }
+        scratch.clear();
+        for &i in &keys.right_idx {
+            scratch.push_canonical(&rrow[i]);
+        }
+        match table.get_mut(&scratch) {
+            Some(bucket) => bucket.push(ri),
+            None => {
+                table.insert(scratch.clone(), vec![ri]);
+            }
+        }
+    }
+    let mut out = vec![Vec::new(); left.rows.len()];
+    for (li, lrow) in left.rows.iter().enumerate() {
+        if keys.left_idx.iter().any(|&i| lrow[i].is_null()) {
+            // NULL keys never match; the simplified-join confusion fault
+            // spuriously matches build row 0, exactly like the compare loop.
+            if !right.rows.is_empty() && ctx.active(FaultKind::LeftToInnerNullZeroConfusion, t) {
+                ctx.fire(FaultKind::LeftToInnerNullZeroConfusion);
+                if residual_ok(&keys.residual, layout, lrow, &right.rows[0]) {
+                    out[li].push(0);
+                }
+            }
+            continue;
+        }
+        scratch.clear();
+        for &i in &keys.left_idx {
+            scratch.push_canonical(&lrow[i]);
+        }
+        if let Some(bucket) = table.get(&scratch) {
+            out[li] = bucket
+                .iter()
+                .copied()
+                .filter(|&ri| residual_ok(&keys.residual, layout, lrow, &right.rows[ri]))
+                .collect();
+        }
+    }
+    (out, MatchSideEffects::default())
+}
+
 fn loop_matches(
     left: &Rel,
     right: &Rel,
     keys: &EquiKeys,
-    join: &PhysicalJoin,
+    layout: &ScopeLayout,
     ctx: &mut ExecContext,
     t: &TriggerContext,
 ) -> (Vec<Vec<usize>>, MatchSideEffects) {
+    if !keys.left_idx.is_empty() && hash_equivalent_keys(left, right, keys) {
+        return loop_matches_hashed(left, right, keys, layout, ctx, t);
+    }
     let mut out = vec![Vec::new(); left.rows.len()];
     for (li, lrow) in left.rows.iter().enumerate() {
+        let left_has_null = keys.left_idx.iter().any(|&i| lrow[i].is_null());
         for (ri, rrow) in right.rows.iter().enumerate() {
-            let lvals: Vec<&Value> = keys.left_idx.iter().map(|&i| &lrow[i]).collect();
-            let rvals: Vec<&Value> = keys.right_idx.iter().map(|&i| &rrow[i]).collect();
-            let mut matched = if keys.left_idx.is_empty() {
-                true
-            } else {
-                keys_equal_correct(&lvals, &rvals)
-            };
+            let mut matched = keys.left_idx.is_empty() || keys_equal_correct(lrow, rrow, keys);
             // A simplified (outer→inner) join that confuses NULL with the
             // first build row.
             if !matched
                 && ctx.active(FaultKind::LeftToInnerNullZeroConfusion, t)
-                && lvals.iter().any(|v| v.is_null())
+                && left_has_null
                 && ri == 0
             {
                 ctx.fire(FaultKind::LeftToInnerNullZeroConfusion);
                 matched = true;
             }
-            if matched && residual_ok(&keys.residual, left, right, lrow, rrow) {
+            if matched && residual_ok(&keys.residual, layout, lrow, rrow) {
                 out[li].push(ri);
             }
-        }
-        if join.join_type == JoinType::Cross && keys.left_idx.is_empty() && keys.residual.is_empty()
-        {
-            // cross join: every pair matches (already handled above since
-            // matched=true for empty keys); nothing extra to do.
         }
     }
     (out, MatchSideEffects::default())
@@ -518,30 +842,36 @@ fn hashed_matches(
     left: &Rel,
     right: &Rel,
     keys: &EquiKeys,
-    join: &PhysicalJoin,
+    layout: &ScopeLayout,
     ctx: &mut ExecContext,
     t: &TriggerContext,
 ) -> (Vec<Vec<usize>>, MatchSideEffects) {
     if keys.left_idx.is_empty() {
         // no equi key — degrade to the loop implementation (correct)
-        return loop_matches(left, right, keys, join, ctx, t);
+        return loop_matches(left, right, keys, layout, ctx, t);
     }
-    let mut table: HashMap<String, Vec<usize>> = HashMap::new();
+    // Build side: one owned key per *distinct* key; the scratch buffer is
+    // reused across rows, so the per-row cost is a clear + byte appends.
+    let mut table: HashMap<KeyBuf, Vec<usize>> = HashMap::new();
+    let mut scratch = KeyBuf::new();
     for (ri, rrow) in right.rows.iter().enumerate() {
-        let rvals: Vec<&Value> = keys.right_idx.iter().map(|&i| &rrow[i]).collect();
-        if let Some(k) = encode_key(&rvals, ctx, t) {
-            table.entry(k).or_default().push(ri);
+        if encode_key_into(rrow, &keys.right_idx, ctx, t, &mut scratch) {
+            match table.get_mut(&scratch) {
+                Some(bucket) => bucket.push(ri),
+                None => {
+                    table.insert(scratch.clone(), vec![ri]);
+                }
+            }
         }
     }
     let first_bucket: Vec<usize> = table.values().next().cloned().unwrap_or_default();
     let mut out = vec![Vec::new(); left.rows.len()];
     for (li, lrow) in left.rows.iter().enumerate() {
-        let lvals: Vec<&Value> = keys.left_idx.iter().map(|&i| &lrow[i]).collect();
-        let has_null = lvals.iter().any(|v| v.is_null());
-        let probe = encode_key(&lvals, ctx, t);
-        let mut ms: Vec<usize> = match probe {
-            Some(k) => table.get(&k).cloned().unwrap_or_default(),
-            None => Vec::new(),
+        let has_null = keys.left_idx.iter().any(|&i| lrow[i].is_null());
+        let mut ms: Vec<usize> = if encode_key_into(lrow, &keys.left_idx, ctx, t, &mut scratch) {
+            table.get(&scratch).cloned().unwrap_or_default()
+        } else {
+            Vec::new()
         };
         if ms.is_empty()
             && has_null
@@ -552,22 +882,32 @@ fn hashed_matches(
             ms = first_bucket.clone();
         }
         // residual predicates still apply
-        ms.retain(|&ri| residual_ok(&keys.residual, left, right, lrow, &right.rows[ri]));
+        ms.retain(|&ri| residual_ok(&keys.residual, layout, lrow, &right.rows[ri]));
         out[li] = ms;
     }
     (out, MatchSideEffects::default())
+}
+
+/// One duplicate-key run of the merge join.
+struct MergeRun {
+    rows: Vec<usize>,
+    /// The legacy text rendering of the run's key — computed once per
+    /// distinct key, only to order runs exactly as the old string keys
+    /// sorted (the first/last-run faults must keep skipping the same runs).
+    text: String,
+    skipped: bool,
 }
 
 fn merge_matches(
     left: &Rel,
     right: &Rel,
     keys: &EquiKeys,
-    join: &PhysicalJoin,
+    layout: &ScopeLayout,
     ctx: &mut ExecContext,
     t: &TriggerContext,
 ) -> (Vec<Vec<usize>>, MatchSideEffects) {
     if keys.left_idx.is_empty() {
-        return loop_matches(left, right, keys, join, ctx, t);
+        return loop_matches(left, right, keys, layout, ctx, t);
     }
     // Collation-mismatch fault: varchar merge keys produce an empty join.
     let key_is_string = right
@@ -583,44 +923,63 @@ fn merge_matches(
         );
     }
     // A straightforward (correct) merge: group right rows by canonical key.
-    let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
-    let mut index: HashMap<String, usize> = HashMap::new();
+    // Binary keys index the runs; the probe below hits this same index
+    // directly instead of rebuilding a borrowed shadow map.
+    let mut runs: Vec<MergeRun> = Vec::new();
+    let mut index: HashMap<KeyBuf, usize> = HashMap::new();
+    let mut scratch = KeyBuf::new();
     for (ri, rrow) in right.rows.iter().enumerate() {
-        let rvals: Vec<&Value> = keys.right_idx.iter().map(|&i| &rrow[i]).collect();
-        if rvals.iter().any(|v| v.is_null()) {
+        if keys.right_idx.iter().any(|&i| rrow[i].is_null()) {
             continue;
         }
-        let k: String = rvals.iter().map(|v| canonical_encoding(v) + "|").collect();
-        let gi = *index.entry(k.clone()).or_insert_with(|| {
-            groups.push((k.clone(), Vec::new()));
-            groups.len() - 1
-        });
-        groups[gi].1.push(ri);
+        scratch.clear();
+        for &i in &keys.right_idx {
+            scratch.push_canonical(&rrow[i]);
+        }
+        match index.get(&scratch) {
+            Some(&gi) => runs[gi].rows.push(ri),
+            None => {
+                index.insert(scratch.clone(), runs.len());
+                runs.push(MergeRun {
+                    rows: vec![ri],
+                    text: keys
+                        .right_idx
+                        .iter()
+                        .map(|&i| canonical_encoding(&rrow[i]) + "|")
+                        .collect(),
+                    skipped: false,
+                });
+            }
+        }
     }
-    // Sort groups by key text to model the merge ordering.
-    groups.sort_by(|a, b| a.0.cmp(&b.0));
+    // Merge-order the runs by key text, then apply the run-skipping faults
+    // by sorted position.
+    let mut order: Vec<usize> = (0..runs.len()).collect();
+    order.sort_by(|&a, &b| runs[a].text.cmp(&runs[b].text));
     let mut skipped_first = false;
     let mut skipped_last = false;
     let mut effects = MatchSideEffects::default();
-    let n_groups = groups.len();
-    let mut lookup: HashMap<&str, &Vec<usize>> = HashMap::new();
-    for (gi, (k, rows)) in groups.iter().enumerate() {
+    let n_runs = runs.len();
+    for (pos, &gi) in order.iter().enumerate() {
         // "missed -0" ↔ the cursor skips the smallest key run.
-        if gi == 0 && n_groups > 1 && ctx.active(FaultKind::MergeJoinNegativeZeroMiss, t) {
+        if pos == 0 && n_runs > 1 && ctx.active(FaultKind::MergeJoinNegativeZeroMiss, t) {
+            runs[gi].skipped = true;
             skipped_first = true;
             continue;
         }
         // the final duplicate run is dropped
-        if gi + 1 == n_groups && n_groups > 1 && ctx.active(FaultKind::MergeJoinDropsLastRun, t) {
+        if pos + 1 == n_runs && n_runs > 1 && ctx.active(FaultKind::MergeJoinDropsLastRun, t) {
+            runs[gi].skipped = true;
             skipped_last = true;
             continue;
         }
         // duplicate runs: 2nd and later rows come back as NULLs
-        if rows.len() > 1 && ctx.active(FaultKind::MergeJoinNullInsteadOfValue, t) {
+        if runs[gi].rows.len() > 1 && ctx.active(FaultKind::MergeJoinNullInsteadOfValue, t) {
             ctx.fire(FaultKind::MergeJoinNullInsteadOfValue);
-            effects.null_right_rows.extend(rows.iter().skip(1).copied());
+            effects
+                .null_right_rows
+                .extend(runs[gi].rows.iter().skip(1).copied());
         }
-        lookup.insert(k.as_str(), rows);
     }
     if skipped_first {
         ctx.fire(FaultKind::MergeJoinNegativeZeroMiss);
@@ -630,18 +989,23 @@ fn merge_matches(
     }
     let mut out = vec![Vec::new(); left.rows.len()];
     for (li, lrow) in left.rows.iter().enumerate() {
-        let lvals: Vec<&Value> = keys.left_idx.iter().map(|&i| &lrow[i]).collect();
-        if lvals.iter().any(|v| v.is_null()) {
+        if keys.left_idx.iter().any(|&i| lrow[i].is_null()) {
             continue;
         }
-        let k: String = lvals.iter().map(|v| canonical_encoding(v) + "|").collect();
-        if let Some(rows) = lookup.get(k.as_str()) {
-            let ms: Vec<usize> = rows
+        scratch.clear();
+        for &i in &keys.left_idx {
+            scratch.push_canonical(&lrow[i]);
+        }
+        if let Some(&gi) = index.get(&scratch) {
+            if runs[gi].skipped {
+                continue;
+            }
+            out[li] = runs[gi]
+                .rows
                 .iter()
                 .copied()
-                .filter(|&ri| residual_ok(&keys.residual, left, right, lrow, &right.rows[ri]))
+                .filter(|&ri| residual_ok(&keys.residual, layout, lrow, &right.rows[ri]))
                 .collect();
-            out[li] = ms;
         }
     }
     (out, effects)

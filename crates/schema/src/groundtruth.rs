@@ -12,9 +12,9 @@ use std::collections::HashMap;
 use tqs_sql::ast::{AggFunc, Expr, JoinType, SelectItem, SelectStmt};
 use tqs_sql::eval::{
     eval_expr, eval_predicate, ChainedResolver, ColumnResolver, EvalError, ScopedRow,
-    SubqueryHandler,
+    SubqueryHandler, SubqueryMemo,
 };
-use tqs_sql::value::{sql_compare, SqlCmp, Value};
+use tqs_sql::value::{sql_compare, KeyBuf, SqlCmp, Value};
 use tqs_storage::{ResultSet, Row};
 
 /// Errors raised while recovering ground truth. `Unsupported` marks query
@@ -179,25 +179,33 @@ impl<'a> GroundTruthEvaluator<'a> {
         // e.g. after NULL-noise corrupted their keys — must keep their own
         // result rows, exactly as a physical scan returns both.
         let mut scoped_rows: Vec<Vec<(String, String, Value)>> = Vec::new();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen: std::collections::HashSet<KeyBuf> = std::collections::HashSet::new();
+        let mut identity = KeyBuf::new();
         for wide_row in acc.ones() {
-            let identity: Vec<Option<u32>> = visible_bindings
-                .iter()
-                .map(|(_, table)| {
-                    if self.db.bitmap.get(table, wide_row) {
-                        self.db.rowid_map.get(wide_row, table)
-                    } else {
-                        None
-                    }
-                })
-                .collect();
-            if seen.insert(identity) {
+            identity.clear();
+            for (_, table) in &visible_bindings {
+                let rowid = if self.db.bitmap.get(table, wide_row) {
+                    self.db.rowid_map.get(wide_row, table)
+                } else {
+                    None
+                };
+                // Tagged so `None` and `Some(0)` stay distinct.
+                match rowid {
+                    Some(id) => identity.push_int(id as i128),
+                    None => identity.push_null(),
+                }
+            }
+            if !seen.contains(&identity) {
+                seen.insert(identity.clone());
                 scoped_rows.push(self.scope_for(wide_row, &visible_bindings));
             }
         }
 
         // WHERE filter with the reference evaluator.
-        let sub = GtSubqueries { db: self.db };
+        let sub = GtSubqueries {
+            db: self.db,
+            memo: Default::default(),
+        };
         if let Some(pred) = &stmt.where_clause {
             let mut kept = Vec::new();
             for scope in scoped_rows {
@@ -315,25 +323,30 @@ impl<'a> GroundTruthEvaluator<'a> {
         scoped_rows: &[Vec<(String, String, Value)>],
         sub: &GtSubqueries<'_>,
     ) -> Result<ResultSet, GtError> {
-        // Group rows by the GROUP BY key (global group when empty).
-        let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
-        let mut order: Vec<String> = Vec::new();
+        // Group rows by the GROUP BY key (global group when empty) — a
+        // reusable binary key instead of a formatted string per row.
+        let mut groups: HashMap<KeyBuf, Vec<usize>> = HashMap::new();
+        let mut order: Vec<KeyBuf> = Vec::new();
+        let mut key = KeyBuf::new();
         for (i, scope) in scoped_rows.iter().enumerate() {
             let resolver = ScopedRow::new(scope);
-            let mut key = String::new();
+            key.clear();
             for g in &stmt.group_by {
                 let v = eval_expr(g, &resolver, sub)?;
-                key.push_str(&format!("{}:{v}\u{1}", v.type_tag()));
+                key.push_group(&v);
             }
-            if !groups.contains_key(&key) {
-                order.push(key.clone());
+            match groups.get_mut(&key) {
+                Some(members) => members.push(i),
+                None => {
+                    order.push(key.clone());
+                    groups.insert(key.clone(), vec![i]);
+                }
             }
-            groups.entry(key).or_default().push(i);
         }
         if stmt.group_by.is_empty() && groups.is_empty() {
             // aggregate over an empty input still yields one row
-            order.push(String::new());
-            groups.insert(String::new(), Vec::new());
+            order.push(KeyBuf::new());
+            groups.insert(KeyBuf::new(), Vec::new());
         }
         let columns: Vec<String> = stmt
             .items
@@ -441,10 +454,14 @@ impl<'a> GroundTruthEvaluator<'a> {
 /// correlated references.
 struct GtSubqueries<'a> {
     db: &'a NormalizedDb,
+    /// Memo for *uncorrelated* subqueries (shared semantics with the engine
+    /// — see [`SubqueryMemo`]): for a row-invariant subquery the walk over
+    /// the wide table was pure repeated work per outer row.
+    memo: SubqueryMemo,
 }
 
-impl SubqueryHandler for GtSubqueries<'_> {
-    fn eval_subquery(
+impl GtSubqueries<'_> {
+    fn eval_subquery_inner(
         &self,
         stmt: &SelectStmt,
         outer: &dyn ColumnResolver,
@@ -509,39 +526,36 @@ impl SubqueryHandler for GtSubqueries<'_> {
     }
 }
 
-fn scope_fingerprint(scope: &[(String, String, Value)]) -> String {
-    let mut s = String::new();
-    for (_, _, v) in scope {
-        if v.is_null() {
-            s.push_str("\u{0}N");
-        } else {
-            s.push_str(&format!("{}:{v}", v.type_tag()));
-        }
-        s.push('\u{1}');
+impl SubqueryHandler for GtSubqueries<'_> {
+    fn eval_subquery(
+        &self,
+        stmt: &SelectStmt,
+        outer: &dyn ColumnResolver,
+    ) -> Result<Vec<Value>, EvalError> {
+        let cacheable = self
+            .db
+            .meta(&stmt.from.base.table)
+            .map(|meta| {
+                stmt.is_uncorrelated_single_table(&|name| {
+                    meta.columns.iter().any(|c| c.eq_ignore_ascii_case(name))
+                })
+            })
+            .unwrap_or(false);
+        self.memo
+            .get_or_eval(stmt, cacheable, || self.eval_subquery_inner(stmt, outer))
     }
-    s
+}
+
+fn scope_fingerprint(scope: &[(String, String, Value)]) -> KeyBuf {
+    let mut fp = KeyBuf::new();
+    for (_, _, v) in scope {
+        fp.push_group(v);
+    }
+    fp
 }
 
 fn distinct(rs: ResultSet) -> ResultSet {
-    let mut seen = std::collections::HashSet::new();
-    let mut out = ResultSet::new(rs.columns.clone());
-    for row in rs.rows {
-        let fp: String = row
-            .values
-            .iter()
-            .map(|v| {
-                if v.is_null() {
-                    "\u{0}N\u{1}".to_string()
-                } else {
-                    format!("{}:{v}\u{1}", v.type_tag())
-                }
-            })
-            .collect();
-        if seen.insert(fp) {
-            out.rows.push(row);
-        }
-    }
-    out
+    rs.into_distinct()
 }
 
 #[cfg(test)]

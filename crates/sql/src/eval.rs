@@ -61,6 +61,39 @@ impl ColumnResolver for ScopedRow<'_> {
     }
 }
 
+/// Allocation-free resolver over one row: borrowed `(qualifier, column)`
+/// metadata (shared by every row of a relation) plus a borrowed value slice.
+/// Replaces building an owned scope `Vec` per row — only the one matched
+/// value is cloned, on resolution.
+pub struct SliceRow<'a> {
+    cols: &'a [(String, String)],
+    values: &'a [Value],
+}
+
+impl<'a> SliceRow<'a> {
+    pub fn new(cols: &'a [(String, String)], values: &'a [Value]) -> Self {
+        debug_assert_eq!(cols.len(), values.len());
+        SliceRow { cols, values }
+    }
+}
+
+impl ColumnResolver for SliceRow<'_> {
+    fn resolve(&self, col: &ColumnRef) -> Option<Value> {
+        self.cols
+            .iter()
+            .zip(self.values.iter())
+            .find(|((t, c), _)| {
+                c.eq_ignore_ascii_case(&col.column)
+                    && col
+                        .table
+                        .as_ref()
+                        .map(|q| q.eq_ignore_ascii_case(t))
+                        .unwrap_or(true)
+            })
+            .map(|(_, v)| v.clone())
+    }
+}
+
 /// Chains an inner scope over an outer scope (correlated subqueries).
 pub struct ChainedResolver<'a> {
     pub inner: &'a dyn ColumnResolver,
@@ -82,6 +115,46 @@ pub trait SubqueryHandler {
         stmt: &SelectStmt,
         outer: &dyn ColumnResolver,
     ) -> Result<Vec<Value>, EvalError>;
+}
+
+/// Per-statement memo for *uncorrelated* subquery results, keyed by the
+/// subquery's AST node address (stable for the duration of one statement
+/// evaluation — the memo must not outlive the statement it was built for).
+/// `IN (SELECT …)` evaluates its subquery once per outer row; when nothing
+/// in it references the outer scope the result is row-invariant, and both
+/// the engine and the ground-truth evaluator share this one implementation
+/// of "evaluate once, replay for every other row" so they cannot drift
+/// apart on which subqueries are cached.
+#[derive(Default)]
+pub struct SubqueryMemo {
+    map: std::cell::RefCell<std::collections::HashMap<usize, Vec<Value>>>,
+}
+
+impl SubqueryMemo {
+    pub fn new() -> SubqueryMemo {
+        SubqueryMemo::default()
+    }
+
+    /// Return the memoized result for `stmt`, or evaluate and (when
+    /// `cacheable` — see [`SelectStmt::is_uncorrelated_single_table`]
+    /// (crate::ast::SelectStmt::is_uncorrelated_single_table)) store it.
+    pub fn get_or_eval(
+        &self,
+        stmt: &SelectStmt,
+        cacheable: bool,
+        eval: impl FnOnce() -> Result<Vec<Value>, EvalError>,
+    ) -> Result<Vec<Value>, EvalError> {
+        if !cacheable {
+            return eval();
+        }
+        let key = stmt as *const SelectStmt as usize;
+        if let Some(cached) = self.map.borrow().get(&key) {
+            return Ok(cached.clone());
+        }
+        let out = eval()?;
+        self.map.borrow_mut().insert(key, out.clone());
+        Ok(out)
+    }
 }
 
 /// Handler that rejects every subquery; useful for contexts where the query

@@ -333,7 +333,16 @@ pub fn hash_key(v: &Value) -> HashKey {
         }
         Value::Float(f) => float_key(*f as f64),
         Value::Double(f) => float_key(*f),
-        Value::Varchar(s) | Value::Text(s) => HashKey::Str(s.trim_end_matches(' ').to_lowercase()),
+        Value::Varchar(s) | Value::Text(s) => HashKey::Str(
+            // Char-wise folding, exactly like `collate_cmp` (and the binary
+            // `KeyBuf` encoder): `str::to_lowercase`'s context-sensitive
+            // mappings (word-final Greek sigma) would make the hash key
+            // disagree with the comparison it must mirror.
+            s.trim_end_matches(' ')
+                .chars()
+                .flat_map(|c| c.to_lowercase())
+                .collect(),
+        ),
     }
 }
 
@@ -353,6 +362,193 @@ pub fn canon_f64_bits(f: f64) -> u64 {
         f64::NAN.to_bits()
     } else {
         f.to_bits()
+    }
+}
+
+/// A compact, reusable binary key buffer for hashing, grouping and
+/// deduplication — the allocation-free replacement for the string-concat
+/// keys the executors used to build per row.
+///
+/// A key is a sequence of tagged segments, one per encoded value. Every
+/// segment is either fixed-width (ints, doubles) or length-prefixed
+/// (strings), so concatenation is injective: two key sequences encode to the
+/// same bytes iff they are segment-wise equal. (The old `"S:{s}|"` string
+/// encoding could collide when a value contained the separator; the binary
+/// form cannot.)
+///
+/// Two encoding families share the buffer:
+///
+/// * [`push_canonical`](Self::push_canonical) — the [`hash_key`] equivalence
+///   (join keys): `0 == -0`, `1 == 1.0`, strings case-folded and
+///   trailing-space-trimmed.
+/// * [`push_group`](Self::push_group) — the `(type_tag, Display)`
+///   equivalence used by GROUP BY and DISTINCT, where `Int(1)` and
+///   `Double(1.0)` stay distinct.
+///
+/// The executor's fault interception composes its own segments out of the
+/// low-level pushers (`push_f64_bits`, `push_str_folded`, `push_str_raw`),
+/// so e.g. a NULL key under `HashJoinNullMatchesEmpty` encodes bit-for-bit
+/// like the canonical empty string and collides with it — exactly the rows
+/// the old `"S:|"` text encoding made collide.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct KeyBuf {
+    bytes: Vec<u8>,
+}
+
+impl KeyBuf {
+    /// Canonical NULL (only used by callers that key NULLs at all).
+    pub const TAG_NULL: u8 = b'N';
+    /// Canonical integer family (i128 payload).
+    pub const TAG_INT: u8 = b'I';
+    /// Canonical double (canonicalized bit pattern payload).
+    pub const TAG_DOUBLE: u8 = b'F';
+    /// Lossy varchar-via-double fault segment.
+    pub const TAG_LOSSY_DOUBLE: u8 = b'D';
+    /// String (length-prefixed payload).
+    pub const TAG_STR: u8 = b'S';
+
+    pub fn new() -> KeyBuf {
+        KeyBuf::default()
+    }
+
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+    }
+
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Canonical NULL segment.
+    pub fn push_null(&mut self) {
+        self.bytes.push(Self::TAG_NULL);
+    }
+
+    /// Canonical integer segment (the encoding [`push_canonical`]
+    /// (Self::push_canonical) emits for the integer family).
+    pub fn push_int(&mut self, i: i128) {
+        self.bytes.push(Self::TAG_INT);
+        self.bytes.extend_from_slice(&i.to_le_bytes());
+    }
+
+    /// A double segment whose equality matches `Display` equality: distinct
+    /// finite doubles have distinct shortest round-trip renderings, `0.0`
+    /// and `-0.0` render differently, and every NaN renders `"NaN"` — so the
+    /// payload is the bit pattern with all NaNs collapsed to one.
+    pub fn push_f64_bits(&mut self, tag: u8, f: f64) {
+        self.bytes.push(tag);
+        let bits = if f.is_nan() {
+            f64::NAN.to_bits()
+        } else {
+            f.to_bits()
+        };
+        self.bytes.extend_from_slice(&bits.to_le_bytes());
+    }
+
+    /// A raw string segment (no case folding — the dictionary-truncation
+    /// fault clips bytes without folding, like the text encoding did).
+    pub fn push_str_raw(&mut self, s: &str) {
+        self.bytes.push(Self::TAG_STR);
+        self.bytes
+            .extend_from_slice(&(s.len() as u32).to_le_bytes());
+        self.bytes.extend_from_slice(s.as_bytes());
+    }
+
+    /// A canonical string segment: trailing spaces trimmed, case folded —
+    /// the same equivalence [`hash_key`] applies, without allocating the
+    /// intermediate `String`.
+    pub fn push_str_folded(&mut self, s: &str) {
+        self.bytes.push(Self::TAG_STR);
+        let len_at = self.bytes.len();
+        self.bytes.extend_from_slice(&[0; 4]);
+        for c in s
+            .trim_end_matches(' ')
+            .chars()
+            .flat_map(|c| c.to_lowercase())
+        {
+            let mut utf8 = [0u8; 4];
+            self.bytes
+                .extend_from_slice(c.encode_utf8(&mut utf8).as_bytes());
+        }
+        let n = (self.bytes.len() - len_at - 4) as u32;
+        self.bytes[len_at..len_at + 4].copy_from_slice(&n.to_le_bytes());
+    }
+
+    /// Canonical segment under *correct* join-key semantics: equality of the
+    /// pushed segments is exactly equality of [`hash_key`] values.
+    pub fn push_canonical(&mut self, v: &Value) {
+        match v {
+            Value::Varchar(s) | Value::Text(s) => self.push_str_folded(s),
+            other => match hash_key(other) {
+                HashKey::Null => self.bytes.push(Self::TAG_NULL),
+                HashKey::Int(i) => {
+                    self.bytes.push(Self::TAG_INT);
+                    self.bytes.extend_from_slice(&i.to_le_bytes());
+                }
+                HashKey::Double(b) => {
+                    self.bytes.push(Self::TAG_DOUBLE);
+                    self.bytes.extend_from_slice(&b.to_le_bytes());
+                }
+                HashKey::Str(_) => unreachable!("strings handled above"),
+            },
+        }
+    }
+
+    /// Grouping/DISTINCT segment: equality of the pushed segments is exactly
+    /// equality of the `(type_tag, Display)` pair the executors used to
+    /// format per row — `Int(1)`, `Double(1.0)` and `'1'` all stay distinct.
+    pub fn push_group(&mut self, v: &Value) {
+        // One tag byte per variant keeps different types distinct even when
+        // their payload bytes coincide.
+        match v {
+            Value::Null => self.bytes.push(0x80),
+            Value::Bool(b) => self.bytes.extend_from_slice(&[0x81, *b as u8]),
+            Value::Int(i) => {
+                self.bytes.push(0x82);
+                self.bytes.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::UInt(u) => {
+                self.bytes.push(0x83);
+                self.bytes.extend_from_slice(&u.to_le_bytes());
+            }
+            Value::Float(f) => {
+                self.bytes.push(0x84);
+                let bits = if f.is_nan() {
+                    f32::NAN.to_bits()
+                } else {
+                    f.to_bits()
+                };
+                self.bytes.extend_from_slice(&bits.to_le_bytes());
+            }
+            Value::Double(f) => self.push_f64_bits(0x85, *f),
+            Value::Decimal(d) => {
+                // `(mantissa, scale)` ↔ rendered decimal text is a bijection
+                // ("1.5" and "1.50" are different pairs and different texts).
+                self.bytes.push(0x86);
+                self.bytes.extend_from_slice(&d.mantissa.to_le_bytes());
+                self.bytes.push(d.scale);
+            }
+            Value::Varchar(s) => {
+                self.bytes.push(0x87);
+                self.bytes
+                    .extend_from_slice(&(s.len() as u32).to_le_bytes());
+                self.bytes.extend_from_slice(s.as_bytes());
+            }
+            Value::Text(s) => {
+                self.bytes.push(0x88);
+                self.bytes
+                    .extend_from_slice(&(s.len() as u32).to_le_bytes());
+                self.bytes.extend_from_slice(s.as_bytes());
+            }
+            Value::Date(d) => {
+                self.bytes.push(0x89);
+                self.bytes.extend_from_slice(&d.to_le_bytes());
+            }
+        }
     }
 }
 

@@ -1,7 +1,7 @@
 //! Rows and result sets.
 
 use serde::{Deserialize, Serialize};
-use tqs_sql::value::{result_value_eq, Value};
+use tqs_sql::value::{result_value_eq, KeyBuf, Value};
 
 /// A row is an ordered list of values, positionally aligned with a column
 /// list owned by the enclosing table / result set.
@@ -99,6 +99,28 @@ impl ResultSet {
             return false;
         }
         true
+    }
+
+    /// `DISTINCT` by the `(type_tag, Display)` row equivalence, first
+    /// occurrence kept — the one implementation both engines and the
+    /// ground-truth evaluator share, so their DISTINCT semantics cannot
+    /// drift apart (a drift would be indistinguishable from an engine bug).
+    /// Keys go through the reusable binary [`KeyBuf`] group encoding.
+    pub fn into_distinct(self) -> ResultSet {
+        let mut seen: std::collections::HashSet<KeyBuf> = std::collections::HashSet::new();
+        let mut out = ResultSet::new(self.columns.clone());
+        let mut fp = KeyBuf::new();
+        for row in self.rows {
+            fp.clear();
+            for v in &row.values {
+                fp.push_group(v);
+            }
+            if !seen.contains(&fp) {
+                seen.insert(fp.clone());
+                out.rows.push(row);
+            }
+        }
+        out
     }
 
     /// Is `self` a sub-bag of `other`? Used for the SubSet verification mode

@@ -1,0 +1,127 @@
+//! Fixed-seed determinism golden for the allocation-free execution path.
+//!
+//! `tests/fixtures/reverify_golden/` holds a small campaign (checkpoint +
+//! corpus) recorded by the build *before* the binary join-key/compiled-scope
+//! optimization, at a pinned seed. This test replays it against today's
+//! engines and asserts the optimization changed nothing observable:
+//!
+//! 1. the corpus resumes cleanly (per-entry class keys still validate),
+//! 2. a fresh hunt with the identical campaign identity rediscovers exactly
+//!    the recorded bug-class set (no class gained or lost by the key change),
+//! 3. re-verification classifies every recorded class `StillFailing` on the
+//!    faulty builds — witness replay and live re-execution both still
+//!    reproduce each class — with zero `Flaky`/`Stale`/`Fixed` verdicts.
+
+use std::path::PathBuf;
+use tqs_campaign::{
+    BuildSpec, Campaign, CampaignConfig, OracleSpec, ReverifyCampaign, ReverifyConfig,
+};
+use tqs_core::dsg::{DsgConfig, WideSource};
+use tqs_engine::ProfileId;
+use tqs_schema::NoiseConfig;
+use tqs_storage::widegen::ShoppingConfig;
+
+/// The recorded campaign's identity. Must stay bit-compatible with the
+/// fixture's checkpoint header — changing it invalidates the golden.
+fn golden_cfg(dir: PathBuf) -> CampaignConfig {
+    CampaignConfig {
+        dir,
+        dsg: DsgConfig {
+            source: WideSource::Shopping(ShoppingConfig {
+                n_rows: 120,
+                seed: 11,
+                ..Default::default()
+            }),
+            fd: Default::default(),
+            noise: Some(NoiseConfig {
+                epsilon: 0.04,
+                seed: 21,
+                max_injections: 12,
+            }),
+        },
+        shards: 2,
+        workers: 1,
+        profiles: vec![ProfileId::MysqlLike, ProfileId::TidbLike],
+        oracles: vec![OracleSpec::GroundTruth, OracleSpec::CrossEngine],
+        queries_per_cell: 20,
+        seed: 0x5EED,
+        minimize: false,
+        max_cells_per_run: None,
+    }
+}
+
+fn fixture_copy(tag: &str) -> PathBuf {
+    let fixture = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/reverify_golden");
+    let dir = std::env::temp_dir().join(format!("tqs-golden-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for file in ["checkpoint.jsonl", "corpus.jsonl"] {
+        std::fs::copy(fixture.join(file), dir.join(file)).unwrap();
+    }
+    dir
+}
+
+#[test]
+fn pre_optimization_corpus_replays_as_still_failing() {
+    let dir = fixture_copy("replay");
+
+    // 1. The recorded campaign resumes: header matches, every corpus entry's
+    //    persisted class key agrees with its report's (recomputed) key.
+    let recorded = Campaign::resume(golden_cfg(dir.clone())).unwrap();
+    assert!(recorded.is_complete());
+    let recorded_classes = recorded.class_keys();
+    assert!(
+        recorded_classes.len() >= 50,
+        "fixture should carry a substantial class set, got {}",
+        recorded_classes.len()
+    );
+
+    // 2. Re-verify every class against the faulty builds that recorded it:
+    //    100% StillFailing — the binary key change lost no divergence.
+    let reverify = ReverifyCampaign::load(ReverifyConfig {
+        campaign: golden_cfg(dir.clone()),
+        builds: vec![BuildSpec::Faulty],
+        workers: 2,
+    })
+    .unwrap();
+    let (report, stats) = reverify.run();
+    assert_eq!(stats.verdicts, recorded_classes.len());
+    assert_eq!(
+        stats.still_failing,
+        recorded_classes.len(),
+        "every pre-optimization class must still fail on the faulty build: {:?}",
+        report
+            .verdicts
+            .iter()
+            .filter(|v| v.status != tqs_campaign::ReverifyStatus::StillFailing)
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(stats.flaky, 0);
+    assert_eq!(stats.stale, 0);
+    assert_eq!(stats.fixed, 0);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fresh_hunt_rediscovers_the_recorded_class_set() {
+    let dir = fixture_copy("rediscover");
+    let recorded = Campaign::resume(golden_cfg(dir.clone())).unwrap();
+    let recorded_classes = recorded.class_keys();
+
+    // 3. A fresh hunt with the same identity — run on today's optimized
+    //    execution path — must converge to the identical class-key set.
+    let fresh_dir = std::env::temp_dir().join(format!("tqs-golden-fresh-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&fresh_dir);
+    let mut fresh = Campaign::new(golden_cfg(fresh_dir.clone())).unwrap();
+    fresh.run().unwrap();
+    assert!(fresh.is_complete());
+    assert_eq!(
+        fresh.class_keys(),
+        recorded_classes,
+        "the optimization must not gain or lose a single bug class"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&fresh_dir).unwrap();
+}
