@@ -1,8 +1,9 @@
 //! Campaign experiment: fleet throughput, triage dedup ratio and resume
 //! verification for the sharded hunt-campaign subsystem.
 //!
-//! Runs one full campaign — (shard × profile × oracle) cells drained by a
-//! work-stealing worker fleet — on seeded fault builds, prints a summary
+//! Runs one full campaign — (shard × profile × oracle × engine) cells
+//! drained by a work-stealing worker fleet — on seeded fault builds
+//! (including the disk engine with its storage-fault complement), prints a summary
 //! table, re-opens the campaign directory through `Campaign::resume` to
 //! verify the persisted state reproduces the in-memory class set, and emits
 //! a machine-readable `BENCH_campaign.json`.
@@ -29,11 +30,13 @@ fn main() {
 
     let mut campaign = Campaign::new(cfg.clone()).expect("fresh campaign directory");
     println!(
-        "Campaign — {} cells ({} shards × {} profiles × {} oracles), {} workers, {} queries/cell",
+        "Campaign — {} cells ({} shards × {} profiles × {} oracles × {} engines), \
+         {} workers, {} queries/cell",
         campaign.cells_total(),
         shards,
         cfg.profiles.len(),
         cfg.oracles.len(),
+        cfg.engines.len(),
         workers,
         queries_per_cell
     );
@@ -96,6 +99,17 @@ fn main() {
     };
     json.push(("shards".to_string(), Json::count(shards)));
     json.push(("workers".to_string(), Json::count(workers)));
+    json.push((
+        "engines".to_string(),
+        Json::Arr(
+            campaign
+                .config()
+                .engines
+                .iter()
+                .map(|e| Json::str(e.label()))
+                .collect(),
+        ),
+    ));
     json.push((
         "queries_per_cell".to_string(),
         Json::count(queries_per_cell),

@@ -1,6 +1,6 @@
-//! Execution-path throughput experiment: statements/sec through the row and
-//! columnar engines, plus join and group-by microloops, on the standard
-//! testing database. Emits `BENCH_throughput.json`.
+//! Execution-path throughput experiment: statements/sec through the row,
+//! columnar and disk engines, plus join/group-by and page-store microloops,
+//! on the standard testing database. Emits `BENCH_throughput.json`.
 //!
 //! This is the microbenchmark behind the allocation-free hot-path work
 //! (binary `KeyBuf` join keys, compiled predicate scopes, column pruning):
@@ -16,7 +16,7 @@ use std::time::Instant;
 use tqs_bench::{env_usize, standard_dsg};
 use tqs_campaign::Json;
 use tqs_core::dsg::DsgDatabase;
-use tqs_engine::{ColumnarDatabase, Database, DbmsProfile, ProfileId};
+use tqs_engine::{ColumnarDatabase, Database, DbmsProfile, DiskDatabase, ProfileId};
 use tqs_sql::parser::parse_stmt;
 
 /// The workload mix: one statement per hot execution path.
@@ -131,6 +131,60 @@ fn main() {
         },
         iters,
     ));
+
+    // Disk-engine microloops: the raw page-store access paths every disk
+    // SQL statement sits on — full B+tree leaf-chain scan through the
+    // buffer pool, root-to-leaf point lookup by rowid, and an end-to-end
+    // hash join over heap scans.
+    println!();
+    let mut disk_db = DiskDatabase::new(
+        shards[0].db.catalog.clone(),
+        DbmsProfile::disk(ProfileId::MysqlLike),
+    )
+    .expect("disk store creation in the temp dir");
+    let rowids = disk_db
+        .store_mut()
+        .rows_inserted("T1")
+        .expect("T1 row count");
+    assert!(rowids > 0, "disk store loaded no rows for T1");
+    fn disk_loop(name: &str, iters: usize, mut op: impl FnMut(usize) -> usize) -> (String, Json) {
+        let started = Instant::now();
+        let mut rows = 0usize;
+        for i in 0..iters {
+            rows = op(i);
+        }
+        let qps = iters as f64 / started.elapsed().as_secs_f64().max(1e-9);
+        println!(
+            "{:>9} {name:<18} {qps:>12.1} ops/sec  ({rows} rows)",
+            "disk"
+        );
+        (format!("disk_{name}_per_sec"), Json::Num(qps))
+    }
+    let scan = disk_loop("scan", iters, |_| {
+        disk_db
+            .store_mut()
+            .scan("T1")
+            .expect("disk scan")
+            .row_count()
+    });
+    let lookup = disk_loop("point_lookup", iters, |i| {
+        let rowid = (i as u64 % rowids) + 1;
+        usize::from(
+            disk_db
+                .store_mut()
+                .get("T1", rowid)
+                .expect("disk point lookup")
+                .is_some(),
+        )
+    });
+    let join = disk_loop("hash_join", iters, |_| {
+        disk_db
+            .execute_sql(WORKLOADS[0].1)
+            .expect("disk hash join")
+            .result
+            .row_count()
+    });
+    members.extend([scan, lookup, join]);
     members.push(("iters".to_string(), Json::count(iters)));
 
     let body = Json::Obj(members).to_string();

@@ -4,7 +4,7 @@
 //! recorded results).
 
 use std::path::PathBuf;
-use tqs_campaign::{CampaignConfig, OracleSpec};
+use tqs_campaign::{CampaignConfig, EngineKind, OracleSpec};
 use tqs_core::backend::EngineConnector;
 use tqs_core::dsg::{DsgConfig, DsgDatabase, WideSource};
 use tqs_core::tqs::{TqsConfig, TqsSession};
@@ -81,7 +81,8 @@ pub fn standard_campaign_config() -> CampaignConfig {
         shards: env_usize("TQS_CAMPAIGN_SHARDS", 4),
         workers: env_usize("TQS_CAMPAIGN_WORKERS", 4),
         profiles: vec![ProfileId::MysqlLike, ProfileId::TidbLike],
-        oracles: vec![OracleSpec::GroundTruth, OracleSpec::CrossEngine],
+        oracles: vec![OracleSpec::GroundTruth, OracleSpec::ThreeWay],
+        engines: vec![EngineKind::Row, EngineKind::Disk],
         queries_per_cell: env_usize("TQS_CAMPAIGN_QUERIES", 150),
         seed: 0xCA3A,
         minimize: true,

@@ -50,15 +50,84 @@ fn count_statements(events: &[tqs_core::backend::TraceEvent]) -> usize {
         .count()
 }
 
+/// Which executor a cell's build-under-test runs on. A second grid axis
+/// next to [`OracleSpec`]: the same fault profile hunts once per engine, and
+/// each engine carries its own fault complement (row faults, columnar
+/// faults, disk/storage faults), so the engine axis decides *which* latent
+/// bugs are reachable in the cell at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The row-at-a-time in-memory executor (the paper's model).
+    Row,
+    /// The columnar batch executor sharing the optimizer.
+    Columnar,
+    /// The disk-backed executor over the `tqs-pager` page store (buffer
+    /// pool, WAL, B+trees) with the storage-layer fault complement.
+    Disk,
+}
+
+impl EngineKind {
+    pub const ALL: [EngineKind; 3] = [EngineKind::Row, EngineKind::Columnar, EngineKind::Disk];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Row => "row",
+            EngineKind::Columnar => "columnar",
+            EngineKind::Disk => "disk",
+        }
+    }
+
+    pub fn from_label(label: &str) -> Result<EngineKind, String> {
+        Self::ALL
+            .into_iter()
+            .find(|e| e.label() == label)
+            .ok_or_else(|| format!("unknown engine kind `{label}`"))
+    }
+
+    /// The seeded-fault build of this engine, catalog not yet loaded (so a
+    /// recording wrapper can journal the load).
+    pub fn faulty(self, profile: ProfileId) -> EngineConnector {
+        match self {
+            EngineKind::Row => EngineConnector::faulty(profile),
+            EngineKind::Columnar => EngineConnector::columnar(profile),
+            EngineKind::Disk => EngineConnector::disk(profile),
+        }
+    }
+
+    /// The seeded-fault build of this engine, catalog loaded from `shard`.
+    pub fn connect_faulty(self, profile: ProfileId, shard: &Arc<DsgDatabase>) -> EngineConnector {
+        match self {
+            EngineKind::Row => EngineConnector::connect(profile, shard),
+            EngineKind::Columnar => EngineConnector::connect_columnar(profile, shard),
+            EngineKind::Disk => EngineConnector::connect_disk(profile, shard),
+        }
+    }
+
+    /// The fault-free build of this engine, catalog loaded from `shard`.
+    pub fn connect_pristine(self, profile: ProfileId, shard: &Arc<DsgDatabase>) -> EngineConnector {
+        match self {
+            EngineKind::Row => EngineConnector::connect_pristine(profile, shard),
+            EngineKind::Columnar => EngineConnector::connect_columnar_pristine(profile, shard),
+            EngineKind::Disk => EngineConnector::connect_disk_pristine(profile, shard),
+        }
+    }
+}
+
 /// Which verdict procedure a cell drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OracleSpec {
     /// The paper's oracle: every hinted plan against the shard's wide-table
     /// ground truth.
     GroundTruth,
-    /// Cross-engine differential testing: the faulty row build against a
-    /// pristine columnar replica of the same shard.
+    /// Cross-engine differential testing: the faulty build against one
+    /// pristine replica on a *different* engine (columnar, unless the cell
+    /// itself runs columnar, in which case row).
     CrossEngine,
+    /// Three-way differential testing: the faulty build against pristine
+    /// replicas of *both other* engines, judged by majority vote — a faulty
+    /// reference can be outvoted, which a single-reference differential
+    /// oracle cannot do.
+    ThreeWay,
 }
 
 impl OracleSpec {
@@ -66,16 +135,39 @@ impl OracleSpec {
         match self {
             OracleSpec::GroundTruth => "ground-truth",
             OracleSpec::CrossEngine => "cross-engine",
+            OracleSpec::ThreeWay => "three-way",
         }
     }
 
-    /// Build the verdict procedure for one cell.
-    pub(crate) fn build(self, profile: ProfileId, shard: &Arc<DsgDatabase>) -> Box<dyn Oracle> {
+    /// Build the verdict procedure for one cell. Differential oracles pick
+    /// their references among the engines *other than* the cell's own, so a
+    /// reference never shares the build-under-test's fault complement.
+    pub(crate) fn build(
+        self,
+        profile: ProfileId,
+        engine: EngineKind,
+        shard: &Arc<DsgDatabase>,
+    ) -> Box<dyn Oracle> {
         match self {
             OracleSpec::GroundTruth => Box::new(TqsOracle::shared(Arc::clone(shard))),
-            OracleSpec::CrossEngine => Box::new(DifferentialOracle::new(
-                EngineConnector::connect_columnar_pristine(profile, shard),
-            )),
+            OracleSpec::CrossEngine => {
+                let reference = if engine == EngineKind::Columnar {
+                    EngineKind::Row
+                } else {
+                    EngineKind::Columnar
+                };
+                Box::new(DifferentialOracle::new(
+                    reference.connect_pristine(profile, shard),
+                ))
+            }
+            OracleSpec::ThreeWay => {
+                let references: Vec<Box<dyn DbmsConnector>> = EngineKind::ALL
+                    .into_iter()
+                    .filter(|e| *e != engine)
+                    .map(|e| Box::new(e.connect_pristine(profile, shard)) as Box<dyn DbmsConnector>)
+                    .collect();
+                Box::new(DifferentialOracle::panel(references))
+            }
         }
     }
 }
@@ -100,6 +192,9 @@ pub struct CampaignConfig {
     pub profiles: Vec<ProfileId>,
     /// Verdict procedures (one cell column per oracle).
     pub oracles: Vec<OracleSpec>,
+    /// Executors under test (one cell column per engine). Part of the
+    /// campaign identity like `profiles`/`oracles`.
+    pub engines: Vec<EngineKind>,
     /// Query budget per cell — cells are budget-bound, not wall-clock-bound,
     /// which is what makes them deterministic and resumable.
     pub queries_per_cell: usize,
@@ -120,6 +215,7 @@ impl Default for CampaignConfig {
             workers: 2,
             profiles: vec![ProfileId::MysqlLike],
             oracles: vec![OracleSpec::GroundTruth],
+            engines: vec![EngineKind::Row],
             queries_per_cell: 100,
             seed: 7,
             minimize: true,
@@ -138,6 +234,7 @@ impl CampaignConfig {
             queries_per_cell: self.queries_per_cell,
             profiles: self.profiles.iter().map(|p| p.name().to_string()).collect(),
             oracles: self.oracles.iter().map(|o| o.label().to_string()).collect(),
+            engines: self.engines.iter().map(|e| e.label().to_string()).collect(),
         }
     }
 
@@ -157,18 +254,23 @@ impl CampaignConfig {
         h
     }
 
-    /// The full cell grid, in id order.
+    /// The full cell grid, in id order. The engine axis is innermost so a
+    /// single-engine campaign keeps exactly the cell ids it had before the
+    /// axis existed (corpus entries name cells by id).
     fn cell_grid(&self) -> Vec<CampaignCell> {
         let mut cells = Vec::new();
         for shard in 0..self.shards.max(1) {
             for &profile in &self.profiles {
                 for &oracle in &self.oracles {
-                    cells.push(CampaignCell {
-                        id: cells.len(),
-                        shard,
-                        profile,
-                        oracle,
-                    });
+                    for &engine in &self.engines {
+                        cells.push(CampaignCell {
+                            id: cells.len(),
+                            shard,
+                            profile,
+                            oracle,
+                            engine,
+                        });
+                    }
                 }
             }
         }
@@ -185,6 +287,7 @@ pub struct CampaignCell {
     pub shard: usize,
     pub profile: ProfileId,
     pub oracle: OracleSpec,
+    pub engine: EngineKind,
 }
 
 /// A sharded, resumable hunt campaign (see the module docs).
@@ -196,6 +299,10 @@ pub struct Campaign {
     triage: BugTriage,
     corpus: Corpus,
     checkpoint: Checkpoint,
+    /// Campaign files whose torn final line (kill mid-append) was truncated
+    /// when this campaign resumed — surfaced through [`CampaignStats`]
+    /// instead of stderr so fleets and CI see the repair in the artifact.
+    torn_tails_repaired: usize,
 }
 
 impl Campaign {
@@ -223,6 +330,7 @@ impl Campaign {
             triage: BugTriage::new(),
             corpus: Corpus::in_dir(&cfg.dir),
             checkpoint,
+            torn_tails_repaired: 0,
             cfg,
         })
     }
@@ -236,8 +344,10 @@ impl Campaign {
         let checkpoint = Checkpoint::in_dir(&cfg.dir);
         // A kill mid-append leaves a torn final line; truncate it so this
         // run's appends start on a fresh line instead of merging into it.
-        checkpoint.repair_torn_tail()?;
-        Corpus::in_dir(&cfg.dir).repair_torn_tail()?;
+        // The repairs are counted (not logged) — `CampaignStats` carries
+        // them into the run's machine-readable artifact.
+        let torn_tails_repaired = usize::from(checkpoint.repair_torn_tail()?)
+            + usize::from(Corpus::in_dir(&cfg.dir).repair_torn_tail()?);
         let (header, records) = checkpoint.load()?;
         let expected = cfg.header();
         if header != expected {
@@ -278,6 +388,7 @@ impl Campaign {
             triage,
             corpus,
             checkpoint,
+            torn_tails_repaired,
             cfg,
         })
     }
@@ -292,6 +403,12 @@ impl Campaign {
 
     pub fn triage(&self) -> &BugTriage {
         &self.triage
+    }
+
+    /// Torn final lines truncated when this campaign resumed (always 0 for
+    /// a fresh campaign). Also carried in [`CampaignStats`].
+    pub fn torn_tails_repaired(&self) -> usize {
+        self.torn_tails_repaired
     }
 
     /// The shard databases the fleet hunts (index = `CampaignCell::shard`).
@@ -402,6 +519,7 @@ impl Campaign {
             self.done.len(),
             self.triage.class_count(),
             diversity.into_inner().isomorphic_set_count(),
+            self.torn_tails_repaired,
         ))
     }
 
@@ -417,10 +535,10 @@ impl Campaign {
     ) -> io::Result<CellRecord> {
         let started = Instant::now();
         let shard = &self.shards[cell.shard];
-        let mut conn = RecordingConnector::new(EngineConnector::faulty(cell.profile));
+        let mut conn = RecordingConnector::new(cell.engine.faulty(cell.profile));
         conn.load_catalog(&shard.db.catalog)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let mut oracle = cell.oracle.build(cell.profile, shard);
+        let mut oracle = cell.oracle.build(cell.profile, cell.engine, shard);
         // Per-cell KQE state: the adaptive walk stays deterministic for the
         // cell regardless of what the rest of the fleet is doing — the
         // property the resume guarantee rests on.
@@ -547,6 +665,7 @@ mod tests {
             workers: 2,
             profiles: vec![ProfileId::MysqlLike],
             oracles: vec![OracleSpec::GroundTruth],
+            engines: vec![EngineKind::Row],
             queries_per_cell: 30,
             seed: 99,
             minimize: false,
@@ -560,14 +679,29 @@ mod tests {
             shards: 2,
             profiles: vec![ProfileId::MysqlLike, ProfileId::TidbLike],
             oracles: vec![OracleSpec::GroundTruth, OracleSpec::CrossEngine],
+            engines: vec![EngineKind::Row, EngineKind::Disk],
             ..small_cfg(test_dir("grid"))
         };
         let cells = cfg.cell_grid();
-        assert_eq!(cells.len(), 2 * 2 * 2);
+        assert_eq!(cells.len(), 2 * 2 * 2 * 2);
         assert!(cells.iter().enumerate().all(|(i, c)| c.id == i));
         assert_eq!(cells[0].shard, 0);
         assert_eq!(cells.last().unwrap().shard, 1);
-        assert_eq!(cfg.header().cells, 8);
+        // The engine axis is innermost: adjacent ids differ by engine first,
+        // so a `vec![Row]` campaign keeps its historical cell ids.
+        assert_eq!(cells[0].engine, EngineKind::Row);
+        assert_eq!(cells[1].engine, EngineKind::Disk);
+        assert_eq!(cells[0].oracle, cells[1].oracle);
+        assert_eq!(cfg.header().cells, 16);
+        assert_eq!(cfg.header().engines, vec!["row", "disk"]);
+    }
+
+    #[test]
+    fn engine_kind_labels_round_trip() {
+        for e in EngineKind::ALL {
+            assert_eq!(EngineKind::from_label(e.label()), Ok(e));
+        }
+        assert!(EngineKind::from_label("paper-tape").is_err());
     }
 
     #[test]

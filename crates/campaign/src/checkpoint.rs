@@ -28,6 +28,10 @@ pub struct CheckpointHeader {
     pub queries_per_cell: usize,
     pub profiles: Vec<String>,
     pub oracles: Vec<String>,
+    /// Executor labels ([`EngineKind::label`](crate::campaign::EngineKind)).
+    /// Headers journaled before the engine axis existed omit the field and
+    /// load as `["row"]` — the only engine those campaigns could run.
+    pub engines: Vec<String>,
 }
 
 impl CheckpointHeader {
@@ -54,6 +58,10 @@ impl CheckpointHeader {
             (
                 "oracles".to_string(),
                 Json::Arr(self.oracles.iter().map(Json::str).collect()),
+            ),
+            (
+                "engines".to_string(),
+                Json::Arr(self.engines.iter().map(Json::str).collect()),
             ),
         ])
     }
@@ -91,6 +99,11 @@ impl CheckpointHeader {
             queries_per_cell: count("queries_per_cell")?,
             profiles: list("profiles")?,
             oracles: list("oracles")?,
+            engines: if j.get("engines").is_some() {
+                list("engines")?
+            } else {
+                vec!["row".to_string()]
+            },
         })
     }
 }
@@ -243,6 +256,7 @@ mod tests {
             queries_per_cell: 100,
             profiles: vec!["MySQL-like".into(), "TiDB-like".into()],
             oracles: vec!["ground-truth".into()],
+            engines: vec!["row".into(), "disk".into()],
         }
     }
 
@@ -274,5 +288,17 @@ mod tests {
         let (_, cells) = ckpt.load().unwrap();
         assert_eq!(cells.len(), 2);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pre_engine_axis_headers_load_as_row_only() {
+        // A header journaled before the engine axis existed has no
+        // `engines` member; it must load as the row-only campaign it was.
+        let mut legacy = header().to_json();
+        if let Json::Obj(members) = &mut legacy {
+            members.retain(|(k, _)| k != "engines");
+        }
+        let parsed = CheckpointHeader::from_json(&legacy).unwrap();
+        assert_eq!(parsed.engines, vec!["row".to_string()]);
     }
 }

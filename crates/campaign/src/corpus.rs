@@ -61,6 +61,7 @@ fn fault_from_label(label: &str) -> Result<FaultKind, String> {
     FaultKind::ALL
         .iter()
         .chain(FaultKind::COLUMNAR.iter())
+        .chain(FaultKind::DISK.iter())
         .copied()
         .find(|f| fault_label(*f) == label)
         .ok_or_else(|| format!("unknown fault kind `{label}`"))
@@ -543,10 +544,6 @@ pub(crate) fn repair_torn_tail(path: &Path) -> io::Result<bool> {
         .rposition(|b| *b == b'\n')
         .map(|i| i + 1)
         .unwrap_or(0);
-    eprintln!(
-        "warning: {}: truncating torn final line (interrupted write)",
-        path.display()
-    );
     let f = OpenOptions::new().write(true).open(path)?;
     f.set_len(keep as u64)?;
     Ok(true)

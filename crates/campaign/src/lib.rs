@@ -6,9 +6,9 @@
 //! this system for days, across partitions and engine builds, survive
 //! restarts, and don't drown me in duplicate reports."
 //!
-//! * [`campaign`] — the orchestrator: the (shard × profile × oracle) cell
-//!   grid, the worker fleet, [`Campaign::new`] / [`Campaign::resume`] /
-//!   [`Campaign::run`].
+//! * [`campaign`] — the orchestrator: the (shard × profile × oracle ×
+//!   engine) cell grid, the worker fleet, [`Campaign::new`] /
+//!   [`Campaign::resume`] / [`Campaign::run`].
 //! * [`scheduler`] — work-stealing cell queues.
 //! * [`triage`] — plan-fingerprint deduplication of raw divergences into bug
 //!   classes, one minimized representative per class.
@@ -39,7 +39,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use tqs_campaign::{Campaign, CampaignConfig, OracleSpec};
+//! use tqs_campaign::{Campaign, CampaignConfig, EngineKind, OracleSpec};
 //! use tqs_core::dsg::{DsgConfig, WideSource};
 //! use tqs_engine::ProfileId;
 //! use tqs_storage::widegen::ShoppingConfig;
@@ -56,6 +56,7 @@
 //!     workers: 2,
 //!     profiles: vec![ProfileId::MysqlLike],
 //!     oracles: vec![OracleSpec::GroundTruth],
+//!     engines: vec![EngineKind::Row],
 //!     queries_per_cell: 20,
 //!     seed: 11,
 //!     minimize: false,
@@ -80,7 +81,7 @@ pub mod scheduler;
 pub mod stats;
 pub mod triage;
 
-pub use campaign::{Campaign, CampaignCell, CampaignConfig, OracleSpec};
+pub use campaign::{Campaign, CampaignCell, CampaignConfig, EngineKind, OracleSpec};
 pub use checkpoint::{CellRecord, Checkpoint, CheckpointHeader};
 pub use corpus::{CompactionStats, Corpus, CorpusEntry, StoredStatement};
 pub use json::Json;

@@ -43,7 +43,7 @@
 //! report is assembled in deterministic (entry, build) order regardless of
 //! which worker drained which pair.
 
-use crate::campaign::{Campaign, CampaignConfig};
+use crate::campaign::{Campaign, CampaignConfig, EngineKind};
 use crate::corpus::CorpusEntry;
 use crate::json::Json;
 use crate::scheduler::WorkQueues;
@@ -89,11 +89,18 @@ impl BuildSpec {
             .ok_or_else(|| format!("unknown build spec `{label}`"))
     }
 
-    /// A live connector for this build of `profile`, catalog loaded.
-    fn connect(self, profile: ProfileId, shard: &Arc<DsgDatabase>) -> EngineConnector {
+    /// A live connector for this build of `profile` on `engine` (the
+    /// discovering cell's executor — a disk-found class re-executes on the
+    /// disk engine), catalog loaded.
+    fn connect(
+        self,
+        engine: EngineKind,
+        profile: ProfileId,
+        shard: &Arc<DsgDatabase>,
+    ) -> EngineConnector {
         match self {
-            BuildSpec::Faulty => EngineConnector::connect(profile, shard),
-            BuildSpec::Pristine => EngineConnector::connect_pristine(profile, shard),
+            BuildSpec::Faulty => engine.connect_faulty(profile, shard),
+            BuildSpec::Pristine => engine.connect_pristine(profile, shard),
         }
     }
 }
@@ -440,7 +447,7 @@ impl ReverifyCampaign {
         let mut replay = replay;
         let replay_verdict = cell
             .oracle
-            .build(cell.profile, shard)
+            .build(cell.profile, cell.engine, shard)
             .check(&stmt, &mut replay);
         if !replay_verdict.executed() {
             return stale(
@@ -451,10 +458,10 @@ impl ReverifyCampaign {
         let replay_reproduced = matches_class(&entry.report, replay_verdict.into_bugs());
 
         // Live leg: a fresh end-to-end execution on the build under test.
-        let mut conn = build.connect(cell.profile, shard);
+        let mut conn = build.connect(cell.engine, cell.profile, shard);
         let live_verdict = cell
             .oracle
-            .build(cell.profile, shard)
+            .build(cell.profile, cell.engine, shard)
             .check(&stmt, &mut conn);
         if !live_verdict.executed() {
             return stale(
@@ -530,6 +537,7 @@ mod tests {
             workers: 2,
             profiles: vec![ProfileId::MysqlLike],
             oracles: vec![OracleSpec::GroundTruth],
+            engines: vec![EngineKind::Row],
             queries_per_cell: 30,
             seed: 77,
             minimize: false,

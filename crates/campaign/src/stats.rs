@@ -59,15 +59,16 @@ impl LiveStats {
         self.cells_drained.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Snapshot the counters. `total_classes`/`cells_total`/`diversity` come
-    /// from the campaign (they include state resumed from disk, which the
-    /// live counters deliberately do not).
+    /// Snapshot the counters. `total_classes`/`cells_total`/`diversity`/
+    /// `torn_tails_repaired` come from the campaign (they include state
+    /// resumed from disk, which the live counters deliberately do not).
     pub fn snapshot(
         &self,
         cells_total: usize,
         cells_done: usize,
         total_classes: usize,
         diversity: usize,
+        torn_tails_repaired: usize,
     ) -> CampaignStats {
         CampaignStats {
             elapsed: self.started.elapsed(),
@@ -80,6 +81,7 @@ impl LiveStats {
             cells_total,
             bug_classes: total_classes,
             diversity,
+            torn_tails_repaired,
         }
     }
 }
@@ -107,6 +109,9 @@ pub struct CampaignStats {
     pub bug_classes: usize,
     /// Distinct isomorphic query structures explored this run.
     pub diversity: usize,
+    /// Campaign files (checkpoint journal, corpus) whose torn final line —
+    /// left by a kill mid-append — was truncated when this campaign resumed.
+    pub torn_tails_repaired: usize,
 }
 
 impl CampaignStats {
@@ -169,6 +174,10 @@ impl CampaignStats {
             ("cells_done".to_string(), Json::count(self.cells_done)),
             ("cells_total".to_string(), Json::count(self.cells_total)),
             ("diversity".to_string(), Json::count(self.diversity)),
+            (
+                "torn_tails_repaired".to_string(),
+                Json::count(self.torn_tails_repaired),
+            ),
         ])
     }
 }
@@ -231,7 +240,7 @@ mod tests {
         live.add_new_class();
         live.add_new_class();
         live.cell_drained();
-        let s = live.snapshot(8, 5, 4, 17);
+        let s = live.snapshot(8, 5, 4, 17, 1);
         assert_eq!(s.queries, 15);
         assert_eq!(s.raw_reports, 6);
         assert_eq!(s.new_classes, 2);
@@ -240,6 +249,7 @@ mod tests {
         assert_eq!(s.cells_total, 8);
         assert_eq!(s.bug_classes, 4);
         assert_eq!(s.diversity, 17);
+        assert_eq!(s.torn_tails_repaired, 1);
         assert!((s.dedup_ratio() - 3.0).abs() < 1e-9);
         assert!(s.queries_per_sec() > 0.0);
     }
@@ -248,7 +258,7 @@ mod tests {
     fn json_snapshot_has_the_bench_fields() {
         let live = LiveStats::start();
         live.add_queries(4);
-        let j = live.snapshot(2, 2, 1, 3).to_json();
+        let j = live.snapshot(2, 2, 1, 3, 0).to_json();
         let parsed = Json::parse(&j.to_string()).unwrap();
         for key in [
             "elapsed_sec",
@@ -259,6 +269,7 @@ mod tests {
             "dedup_ratio",
             "cells_total",
             "diversity",
+            "torn_tails_repaired",
         ] {
             assert!(parsed.get(key).is_some(), "missing {key}");
         }
@@ -269,7 +280,7 @@ mod tests {
     fn dedup_ratio_is_zero_without_classes() {
         let live = LiveStats::start();
         live.add_raw_reports(3);
-        assert_eq!(live.snapshot(1, 0, 0, 0).dedup_ratio(), 0.0);
+        assert_eq!(live.snapshot(1, 0, 0, 0, 0).dedup_ratio(), 0.0);
     }
 
     #[test]

@@ -11,11 +11,12 @@
 //! Three implementations ship here:
 //!
 //! * [`EngineConnector`] — the in-process simulated DBMS in one of its four
-//!   profile builds, executed either row-at-a-time
-//!   ([`tqs_engine::Database`]) or batch-at-a-time over column vectors
-//!   ([`tqs_engine::ColumnarDatabase`], see
-//!   [`EngineConnector::columnar`]). The two executors carry disjoint fault
-//!   complements, which is what makes cross-engine differential testing
+//!   profile builds, executed row-at-a-time ([`tqs_engine::Database`]),
+//!   batch-at-a-time over column vectors ([`tqs_engine::ColumnarDatabase`],
+//!   see [`EngineConnector::columnar`]), or out of a disk-backed page store
+//!   ([`tqs_engine::DiskDatabase`], see [`EngineConnector::disk`]). The three
+//!   executors carry pairwise-disjoint fault complements, which is what makes
+//!   cross-engine differential testing
 //!   ([`crate::oracle::DifferentialOracle`]) meaningful.
 //! * [`RecordingConnector`] — a transparent proxy over any connector that
 //!   logs every statement and its full outcome.
@@ -31,7 +32,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use tqs_engine::{ColumnarDatabase, Database, DbmsProfile, FaultKind, ProfileId};
+use tqs_engine::{ColumnarDatabase, Database, DbmsProfile, DiskDatabase, FaultKind, ProfileId};
 use tqs_sql::ast::SelectStmt;
 use tqs_sql::hints::HintSet;
 use tqs_sql::parser::parse_stmt;
@@ -122,14 +123,17 @@ pub trait DbmsConnector {
     }
 }
 
-/// The two executors an [`EngineConnector`] can host.
+/// The three executors an [`EngineConnector`] can host.
 enum EngineBackend {
     Row(Database),
     Columnar(ColumnarDatabase),
+    // Boxed: the disk backend carries a buffer pool and is ~2x the size of
+    // the other variants; keep the enum at in-memory-engine size.
+    Disk(Box<DiskDatabase>),
 }
 
 /// The first connector: the in-process simulated DBMS of [`tqs_engine`],
-/// hosting either the row executor or the columnar executor.
+/// hosting the row, columnar or disk executor.
 pub struct EngineConnector {
     backend: EngineBackend,
     dialect: ProfileId,
@@ -201,9 +205,44 @@ impl EngineConnector {
         Self::columnar_pristine(id).loaded(dsg)
     }
 
+    /// The third engine: the disk-backed build of `id`, scanning its tables
+    /// out of a `tqs-pager` page store (buffer pool, WAL, B+trees) and seeded
+    /// with the storage fault complement ([`tqs_engine::FaultKind::DISK`]).
+    pub fn disk(id: ProfileId) -> Self {
+        EngineConnector {
+            backend: EngineBackend::Disk(Box::new(
+                DiskDatabase::new(Catalog::new(), DbmsProfile::disk(id))
+                    .expect("disk store creation in the temp dir"),
+            )),
+            dialect: id,
+        }
+    }
+
+    /// A fault-free disk build of `id` — the third member of three-way
+    /// differential panels.
+    pub fn disk_pristine(id: ProfileId) -> Self {
+        EngineConnector {
+            backend: EngineBackend::Disk(Box::new(
+                DiskDatabase::new(Catalog::new(), DbmsProfile::disk_pristine(id))
+                    .expect("disk store creation in the temp dir"),
+            )),
+            dialect: id,
+        }
+    }
+
+    /// Factory helper: the faulty disk build, catalog loaded.
+    pub fn connect_disk(id: ProfileId, dsg: &DsgDatabase) -> Self {
+        Self::disk(id).loaded(dsg)
+    }
+
+    /// Factory helper: the fault-free disk build, catalog loaded.
+    pub fn connect_disk_pristine(id: ProfileId, dsg: &DsgDatabase) -> Self {
+        Self::disk_pristine(id).loaded(dsg)
+    }
+
     fn loaded(mut self, dsg: &DsgDatabase) -> Self {
         self.load_catalog(&dsg.db.catalog)
-            .expect("engine catalog load is infallible");
+            .expect("engine catalog load");
         self
     }
 
@@ -211,6 +250,7 @@ impl EngineConnector {
         match &self.backend {
             EngineBackend::Row(db) => &db.profile,
             EngineBackend::Columnar(db) => db.profile(),
+            EngineBackend::Disk(db) => db.profile(),
         }
     }
 }
@@ -245,6 +285,9 @@ impl DbmsConnector for EngineConnector {
         match &mut self.backend {
             EngineBackend::Row(db) => db.catalog = catalog.clone(),
             EngineBackend::Columnar(db) => db.set_catalog(catalog.clone()),
+            EngineBackend::Disk(db) => db
+                .load_catalog(catalog.clone())
+                .map_err(|e| ConnectorError::new(e.to_string()))?,
         }
         Ok(())
     }
@@ -257,6 +300,7 @@ impl DbmsConnector for EngineConnector {
         engine_outcome(match &mut self.backend {
             EngineBackend::Row(db) => db.execute_with_hints(stmt, hints),
             EngineBackend::Columnar(db) => db.execute_with_hints(stmt, hints),
+            EngineBackend::Disk(db) => db.execute_with_hints(stmt, hints),
         })
     }
 
@@ -264,21 +308,24 @@ impl DbmsConnector for EngineConnector {
         match &self.backend {
             EngineBackend::Row(db) => db.explain(stmt),
             EngineBackend::Columnar(db) => db.explain(stmt),
+            EngineBackend::Disk(db) => db.explain(stmt),
         }
         .map_err(|e| ConnectorError::new(e.to_string()))
     }
 
     fn execute(&mut self, stmt: &SelectStmt) -> Result<SqlOutcome, ConnectorError> {
-        engine_outcome(match &self.backend {
+        engine_outcome(match &mut self.backend {
             EngineBackend::Row(db) => db.execute(stmt),
             EngineBackend::Columnar(db) => db.execute(stmt),
+            EngineBackend::Disk(db) => db.execute(stmt),
         })
     }
 
     fn execute_sql(&mut self, sql: &str) -> Result<SqlOutcome, ConnectorError> {
-        engine_outcome(match &self.backend {
+        engine_outcome(match &mut self.backend {
             EngineBackend::Row(db) => db.execute_sql(sql),
             EngineBackend::Columnar(db) => db.execute_sql(sql),
+            EngineBackend::Disk(db) => db.execute_sql(sql),
         })
     }
 }
@@ -694,6 +741,34 @@ mod tests {
             .explain(&parse_stmt(&sql).unwrap())
             .unwrap()
             .contains("columnar"));
+    }
+
+    #[test]
+    fn disk_connector_reports_disk_metadata() {
+        for id in ProfileId::ALL {
+            let conn = EngineConnector::disk(id);
+            let info = conn.info();
+            assert!(info.name.contains("[disk]"), "{}", info.name);
+            assert!(info.version.ends_with("-disk"), "{}", info.version);
+            assert_eq!(info.dialect, id);
+        }
+    }
+
+    #[test]
+    fn disk_connector_agrees_with_row_connector_when_pristine() {
+        let dsg = small_dsg();
+        let mut row = EngineConnector::connect_pristine(ProfileId::MysqlLike, &dsg);
+        let mut disk = EngineConnector::connect_disk_pristine(ProfileId::MysqlLike, &dsg);
+        let table = &dsg.db.metas[0].name;
+        let cols = &dsg.db.metas[0].columns;
+        let sql = format!("SELECT {table}.{} FROM {table}", cols[0]);
+        let a = row.execute_sql(&sql).unwrap();
+        let b = disk.execute_sql(&sql).unwrap();
+        assert!(a.result.same_bag(&b.result));
+        assert!(disk
+            .explain(&parse_stmt(&sql).unwrap())
+            .unwrap()
+            .contains("executor: disk"));
     }
 
     #[test]

@@ -436,16 +436,19 @@ impl Oracle for NorecOracle {
 }
 
 /// Cross-engine differential testing: execute every hint-set transformation
-/// of the statement on the backend under test *and* on a second, independent
-/// engine build owned by the oracle, and report any divergence.
+/// of the statement on the backend under test *and* on one or more
+/// independent engine builds owned by the oracle, and report any divergence
+/// from the panel's majority answer.
 ///
-/// With disjoint fault complements (row engine's Table 4 faults vs the
-/// columnar engine's batching faults) a pristine second engine acts as a
-/// ground-truth stand-in, and a faulty one yields two-sided detection. This
-/// is the first oracle that *requires* the trait: it owns a whole connector,
+/// With pairwise-disjoint fault complements (row engine's Table 4 faults,
+/// the columnar engine's batching faults, the disk engine's storage faults) a
+/// pristine reference acts as a ground-truth stand-in, and a panel of two
+/// references ([`DifferentialOracle::panel`]) gives three-way differential
+/// testing: the build under test is flagged when it leaves the majority. This
+/// is the first oracle that *requires* the trait: it owns whole connectors,
 /// not just a per-query check.
 pub struct DifferentialOracle {
-    reference: Box<dyn DbmsConnector>,
+    references: Vec<Box<dyn DbmsConnector>>,
     name: String,
 }
 
@@ -457,13 +460,36 @@ impl DifferentialOracle {
     }
 
     pub fn boxed(reference: Box<dyn DbmsConnector>) -> Self {
-        let name = format!("differential-vs-{}", reference.info().name);
-        DifferentialOracle { reference, name }
+        Self::panel(vec![reference])
     }
 
-    /// The reference connector (e.g. to load a catalog or inspect a trace).
+    /// A panel of reference connectors (each with the catalog already
+    /// loaded). The build under test is reported when its answer diverges
+    /// from the result the largest group of references agrees on.
+    pub fn panel(references: Vec<Box<dyn DbmsConnector>>) -> Self {
+        assert!(
+            !references.is_empty(),
+            "a panel needs at least one reference"
+        );
+        let name = format!(
+            "differential-vs-{}",
+            references
+                .iter()
+                .map(|r| r.info().name)
+                .collect::<Vec<_>>()
+                .join("+")
+        );
+        DifferentialOracle { references, name }
+    }
+
+    /// The first reference connector (e.g. to load a catalog or inspect a
+    /// trace).
     pub fn reference_mut(&mut self) -> &mut dyn DbmsConnector {
-        self.reference.as_mut()
+        self.references[0].as_mut()
+    }
+
+    pub fn reference_count(&self) -> usize {
+        self.references.len()
     }
 }
 
@@ -476,23 +502,43 @@ impl Oracle for DifferentialOracle {
         let info = conn.info();
         let mut executed = false;
         let mut reports = Vec::new();
-        for hs in hint_sets_for(info.dialect, stmt) {
-            let (Ok(out), Ok(reference)) = (
-                conn.execute_with_hints(stmt, &hs),
-                self.reference.execute_with_hints(stmt, &hs),
-            ) else {
+        'hints: for hs in hint_sets_for(info.dialect, stmt) {
+            let Ok(out) = conn.execute_with_hints(stmt, &hs) else {
                 continue;
             };
+            let mut refs = Vec::with_capacity(self.references.len());
+            for r in self.references.iter_mut() {
+                match r.execute_with_hints(stmt, &hs) {
+                    Ok(o) => refs.push(o),
+                    Err(_) => continue 'hints,
+                }
+            }
             executed = true;
-            if !reference.result.same_bag(&out.result) {
+            // The expected answer is the result the largest group of
+            // references agrees on (ties break toward the earlier one).
+            let majority = refs
+                .iter()
+                .map(|cand| {
+                    refs.iter()
+                        .filter(|o| o.result.same_bag(&cand.result))
+                        .count()
+                })
+                .collect::<Vec<_>>();
+            let best = (0..refs.len())
+                .max_by_key(|&i| (majority[i], std::cmp::Reverse(i)))
+                .expect("non-empty panel");
+            let expected = &refs[best];
+            if !expected.result.same_bag(&out.result) {
                 let mut fired = out.fired.clone();
-                fired.extend(reference.fired.clone());
+                for r in &refs {
+                    fired.extend(r.fired.clone());
+                }
                 reports.push(make_report(
                     &info.name,
                     OracleKind::CrossEngine,
                     stmt,
                     &hs,
-                    &reference.result,
+                    &expected.result,
                     &out.result,
                     fired,
                     None,
@@ -596,6 +642,49 @@ mod tests {
             }
         }
         assert!(executed > 20, "only {executed} statements executed");
+    }
+
+    #[test]
+    fn three_way_panel_is_sound_on_pristine_and_flags_a_faulty_disk_build() {
+        let d = dsg();
+        let panel = || {
+            DifferentialOracle::panel(vec![
+                Box::new(EngineConnector::connect_pristine(ProfileId::MysqlLike, &d))
+                    as Box<dyn DbmsConnector>,
+                Box::new(EngineConnector::connect_columnar_pristine(
+                    ProfileId::MysqlLike,
+                    &d,
+                )),
+            ])
+        };
+        let mut oracle = panel();
+        assert_eq!(oracle.reference_count(), 2);
+        assert!(oracle.name().contains('+'));
+        // Sound on a pristine disk build...
+        let mut pristine = EngineConnector::connect_disk_pristine(ProfileId::MysqlLike, &d);
+        let mut executed = 0;
+        for stmt in sample_queries(&d, 40) {
+            match oracle.check(&stmt, &mut pristine) {
+                OracleVerdict::Bugs(r) => panic!("pristine engines diverged: {r:#?}"),
+                OracleVerdict::Pass => executed += 1,
+                OracleVerdict::Skip => {}
+            }
+        }
+        assert!(executed > 20, "only {executed} statements executed");
+        // ...and the faulty disk build leaves the majority.
+        let mut oracle = panel();
+        let mut faulty = EngineConnector::connect_disk(ProfileId::MysqlLike, &d);
+        let mut bugs = Vec::new();
+        for stmt in sample_queries(&d, 120) {
+            if let OracleVerdict::Bugs(r) = oracle.check(&stmt, &mut faulty) {
+                bugs.extend(r);
+            }
+        }
+        assert!(!bugs.is_empty(), "three-way panel never fired");
+        assert!(bugs
+            .iter()
+            .flat_map(|b| &b.fired)
+            .all(|f| f.dbms() == "Disk"));
     }
 
     #[test]

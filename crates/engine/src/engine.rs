@@ -25,6 +25,8 @@ pub enum EngineError {
     Exec(ExecError),
     Eval(EvalError),
     Unsupported(String),
+    /// The disk engine's page store failed (I/O error or injected crash).
+    Storage(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -35,6 +37,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Exec(e) => write!(f, "{e}"),
             EngineError::Eval(e) => write!(f, "{e}"),
             EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            EngineError::Storage(m) => write!(f, "storage: {m}"),
         }
     }
 }

@@ -129,6 +129,30 @@ pub enum FaultKind {
     /// the last row in a full batch is never cleared, so a predicate that
     /// evaluates to NULL there is treated as TRUE.
     ColumnarFilterNullAsTrue,
+
+    // --- Disk-engine complement (not part of Table 4) ---
+    //
+    // The third simulated engine scans its tables out of a disk-backed page
+    // store (buffer pool + WAL + B+tree heaps); its latent faults live in
+    // that storage machinery — torn writes, lost WAL records, stale buffer
+    // frames, split bookkeeping, redo replay — rather than in any join
+    // algorithm or batching pipeline, so the three engines' complements are
+    // pairwise disjoint and three-way differential testing is meaningful.
+    /// D1: a torn page write persists only the first half of the tail leaf's
+    /// cells, silently dropping the rows in its second half.
+    DiskTornPageWrite,
+    /// D2: the WAL record of the last commit batch is lost before `fsync`,
+    /// so the whole batch vanishes despite the commit having returned.
+    DiskWalLostBeforeFsync,
+    /// D3: the buffer pool serves the first-flushed (stale) version of an
+    /// evicted-then-reloaded leaf, hiding every row appended to it since.
+    DiskStaleFrameRead,
+    /// D4: a B+tree leaf split loses its high key — the last cell of every
+    /// split-origin leaf never makes it to the new sibling.
+    DiskSplitHighKeyLoss,
+    /// D5: redo recovery replays the last commit record twice, duplicating
+    /// the first row of the batch.
+    DiskRecoveryDoubleReplay,
 }
 
 impl FaultKind {
@@ -163,14 +187,25 @@ impl FaultKind {
         FaultKind::ColumnarFilterNullAsTrue,
     ];
 
+    /// The disk engine's fault complement (ids 25..=29, outside Table 4).
+    pub const DISK: [FaultKind; 5] = [
+        FaultKind::DiskTornPageWrite,
+        FaultKind::DiskWalLostBeforeFsync,
+        FaultKind::DiskStaleFrameRead,
+        FaultKind::DiskSplitHighKeyLoss,
+        FaultKind::DiskRecoveryDoubleReplay,
+    ];
+
     /// The Table 4 row id (1-based); the columnar complement continues the
-    /// numbering at 21.
+    /// numbering at 21 and the disk complement at 25.
     pub fn table4_id(self) -> u32 {
         if let Some(i) = FaultKind::ALL.iter().position(|f| *f == self) {
             i as u32 + 1
-        } else {
-            let i = FaultKind::COLUMNAR.iter().position(|f| *f == self).unwrap();
+        } else if let Some(i) = FaultKind::COLUMNAR.iter().position(|f| *f == self) {
             i as u32 + 21
+        } else {
+            let i = FaultKind::DISK.iter().position(|f| *f == self).unwrap();
+            i as u32 + 25
         }
     }
 
@@ -181,7 +216,8 @@ impl FaultKind {
             8..=12 => "MariaDB-like",
             13..=17 => "TiDB-like",
             18..=20 => "X-DB-like",
-            _ => "Columnar",
+            21..=24 => "Columnar",
+            _ => "Disk",
         }
     }
 
@@ -192,6 +228,11 @@ impl FaultKind {
             FaultKind::ColumnarNullPadMisalign => Severity::Serious,
             FaultKind::ColumnarDictTruncation => Severity::Major,
             FaultKind::ColumnarFilterNullAsTrue => Severity::Serious,
+            FaultKind::DiskTornPageWrite => Severity::Critical,
+            FaultKind::DiskWalLostBeforeFsync => Severity::Critical,
+            FaultKind::DiskStaleFrameRead => Severity::Serious,
+            FaultKind::DiskSplitHighKeyLoss => Severity::Major,
+            FaultKind::DiskRecoveryDoubleReplay => Severity::Serious,
             f if f.table4_id() <= 7 => Severity::Serious,
             f if f.table4_id() <= 12 => Severity::Major,
             f if f.table4_id() <= 17 => Severity::Critical,
@@ -265,15 +306,30 @@ impl FaultKind {
             FaultKind::ColumnarFilterNullAsTrue => {
                 "Columnar filter treats a NULL predicate as TRUE on the last batch lane."
             }
+            FaultKind::DiskTornPageWrite => {
+                "Torn page write drops the second half of the tail leaf's rows."
+            }
+            FaultKind::DiskWalLostBeforeFsync => {
+                "WAL record of the last commit batch lost before fsync."
+            }
+            FaultKind::DiskStaleFrameRead => {
+                "Buffer pool serves the stale first-flushed version of an evicted leaf."
+            }
+            FaultKind::DiskSplitHighKeyLoss => {
+                "B+tree leaf split loses the high key of every split-origin leaf."
+            }
+            FaultKind::DiskRecoveryDoubleReplay => {
+                "Redo recovery replays the last commit record twice."
+            }
         }
     }
 
-    /// Status as reported in Table 4 (the columnar complement is seeded by
-    /// this reproduction, not taken from the paper).
+    /// Status as reported in Table 4 (the columnar and disk complements are
+    /// seeded by this reproduction, not taken from the paper).
     pub fn status(self) -> &'static str {
         match self.table4_id() {
             1 | 2 | 6 | 13 | 14 | 15 | 16 | 17 | 18 | 19 => "Fixed",
-            21..=24 => "Seeded",
+            21..=29 => "Seeded",
             _ => "Verified",
         }
     }
@@ -370,6 +426,20 @@ impl FaultKind {
                 Some(JoinType::LeftOuter) | Some(JoinType::RightOuter) | Some(JoinType::FullOuter)
             ),
             ColumnarFilterNullAsTrue => true,
+            // Disk complement: the corruption lives in the page store, but
+            // whether a query *observes* it depends on which access path the
+            // optimizer picks over the damaged heap — the same steer-to-expose
+            // structure as every other fault in the catalog.
+            DiskTornPageWrite => ctx.algo.is_some(),
+            DiskWalLostBeforeFsync => {
+                matches!(ctx.join_type, Some(JoinType::Inner) | Some(JoinType::Cross))
+            }
+            DiskStaleFrameRead => ctx.algo.map(|a| a.uses_hashed_keys()).unwrap_or(false),
+            DiskSplitHighKeyLoss => matches!(
+                ctx.algo,
+                Some(JoinAlgo::SortMergeJoin) | Some(JoinAlgo::IndexJoin)
+            ),
+            DiskRecoveryDoubleReplay => ctx.subquery_present || ctx.simplified_from_outer,
         }
     }
 }
@@ -500,6 +570,35 @@ mod tests {
         let mut ids: Vec<u32> = FaultKind::COLUMNAR.iter().map(|f| f.table4_id()).collect();
         ids.dedup();
         assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn disk_complement_is_disjoint_from_every_other_engine() {
+        for f in FaultKind::DISK {
+            assert!(!FaultKind::ALL.contains(&f));
+            assert!(!FaultKind::COLUMNAR.contains(&f));
+            assert_eq!(f.dbms(), "Disk");
+            assert_eq!(f.status(), "Seeded");
+            assert!(!f.description().is_empty());
+            assert!(!f.severity().label().is_empty());
+            assert!((25..=29).contains(&f.table4_id()));
+        }
+        let mut ids: Vec<u32> = FaultKind::DISK.iter().map(|f| f.table4_id()).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 5);
+        // a crash-recovery fault needs a steering structure to observe it
+        let mut ctx = TriggerContext::default();
+        assert!(!FaultKind::DiskTornPageWrite.triggered(&ctx));
+        assert!(!FaultKind::DiskRecoveryDoubleReplay.triggered(&ctx));
+        ctx.algo = Some(JoinAlgo::HashJoin);
+        assert!(FaultKind::DiskTornPageWrite.triggered(&ctx));
+        assert!(FaultKind::DiskStaleFrameRead.triggered(&ctx));
+        assert!(!FaultKind::DiskSplitHighKeyLoss.triggered(&ctx));
+        ctx.algo = Some(JoinAlgo::SortMergeJoin);
+        assert!(FaultKind::DiskSplitHighKeyLoss.triggered(&ctx));
+        assert!(!FaultKind::DiskStaleFrameRead.triggered(&ctx));
+        ctx.subquery_present = true;
+        assert!(FaultKind::DiskRecoveryDoubleReplay.triggered(&ctx));
     }
 
     #[test]

@@ -9,8 +9,11 @@
 //! * [`exec`] — physical operators with fault interception points.
 //! * [`columnar`] — the second engine: a columnar, batch-at-a-time executor
 //!   sharing the optimizer but carrying its own fault complement.
+//! * [`disk`] — the third engine: disk-backed execution over the `tqs-pager`
+//!   page store (buffer pool, WAL, B+trees), with a storage-layer fault
+//!   complement and crash-fault injection.
 //! * [`faults`] — the 20-entry fault catalog modeled on Table 4, plus the
-//!   columnar complement.
+//!   columnar and disk complements.
 //! * [`profiles`] — the four simulated DBMS builds with their latent faults.
 //!
 //! The engine is *correct* when its fault set is empty; every wrong answer is
@@ -19,6 +22,7 @@
 //! ground-truth-verified testing (TQS) necessary to find them.
 
 pub mod columnar;
+pub mod disk;
 pub mod engine;
 pub mod exec;
 pub mod faults;
@@ -26,6 +30,7 @@ pub mod plan;
 pub mod profiles;
 
 pub use columnar::{ColumnarDatabase, ColumnarRel};
+pub use disk::{DiskDatabase, COMMIT_BATCH_ROWS};
 pub use engine::{Database, EngineError, ExecOutcome};
 pub use exec::{ExecContext, Rel};
 pub use faults::{FaultKind, FaultSet, Severity, TriggerContext};

@@ -191,6 +191,26 @@ impl DbmsProfile {
         p.faults = FaultSet::none();
         p
     }
+
+    /// The disk build of `id`: same optimizer defaults and hint dialect, but
+    /// scanning its tables out of the disk-backed page store
+    /// ([`crate::disk::DiskDatabase`]), with the storage-layer fault
+    /// complement ([`FaultKind::DISK`]) instead of the Table 4 faults.
+    pub fn disk(id: ProfileId) -> DbmsProfile {
+        let mut p = DbmsProfile::build(id);
+        p.info.name = format!("{} [disk]", p.info.name);
+        p.info.version = format!("{}-disk", p.info.version);
+        p.faults = FaultSet::of(&FaultKind::DISK);
+        p
+    }
+
+    /// A fault-free disk build (the parity baseline for the disk property
+    /// tests and the third member of three-way differential panels).
+    pub fn disk_pristine(id: ProfileId) -> DbmsProfile {
+        let mut p = DbmsProfile::disk(id);
+        p.faults = FaultSet::none();
+        p
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +266,20 @@ mod tests {
                 assert_eq!(f.dbms(), "Columnar", "{f:?}");
             }
             assert!(DbmsProfile::columnar_pristine(id).faults.is_empty());
+        }
+    }
+
+    #[test]
+    fn disk_builds_carry_the_disk_complement() {
+        for id in ProfileId::ALL {
+            let p = DbmsProfile::disk(id);
+            assert!(p.info.name.contains("[disk]"));
+            assert!(p.info.version.ends_with("-disk"));
+            assert_eq!(p.faults.len(), FaultKind::DISK.len());
+            for f in p.faults.kinds() {
+                assert_eq!(f.dbms(), "Disk", "{f:?}");
+            }
+            assert!(DbmsProfile::disk_pristine(id).faults.is_empty());
         }
     }
 

@@ -1,0 +1,647 @@
+//! The disk store: table heaps as append-only B+trees over a buffer pool,
+//! committed through the WAL, with crash-point injection.
+//!
+//! A store is a directory holding two files:
+//!
+//! * `data.tqs` — the page file. Page 0 is the table directory; every other
+//!   page is a B+tree leaf or internal node.
+//! * `wal.tqs` — the write-ahead log. Emptied by a checkpoint at the end of
+//!   every successful commit and on recovery, so it carries at most the one
+//!   in-flight batch.
+//!
+//! Commit protocol (steal/no-force → no-steal/force-at-checkpoint hybrid):
+//!
+//! 1. re-encode the table directory into page 0 (always part of the batch);
+//! 2. append every dirty page image plus a commit record to the WAL;
+//! 3. `fsync` the WAL — **this is the commit point**;
+//! 4. flush the dirty pages to the data file and `fsync` it;
+//! 5. truncate the WAL (checkpoint).
+//!
+//! [`CrashPoint`] names the five places a simulated process kill can land in
+//! that protocol. A crash poisons the store — every later operation fails —
+//! until [`DiskStore::open`] re-runs redo recovery over the files. Batches
+//! whose commit record was fsynced (3) survive a crash at any later point;
+//! batches that never reached (3) vanish entirely.
+
+use crate::page::{
+    Directory, Internal, Leaf, PageBuf, PageCorrupt, PageId, TableMeta, KIND_INTERNAL, KIND_LEAF,
+};
+use crate::pool::{BufferPool, DataFile, PoolStats};
+use crate::rowcodec::{decode_row, encode_row};
+use crate::wal::{RecoveryStats, Wal};
+use std::fs::OpenOptions;
+use std::io;
+use std::path::{Path, PathBuf};
+use tqs_sql::value::Value;
+
+/// Default buffer-pool capacity, in frames. Small on purpose: realistic
+/// table loads must overflow it so eviction and re-reads actually happen.
+pub const DEFAULT_POOL_FRAMES: usize = 24;
+
+/// Where a simulated process kill lands inside the commit protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// Before anything is written: the batch vanishes without a trace.
+    BeforeWalAppend,
+    /// After the WAL append but before its `fsync`: the OS page cache loses
+    /// the record, so the batch vanishes despite the `write()` returning.
+    WalAppended,
+    /// After the WAL `fsync` but before any data page lands: the batch is
+    /// committed and recovery must redo every page from the log.
+    WalSynced,
+    /// Partway through the data-file flush, leaving the last page torn in
+    /// half: recovery must repair it from its full WAL image.
+    MidHeapFlush,
+    /// After data pages are flushed and synced but before the WAL
+    /// checkpoint truncation: recovery replays the batch over identical
+    /// bytes — redo must be idempotent.
+    AfterFlush,
+}
+
+impl CrashPoint {
+    pub const ALL: [CrashPoint; 5] = [
+        CrashPoint::BeforeWalAppend,
+        CrashPoint::WalAppended,
+        CrashPoint::WalSynced,
+        CrashPoint::MidHeapFlush,
+        CrashPoint::AfterFlush,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            CrashPoint::BeforeWalAppend => "before-wal-append",
+            CrashPoint::WalAppended => "wal-appended-unsynced",
+            CrashPoint::WalSynced => "wal-synced",
+            CrashPoint::MidHeapFlush => "mid-heap-flush",
+            CrashPoint::AfterFlush => "after-flush-before-checkpoint",
+        }
+    }
+
+    /// Is the in-flight batch past the commit point when the kill lands —
+    /// i.e. must it survive recovery?
+    pub fn batch_is_committed(self) -> bool {
+        matches!(
+            self,
+            CrashPoint::WalSynced | CrashPoint::MidHeapFlush | CrashPoint::AfterFlush
+        )
+    }
+}
+
+impl std::fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One leaf's worth of a table scan, with the storage metadata the seeded
+/// disk faults key on.
+#[derive(Debug, Clone)]
+pub struct LeafScan {
+    pub page: PageId,
+    /// This leaf overflowed into a right sibling at some point.
+    pub split_origin: bool,
+    /// Cell count at this page's first flush, when it has been flushed — the
+    /// version a stale evicted frame would serve.
+    pub first_flush_cells: Option<usize>,
+    pub rows: Vec<(u64, Vec<Value>)>,
+}
+
+/// A full table scan in rowid order, leaf by leaf.
+#[derive(Debug, Clone)]
+pub struct TableScan {
+    pub leaves: Vec<LeafScan>,
+    /// First rowid of the most recent commit batch (0 = none).
+    pub last_batch_start: u64,
+    /// Rows in the most recent commit batch.
+    pub last_batch_rows: u32,
+}
+
+impl TableScan {
+    pub fn row_count(&self) -> usize {
+        self.leaves.iter().map(|l| l.rows.len()).sum()
+    }
+
+    pub fn into_rows(self) -> Vec<(u64, Vec<Value>)> {
+        self.leaves.into_iter().flat_map(|l| l.rows).collect()
+    }
+}
+
+fn invalid(e: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+fn corrupt(e: PageCorrupt) -> io::Error {
+    invalid(e)
+}
+
+/// A disk-backed store rooted at one directory.
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+    data: DataFile,
+    wal: Wal,
+    pool: BufferPool,
+    tables: Vec<TableMeta>,
+    page_count: u32,
+    batch_seq: u64,
+    crash_at: Option<CrashPoint>,
+    poisoned: bool,
+}
+
+impl DiskStore {
+    /// Create a fresh store at `dir`, wiping anything already there.
+    pub fn create(dir: &Path, pool_frames: usize) -> io::Result<DiskStore> {
+        if dir.exists() {
+            std::fs::remove_dir_all(dir)?;
+        }
+        std::fs::create_dir_all(dir)?;
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(true)
+            .open(dir.join("data.tqs"))?;
+        let mut data = DataFile::new(file);
+        let mut page0 = PageBuf::default();
+        Directory::init(&mut page0);
+        data.write_page(0, &page0)?;
+        data.sync()?;
+        let mut wal = Wal::open(&dir.join("wal.tqs"))?;
+        wal.reset()?;
+        Ok(DiskStore {
+            dir: dir.to_path_buf(),
+            data,
+            wal,
+            pool: BufferPool::new(pool_frames),
+            tables: Vec::new(),
+            page_count: 1,
+            batch_seq: 0,
+            crash_at: None,
+            poisoned: false,
+        })
+    }
+
+    /// Open an existing store, running redo recovery over its WAL first.
+    pub fn open(dir: &Path, pool_frames: usize) -> io::Result<(DiskStore, RecoveryStats)> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(dir.join("data.tqs"))?;
+        let mut data = DataFile::new(file);
+        let mut wal = Wal::open(&dir.join("wal.tqs"))?;
+        let stats = wal.replay(&mut data)?;
+        data.sync()?;
+        wal.reset()?;
+        let mut page0 = PageBuf::default();
+        data.read_page(0, &mut page0)?;
+        let (page_count, tables) = Directory::decode(&page0).map_err(corrupt)?;
+        Ok((
+            DiskStore {
+                dir: dir.to_path_buf(),
+                data,
+                wal,
+                pool: BufferPool::new(pool_frames),
+                tables,
+                page_count,
+                batch_seq: 0,
+                crash_at: None,
+                poisoned: false,
+            },
+            stats,
+        ))
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn tables(&self) -> &[TableMeta] {
+        &self.tables
+    }
+
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Arm (or disarm) a one-shot crash at the next commit.
+    pub fn set_crash_point(&mut self, point: Option<CrashPoint>) {
+        self.crash_at = point;
+    }
+
+    /// Did an injected crash fire? A poisoned store refuses every operation
+    /// until reopened through [`DiskStore::open`].
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Rows ever assigned to `table` by this store lineage (committed plus
+    /// in-flight): rowids are contiguous from 1.
+    pub fn rows_inserted(&self, table: &str) -> io::Result<u64> {
+        Ok(self.tables[self.table_index(table)?].next_rowid - 1)
+    }
+
+    fn check_poisoned(&self) -> io::Result<()> {
+        if self.poisoned {
+            return Err(io::Error::other(
+                "store is poisoned by an injected crash; reopen it to recover",
+            ));
+        }
+        Ok(())
+    }
+
+    fn table_index(&self, table: &str) -> io::Result<usize> {
+        self.tables
+            .iter()
+            .position(|t| t.name == table)
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::NotFound, format!("no table named {table}"))
+            })
+    }
+
+    fn alloc_page(&mut self) -> PageId {
+        let id = self.page_count;
+        self.page_count += 1;
+        self.pool.install_fresh(id);
+        id
+    }
+
+    /// Register a table with an empty root leaf. Durable at the next commit.
+    pub fn create_table(&mut self, name: &str) -> io::Result<()> {
+        self.check_poisoned()?;
+        if self.tables.iter().any(|t| t.name == name) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("table {name} already exists"),
+            ));
+        }
+        let root = self.alloc_page();
+        let idx = self.pool.fetch(&mut self.data, root)?;
+        Leaf::init(self.pool.page_mut(idx));
+        self.tables.push(TableMeta {
+            name: name.to_string(),
+            root,
+            next_rowid: 1,
+            last_batch_start: 0,
+            last_batch_rows: 0,
+        });
+        Ok(())
+    }
+
+    /// Insert `rows` as one commit batch: assign rowids, grow the B+tree,
+    /// then run the full commit protocol (including any armed crash).
+    pub fn insert_batch(&mut self, table: &str, rows: &[Vec<Value>]) -> io::Result<()> {
+        self.check_poisoned()?;
+        let ti = self.table_index(table)?;
+        let first = self.tables[ti].next_rowid;
+        let mut payload = Vec::new();
+        for row in rows {
+            let rowid = self.tables[ti].next_rowid;
+            self.tables[ti].next_rowid += 1;
+            payload.clear();
+            encode_row(row, &mut payload);
+            let buf = payload.clone();
+            self.tree_insert(ti, rowid, &buf)?;
+        }
+        if !rows.is_empty() {
+            self.tables[ti].last_batch_start = first;
+            self.tables[ti].last_batch_rows = rows.len() as u32;
+        }
+        self.commit()
+    }
+
+    fn tree_insert(&mut self, ti: usize, rowid: u64, payload: &[u8]) -> io::Result<()> {
+        // Descend the right edge, remembering the internal path.
+        let mut path: Vec<PageId> = Vec::new();
+        let mut cur = self.tables[ti].root;
+        loop {
+            let idx = self.pool.fetch(&mut self.data, cur)?;
+            match self.pool.page(idx).kind() {
+                KIND_LEAF => break,
+                KIND_INTERNAL => {
+                    path.push(cur);
+                    cur = Internal::last_child(self.pool.page(idx))
+                        .map_err(corrupt)?
+                        .ok_or_else(|| invalid("internal node with no children"))?;
+                }
+                k => return Err(invalid(format!("unexpected page kind {k} on insert path"))),
+            }
+        }
+        let idx = self.pool.fetch(&mut self.data, cur)?;
+        if Leaf::fits(self.pool.page(idx), payload.len()) {
+            Leaf::push_cell(self.pool.page_mut(idx), rowid, payload);
+            return Ok(());
+        }
+        // Right-edge split: the full leaf keeps its cells and gains the
+        // split-origin mark; the new row opens a fresh right sibling.
+        let new_leaf = self.alloc_page();
+        let idx = self.pool.fetch(&mut self.data, cur)?;
+        Leaf::mark_split_origin(self.pool.page_mut(idx));
+        Leaf::set_next_leaf(self.pool.page_mut(idx), new_leaf);
+        let idx = self.pool.fetch(&mut self.data, new_leaf)?;
+        Leaf::init(self.pool.page_mut(idx));
+        Leaf::push_cell(self.pool.page_mut(idx), rowid, payload);
+        // Thread the new child up the path, splitting full internals.
+        let mut carry = new_leaf;
+        loop {
+            match path.pop() {
+                Some(parent) => {
+                    let idx = self.pool.fetch(&mut self.data, parent)?;
+                    if Internal::fits(self.pool.page(idx)) {
+                        Internal::push_entry(self.pool.page_mut(idx), rowid, carry);
+                        return Ok(());
+                    }
+                    let sibling = self.alloc_page();
+                    let idx = self.pool.fetch(&mut self.data, sibling)?;
+                    Internal::init(self.pool.page_mut(idx));
+                    Internal::push_entry(self.pool.page_mut(idx), rowid, carry);
+                    carry = sibling;
+                }
+                None => {
+                    // The tree grew past its root.
+                    let old_root = self.tables[ti].root;
+                    let new_root = self.alloc_page();
+                    let idx = self.pool.fetch(&mut self.data, new_root)?;
+                    Internal::init(self.pool.page_mut(idx));
+                    Internal::push_entry(self.pool.page_mut(idx), 0, old_root);
+                    Internal::push_entry(self.pool.page_mut(idx), rowid, carry);
+                    self.tables[ti].root = new_root;
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Run the commit protocol over every dirty page (see the module docs).
+    pub fn commit(&mut self) -> io::Result<()> {
+        self.check_poisoned()?;
+        let crash = self.crash_at.take();
+        // The directory rides in every batch so table metadata is always
+        // WAL-protected.
+        let idx = self.pool.fetch(&mut self.data, 0)?;
+        Directory::encode(self.pool.page_mut(idx), self.page_count, &self.tables);
+        let dirty = self.pool.dirty_page_ids();
+        self.batch_seq += 1;
+
+        if crash == Some(CrashPoint::BeforeWalAppend) {
+            return self.crash(CrashPoint::BeforeWalAppend);
+        }
+        let wal_len = self.wal.len()?;
+        {
+            let images: Vec<(PageId, &PageBuf)> = dirty
+                .iter()
+                .map(|&id| (id, self.pool.image_of(id).expect("dirty page is framed")))
+                .collect();
+            self.wal.append_batch(&images, self.batch_seq)?;
+        }
+        if crash == Some(CrashPoint::WalAppended) {
+            // The record only ever reached the OS cache; the kill drops it.
+            self.wal.truncate_to(wal_len)?;
+            return self.crash(CrashPoint::WalAppended);
+        }
+        self.wal.sync()?; // ← the commit point
+        if crash == Some(CrashPoint::WalSynced) {
+            return self.crash(CrashPoint::WalSynced);
+        }
+        if crash == Some(CrashPoint::MidHeapFlush) {
+            // Every page but the last lands whole; the last is torn in half.
+            if let Some((&last, rest)) = dirty.split_last() {
+                for &id in rest {
+                    let page = self.pool.image_of(id).expect("framed").clone();
+                    self.data.write_page(id, &page)?;
+                }
+                let page = self.pool.image_of(last).expect("framed").clone();
+                self.data.write_torn(last, &page)?;
+            }
+            self.data.sync()?;
+            return self.crash(CrashPoint::MidHeapFlush);
+        }
+        self.pool.flush_dirty(&mut self.data)?;
+        self.data.sync()?;
+        if crash == Some(CrashPoint::AfterFlush) {
+            // Durable, but the WAL checkpoint never happens: recovery will
+            // replay this batch over identical bytes.
+            return self.crash(CrashPoint::AfterFlush);
+        }
+        self.wal.reset()?;
+        Ok(())
+    }
+
+    fn crash(&mut self, point: CrashPoint) -> io::Result<()> {
+        self.poisoned = true;
+        Err(io::Error::other(format!(
+            "injected crash at {} during commit",
+            point.label()
+        )))
+    }
+
+    /// Scan `table` leaf-by-leaf in rowid order.
+    pub fn scan(&mut self, table: &str) -> io::Result<TableScan> {
+        self.check_poisoned()?;
+        let ti = self.table_index(table)?;
+        let meta = self.tables[ti].clone();
+        // Descend to the leftmost leaf…
+        let mut cur = meta.root;
+        loop {
+            let idx = self.pool.fetch(&mut self.data, cur)?;
+            match self.pool.page(idx).kind() {
+                KIND_LEAF => break,
+                KIND_INTERNAL => {
+                    cur = Internal::first_child(self.pool.page(idx))
+                        .map_err(corrupt)?
+                        .ok_or_else(|| invalid("internal node with no children"))?;
+                }
+                k => return Err(invalid(format!("unexpected page kind {k} on scan path"))),
+            }
+        }
+        // …then follow the next-leaf chain.
+        let mut leaves = Vec::new();
+        let mut next = Some(cur);
+        while let Some(id) = next {
+            let idx = self.pool.fetch(&mut self.data, id)?;
+            let page = self.pool.page(idx);
+            let cells = Leaf::cells(page).map_err(corrupt)?;
+            let split_origin = Leaf::split_origin(page);
+            next = Leaf::next_leaf(page);
+            let mut rows = Vec::with_capacity(cells.len());
+            for (rowid, payload) in cells {
+                rows.push((rowid, decode_row(&payload).map_err(invalid)?));
+            }
+            leaves.push(LeafScan {
+                page: id,
+                split_origin,
+                first_flush_cells: self.pool.first_flush_cells(id),
+                rows,
+            });
+        }
+        Ok(TableScan {
+            leaves,
+            last_batch_start: meta.last_batch_start,
+            last_batch_rows: meta.last_batch_rows,
+        })
+    }
+
+    /// Point lookup by rowid, descending the tree (no chain walk).
+    pub fn get(&mut self, table: &str, rowid: u64) -> io::Result<Option<Vec<Value>>> {
+        self.check_poisoned()?;
+        let ti = self.table_index(table)?;
+        let mut cur = self.tables[ti].root;
+        loop {
+            let idx = self.pool.fetch(&mut self.data, cur)?;
+            match self.pool.page(idx).kind() {
+                KIND_LEAF => {
+                    return Leaf::get(self.pool.page(idx), rowid)
+                        .map_err(corrupt)?
+                        .map(|payload| decode_row(&payload).map_err(invalid))
+                        .transpose();
+                }
+                KIND_INTERNAL => {
+                    match Internal::child_for(self.pool.page(idx), rowid).map_err(corrupt)? {
+                        Some(child) => cur = child,
+                        None => return Ok(None),
+                    }
+                }
+                k => return Err(invalid(format!("unexpected page kind {k} on lookup path"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            TempDir(std::env::temp_dir().join(format!("tqs-store-{}-{tag}", std::process::id())))
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn row(i: u64) -> Vec<Value> {
+        vec![
+            Value::Int(i as i64),
+            Value::Varchar(format!("row-{i}")),
+            if i % 7 == 0 {
+                Value::Null
+            } else {
+                Value::UInt(i * 3)
+            },
+        ]
+    }
+
+    fn all_rowids(store: &mut DiskStore, table: &str) -> Vec<u64> {
+        store
+            .scan(table)
+            .unwrap()
+            .into_rows()
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    #[test]
+    fn inserts_split_scan_and_survive_reopen() {
+        let t = TempDir::new("roundtrip");
+        let mut store = DiskStore::create(&t.0, 4).unwrap();
+        store.create_table("T1").unwrap();
+        store.create_table("T2").unwrap();
+        // 150 rows in batches of 40 → several leaves (cap 32) and splits,
+        // through a pool of only 4 frames.
+        let rows: Vec<Vec<Value>> = (1..=150).map(row).collect();
+        for chunk in rows.chunks(40) {
+            store.insert_batch("T1", chunk).unwrap();
+        }
+        store.insert_batch("T2", &rows[..5]).unwrap();
+
+        let scan = store.scan("T1").unwrap();
+        assert!(scan.leaves.len() > 3, "expected multiple leaves");
+        assert!(scan.leaves[0].split_origin, "first leaf must have split");
+        assert!(!scan.leaves.last().unwrap().split_origin);
+        assert_eq!(scan.last_batch_start, 121);
+        assert_eq!(scan.last_batch_rows, 30);
+        let got = scan.into_rows();
+        assert_eq!(got.len(), 150);
+        for (i, (rowid, r)) in got.iter().enumerate() {
+            assert_eq!(*rowid, i as u64 + 1, "rowids contiguous in order");
+            assert_eq!(r, &row(i as u64 + 1));
+        }
+        assert_eq!(store.get("T1", 97).unwrap(), Some(row(97)));
+        assert_eq!(store.get("T1", 151).unwrap(), None);
+        assert_eq!(store.rows_inserted("T1").unwrap(), 150);
+        let evictions = store.pool_stats().evictions;
+        assert!(evictions > 0, "a 4-frame pool over 150 rows must evict");
+
+        drop(store);
+        let (mut back, stats) = DiskStore::open(&t.0, 4).unwrap();
+        assert_eq!(stats.batches_replayed, 0, "clean close leaves no WAL");
+        assert_eq!(back.scan("T1").unwrap().into_rows(), got);
+        assert_eq!(back.get("T2", 3).unwrap(), Some(row(3)));
+    }
+
+    #[test]
+    fn crash_at_every_point_keeps_committed_rows_and_only_those() {
+        for point in CrashPoint::ALL {
+            let t = TempDir::new(&format!("crash-{point}"));
+            let mut store = DiskStore::create(&t.0, 8).unwrap();
+            store.create_table("T").unwrap();
+            let rows: Vec<Vec<Value>> = (1..=120).map(row).collect();
+            store.insert_batch("T", &rows[..40]).unwrap();
+            store.insert_batch("T", &rows[40..80]).unwrap();
+            let committed: Vec<u64> = (1..=80).collect();
+
+            store.set_crash_point(Some(point));
+            let err = store.insert_batch("T", &rows[80..]).unwrap_err();
+            assert!(err.to_string().contains(point.label()), "{err}");
+            assert!(store.is_poisoned());
+            assert!(store.scan("T").is_err(), "poisoned store must refuse");
+
+            drop(store);
+            let (mut back, stats) = DiskStore::open(&t.0, 8).unwrap();
+            let expect: Vec<u64> = if point.batch_is_committed() {
+                assert!(stats.batches_replayed >= 1, "{point}: redo must run");
+                (1..=120).collect()
+            } else {
+                assert_eq!(stats.batches_replayed, 0, "{point}: nothing to redo");
+                committed.clone()
+            };
+            assert_eq!(all_rowids(&mut back, "T"), expect, "after {point}");
+            // the store works again post-recovery
+            back.insert_batch("T", &rows[..3]).unwrap();
+            assert_eq!(back.rows_inserted("T").unwrap(), expect.len() as u64 + 3);
+        }
+    }
+
+    #[test]
+    fn empty_tables_and_empty_batches_are_durable() {
+        let t = TempDir::new("empty");
+        let mut store = DiskStore::create(&t.0, 8).unwrap();
+        store.create_table("Empty").unwrap();
+        store.insert_batch("Empty", &[]).unwrap();
+        drop(store);
+        let (mut back, _) = DiskStore::open(&t.0, 8).unwrap();
+        assert_eq!(back.scan("Empty").unwrap().row_count(), 0);
+        assert_eq!(back.tables().len(), 1);
+    }
+
+    #[test]
+    fn first_flush_cells_tracks_the_stale_version_of_a_regrown_leaf() {
+        let t = TempDir::new("staleframe");
+        let mut store = DiskStore::create(&t.0, 8).unwrap();
+        store.create_table("T").unwrap();
+        // first batch part-fills the tail leaf, second batch grows it
+        let rows: Vec<Vec<Value>> = (1..=40).map(row).collect();
+        store.insert_batch("T", &rows[..10]).unwrap();
+        store.insert_batch("T", &rows[10..]).unwrap();
+        let scan = store.scan("T").unwrap();
+        let first = &scan.leaves[0];
+        assert_eq!(first.first_flush_cells, Some(10), "flushed at 10 cells");
+        assert!(first.rows.len() > 10, "grew past its first flushed image");
+    }
+}

@@ -1,13 +1,13 @@
 //! Start, kill and resume a sharded hunt campaign.
 //!
 //! Demonstrates the campaign lifecycle end to end: a fresh campaign over a
-//! (shard × profile × oracle) cell grid, a bounded first session (standing
+//! (shard × profile × oracle × engine) cell grid, a bounded first session (standing
 //! in for a killed process), a resume that picks up the missing cells, and
 //! the triage/corpus state that survives on disk throughout.
 //!
 //! Run with: `cargo run --release --example campaign_hunt`
 
-use tqs_campaign::{Campaign, CampaignConfig, Corpus, OracleSpec};
+use tqs_campaign::{Campaign, CampaignConfig, Corpus, EngineKind, OracleSpec};
 use tqs_core::dsg::{DsgConfig, WideSource};
 use tqs_engine::ProfileId;
 use tqs_schema::NoiseConfig;
@@ -37,6 +37,7 @@ fn main() {
         workers: 2,
         profiles: vec![ProfileId::MysqlLike, ProfileId::TidbLike],
         oracles: vec![OracleSpec::GroundTruth],
+        engines: vec![EngineKind::Row, EngineKind::Disk],
         queries_per_cell: 60,
         seed: 2024,
         minimize: true,

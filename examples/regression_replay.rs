@@ -12,7 +12,8 @@
 //! Run with: `cargo run --release --example regression_replay`
 
 use tqs_campaign::{
-    BuildSpec, Campaign, CampaignConfig, Corpus, OracleSpec, ReverifyCampaign, ReverifyConfig,
+    BuildSpec, Campaign, CampaignConfig, Corpus, EngineKind, OracleSpec, ReverifyCampaign,
+    ReverifyConfig,
 };
 use tqs_core::dsg::{DsgConfig, WideSource};
 use tqs_engine::ProfileId;
@@ -40,6 +41,7 @@ fn main() {
         workers: 2,
         profiles: vec![ProfileId::MysqlLike],
         oracles: vec![OracleSpec::GroundTruth],
+        engines: vec![EngineKind::Row],
         queries_per_cell: 50,
         seed: 31337,
         minimize: true,

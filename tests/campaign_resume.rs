@@ -3,7 +3,7 @@
 
 use std::collections::BTreeSet;
 use std::path::PathBuf;
-use tqs_campaign::{Campaign, CampaignConfig, Corpus, OracleSpec};
+use tqs_campaign::{Campaign, CampaignConfig, Corpus, EngineKind, OracleSpec};
 use tqs_core::backend::DbmsConnector;
 use tqs_core::dsg::{DsgConfig, WideSource};
 use tqs_engine::ProfileId;
@@ -39,6 +39,7 @@ fn cfg(dir: PathBuf, shards: usize, queries_per_cell: usize) -> CampaignConfig {
         workers: 2,
         profiles: vec![ProfileId::MysqlLike],
         oracles: vec![OracleSpec::GroundTruth],
+        engines: vec![EngineKind::Row],
         queries_per_cell,
         seed: 4242,
         minimize: true,
@@ -129,15 +130,22 @@ fn torn_final_lines_are_skipped_and_resume_reproduces_the_class_set() {
         f.write_all(b"{\"cell\": 1, \"class\": \"SemiJo").unwrap();
     }
 
-    // Resume skips the torn tails (with a warning on stderr) and completes
-    // to the exact class set of the uninterrupted run.
+    // Resume truncates the torn tails — counted into the run's stats, not
+    // printed — and completes to the exact class set of the uninterrupted
+    // run.
     let mut resumed = Campaign::resume(cfg(dir.clone(), 2, 40)).unwrap();
     assert_eq!(
         resumed.cells_done(),
         1,
         "torn tail must not eat the journal"
     );
-    resumed.run().unwrap();
+    assert_eq!(
+        resumed.torn_tails_repaired(),
+        2,
+        "both the corpus and the checkpoint journal were torn"
+    );
+    let stats = resumed.run().unwrap();
+    assert_eq!(stats.torn_tails_repaired, 2);
     assert!(resumed.is_complete());
     assert_eq!(
         resumed.class_keys(),

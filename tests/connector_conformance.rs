@@ -43,6 +43,36 @@ fn columnar_connector_seeded_builds_conform() {
 }
 
 #[test]
+fn disk_connector_pristine_builds_conform() {
+    // The third engine executes over the B+tree page store; fault-free it
+    // must satisfy the exact contract of the in-memory engines.
+    for profile in ProfileId::ALL {
+        let mut conn = EngineConnector::disk_pristine(profile);
+        assert_connector_conformance(&mut conn, BuildKind::Pristine);
+    }
+}
+
+#[test]
+fn disk_connector_seeded_builds_conform() {
+    // The storage-layer fault complement must be observable through the
+    // trait, exactly like the row and columnar complements.
+    for profile in ProfileId::ALL {
+        let mut conn = EngineConnector::disk(profile);
+        assert_connector_conformance(&mut conn, BuildKind::Seeded);
+    }
+}
+
+#[test]
+fn replay_connector_of_a_recorded_disk_session_conforms() {
+    // A recorded disk session round-trips through the replay backend: the
+    // witness trace stands in for the page store entirely.
+    let mut rec = RecordingConnector::new(EngineConnector::disk(ProfileId::MysqlLike));
+    assert_connector_conformance(&mut rec, BuildKind::Seeded);
+    let mut replay = rec.replay();
+    assert_connector_conformance(&mut replay, BuildKind::Seeded);
+}
+
+#[test]
 fn replay_connector_of_a_recorded_pristine_session_conforms() {
     // Record one full conformance run, then replay it without the engine:
     // the suite's seeded generator reproduces the same statements, so the

@@ -1,0 +1,115 @@
+//! Acceptance test for the disk engine as a full campaign citizen: a hunt
+//! over the (engine × oracle) grid — row and disk cells, ground-truth and
+//! three-way differential oracles — must surface the storage-layer fault
+//! complement as deduplicated bug classes, persist them to the corpus, and
+//! re-verify them `StillFailing` on the faulty build and `Fixed` on the
+//! pristine build through the discovering cell's own engine and oracle.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use tqs_campaign::{
+    BuildSpec, Campaign, CampaignConfig, Corpus, EngineKind, OracleSpec, ReverifyCampaign,
+    ReverifyConfig, ReverifyStatus,
+};
+use tqs_core::dsg::{DsgConfig, WideSource};
+use tqs_engine::{FaultKind, ProfileId};
+use tqs_schema::NoiseConfig;
+use tqs_storage::widegen::ShoppingConfig;
+
+fn cfg(dir: PathBuf) -> CampaignConfig {
+    CampaignConfig {
+        dir,
+        dsg: DsgConfig {
+            source: WideSource::Shopping(ShoppingConfig {
+                n_rows: 110,
+                ..Default::default()
+            }),
+            fd: Default::default(),
+            noise: Some(NoiseConfig {
+                epsilon: 0.04,
+                seed: 23,
+                max_injections: 12,
+            }),
+        },
+        shards: 2,
+        workers: 3,
+        profiles: vec![ProfileId::MysqlLike],
+        oracles: vec![OracleSpec::GroundTruth, OracleSpec::ThreeWay],
+        engines: vec![EngineKind::Row, EngineKind::Disk],
+        queries_per_cell: 60,
+        seed: 616,
+        minimize: true,
+        max_cells_per_run: None,
+    }
+}
+
+#[test]
+fn disk_cells_surface_the_storage_fault_complement_and_reverify() {
+    let dir = std::env::temp_dir().join(format!("tqs-disk-campaign-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = cfg(dir.clone());
+
+    let mut campaign = Campaign::new(config.clone()).expect("fresh campaign");
+    // 2 shards × 1 profile × 2 oracles × 2 engines.
+    assert_eq!(campaign.cells_total(), 8);
+    let stats = campaign.run().expect("campaign run");
+    assert!(campaign.is_complete());
+    assert!(stats.bug_classes > 0);
+
+    // The corpus must hold classes discovered *by disk cells* whose root
+    // cause is the storage fault complement — and at least three distinct
+    // disk fault kinds must appear (the "disk-only fault classes").
+    let entries = Corpus::in_dir(&dir).load().expect("load the corpus");
+    assert_eq!(entries.len(), campaign.class_keys().len());
+    let disk_classes: Vec<_> = entries
+        .iter()
+        .filter(|e| e.report.fired.iter().any(|f| FaultKind::DISK.contains(f)))
+        .collect();
+    assert!(
+        disk_classes.len() >= 3,
+        "expected >= 3 disk-fault classes, found {}",
+        disk_classes.len()
+    );
+    for entry in &disk_classes {
+        assert!(
+            entry.connector.name.contains("[disk]"),
+            "a disk-fault class must come from a disk build: {:?}",
+            entry.connector
+        );
+    }
+    let disk_kinds: BTreeSet<FaultKind> = disk_classes
+        .iter()
+        .flat_map(|e| e.report.fired.iter())
+        .filter(|f| FaultKind::DISK.contains(f))
+        .copied()
+        .collect();
+    assert!(
+        disk_kinds.len() >= 3,
+        "expected >= 3 distinct storage fault kinds, got {disk_kinds:?}"
+    );
+
+    // Every class — disk-discovered ones included — re-verifies through its
+    // own cell's engine and oracle: StillFailing on the build that produced
+    // it, Fixed on the fault-free build.
+    let classes = campaign.class_keys().len();
+    let rv = ReverifyCampaign::load(ReverifyConfig {
+        campaign: config,
+        builds: vec![BuildSpec::Faulty, BuildSpec::Pristine],
+        workers: 3,
+    })
+    .expect("load the corpus for re-verification");
+    let (report, rv_stats) = rv.run();
+    assert_eq!(rv_stats.verdicts, classes * 2);
+    assert_eq!(rv_stats.flaky, 0, "{report:#?}");
+    assert_eq!(rv_stats.stale, 0, "{report:#?}");
+    assert_eq!(
+        report.count_on(BuildSpec::Faulty, ReverifyStatus::StillFailing),
+        classes
+    );
+    assert_eq!(
+        report.count_on(BuildSpec::Pristine, ReverifyStatus::Fixed),
+        classes
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

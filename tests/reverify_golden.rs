@@ -14,7 +14,7 @@
 
 use std::path::PathBuf;
 use tqs_campaign::{
-    BuildSpec, Campaign, CampaignConfig, OracleSpec, ReverifyCampaign, ReverifyConfig,
+    BuildSpec, Campaign, CampaignConfig, EngineKind, OracleSpec, ReverifyCampaign, ReverifyConfig,
 };
 use tqs_core::dsg::{DsgConfig, WideSource};
 use tqs_engine::ProfileId;
@@ -43,6 +43,10 @@ fn golden_cfg(dir: PathBuf) -> CampaignConfig {
         workers: 1,
         profiles: vec![ProfileId::MysqlLike, ProfileId::TidbLike],
         oracles: vec![OracleSpec::GroundTruth, OracleSpec::CrossEngine],
+        // The fixture's checkpoint was journaled before the engine axis
+        // existed; its header omits `engines` and loads as the row-only
+        // campaign it was, which this must match.
+        engines: vec![EngineKind::Row],
         queries_per_cell: 20,
         seed: 0x5EED,
         minimize: false,

@@ -4,7 +4,7 @@
 
 use std::path::PathBuf;
 use tqs_campaign::{
-    BuildSpec, Campaign, CampaignConfig, Corpus, Json, OracleSpec, ReverifyCampaign,
+    BuildSpec, Campaign, CampaignConfig, Corpus, EngineKind, Json, OracleSpec, ReverifyCampaign,
     ReverifyConfig, ReverifyReport, ReverifyStatus,
 };
 use tqs_core::dsg::{DsgConfig, WideSource};
@@ -37,6 +37,7 @@ fn cfg(dir: PathBuf) -> CampaignConfig {
         workers: 2,
         profiles: vec![ProfileId::MysqlLike],
         oracles: vec![OracleSpec::GroundTruth],
+        engines: vec![EngineKind::Row],
         queries_per_cell: 40,
         seed: 4242,
         minimize: true,
