@@ -1,0 +1,225 @@
+//! Plan-space experiment: how many optimizer plans the enumerator opens per
+//! statement, whether every plan agrees with the wide-table ground truth on
+//! pristine builds, and how fast the plan-space oracle hunts.
+//!
+//! Two measurements:
+//!
+//! 1. **Pristine agreement sweep** — for each engine (row, columnar, disk),
+//!    drive the [`PlanSpaceOracle`] over a deterministic statement stream on
+//!    the fault-free build: every enumerated plan must agree with the ground
+//!    truth, so the agreement rate is expected to be 1.0. Reports
+//!    plans/statement and plans/sec per engine.
+//! 2. **Faulty hunt campaign** — the [`plan_campaign_config`] campaign: all
+//!    cells in plan-space mode on seeded-fault builds, which arms the
+//!    optimizer fault complement (Table 4 ids 30–34) inside the enumerator.
+//!    Reports the deduplicated class count, how many distinct optimizer
+//!    fault kinds the hunt surfaced, and verifies the resume guarantee.
+//!
+//! Emits `BENCH_plans.json`. Environment knobs: the `TQS_PLANS_*` family
+//! (see [`plan_campaign_config`]) plus `TQS_PLANS_SWEEP` (statements per
+//! engine in the agreement sweep, default 40) and `TQS_PLANS_OUT` (output
+//! path, default `BENCH_plans.json`).
+
+use std::sync::Arc;
+use std::time::Instant;
+use tqs_bench::{env_usize, plan_campaign_config, standard_dsg};
+use tqs_campaign::{Campaign, EngineKind, Json};
+use tqs_core::dsg::{DsgDatabase, QueryGenConfig, QueryGenerator, UniformScorer};
+use tqs_core::oracle::{Oracle, OracleVerdict, PlanSpaceOracle};
+use tqs_engine::{FaultKind, ProfileId};
+
+struct EngineSweep {
+    engine: &'static str,
+    statements: usize,
+    plans: usize,
+    disagreements: usize,
+    elapsed_sec: f64,
+}
+
+impl EngineSweep {
+    fn plans_per_statement(&self) -> f64 {
+        self.plans as f64 / (self.statements as f64).max(1.0)
+    }
+
+    fn agreement(&self) -> f64 {
+        if self.statements == 0 {
+            return 1.0;
+        }
+        1.0 - self.disagreements as f64 / self.statements as f64
+    }
+
+    fn plans_per_sec(&self) -> f64 {
+        self.plans as f64 / self.elapsed_sec.max(1e-9)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("engine".to_string(), Json::str(self.engine)),
+            ("statements".to_string(), Json::count(self.statements)),
+            ("plans".to_string(), Json::count(self.plans)),
+            (
+                "plans_per_statement".to_string(),
+                Json::Num(self.plans_per_statement()),
+            ),
+            ("agreement".to_string(), Json::Num(self.agreement())),
+            ("plans_per_sec".to_string(), Json::Num(self.plans_per_sec())),
+        ])
+    }
+}
+
+/// Drive the plan-space oracle over `n` generated statements on the pristine
+/// build of `engine`.
+fn sweep(engine: EngineKind, dsg: &Arc<DsgDatabase>, n: usize) -> EngineSweep {
+    let mut conn = engine.connect_pristine(ProfileId::MysqlLike, dsg);
+    let mut oracle = PlanSpaceOracle::shared(Arc::clone(dsg));
+    let mut generator = QueryGenerator::new(QueryGenConfig {
+        seed: 0x91A5 ^ engine.label().len() as u64,
+        ..Default::default()
+    });
+    let mut statements = 0usize;
+    let mut disagreements = 0usize;
+    let started = Instant::now();
+    for _ in 0..n {
+        let stmt = generator.generate(dsg, None, &UniformScorer);
+        match oracle.check(&stmt, &mut conn) {
+            OracleVerdict::Skip => {}
+            OracleVerdict::Pass => statements += 1,
+            OracleVerdict::Bugs(_) => {
+                statements += 1;
+                disagreements += 1;
+            }
+        }
+    }
+    EngineSweep {
+        engine: engine.label(),
+        statements,
+        plans: oracle.plans_enumerated(),
+        disagreements,
+        elapsed_sec: started.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    let out_path =
+        std::env::var("TQS_PLANS_OUT").unwrap_or_else(|_| "BENCH_plans.json".to_string());
+
+    // Part 1: pristine agreement sweep, one engine at a time.
+    let dsg = Arc::new(DsgDatabase::build(&standard_dsg(200, 77)));
+    let n = env_usize("TQS_PLANS_SWEEP", 40);
+    println!("Plan-space agreement sweep — {n} statements per engine (pristine builds)");
+    println!(
+        "{:<10} {:>11} {:>8} {:>12} {:>10} {:>11}",
+        "engine", "statements", "plans", "plans/stmt", "agreement", "plans/sec"
+    );
+    let mut sweeps = Vec::new();
+    for engine in EngineKind::ALL {
+        let s = sweep(engine, &dsg, n);
+        println!(
+            "{:<10} {:>11} {:>8} {:>12.1} {:>10.3} {:>11.1}",
+            s.engine,
+            s.statements,
+            s.plans,
+            s.plans_per_statement(),
+            s.agreement(),
+            s.plans_per_sec()
+        );
+        assert!(
+            (s.agreement() - 1.0).abs() < 1e-9,
+            "pristine {} build must agree on every enumerated plan",
+            s.engine
+        );
+        sweeps.push(s);
+    }
+
+    // Part 2: the plan-space hunt campaign on seeded-fault builds.
+    let cfg = plan_campaign_config();
+    let dir = cfg.dir.clone();
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut campaign = Campaign::new(cfg.clone()).expect("fresh campaign directory");
+    println!();
+    println!(
+        "Plan-space hunt — {} cells, {} queries/cell, engines {:?}",
+        campaign.cells_total(),
+        cfg.queries_per_cell,
+        cfg.engines.iter().map(|e| e.label()).collect::<Vec<_>>()
+    );
+    let stats = campaign.run().expect("campaign run");
+    assert!(campaign.is_complete());
+
+    let mut optimizer_kinds: Vec<FaultKind> = campaign
+        .triage()
+        .classes()
+        .iter()
+        .flat_map(|c| c.representative.fired.iter().copied())
+        .filter(|f| FaultKind::OPTIMIZER.contains(f))
+        .collect();
+    optimizer_kinds.sort_by_key(|f| f.table4_id());
+    optimizer_kinds.dedup();
+
+    println!();
+    println!("{:<28} {:>12}", "metric", "value");
+    println!("{:<28} {:>12}", "queries executed", stats.queries);
+    println!("{:<28} {:>12}", "plans executed", stats.plans);
+    println!("{:<28} {:>12.1}", "plans/sec", stats.plans_per_sec());
+    println!("{:<28} {:>12}", "raw bug reports", stats.raw_reports);
+    println!("{:<28} {:>12}", "bug classes", stats.bug_classes);
+    println!(
+        "{:<28} {:>12}",
+        "optimizer fault kinds",
+        optimizer_kinds.len()
+    );
+    for f in &optimizer_kinds {
+        println!("  [{:>2}] {f:?}", f.table4_id());
+    }
+
+    // Resume check: the plan-space grid must reload bit-identically.
+    let resumed = Campaign::resume(cfg).expect("resume the finished campaign");
+    assert!(resumed.is_complete());
+    assert_eq!(
+        resumed.class_keys(),
+        campaign.class_keys(),
+        "persisted corpus must reproduce the plan-space class set"
+    );
+    println!();
+    println!(
+        "resume check: {} classes reload bit-identically from {}",
+        resumed.class_keys().len(),
+        dir.display()
+    );
+
+    let json = Json::Obj(vec![
+        (
+            "sweep".to_string(),
+            Json::Arr(sweeps.iter().map(EngineSweep::to_json).collect()),
+        ),
+        ("hunt_queries".to_string(), Json::count(stats.queries)),
+        ("hunt_plans".to_string(), Json::count(stats.plans)),
+        (
+            "hunt_plans_per_sec".to_string(),
+            Json::Num(stats.plans_per_sec()),
+        ),
+        (
+            "hunt_raw_reports".to_string(),
+            Json::count(stats.raw_reports),
+        ),
+        (
+            "hunt_bug_classes".to_string(),
+            Json::count(stats.bug_classes),
+        ),
+        (
+            "optimizer_fault_kinds".to_string(),
+            Json::Arr(
+                optimizer_kinds
+                    .iter()
+                    .map(|f| Json::count(f.table4_id() as usize))
+                    .collect(),
+            ),
+        ),
+        (
+            "resume_check_classes".to_string(),
+            Json::count(resumed.class_keys().len()),
+        ),
+    ]);
+    std::fs::write(&out_path, format!("{json}\n")).expect("write benchmark artifact");
+    println!("wrote {out_path}");
+}

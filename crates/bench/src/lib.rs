@@ -4,7 +4,7 @@
 //! recorded results).
 
 use std::path::PathBuf;
-use tqs_campaign::{CampaignConfig, EngineKind, OracleSpec};
+use tqs_campaign::{CampaignConfig, EngineKind, OracleSpec, PlanMode};
 use tqs_core::backend::EngineConnector;
 use tqs_core::dsg::{DsgConfig, DsgDatabase, WideSource};
 use tqs_core::tqs::{TqsConfig, TqsSession};
@@ -83,9 +83,40 @@ pub fn standard_campaign_config() -> CampaignConfig {
         profiles: vec![ProfileId::MysqlLike, ProfileId::TidbLike],
         oracles: vec![OracleSpec::GroundTruth, OracleSpec::ThreeWay],
         engines: vec![EngineKind::Row, EngineKind::Disk],
+        plan_modes: vec![PlanMode::Single],
         queries_per_cell: env_usize("TQS_CAMPAIGN_QUERIES", 150),
         seed: 0xCA3A,
         minimize: true,
+        max_cells_per_run: None,
+    }
+}
+
+/// The plan-space hunt campaign driven by `exp_plans`: every cell runs in
+/// [`PlanMode::Space`] — each generated statement is lowered through the
+/// optimizer, its plan space enumerated, and every enumerated plan executed
+/// against the wide-table ground truth — across all three engines on faulty
+/// builds (which seed the `FaultKind::OPTIMIZER` complement into the
+/// enumerator). Environment knobs:
+///
+/// * `TQS_PLANS_QUERIES` — query budget per cell (default 40)
+/// * `TQS_PLANS_SHARDS` — wide-table shards (default 2)
+/// * `TQS_PLANS_WORKERS` — worker threads (default 2)
+/// * `TQS_PLANS_DIR` — campaign directory (default `target/exp_plans`)
+pub fn plan_campaign_config() -> CampaignConfig {
+    CampaignConfig {
+        dir: std::env::var("TQS_PLANS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("target/exp_plans")),
+        dsg: standard_dsg(200, 77),
+        shards: env_usize("TQS_PLANS_SHARDS", 2),
+        workers: env_usize("TQS_PLANS_WORKERS", 2),
+        profiles: vec![ProfileId::MysqlLike],
+        oracles: vec![OracleSpec::GroundTruth],
+        engines: vec![EngineKind::Row, EngineKind::Columnar, EngineKind::Disk],
+        plan_modes: vec![PlanMode::Space],
+        queries_per_cell: env_usize("TQS_PLANS_QUERIES", 40),
+        seed: 0x91A5,
+        minimize: false,
         max_cells_per_run: None,
     }
 }

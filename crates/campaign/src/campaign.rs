@@ -35,7 +35,7 @@ use tqs_core::backend::{DbmsConnector, EngineConnector, RecordingConnector};
 use tqs_core::bugs::minimize_with_oracle;
 use tqs_core::dsg::{DsgConfig, DsgDatabase, QueryGenConfig, QueryGenerator};
 use tqs_core::kqe::{Kqe, KqeConfig, KqeScorer};
-use tqs_core::oracle::{DifferentialOracle, Oracle, OracleVerdict, TqsOracle};
+use tqs_core::oracle::{DifferentialOracle, Oracle, OracleVerdict, PlanSpaceOracle, TqsOracle};
 use tqs_engine::ProfileId;
 use tqs_graph::embedding::embed_graph;
 use tqs_graph::plangraph::{graph_fingerprint, query_graph_with_subqueries};
@@ -110,6 +110,38 @@ impl EngineKind {
             EngineKind::Columnar => EngineConnector::connect_columnar_pristine(profile, shard),
             EngineKind::Disk => EngineConnector::connect_disk_pristine(profile, shard),
         }
+    }
+}
+
+/// How many physical plans a cell hunts per statement — the plan-space grid
+/// axis. `Single` is the historical behavior (the oracle's own hint-set
+/// transformations); `Space` swaps the cell's verdict procedure for the
+/// [`PlanSpaceOracle`]: every statement is lowered through the optimizer,
+/// its full plan space enumerated (cost-ranked top-K plus seeded samples)
+/// and *every* enumerated plan executed and verified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanMode {
+    /// One plan per hint set, as the cell's oracle defines.
+    Single,
+    /// The enumerated optimizer plan space per statement.
+    Space,
+}
+
+impl PlanMode {
+    pub const ALL: [PlanMode; 2] = [PlanMode::Single, PlanMode::Space];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            PlanMode::Single => "single",
+            PlanMode::Space => "space",
+        }
+    }
+
+    pub fn from_label(label: &str) -> Result<PlanMode, String> {
+        Self::ALL
+            .into_iter()
+            .find(|m| m.label() == label)
+            .ok_or_else(|| format!("unknown plan mode `{label}`"))
     }
 }
 
@@ -195,6 +227,9 @@ pub struct CampaignConfig {
     /// Executors under test (one cell column per engine). Part of the
     /// campaign identity like `profiles`/`oracles`.
     pub engines: Vec<EngineKind>,
+    /// Plan modes hunted (one cell column per mode). Part of the campaign
+    /// identity; `[Single]` reproduces the historical grid exactly.
+    pub plan_modes: Vec<PlanMode>,
     /// Query budget per cell — cells are budget-bound, not wall-clock-bound,
     /// which is what makes them deterministic and resumable.
     pub queries_per_cell: usize,
@@ -216,6 +251,7 @@ impl Default for CampaignConfig {
             profiles: vec![ProfileId::MysqlLike],
             oracles: vec![OracleSpec::GroundTruth],
             engines: vec![EngineKind::Row],
+            plan_modes: vec![PlanMode::Single],
             queries_per_cell: 100,
             seed: 7,
             minimize: true,
@@ -235,6 +271,11 @@ impl CampaignConfig {
             profiles: self.profiles.iter().map(|p| p.name().to_string()).collect(),
             oracles: self.oracles.iter().map(|o| o.label().to_string()).collect(),
             engines: self.engines.iter().map(|e| e.label().to_string()).collect(),
+            plan_modes: self
+                .plan_modes
+                .iter()
+                .map(|m| m.label().to_string())
+                .collect(),
         }
     }
 
@@ -254,22 +295,26 @@ impl CampaignConfig {
         h
     }
 
-    /// The full cell grid, in id order. The engine axis is innermost so a
-    /// single-engine campaign keeps exactly the cell ids it had before the
-    /// axis existed (corpus entries name cells by id).
+    /// The full cell grid, in id order. Newer axes go innermost so a
+    /// campaign not using them keeps exactly the cell ids it had before the
+    /// axis existed (corpus entries name cells by id): engine inside oracle,
+    /// plan mode inside engine.
     fn cell_grid(&self) -> Vec<CampaignCell> {
         let mut cells = Vec::new();
         for shard in 0..self.shards.max(1) {
             for &profile in &self.profiles {
                 for &oracle in &self.oracles {
                     for &engine in &self.engines {
-                        cells.push(CampaignCell {
-                            id: cells.len(),
-                            shard,
-                            profile,
-                            oracle,
-                            engine,
-                        });
+                        for &plan_mode in &self.plan_modes {
+                            cells.push(CampaignCell {
+                                id: cells.len(),
+                                shard,
+                                profile,
+                                oracle,
+                                engine,
+                                plan_mode,
+                            });
+                        }
                     }
                 }
             }
@@ -288,6 +333,23 @@ pub struct CampaignCell {
     pub profile: ProfileId,
     pub oracle: OracleSpec,
     pub engine: EngineKind,
+    pub plan_mode: PlanMode,
+}
+
+impl CampaignCell {
+    /// The verdict procedure of this cell: the configured oracle in
+    /// single-plan mode, the [`PlanSpaceOracle`] in plan-space mode (the
+    /// plan-space hunt subsumes the per-oracle hint transformations — every
+    /// enumerated plan is checked against the shard's ground truth). The
+    /// single construction point shared by the hunt ([`Campaign::run`]) and
+    /// both re-verification legs, so a witness always replays under the
+    /// oracle that recorded it.
+    pub(crate) fn build_oracle(&self, shard: &Arc<DsgDatabase>) -> Box<dyn Oracle> {
+        match self.plan_mode {
+            PlanMode::Single => self.oracle.build(self.profile, self.engine, shard),
+            PlanMode::Space => Box::new(PlanSpaceOracle::shared(Arc::clone(shard))),
+        }
+    }
 }
 
 /// A sharded, resumable hunt campaign (see the module docs).
@@ -538,7 +600,7 @@ impl Campaign {
         let mut conn = RecordingConnector::new(cell.engine.faulty(cell.profile));
         conn.load_catalog(&shard.db.catalog)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let mut oracle = cell.oracle.build(cell.profile, cell.engine, shard);
+        let mut oracle = cell.build_oracle(shard);
         // Per-cell KQE state: the adaptive walk stays deterministic for the
         // cell regardless of what the rest of the fleet is doing — the
         // property the resume guarantee rests on.
@@ -587,7 +649,13 @@ impl Campaign {
             // before the first minimization pollutes the trace.
             let mut witness: Option<Vec<StoredStatement>> = None;
             for report in reports {
-                let mut report = report.with_fingerprint(fp);
+                // Plan-space reports arrive pre-stamped with the plan
+                // fingerprint; fold the query-graph fingerprint in so the
+                // class key separates (structure, plan) pairs. Single-plan
+                // reports carry no fingerprint yet — legacy class keys are
+                // byte-identical.
+                let combined = report.fingerprint.map(|pf| pf ^ fp).unwrap_or(fp);
+                let mut report = report.with_fingerprint(combined);
                 let admitted = triage.lock().admit(report.clone(), cell.id);
                 let Some(class_idx) = admitted else {
                     continue; // duplicate sighting of a known class
@@ -619,6 +687,7 @@ impl Campaign {
         }
 
         live.add_statements(count_statements(&conn.take_trace()));
+        live.add_plans(oracle.plans_enumerated());
 
         let record = CellRecord {
             cell_id: cell.id,
@@ -666,6 +735,7 @@ mod tests {
             profiles: vec![ProfileId::MysqlLike],
             oracles: vec![OracleSpec::GroundTruth],
             engines: vec![EngineKind::Row],
+            plan_modes: vec![PlanMode::Single],
             queries_per_cell: 30,
             seed: 99,
             minimize: false,
@@ -680,20 +750,33 @@ mod tests {
             profiles: vec![ProfileId::MysqlLike, ProfileId::TidbLike],
             oracles: vec![OracleSpec::GroundTruth, OracleSpec::CrossEngine],
             engines: vec![EngineKind::Row, EngineKind::Disk],
+            plan_modes: vec![PlanMode::Single, PlanMode::Space],
             ..small_cfg(test_dir("grid"))
         };
         let cells = cfg.cell_grid();
-        assert_eq!(cells.len(), 2 * 2 * 2 * 2);
+        assert_eq!(cells.len(), 2 * 2 * 2 * 2 * 2);
         assert!(cells.iter().enumerate().all(|(i, c)| c.id == i));
         assert_eq!(cells[0].shard, 0);
         assert_eq!(cells.last().unwrap().shard, 1);
-        // The engine axis is innermost: adjacent ids differ by engine first,
-        // so a `vec![Row]` campaign keeps its historical cell ids.
+        // Newest axis innermost: adjacent ids differ by plan mode first,
+        // then engine, so campaigns not using an axis keep their historical
+        // cell ids.
+        assert_eq!(cells[0].plan_mode, PlanMode::Single);
+        assert_eq!(cells[1].plan_mode, PlanMode::Space);
         assert_eq!(cells[0].engine, EngineKind::Row);
-        assert_eq!(cells[1].engine, EngineKind::Disk);
-        assert_eq!(cells[0].oracle, cells[1].oracle);
-        assert_eq!(cfg.header().cells, 16);
+        assert_eq!(cells[2].engine, EngineKind::Disk);
+        assert_eq!(cells[0].oracle, cells[2].oracle);
+        assert_eq!(cfg.header().cells, 32);
         assert_eq!(cfg.header().engines, vec!["row", "disk"]);
+        assert_eq!(cfg.header().plan_modes, vec!["single", "space"]);
+    }
+
+    #[test]
+    fn plan_mode_labels_round_trip() {
+        for m in PlanMode::ALL {
+            assert_eq!(PlanMode::from_label(m.label()), Ok(m));
+        }
+        assert!(PlanMode::from_label("exhaustive").is_err());
     }
 
     #[test]

@@ -32,6 +32,10 @@ pub struct CheckpointHeader {
     /// Headers journaled before the engine axis existed omit the field and
     /// load as `["row"]` — the only engine those campaigns could run.
     pub engines: Vec<String>,
+    /// Plan-mode labels ([`PlanMode::label`](crate::campaign::PlanMode)).
+    /// Headers journaled before the plan-space axis existed omit the field
+    /// and load as `["single"]` — those campaigns ran one plan per hint set.
+    pub plan_modes: Vec<String>,
 }
 
 impl CheckpointHeader {
@@ -62,6 +66,10 @@ impl CheckpointHeader {
             (
                 "engines".to_string(),
                 Json::Arr(self.engines.iter().map(Json::str).collect()),
+            ),
+            (
+                "plan_modes".to_string(),
+                Json::Arr(self.plan_modes.iter().map(Json::str).collect()),
             ),
         ])
     }
@@ -103,6 +111,11 @@ impl CheckpointHeader {
                 list("engines")?
             } else {
                 vec!["row".to_string()]
+            },
+            plan_modes: if j.get("plan_modes").is_some() {
+                list("plan_modes")?
+            } else {
+                vec!["single".to_string()]
             },
         })
     }
@@ -257,6 +270,7 @@ mod tests {
             profiles: vec!["MySQL-like".into(), "TiDB-like".into()],
             oracles: vec!["ground-truth".into()],
             engines: vec!["row".into(), "disk".into()],
+            plan_modes: vec!["single".into(), "space".into()],
         }
     }
 
@@ -300,5 +314,18 @@ mod tests {
         }
         let parsed = CheckpointHeader::from_json(&legacy).unwrap();
         assert_eq!(parsed.engines, vec!["row".to_string()]);
+    }
+
+    #[test]
+    fn pre_plan_axis_headers_load_as_single_plan() {
+        // A header journaled before the plan-space axis existed has no
+        // `plan_modes` member; it must load as the single-plan campaign it
+        // was.
+        let mut legacy = header().to_json();
+        if let Json::Obj(members) = &mut legacy {
+            members.retain(|(k, _)| k != "plan_modes");
+        }
+        let parsed = CheckpointHeader::from_json(&legacy).unwrap();
+        assert_eq!(parsed.plan_modes, vec!["single".to_string()]);
     }
 }

@@ -62,6 +62,7 @@ fn fault_from_label(label: &str) -> Result<FaultKind, String> {
         .iter()
         .chain(FaultKind::COLUMNAR.iter())
         .chain(FaultKind::DISK.iter())
+        .chain(FaultKind::OPTIMIZER.iter())
         .copied()
         .find(|f| fault_label(*f) == label)
         .ok_or_else(|| format!("unknown fault kind `{label}`"))
@@ -72,13 +73,14 @@ fn oracle_kind_label(k: OracleKind) -> String {
 }
 
 fn oracle_kind_from_label(label: &str) -> Result<OracleKind, String> {
-    const ALL: [OracleKind; 6] = [
+    const ALL: [OracleKind; 7] = [
         OracleKind::GroundTruth,
         OracleKind::Differential,
         OracleKind::CrossEngine,
         OracleKind::PivotMissing,
         OracleKind::Partitioning,
         OracleKind::NonOptimizingRewrite,
+        OracleKind::PlanSpace,
     ];
     ALL.into_iter()
         .find(|k| oracle_kind_label(*k) == label)
@@ -317,6 +319,11 @@ impl CorpusEntry {
                 Json::Arr(r.fired.iter().map(|f| Json::str(fault_label(*f))).collect()),
             ),
         ];
+        // Emitted only when true, so corpora from fault-free builds stay
+        // byte-identical to the pre-optimizer format.
+        if self.connector.seeded_faults {
+            members.push(("seeded".to_string(), Json::Bool(true)));
+        }
         if let Some(m) = &r.minimized_sql {
             members.push(("minimized_sql".to_string(), Json::str(m)));
         }
@@ -381,6 +388,7 @@ impl CorpusEntry {
                 name: str_field("dbms")?,
                 version: str_field("version")?,
                 dialect: profile_from_name(&str_field("dialect")?)?,
+                seeded_faults: j.get("seeded").and_then(Json::as_bool).unwrap_or(false),
             },
             report,
             trace,
@@ -608,6 +616,7 @@ mod tests {
                 name: "MySQL-like".into(),
                 version: "8.0.28-sim".into(),
                 dialect: ProfileId::MysqlLike,
+                seeded_faults: true,
             },
             report,
             trace,

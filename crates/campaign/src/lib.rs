@@ -39,7 +39,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use tqs_campaign::{Campaign, CampaignConfig, EngineKind, OracleSpec};
+//! use tqs_campaign::{Campaign, CampaignConfig, EngineKind, OracleSpec, PlanMode};
 //! use tqs_core::dsg::{DsgConfig, WideSource};
 //! use tqs_engine::ProfileId;
 //! use tqs_storage::widegen::ShoppingConfig;
@@ -57,6 +57,7 @@
 //!     profiles: vec![ProfileId::MysqlLike],
 //!     oracles: vec![OracleSpec::GroundTruth],
 //!     engines: vec![EngineKind::Row],
+//!     plan_modes: vec![PlanMode::Single],
 //!     queries_per_cell: 20,
 //!     seed: 11,
 //!     minimize: false,
@@ -81,7 +82,7 @@ pub mod scheduler;
 pub mod stats;
 pub mod triage;
 
-pub use campaign::{Campaign, CampaignCell, CampaignConfig, EngineKind, OracleSpec};
+pub use campaign::{Campaign, CampaignCell, CampaignConfig, EngineKind, OracleSpec, PlanMode};
 pub use checkpoint::{CellRecord, Checkpoint, CheckpointHeader};
 pub use corpus::{CompactionStats, Corpus, CorpusEntry, StoredStatement};
 pub use json::Json;

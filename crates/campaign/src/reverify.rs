@@ -443,12 +443,11 @@ impl ReverifyCampaign {
             );
         }
 
-        // Replay leg: the recorded witness, re-judged by the cell's oracle.
+        // Replay leg: the recorded witness, re-judged by the cell's oracle
+        // (the plan-space oracle for plan-space cells — the witness trace
+        // recorded every enumerated plan's execution).
         let mut replay = replay;
-        let replay_verdict = cell
-            .oracle
-            .build(cell.profile, cell.engine, shard)
-            .check(&stmt, &mut replay);
+        let replay_verdict = cell.build_oracle(shard).check(&stmt, &mut replay);
         if !replay_verdict.executed() {
             return stale(
                 profile,
@@ -459,10 +458,7 @@ impl ReverifyCampaign {
 
         // Live leg: a fresh end-to-end execution on the build under test.
         let mut conn = build.connect(cell.engine, cell.profile, shard);
-        let live_verdict = cell
-            .oracle
-            .build(cell.profile, cell.engine, shard)
-            .check(&stmt, &mut conn);
+        let live_verdict = cell.build_oracle(shard).check(&stmt, &mut conn);
         if !live_verdict.executed() {
             return stale(
                 profile,
@@ -507,7 +503,7 @@ fn matches_class(recorded: &BugReport, candidates: Vec<BugReport>) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::campaign::OracleSpec;
+    use crate::campaign::{OracleSpec, PlanMode};
     use tqs_core::dsg::{DsgConfig, WideSource};
     use tqs_schema::NoiseConfig;
     use tqs_storage::widegen::ShoppingConfig;
@@ -538,6 +534,7 @@ mod tests {
             profiles: vec![ProfileId::MysqlLike],
             oracles: vec![OracleSpec::GroundTruth],
             engines: vec![EngineKind::Row],
+            plan_modes: vec![PlanMode::Single],
             queries_per_cell: 30,
             seed: 77,
             minimize: false,

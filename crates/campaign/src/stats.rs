@@ -19,6 +19,9 @@ pub struct LiveStats {
     /// minimization probe behind each oracle-level query) — the counter the
     /// execution hot path drives directly.
     statements: AtomicUsize,
+    /// Optimizer-enumerated plans executed (plan-space cells only) — the
+    /// paper's coverage unit: the same statement steered onto many plans.
+    plans: AtomicUsize,
     /// Raw (pre-dedup) bug reports.
     raw_reports: AtomicUsize,
     /// Bug classes newly discovered this run.
@@ -33,6 +36,7 @@ impl LiveStats {
             started: Instant::now(),
             queries: AtomicUsize::new(0),
             statements: AtomicUsize::new(0),
+            plans: AtomicUsize::new(0),
             raw_reports: AtomicUsize::new(0),
             new_classes: AtomicUsize::new(0),
             cells_drained: AtomicUsize::new(0),
@@ -45,6 +49,10 @@ impl LiveStats {
 
     pub fn add_statements(&self, n: usize) {
         self.statements.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_plans(&self, n: usize) {
+        self.plans.fetch_add(n, Ordering::Relaxed);
     }
 
     pub fn add_raw_reports(&self, n: usize) {
@@ -74,6 +82,7 @@ impl LiveStats {
             elapsed: self.started.elapsed(),
             queries: self.queries.load(Ordering::Relaxed),
             statements: self.statements.load(Ordering::Relaxed),
+            plans: self.plans.load(Ordering::Relaxed),
             raw_reports: self.raw_reports.load(Ordering::Relaxed),
             new_classes: self.new_classes.load(Ordering::Relaxed),
             cells_drained: self.cells_drained.load(Ordering::Relaxed),
@@ -96,6 +105,8 @@ pub struct CampaignStats {
     /// Engine-level statements executed this run (hinted plans, replays and
     /// minimization probes included).
     pub statements: usize,
+    /// Optimizer-enumerated plans executed this run (plan-space cells only).
+    pub plans: usize,
     /// Raw bug reports this run (pre-dedup).
     pub raw_reports: usize,
     /// Classes newly discovered this run.
@@ -124,6 +135,12 @@ impl CampaignStats {
     /// the rate the allocation-free execution path feeds directly.
     pub fn statements_per_sec(&self) -> f64 {
         self.statements as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Plan-space throughput: optimizer-enumerated plans executed per
+    /// wall-clock second — the paper's coverage rate.
+    pub fn plans_per_sec(&self) -> f64 {
+        self.plans as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
 
     /// Raw divergence sightings per hour — the flood the triage collapses.
@@ -161,6 +178,8 @@ impl CampaignStats {
                 "statements_per_sec".to_string(),
                 Json::Num(self.statements_per_sec()),
             ),
+            ("plans".to_string(), Json::count(self.plans)),
+            ("plans_per_sec".to_string(), Json::Num(self.plans_per_sec())),
             ("raw_reports".to_string(), Json::count(self.raw_reports)),
             (
                 "raw_reports_per_hour".to_string(),
@@ -236,12 +255,14 @@ mod tests {
         let live = LiveStats::start();
         live.add_queries(10);
         live.add_queries(5);
+        live.add_plans(34);
         live.add_raw_reports(6);
         live.add_new_class();
         live.add_new_class();
         live.cell_drained();
         let s = live.snapshot(8, 5, 4, 17, 1);
         assert_eq!(s.queries, 15);
+        assert_eq!(s.plans, 34);
         assert_eq!(s.raw_reports, 6);
         assert_eq!(s.new_classes, 2);
         assert_eq!(s.cells_drained, 1);
@@ -264,6 +285,8 @@ mod tests {
             "elapsed_sec",
             "queries",
             "queries_per_sec",
+            "plans",
+            "plans_per_sec",
             "raw_reports",
             "bug_classes",
             "dedup_ratio",

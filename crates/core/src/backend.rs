@@ -84,6 +84,10 @@ pub struct ConnectorInfo {
     /// Hint dialect the backend speaks: which profile's hint sets / session
     /// switches `hint_sets_for` should generate when transforming queries.
     pub dialect: ProfileId,
+    /// Whether this build carries seeded latent faults. Fault-aware oracles
+    /// (the `PlanSpaceOracle`) use this to decide which optimizer fault
+    /// complement to enumerate under; connectors to real DBMSs report false.
+    pub seeded_faults: bool,
 }
 
 /// Everything the TQS harness needs from a DBMS.
@@ -278,6 +282,7 @@ impl DbmsConnector for EngineConnector {
             name: self.profile().info.name.clone(),
             version: self.profile().info.version.clone(),
             dialect: self.dialect,
+            seeded_faults: !self.profile().faults.is_empty(),
         }
     }
 

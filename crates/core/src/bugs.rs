@@ -29,6 +29,11 @@ pub enum OracleKind {
     Partitioning,
     /// Optimized vs non-optimizing rewrite disagree (NoRec).
     NonOptimizingRewrite,
+    /// A plan from the enumerated plan space disagrees with the ground truth
+    /// or the rest of the space, fails hint conformance, or violates cost
+    /// sanity (the cost-model pick costing more than another enumerated
+    /// plan).
+    PlanSpace,
 }
 
 /// One detected logic bug.

@@ -75,8 +75,8 @@ pub use dsg::{DsgConfig, DsgDatabase, QueryGenConfig, QueryGenerator, UniformSco
 pub use hintgen::hint_sets_for;
 pub use kqe::{Kqe, KqeConfig, KqeScorer};
 pub use oracle::{
-    DifferentialOracle, NorecOracle, Oracle, OracleVerdict, PlanDiffOracle, PqsOracle, TlpOracle,
-    TqsOracle,
+    DifferentialOracle, NorecOracle, Oracle, OracleVerdict, PlanDiffOracle, PlanSpaceOracle,
+    PqsOracle, TlpOracle, TqsOracle, PLAN_BASELINE_LABEL,
 };
 pub use parallel::{
     parallel_explore, parallel_explore_sharded, parallel_explore_with, ParallelStats,

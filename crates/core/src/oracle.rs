@@ -17,12 +17,17 @@
 //!   columnar engine) must agree. This oracle owns a second connector, which
 //!   is impossible to express as a per-query check against a single backend —
 //!   the reason the oracle layer is a trait and not an enum.
+//! * [`PlanSpaceOracle`] — every plan of the statement's enumerated
+//!   optimizer plan space must agree with the ground truth, execute with the
+//!   hint set the enumerator intended, and respect cost sanity.
 
 use crate::backend::DbmsConnector;
 use crate::bugs::{make_report, minimize_query, BugReport, OracleKind};
 use crate::dsg::DsgDatabase;
 use crate::hintgen::hint_sets_for;
 use std::sync::Arc;
+use tqs_engine::{FaultKind, FaultSet};
+use tqs_optimizer::PlanSpace;
 use tqs_schema::GroundTruthEvaluator;
 use tqs_sql::ast::{BinOp, Expr, SelectItem, SelectStmt};
 use tqs_sql::hints::{Hint, HintSet};
@@ -67,6 +72,13 @@ pub trait Oracle {
     /// Check `stmt` against `conn`. Implementations may execute the
     /// statement any number of times, on any plans, or on backends they own.
     fn check(&mut self, stmt: &SelectStmt, conn: &mut dyn DbmsConnector) -> OracleVerdict;
+
+    /// Cumulative count of optimizer-enumerated plans this oracle has
+    /// executed — the paper's coverage unit. Plan-unaware oracles report 0
+    /// (their hint-set transformations are counted elsewhere).
+    fn plans_enumerated(&self) -> usize {
+        0
+    }
 }
 
 /// The TQS oracle (Algorithm 1 lines 11-15): transform the query into every
@@ -431,6 +443,182 @@ impl Oracle for NorecOracle {
             )])
         } else {
             OracleVerdict::Pass
+        }
+    }
+}
+
+/// The plan-space oracle: enumerate the statement's full optimizer plan
+/// space ([`tqs_optimizer::PlanSpace`]) and require **every** enumerated plan
+/// to agree with the wide-table ground truth (and therefore with every other
+/// plan). Three further checks ride along:
+///
+/// * **Hint conformance** — the hint set a plan executed with must be the
+///   one the enumerator intended for it (the memo-collision fault seeds
+///   violations).
+/// * **Cost sanity** — the cost-model pick (`plans[0]`) must not cost more
+///   than any other enumerated plan. On a pristine optimizer this is
+///   guaranteed (the DP minimizes over the entire order space and algorithm
+///   factors are ≥ 1); the inverted-comparison and stale-cardinality faults
+///   make it observable without a single wrong row.
+/// * **Baseline anchor** — the *original* statement runs once, unhinted,
+///   under the label `plan-baseline`. Every report carries that label and
+///   the original SQL, so corpus re-verification replays resolve (the
+///   recorded trace always contains the anchor), while the plan identity
+///   travels in the report's fingerprint.
+///
+/// Which optimizer fault complement to enumerate under comes from the
+/// backend itself ([`crate::backend::ConnectorInfo::seeded_faults`]): faulty
+/// builds get the seeded [`FaultKind::OPTIMIZER`] complement, pristine
+/// builds a pristine enumerator. Enumeration is a pure function of
+/// `(statement, catalog, fault set)`, so hunt, witness replay and
+/// re-verification walk the identical space.
+pub struct PlanSpaceOracle {
+    dsg: Arc<DsgDatabase>,
+    /// Explicit fault-complement override; `None` derives it from the
+    /// connector's `seeded_faults` flag.
+    faults: Option<FaultSet>,
+    plans: usize,
+}
+
+/// The hint label anchoring every plan-space report (and the one unhinted
+/// execution of the original statement) in witness traces.
+pub const PLAN_BASELINE_LABEL: &str = "plan-baseline";
+
+impl PlanSpaceOracle {
+    /// Standalone constructor (clones the DSG once); see
+    /// [`shared`](Self::shared).
+    pub fn new(dsg: &DsgDatabase) -> Self {
+        Self::shared(Arc::new(dsg.clone()))
+    }
+
+    /// Zero-copy constructor over a shared DSG database.
+    pub fn shared(dsg: Arc<DsgDatabase>) -> Self {
+        PlanSpaceOracle {
+            dsg,
+            faults: None,
+            plans: 0,
+        }
+    }
+
+    /// Enumerate under an explicit optimizer fault complement instead of
+    /// deriving it from the connector (tests and triage drivers).
+    pub fn with_faults(mut self, faults: FaultSet) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// A copy of `hints` re-labelled with the baseline anchor, so the report
+    /// keeps the plan's hint text while re-verification keys on the anchor.
+    fn anchored(hints: &HintSet) -> HintSet {
+        let mut hs = hints.clone();
+        hs.label = PLAN_BASELINE_LABEL.to_string();
+        hs
+    }
+}
+
+impl Oracle for PlanSpaceOracle {
+    fn name(&self) -> &str {
+        "TQS-plan-space"
+    }
+
+    fn plans_enumerated(&self) -> usize {
+        self.plans
+    }
+
+    fn check(&mut self, stmt: &SelectStmt, conn: &mut dyn DbmsConnector) -> OracleVerdict {
+        let gt = GroundTruthEvaluator::new(&self.dsg.db);
+        let truth = match gt.evaluate(stmt) {
+            Ok(t) => t,
+            Err(_) => return OracleVerdict::Skip,
+        };
+        let info = conn.info();
+        let seeded = match &self.faults {
+            Some(f) => f.clone(),
+            None if info.seeded_faults => FaultSet::of(&FaultKind::OPTIMIZER),
+            None => FaultSet::none(),
+        };
+        let space = PlanSpace::enumerate(stmt, &self.dsg.db.catalog, &seeded);
+
+        // Baseline anchor: the original statement, unhinted. A backend that
+        // cannot execute it cannot be meaningfully plan-hunted.
+        let baseline_hints = HintSet::new(PLAN_BASELINE_LABEL);
+        let Ok(baseline) = conn.execute_with_hints(stmt, &baseline_hints) else {
+            return OracleVerdict::Skip;
+        };
+        let mut reports = Vec::new();
+        if !truth.matches(&baseline.result) {
+            reports.push(make_report(
+                &info.name,
+                OracleKind::PlanSpace,
+                stmt,
+                &baseline_hints,
+                &truth.result,
+                &baseline.result,
+                baseline.fired.clone(),
+                None,
+            ));
+        }
+
+        for plan in &space.plans {
+            let Ok(out) = conn.execute_with_hints(&space.stmt, &plan.hints) else {
+                continue;
+            };
+            self.plans += 1;
+            if !truth.matches(&out.result) {
+                let mut fired = out.fired.clone();
+                fired.extend(space.rewrite_fired.iter().copied());
+                fired.extend(plan.fired.iter().copied());
+                let mut r = make_report(
+                    &info.name,
+                    OracleKind::PlanSpace,
+                    stmt,
+                    &Self::anchored(&plan.hints),
+                    &truth.result,
+                    &out.result,
+                    fired,
+                    None,
+                );
+                r.set_fingerprint(Some(plan.fingerprint));
+                reports.push(r);
+            } else if plan.hints != plan.intended {
+                // Right rows, wrong plan: the memo served another plan's
+                // hint set. A result-blind conformance violation.
+                let mut r = make_report(
+                    &info.name,
+                    OracleKind::PlanSpace,
+                    stmt,
+                    &Self::anchored(&plan.intended),
+                    &truth.result,
+                    &out.result,
+                    plan.fired.clone(),
+                    None,
+                );
+                r.set_fingerprint(Some(plan.fingerprint));
+                reports.push(r);
+            }
+        }
+
+        // Cost sanity: the pick must be the cheapest member of its own space.
+        if space.best().cost > space.min_cost() + 1e-9 {
+            let best = space.best();
+            let mut r = make_report(
+                &info.name,
+                OracleKind::PlanSpace,
+                stmt,
+                &Self::anchored(&best.hints),
+                &truth.result,
+                &truth.result,
+                space.cost_fired.clone(),
+                None,
+            );
+            r.set_fingerprint(Some(best.fingerprint));
+            reports.push(r);
+        }
+
+        if reports.is_empty() {
+            OracleVerdict::Pass
+        } else {
+            OracleVerdict::Bugs(reports)
         }
     }
 }

@@ -153,6 +153,34 @@ pub enum FaultKind {
     /// D5: redo recovery replays the last commit record twice, duplicating
     /// the first row of the batch.
     DiskRecoveryDoubleReplay,
+
+    // --- Optimizer complement (not part of Table 4) ---
+    //
+    // These faults live in the harness-side cost-based plan enumerator
+    // (`tqs-optimizer`), not in any engine execution path: the rewrite,
+    // costing and memoization passes that turn one statement into a plan
+    // space. They are exposed by the `PlanSpaceOracle` (result divergence,
+    // cost-sanity and hint-conformance checks over the enumerated plans), so
+    // the fourth complement stays pairwise disjoint from all three engines'.
+    /// O1: the DP join enumerator's cost comparison is inverted, so the
+    /// "best" plan it reports is the most expensive enumerated order.
+    OptInvertedCostComparison,
+    /// O2: predicate pushdown drops its join-type precondition and pushes
+    /// WHERE conjuncts into the ON clause of non-inner joins, turning
+    /// filtered rows into NULL-padded (outer) or anti-matched survivors.
+    OptDroppedRewritePrecondition,
+    /// O3: a WHERE conjunct referencing only the right side of a LEFT OUTER
+    /// join is pushed past the outer-join boundary into that join's ON,
+    /// keeping (padded) rows the filter should have removed.
+    OptPushdownPastOuterJoin,
+    /// O4: after predicate pruning the enumerator ranks join orders with the
+    /// stale pre-pushdown cardinalities while stamping fresh costs on the
+    /// plans it reports, so the reported best is not the reported argmin.
+    OptStaleCardinalityAfterPruning,
+    /// O5: the hint-set memo is keyed by a truncated plan hash; colliding
+    /// plans silently reuse another order's JOIN_ORDER hint set, so the
+    /// executed plan is not the plan the enumerator claims.
+    OptHintIgnoredUnderMemoCollision,
 }
 
 impl FaultKind {
@@ -196,16 +224,32 @@ impl FaultKind {
         FaultKind::DiskRecoveryDoubleReplay,
     ];
 
+    /// The optimizer's fault complement (ids 30..=34, outside Table 4).
+    /// These are seeded into the plan enumerator, never into an engine build.
+    pub const OPTIMIZER: [FaultKind; 5] = [
+        FaultKind::OptInvertedCostComparison,
+        FaultKind::OptDroppedRewritePrecondition,
+        FaultKind::OptPushdownPastOuterJoin,
+        FaultKind::OptStaleCardinalityAfterPruning,
+        FaultKind::OptHintIgnoredUnderMemoCollision,
+    ];
+
     /// The Table 4 row id (1-based); the columnar complement continues the
-    /// numbering at 21 and the disk complement at 25.
+    /// numbering at 21, the disk complement at 25 and the optimizer
+    /// complement at 30.
     pub fn table4_id(self) -> u32 {
         if let Some(i) = FaultKind::ALL.iter().position(|f| *f == self) {
             i as u32 + 1
         } else if let Some(i) = FaultKind::COLUMNAR.iter().position(|f| *f == self) {
             i as u32 + 21
-        } else {
-            let i = FaultKind::DISK.iter().position(|f| *f == self).unwrap();
+        } else if let Some(i) = FaultKind::DISK.iter().position(|f| *f == self) {
             i as u32 + 25
+        } else {
+            let i = FaultKind::OPTIMIZER
+                .iter()
+                .position(|f| *f == self)
+                .unwrap();
+            i as u32 + 30
         }
     }
 
@@ -217,7 +261,8 @@ impl FaultKind {
             13..=17 => "TiDB-like",
             18..=20 => "X-DB-like",
             21..=24 => "Columnar",
-            _ => "Disk",
+            25..=29 => "Disk",
+            _ => "Optimizer",
         }
     }
 
@@ -233,6 +278,11 @@ impl FaultKind {
             FaultKind::DiskStaleFrameRead => Severity::Serious,
             FaultKind::DiskSplitHighKeyLoss => Severity::Major,
             FaultKind::DiskRecoveryDoubleReplay => Severity::Serious,
+            FaultKind::OptInvertedCostComparison => Severity::Major,
+            FaultKind::OptDroppedRewritePrecondition => Severity::Critical,
+            FaultKind::OptPushdownPastOuterJoin => Severity::Critical,
+            FaultKind::OptStaleCardinalityAfterPruning => Severity::Major,
+            FaultKind::OptHintIgnoredUnderMemoCollision => Severity::Serious,
             f if f.table4_id() <= 7 => Severity::Serious,
             f if f.table4_id() <= 12 => Severity::Major,
             f if f.table4_id() <= 17 => Severity::Critical,
@@ -321,15 +371,30 @@ impl FaultKind {
             FaultKind::DiskRecoveryDoubleReplay => {
                 "Redo recovery replays the last commit record twice."
             }
+            FaultKind::OptInvertedCostComparison => {
+                "Plan enumerator's inverted cost comparison reports the most expensive order as best."
+            }
+            FaultKind::OptDroppedRewritePrecondition => {
+                "Predicate pushdown drops its inner-join precondition and rewrites non-inner ON clauses."
+            }
+            FaultKind::OptPushdownPastOuterJoin => {
+                "Right-side filter pushed past a LEFT OUTER JOIN boundary into the join condition."
+            }
+            FaultKind::OptStaleCardinalityAfterPruning => {
+                "Join orders ranked with stale pre-pushdown cardinalities but reported with fresh costs."
+            }
+            FaultKind::OptHintIgnoredUnderMemoCollision => {
+                "Hint-set memo collision makes a plan reuse another order's JOIN_ORDER hints."
+            }
         }
     }
 
-    /// Status as reported in Table 4 (the columnar and disk complements are
-    /// seeded by this reproduction, not taken from the paper).
+    /// Status as reported in Table 4 (the columnar, disk and optimizer
+    /// complements are seeded by this reproduction, not taken from the paper).
     pub fn status(self) -> &'static str {
         match self.table4_id() {
             1 | 2 | 6 | 13 | 14 | 15 | 16 | 17 | 18 | 19 => "Fixed",
-            21..=29 => "Seeded",
+            21..=34 => "Seeded",
             _ => "Verified",
         }
     }
@@ -440,6 +505,15 @@ impl FaultKind {
                 Some(JoinAlgo::SortMergeJoin) | Some(JoinAlgo::IndexJoin)
             ),
             DiskRecoveryDoubleReplay => ctx.subquery_present || ctx.simplified_from_outer,
+            // Optimizer complement: these faults live in the harness-side
+            // plan enumerator (`tqs-optimizer`), which consults the fault set
+            // directly; they have no engine execution path and never fire
+            // from a TriggerContext.
+            OptInvertedCostComparison
+            | OptDroppedRewritePrecondition
+            | OptPushdownPastOuterJoin
+            | OptStaleCardinalityAfterPruning
+            | OptHintIgnoredUnderMemoCollision => false,
         }
     }
 }
@@ -599,6 +673,36 @@ mod tests {
         assert!(!FaultKind::DiskStaleFrameRead.triggered(&ctx));
         ctx.subquery_present = true;
         assert!(FaultKind::DiskRecoveryDoubleReplay.triggered(&ctx));
+    }
+
+    #[test]
+    fn optimizer_complement_is_disjoint_and_never_engine_triggered() {
+        for f in FaultKind::OPTIMIZER {
+            assert!(!FaultKind::ALL.contains(&f));
+            assert!(!FaultKind::COLUMNAR.contains(&f));
+            assert!(!FaultKind::DISK.contains(&f));
+            assert_eq!(f.dbms(), "Optimizer");
+            assert_eq!(f.status(), "Seeded");
+            assert!(!f.description().is_empty());
+            assert!(!f.severity().label().is_empty());
+            assert!((30..=34).contains(&f.table4_id()));
+            // No engine execution path can fire them — even the busiest
+            // trigger context leaves them dormant.
+            let ctx = TriggerContext {
+                algo: Some(JoinAlgo::HashJoin),
+                join_type: Some(JoinType::LeftOuter),
+                semi_strategy: Some(SemiJoinStrategy::Materialization),
+                materialization: true,
+                subquery_present: true,
+                simplified_from_outer: true,
+                uses_join_buffer: true,
+                switched_off: vec!["join_cache_bka", "join_cache_hashed"],
+            };
+            assert!(!f.triggered(&ctx));
+        }
+        let mut ids: Vec<u32> = FaultKind::OPTIMIZER.iter().map(|f| f.table4_id()).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 5);
     }
 
     #[test]

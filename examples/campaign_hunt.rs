@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example campaign_hunt`
 
-use tqs_campaign::{Campaign, CampaignConfig, Corpus, EngineKind, OracleSpec};
+use tqs_campaign::{Campaign, CampaignConfig, Corpus, EngineKind, OracleSpec, PlanMode};
 use tqs_core::dsg::{DsgConfig, WideSource};
 use tqs_engine::ProfileId;
 use tqs_schema::NoiseConfig;
@@ -38,6 +38,7 @@ fn main() {
         profiles: vec![ProfileId::MysqlLike, ProfileId::TidbLike],
         oracles: vec![OracleSpec::GroundTruth],
         engines: vec![EngineKind::Row, EngineKind::Disk],
+        plan_modes: vec![PlanMode::Single],
         queries_per_cell: 60,
         seed: 2024,
         minimize: true,

@@ -12,8 +12,8 @@
 //! Run with: `cargo run --release --example regression_replay`
 
 use tqs_campaign::{
-    BuildSpec, Campaign, CampaignConfig, Corpus, EngineKind, OracleSpec, ReverifyCampaign,
-    ReverifyConfig,
+    BuildSpec, Campaign, CampaignConfig, Corpus, EngineKind, OracleSpec, PlanMode,
+    ReverifyCampaign, ReverifyConfig,
 };
 use tqs_core::dsg::{DsgConfig, WideSource};
 use tqs_engine::ProfileId;
@@ -42,6 +42,7 @@ fn main() {
         profiles: vec![ProfileId::MysqlLike],
         oracles: vec![OracleSpec::GroundTruth],
         engines: vec![EngineKind::Row],
+        plan_modes: vec![PlanMode::Single],
         queries_per_cell: 50,
         seed: 31337,
         minimize: true,

@@ -8,8 +8,8 @@
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 use tqs_campaign::{
-    BuildSpec, Campaign, CampaignConfig, Corpus, EngineKind, OracleSpec, ReverifyCampaign,
-    ReverifyConfig, ReverifyStatus,
+    BuildSpec, Campaign, CampaignConfig, Corpus, EngineKind, OracleSpec, PlanMode,
+    ReverifyCampaign, ReverifyConfig, ReverifyStatus,
 };
 use tqs_core::dsg::{DsgConfig, WideSource};
 use tqs_engine::{FaultKind, ProfileId};
@@ -36,6 +36,7 @@ fn cfg(dir: PathBuf) -> CampaignConfig {
         profiles: vec![ProfileId::MysqlLike],
         oracles: vec![OracleSpec::GroundTruth, OracleSpec::ThreeWay],
         engines: vec![EngineKind::Row, EngineKind::Disk],
+        plan_modes: vec![PlanMode::Single],
         queries_per_cell: 60,
         seed: 616,
         minimize: true,

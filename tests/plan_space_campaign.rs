@@ -1,0 +1,246 @@
+//! Acceptance tests for the plan-space hunting pipeline: the enumerator
+//! opens a real plan space on multi-join statements, a plan-space campaign
+//! surfaces the seeded optimizer fault complement (Table 4 ids 30–34) as
+//! deduplicated classes that re-verify `StillFailing` on the faulty build
+//! and `Fixed` on the pristine build, each optimizer fault id is caught by
+//! the [`PlanSpaceOracle`] in isolation, and a killed plan-space campaign
+//! resumes to the bit-identical class set.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use tqs_campaign::{
+    BuildSpec, Campaign, CampaignConfig, Corpus, EngineKind, OracleSpec, PlanMode,
+    ReverifyCampaign, ReverifyConfig, ReverifyStatus,
+};
+use tqs_core::dsg::WideSource;
+use tqs_core::dsg::{DsgConfig, DsgDatabase, QueryGenConfig, QueryGenerator, UniformScorer};
+use tqs_core::oracle::{Oracle, OracleVerdict, PlanSpaceOracle};
+use tqs_engine::{FaultKind, FaultSet, ProfileId};
+use tqs_optimizer::PlanSpace;
+use tqs_schema::NoiseConfig;
+use tqs_sql::parser::parse_stmt;
+use tqs_sql::types::{ColumnDef, ColumnType};
+use tqs_sql::value::Value;
+use tqs_storage::widegen::ShoppingConfig;
+use tqs_storage::{Catalog, Row, Table};
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tqs-planspace-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cfg(dir: PathBuf, shards: usize, queries_per_cell: usize) -> CampaignConfig {
+    CampaignConfig {
+        dir,
+        dsg: DsgConfig {
+            source: WideSource::Shopping(ShoppingConfig {
+                n_rows: 100,
+                ..Default::default()
+            }),
+            fd: Default::default(),
+            noise: Some(NoiseConfig {
+                epsilon: 0.04,
+                seed: 31,
+                max_injections: 12,
+            }),
+        },
+        shards,
+        workers: 2,
+        profiles: vec![ProfileId::MysqlLike],
+        oracles: vec![OracleSpec::GroundTruth],
+        engines: vec![EngineKind::Row],
+        plan_modes: vec![PlanMode::Space],
+        queries_per_cell,
+        seed: 3034,
+        minimize: false,
+        max_cells_per_run: None,
+    }
+}
+
+/// A 4-table chain join must open a real plan space: at least 10 distinct
+/// plan fingerprints (join orders × per-join algorithm assignments).
+#[test]
+fn four_table_join_opens_at_least_ten_distinct_plans() {
+    let table = |name: &str, rows: usize| {
+        let mut t = Table::new(
+            name,
+            vec![
+                ColumnDef::new("k", ColumnType::Int { unsigned: false }),
+                ColumnDef::new("v", ColumnType::Int { unsigned: false }),
+            ],
+        );
+        for i in 0..rows {
+            t.push_row(Row::new(vec![
+                Value::Int(i as i64),
+                Value::Int((i * 7) as i64),
+            ]))
+            .unwrap();
+        }
+        t
+    };
+    let mut catalog = Catalog::new();
+    catalog.add_table(table("t1", 64));
+    catalog.add_table(table("t2", 32));
+    catalog.add_table(table("t3", 8));
+    catalog.add_table(table("t4", 2));
+    let stmt = parse_stmt(
+        "SELECT t1.k FROM t1 JOIN t2 ON t1.k = t2.k JOIN t3 ON t2.k = t3.k \
+         JOIN t4 ON t3.k = t4.k",
+    )
+    .unwrap();
+    let space = PlanSpace::enumerate(&stmt, &catalog, &FaultSet::none());
+    let fingerprints: BTreeSet<u64> = space.plans.iter().map(|p| p.fingerprint).collect();
+    assert!(
+        fingerprints.len() >= 10,
+        "expected >= 10 distinct plan fingerprints, got {}",
+        fingerprints.len()
+    );
+    assert_eq!(
+        fingerprints.len(),
+        space.plans.len(),
+        "plans dedup by fingerprint"
+    );
+}
+
+/// Each optimizer fault id (Table 4, 30–34) is caught by the plan-space
+/// oracle in isolation: enumerate under exactly one seeded fault on a
+/// pristine executor and some generated statement must produce a report
+/// implicating it — wrong rows (rewrite faults), a non-minimal cost pick
+/// (cost faults) or a hint-conformance violation (the memo fault), with not
+/// a single wrong row required for the latter two channels.
+#[test]
+fn every_optimizer_fault_id_is_caught_in_isolation() {
+    let dsg = std::sync::Arc::new(DsgDatabase::build(&DsgConfig {
+        source: WideSource::Shopping(ShoppingConfig {
+            n_rows: 90,
+            ..Default::default()
+        }),
+        fd: Default::default(),
+        noise: Some(NoiseConfig {
+            epsilon: 0.04,
+            seed: 13,
+            max_injections: 10,
+        }),
+    }));
+    for kind in FaultKind::OPTIMIZER {
+        let mut conn = EngineKind::Row.connect_pristine(ProfileId::MysqlLike, &dsg);
+        let mut oracle =
+            PlanSpaceOracle::shared(std::sync::Arc::clone(&dsg)).with_faults(FaultSet::of(&[kind]));
+        let mut generator = QueryGenerator::new(QueryGenConfig {
+            seed: 0x0907 + kind.table4_id() as u64,
+            ..Default::default()
+        });
+        let mut caught = false;
+        for _ in 0..200 {
+            let stmt = generator.generate(&dsg, None, &UniformScorer);
+            if let OracleVerdict::Bugs(reports) = oracle.check(&stmt, &mut conn) {
+                if reports.iter().any(|r| r.fired.contains(&kind)) {
+                    caught = true;
+                    break;
+                }
+            }
+        }
+        assert!(
+            caught,
+            "optimizer fault {:?} (id {}) never caught in 200 statements",
+            kind,
+            kind.table4_id()
+        );
+    }
+}
+
+/// The plan-space campaign acceptance: a hunt with every cell in
+/// `PlanMode::Space` on the seeded-fault build surfaces at least three
+/// distinct optimizer fault kinds, and every persisted class re-verifies
+/// `StillFailing` on the faulty build and `Fixed` on the pristine build
+/// through the discovering cell's plan-space oracle.
+#[test]
+fn plan_space_cells_surface_optimizer_faults_and_reverify() {
+    let dir = test_dir("hunt");
+    let config = cfg(dir.clone(), 1, 40);
+
+    let mut campaign = Campaign::new(config.clone()).expect("fresh campaign");
+    let stats = campaign.run().expect("campaign run");
+    assert!(campaign.is_complete());
+    assert!(stats.bug_classes > 0);
+    assert!(
+        stats.plans > stats.queries,
+        "plan-space cells must execute many plans per statement \
+         ({} plans over {} queries)",
+        stats.plans,
+        stats.queries
+    );
+
+    let entries = Corpus::in_dir(&dir).load().expect("load the corpus");
+    assert_eq!(entries.len(), campaign.class_keys().len());
+    let optimizer_kinds: BTreeSet<FaultKind> = entries
+        .iter()
+        .flat_map(|e| e.report.fired.iter())
+        .filter(|f| FaultKind::OPTIMIZER.contains(f))
+        .copied()
+        .collect();
+    assert!(
+        optimizer_kinds.len() >= 3,
+        "expected >= 3 distinct optimizer fault kinds, got {optimizer_kinds:?}"
+    );
+
+    // Every class re-verifies through the plan-space oracle of its own cell.
+    let classes = campaign.class_keys().len();
+    let rv = ReverifyCampaign::load(ReverifyConfig {
+        campaign: config,
+        builds: vec![BuildSpec::Faulty, BuildSpec::Pristine],
+        workers: 2,
+    })
+    .expect("load the corpus for re-verification");
+    let (report, rv_stats) = rv.run();
+    assert_eq!(rv_stats.verdicts, classes * 2);
+    assert_eq!(rv_stats.flaky, 0, "{report:#?}");
+    assert_eq!(rv_stats.stale, 0, "{report:#?}");
+    assert_eq!(
+        report.count_on(BuildSpec::Faulty, ReverifyStatus::StillFailing),
+        classes
+    );
+    assert_eq!(
+        report.count_on(BuildSpec::Pristine, ReverifyStatus::Fixed),
+        classes
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The resume guarantee extends to the plan-mode axis: a plan-space campaign
+/// killed after one cell and resumed reproduces the uninterrupted run's
+/// deduplicated class set bit-identically.
+#[test]
+fn killed_plan_space_campaign_resumes_to_the_identical_class_set() {
+    let dir_a = test_dir("uninterrupted");
+    let mut uninterrupted = Campaign::new(cfg(dir_a.clone(), 2, 15)).unwrap();
+    uninterrupted.run().unwrap();
+    assert!(uninterrupted.is_complete());
+    assert!(!uninterrupted.class_keys().is_empty());
+
+    let dir_b = test_dir("killed");
+    let mut killed = Campaign::new(CampaignConfig {
+        max_cells_per_run: Some(1),
+        workers: 1,
+        ..cfg(dir_b.clone(), 2, 15)
+    })
+    .unwrap();
+    killed.run().unwrap();
+    assert!(!killed.is_complete());
+    drop(killed);
+
+    let mut resumed = Campaign::resume(cfg(dir_b.clone(), 2, 15)).unwrap();
+    assert_eq!(resumed.cells_done(), 1);
+    resumed.run().unwrap();
+    assert!(resumed.is_complete());
+    assert_eq!(
+        resumed.class_keys(),
+        uninterrupted.class_keys(),
+        "killed+resumed plan-space campaign must reproduce the class set"
+    );
+
+    std::fs::remove_dir_all(&dir_a).unwrap();
+    std::fs::remove_dir_all(&dir_b).unwrap();
+}

@@ -14,7 +14,8 @@
 
 use std::path::PathBuf;
 use tqs_campaign::{
-    BuildSpec, Campaign, CampaignConfig, EngineKind, OracleSpec, ReverifyCampaign, ReverifyConfig,
+    BuildSpec, Campaign, CampaignConfig, EngineKind, OracleSpec, PlanMode, ReverifyCampaign,
+    ReverifyConfig,
 };
 use tqs_core::dsg::{DsgConfig, WideSource};
 use tqs_engine::ProfileId;
@@ -47,6 +48,7 @@ fn golden_cfg(dir: PathBuf) -> CampaignConfig {
         // existed; its header omits `engines` and loads as the row-only
         // campaign it was, which this must match.
         engines: vec![EngineKind::Row],
+        plan_modes: vec![PlanMode::Single],
         queries_per_cell: 20,
         seed: 0x5EED,
         minimize: false,

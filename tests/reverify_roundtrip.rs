@@ -4,8 +4,8 @@
 
 use std::path::PathBuf;
 use tqs_campaign::{
-    BuildSpec, Campaign, CampaignConfig, Corpus, EngineKind, Json, OracleSpec, ReverifyCampaign,
-    ReverifyConfig, ReverifyReport, ReverifyStatus,
+    BuildSpec, Campaign, CampaignConfig, Corpus, EngineKind, Json, OracleSpec, PlanMode,
+    ReverifyCampaign, ReverifyConfig, ReverifyReport, ReverifyStatus,
 };
 use tqs_core::dsg::{DsgConfig, WideSource};
 use tqs_engine::ProfileId;
@@ -38,6 +38,7 @@ fn cfg(dir: PathBuf) -> CampaignConfig {
         profiles: vec![ProfileId::MysqlLike],
         oracles: vec![OracleSpec::GroundTruth],
         engines: vec![EngineKind::Row],
+        plan_modes: vec![PlanMode::Single],
         queries_per_cell: 40,
         seed: 4242,
         minimize: true,
