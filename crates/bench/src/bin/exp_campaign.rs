@@ -16,11 +16,17 @@
 //! * `TQS_CAMPAIGN_DIR` — campaign directory (default `target/exp_campaign`,
 //!   wiped at startup)
 //! * `TQS_CAMPAIGN_OUT` — output JSON path (default `BENCH_campaign.json`)
+//! * `TQS_TELEMETRY` — `1` enables spans/metrics/profiles for the run; the
+//!   metrics snapshot is folded into the JSON artifact
+//! * `TQS_CAMPAIGN_STATUS_ADDR` — bind a live status endpoint (e.g.
+//!   `127.0.0.1:7071`; `curl /status`, `/metrics`, or `/stream` during the
+//!   hunt)
 
 use tqs_bench::standard_campaign_config;
-use tqs_campaign::{Campaign, Json};
+use tqs_campaign::{Campaign, CampaignStatusServer, Json};
 
 fn main() {
+    tqs_telemetry::init_from_env(false);
     let cfg = standard_campaign_config();
     let (queries_per_cell, shards, workers) = (cfg.queries_per_cell, cfg.shards, cfg.workers);
     let dir = cfg.dir.clone();
@@ -29,6 +35,15 @@ fn main() {
     let _ = std::fs::remove_dir_all(&dir);
 
     let mut campaign = Campaign::new(cfg.clone()).expect("fresh campaign directory");
+    let status_server = std::env::var("TQS_CAMPAIGN_STATUS_ADDR").ok().map(|addr| {
+        let server = CampaignStatusServer::start(campaign.status_board(), &addr)
+            .expect("bind campaign status endpoint");
+        println!(
+            "status endpoint: http://{0}/status  (live: http://{0}/stream)",
+            server.local_addr()
+        );
+        server
+    });
     println!(
         "Campaign — {} cells ({} shards × {} profiles × {} oracles × {} engines), \
          {} workers, {} queries/cell",
@@ -118,7 +133,16 @@ fn main() {
         "resume_check_classes".to_string(),
         Json::count(resumed.class_keys().len()),
     ));
+    if tqs_telemetry::enabled() {
+        json.push((
+            "metrics".to_string(),
+            tqs_telemetry::snapshot_metrics().to_json(),
+        ));
+    }
     let body = Json::Obj(json).to_string();
     std::fs::write(&out_path, format!("{body}\n")).expect("write benchmark artifact");
     println!("wrote {out_path}");
+    if let Some(server) = status_server {
+        server.stop();
+    }
 }

@@ -13,48 +13,11 @@
 //! * `TQS_THROUGHPUT_OUT` — output JSON path (default `BENCH_throughput.json`)
 
 use std::time::Instant;
-use tqs_bench::{env_usize, standard_dsg};
+use tqs_bench::{env_usize, standard_dsg, WORKLOADS};
 use tqs_campaign::Json;
 use tqs_core::dsg::DsgDatabase;
 use tqs_engine::{ColumnarDatabase, Database, DbmsProfile, DiskDatabase, ProfileId};
 use tqs_sql::parser::parse_stmt;
-
-/// The workload mix: one statement per hot execution path.
-const WORKLOADS: &[(&str, &str)] = &[
-    (
-        "hash_join",
-        "SELECT T1.goodsId, T2.goodsName FROM T1 INNER JOIN T2 ON T1.goodsId = T2.goodsId",
-    ),
-    (
-        "merge_join",
-        "SELECT /*+ MERGE_JOIN(T2) */ T1.goodsId, T2.goodsName FROM T1 \
-         INNER JOIN T2 ON T1.goodsId = T2.goodsId",
-    ),
-    (
-        "nested_loop_join",
-        "SELECT /*+ NL_JOIN(T2) */ T1.goodsId, T2.goodsName FROM T1 \
-         INNER JOIN T2 ON T1.goodsId = T2.goodsId",
-    ),
-    (
-        "three_way_join",
-        "SELECT T3.price FROM T1 INNER JOIN T2 ON T1.goodsId = T2.goodsId \
-         INNER JOIN T3 ON T2.goodsName = T3.goodsName",
-    ),
-    (
-        "cross_join",
-        "SELECT T2.goodsId FROM T1 CROSS JOIN T4 CROSS JOIN T2",
-    ),
-    (
-        "group_by",
-        "SELECT T2.goodsName, COUNT(*) AS cnt FROM T1 INNER JOIN T2 \
-         ON T1.goodsId = T2.goodsId GROUP BY T2.goodsName",
-    ),
-    (
-        "subquery_filter",
-        "SELECT T1.orderId FROM T1 WHERE T1.goodsId IN \
-         (SELECT T2.goodsId FROM T2 WHERE T2.goodsName = 'book')",
-    ),
-];
 
 fn run_workloads<F>(label: &str, mut execute: F, iters: usize) -> Vec<(String, Json)>
 where

@@ -12,6 +12,45 @@ use tqs_engine::ProfileId;
 use tqs_schema::NoiseConfig;
 use tqs_storage::widegen::ShoppingConfig;
 
+/// The hot-path workload mix shared by `exp_throughput` (raw statements/sec)
+/// and `exp_obs` (telemetry overhead on the same loops): one statement per
+/// hot execution path over the standard shopping schema.
+pub const WORKLOADS: &[(&str, &str)] = &[
+    (
+        "hash_join",
+        "SELECT T1.goodsId, T2.goodsName FROM T1 INNER JOIN T2 ON T1.goodsId = T2.goodsId",
+    ),
+    (
+        "merge_join",
+        "SELECT /*+ MERGE_JOIN(T2) */ T1.goodsId, T2.goodsName FROM T1 \
+         INNER JOIN T2 ON T1.goodsId = T2.goodsId",
+    ),
+    (
+        "nested_loop_join",
+        "SELECT /*+ NL_JOIN(T2) */ T1.goodsId, T2.goodsName FROM T1 \
+         INNER JOIN T2 ON T1.goodsId = T2.goodsId",
+    ),
+    (
+        "three_way_join",
+        "SELECT T3.price FROM T1 INNER JOIN T2 ON T1.goodsId = T2.goodsId \
+         INNER JOIN T3 ON T2.goodsName = T3.goodsName",
+    ),
+    (
+        "cross_join",
+        "SELECT T2.goodsId FROM T1 CROSS JOIN T4 CROSS JOIN T2",
+    ),
+    (
+        "group_by",
+        "SELECT T2.goodsName, COUNT(*) AS cnt FROM T1 INNER JOIN T2 \
+         ON T1.goodsId = T2.goodsId GROUP BY T2.goodsName",
+    ),
+    (
+        "subquery_filter",
+        "SELECT T1.orderId FROM T1 WHERE T1.goodsId IN \
+         (SELECT T2.goodsId FROM T2 WHERE T2.goodsName = 'book')",
+    ),
+];
+
 /// The standard testing database used across experiments: the shopping-order
 /// wide table (the paper's running example) with 2–5% key noise.
 pub fn standard_dsg(n_rows: usize, seed: u64) -> DsgConfig {

@@ -19,10 +19,12 @@
 //!    campaign converges to the identical deduplicated bug-class set as an
 //!    uninterrupted one.
 
-use crate::checkpoint::{CellRecord, Checkpoint, CheckpointHeader};
+use crate::checkpoint::{CellRecord, Checkpoint, CheckpointHeader, RunRecord};
 use crate::corpus::{Corpus, CorpusEntry, StoredStatement};
+use crate::json::Json;
 use crate::scheduler::WorkQueues;
-use crate::stats::{CampaignStats, LiveStats};
+use crate::stats::{CampaignStats, LiveStats, RunTotals};
+use crate::status::StatusBoard;
 use crate::triage::BugTriage;
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashSet};
@@ -365,6 +367,12 @@ pub struct Campaign {
     /// when this campaign resumed — surfaced through [`CampaignStats`]
     /// instead of stderr so fleets and CI see the repair in the artifact.
     torn_tails_repaired: usize,
+    /// Totals of every finished run before this process's runs, replayed
+    /// from the journal's run records; [`Campaign::run`] folds each of its
+    /// own runs in so rates stay cumulative within a process too.
+    prior: RunTotals,
+    /// Live progress published for status readers (the HTTP endpoint).
+    status: Arc<StatusBoard>,
 }
 
 impl Campaign {
@@ -393,6 +401,8 @@ impl Campaign {
             corpus: Corpus::in_dir(&cfg.dir),
             checkpoint,
             torn_tails_repaired: 0,
+            prior: RunTotals::default(),
+            status: Arc::new(StatusBoard::new()),
             cfg,
         })
     }
@@ -410,7 +420,8 @@ impl Campaign {
         // them into the run's machine-readable artifact.
         let torn_tails_repaired = usize::from(checkpoint.repair_torn_tail()?)
             + usize::from(Corpus::in_dir(&cfg.dir).repair_torn_tail()?);
-        let (header, records) = checkpoint.load()?;
+        let loaded = checkpoint.load()?;
+        let header = loaded.header;
         let expected = cfg.header();
         if header != expected {
             return Err(io::Error::new(
@@ -438,11 +449,24 @@ impl Campaign {
             triage.admit(entry.report, entry.cell_id);
         }
         let cells = cfg.cell_grid();
-        let done: HashSet<usize> = records
+        let done: HashSet<usize> = loaded
+            .cells
             .iter()
             .map(|r| r.cell_id)
             .filter(|id| *id < cells.len())
             .collect();
+        // Sum the journal's run records so the resumed campaign's rates are
+        // cumulative — the clock keeps running across kill/resume instead
+        // of resetting with each process.
+        let prior = loaded
+            .runs
+            .iter()
+            .fold(RunTotals::default(), |acc, r| RunTotals {
+                elapsed: acc.elapsed + std::time::Duration::from_millis(r.elapsed_ms),
+                queries: acc.queries + r.queries,
+                statements: acc.statements + r.statements,
+                plans: acc.plans + r.plans,
+            });
         Ok(Campaign {
             shards: DsgDatabase::build_sharded(&cfg.dsg, cfg.shards),
             cells,
@@ -451,6 +475,8 @@ impl Campaign {
             corpus,
             checkpoint,
             torn_tails_repaired,
+            prior,
+            status: Arc::new(StatusBoard::new()),
             cfg,
         })
     }
@@ -471,6 +497,20 @@ impl Campaign {
     /// a fresh campaign). Also carried in [`CampaignStats`].
     pub fn torn_tails_repaired(&self) -> usize {
         self.torn_tails_repaired
+    }
+
+    /// Totals of the campaign's previous runs (journal run records plus any
+    /// runs this process already finished).
+    pub fn prior_totals(&self) -> RunTotals {
+        self.prior
+    }
+
+    /// The live-progress board. Hand this (it is `Arc`-shared) to a
+    /// [`CampaignStatusServer`](crate::status::CampaignStatusServer) — or
+    /// any other monitor thread — before calling [`run`](Self::run); it
+    /// publishes snapshots for the whole run and the final stats afterward.
+    pub fn status_board(&self) -> Arc<StatusBoard> {
+        Arc::clone(&self.status)
     }
 
     /// The shard databases the fleet hunts (index = `CampaignCell::shard`).
@@ -515,10 +555,18 @@ impl Campaign {
     /// fleet, journaling each drained cell and appending every new bug class
     /// to the corpus as it is discovered. Returns this run's statistics.
     pub fn run(&mut self) -> io::Result<CampaignStats> {
+        let _run_span = tqs_telemetry::span("campaign", "run");
         let pending = self.pending_cells();
         let budget = AtomicUsize::new(self.cfg.max_cells_per_run.unwrap_or(usize::MAX));
         let queues = WorkQueues::deal(self.cfg.workers, pending);
-        let live = LiveStats::start();
+        let live = Arc::new(LiveStats::start_with_prior(self.prior));
+        self.status.begin_run(
+            Arc::clone(&live),
+            self.cells.len(),
+            self.done.len(),
+            self.triage.class_count(),
+            self.torn_tails_repaired,
+        );
         let triage = Mutex::new(std::mem::take(&mut self.triage));
         let diversity = Mutex::new(GraphIndex::new());
         let io_lock = Mutex::new(());
@@ -574,15 +622,34 @@ impl Campaign {
             self.done.insert(id);
         }
         if let Some(e) = failure.into_inner() {
+            self.status.abort();
             return Err(e);
         }
-        Ok(live.snapshot(
+        live.set_diversity(diversity.into_inner().isomorphic_set_count());
+        let stats = live.snapshot(
             self.cells.len(),
             self.done.len(),
             self.triage.class_count(),
-            diversity.into_inner().isomorphic_set_count(),
             self.torn_tails_repaired,
-        ))
+        );
+        // Journal this run's totals and fold them into `prior` so both a
+        // resumed process and a later `run()` in this one keep reporting
+        // cumulative rates.
+        let totals = live.run_totals();
+        self.checkpoint.append_run(&RunRecord {
+            elapsed_ms: totals.elapsed.as_millis() as u64,
+            queries: totals.queries,
+            statements: totals.statements,
+            plans: totals.plans,
+        })?;
+        self.prior = RunTotals {
+            elapsed: self.prior.elapsed + totals.elapsed,
+            queries: self.prior.queries + totals.queries,
+            statements: self.prior.statements + totals.statements,
+            plans: self.prior.plans + totals.plans,
+        };
+        self.status.finish(stats.clone());
+        Ok(stats)
     }
 
     /// Drain one cell: deterministic query stream, per-cell adaptive KQE
@@ -596,6 +663,11 @@ impl Campaign {
         io_lock: &Mutex<()>,
     ) -> io::Result<CellRecord> {
         let started = Instant::now();
+        let mut cell_span = tqs_telemetry::span_with("campaign", || format!("cell-{}", cell.id));
+        cell_span.arg("shard", Json::count(cell.shard));
+        cell_span.arg("oracle", Json::str(cell.oracle.label()));
+        cell_span.arg("engine", Json::str(cell.engine.label()));
+        cell_span.arg("plan_mode", Json::str(cell.plan_mode.label()));
         let shard = &self.shards[cell.shard];
         let mut conn = RecordingConnector::new(cell.engine.faulty(cell.profile));
         conn.load_catalog(&shard.db.catalog)
@@ -624,17 +696,23 @@ impl Campaign {
                 let mut idx = diversity.lock();
                 let e = embed_graph(&qg, 2);
                 idx.insert(&qg, e);
+                live.set_diversity(idx.isomorphic_set_count());
             }
             // Drain (and count) the previous statement's engine events.
             live.add_statements(count_statements(&conn.take_trace()));
             let reports = match oracle.check(&stmt, &mut conn) {
-                OracleVerdict::Skip => continue,
+                OracleVerdict::Skip => {
+                    tqs_telemetry::counter!("campaign.oracle.skip").incr();
+                    continue;
+                }
                 OracleVerdict::Pass => {
+                    tqs_telemetry::counter!("campaign.oracle.pass").incr();
                     queries += 1;
                     live.add_queries(1);
                     continue;
                 }
                 OracleVerdict::Bugs(reports) => {
+                    tqs_telemetry::counter!("campaign.oracle.bugs").incr();
                     queries += 1;
                     live.add_queries(1);
                     reports
@@ -799,9 +877,11 @@ mod tests {
         assert!(stats.queries_per_sec() > 0.0);
         assert!(stats.bug_classes > 0, "seeded faults should surface");
         assert!(stats.raw_reports >= stats.new_classes);
-        // the journal holds header + one line per cell
-        let (_, records) = campaign.checkpoint.load().unwrap();
-        assert_eq!(records.len(), 2);
+        // the journal holds header + one line per cell + the run's totals
+        let loaded = campaign.checkpoint.load().unwrap();
+        assert_eq!(loaded.cells.len(), 2);
+        assert_eq!(loaded.runs.len(), 1);
+        assert_eq!(loaded.runs[0].queries, stats.queries);
         // duplicate directory is refused
         assert!(Campaign::new(small_cfg(dir.clone())).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
@@ -837,11 +917,34 @@ mod tests {
             ..small_cfg(dir.clone())
         })
         .unwrap();
-        campaign.run().unwrap();
+        let first = campaign.run().unwrap();
         assert_eq!(campaign.cells_done(), 1);
         assert!(!campaign.is_complete());
-        campaign.run().unwrap();
+        assert!(first.prior.is_zero());
+        let second = campaign.run().unwrap();
         assert!(campaign.is_complete());
+        // The second run's rates are cumulative over both installments.
+        assert_eq!(second.prior.queries, first.queries);
+        assert_eq!(second.total_queries(), first.queries + second.queries);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resumed_campaigns_carry_prior_run_totals() {
+        use std::time::Duration;
+        let dir = test_dir("prior");
+        let mut campaign = Campaign::new(small_cfg(dir.clone())).unwrap();
+        let first = campaign.run().unwrap();
+        assert!(first.queries > 0);
+        drop(campaign);
+        // A fresh process resuming the directory starts with the first
+        // run's totals on the books, so its rates never reset.
+        let resumed = Campaign::resume(small_cfg(dir.clone())).unwrap();
+        let prior = resumed.prior_totals();
+        assert_eq!(prior.queries, first.queries);
+        assert_eq!(prior.statements, first.statements);
+        assert_eq!(prior.plans, first.plans);
+        assert!(prior.elapsed <= first.elapsed + Duration::from_millis(1));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -2,11 +2,14 @@
 //!
 //! `checkpoint.jsonl` is an append-only journal in the campaign directory:
 //! the first line records the campaign's identity (seed, shard count, cell
-//! grid, per-cell budget), then one line per *completed* cell. Resuming a
-//! killed campaign replays the journal to learn which cells are already
-//! drained — cells are deterministic given the campaign seed, so re-running
-//! only the missing ones reproduces exactly the bug-class set an
-//! uninterrupted run would have produced.
+//! grid, per-cell budget), then one line per *completed* cell, plus one
+//! [`RunRecord`] line per finished run carrying the run's wall-clock and
+//! throughput totals. Resuming a killed campaign replays the journal to
+//! learn which cells are already drained — cells are deterministic given
+//! the campaign seed, so re-running only the missing ones reproduces
+//! exactly the bug-class set an uninterrupted run would have produced —
+//! and sums the run records so cumulative rates survive the restart
+//! instead of resetting (and spiking) with each resume.
 
 use crate::json::Json;
 use std::fs::OpenOptions;
@@ -164,6 +167,65 @@ impl CellRecord {
     }
 }
 
+/// One finished run, as journaled: the wall-clock and throughput totals of
+/// a `Campaign::run` that reached its end. Resume sums these so cumulative
+/// rates (`queries_per_sec`, `plans_per_sec`) carry across kill/resume.
+/// Journals written before run records existed simply have none — their
+/// campaigns resume with zero prior totals, exactly as before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunRecord {
+    pub elapsed_ms: u64,
+    /// Oracle-exercised statements in the run.
+    pub queries: usize,
+    /// Engine-level statements executed in the run.
+    pub statements: usize,
+    /// Optimizer-enumerated plans executed in the run.
+    pub plans: usize,
+}
+
+impl RunRecord {
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            (
+                "run_elapsed_ms".to_string(),
+                Json::count(self.elapsed_ms as usize),
+            ),
+            ("queries".to_string(), Json::count(self.queries)),
+            ("statements".to_string(), Json::count(self.statements)),
+            ("plans".to_string(), Json::count(self.plans)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<RunRecord, String> {
+        let count = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| format!("run record missing `{k}`"))
+        };
+        Ok(RunRecord {
+            elapsed_ms: count("run_elapsed_ms")? as u64,
+            queries: count("queries")?,
+            statements: count("statements")?,
+            plans: count("plans")?,
+        })
+    }
+}
+
+/// Dispatch target for journal body lines.
+enum Record {
+    Cell(CellRecord),
+    Run(RunRecord),
+}
+
+/// Everything a journal replay yields: the identity header, the completed
+/// cells, and the finished-run totals.
+#[derive(Debug, Clone)]
+pub struct CheckpointLoad {
+    pub header: CheckpointHeader,
+    pub cells: Vec<CellRecord>,
+    pub runs: Vec<RunRecord>,
+}
+
 /// Handle on one campaign's checkpoint journal.
 #[derive(Debug, Clone)]
 pub struct Checkpoint {
@@ -199,8 +261,20 @@ impl Checkpoint {
     /// Journal one completed cell (callers serialize through the campaign's
     /// io lock).
     pub fn append_cell(&self, record: &CellRecord) -> io::Result<()> {
+        tqs_telemetry::counter!("campaign.checkpoint.cell_appends").incr();
+        self.append_line(record.to_json())
+    }
+
+    /// Journal one finished run's totals so resumed campaigns report
+    /// cumulative throughput instead of restarting their clocks.
+    pub fn append_run(&self, record: &RunRecord) -> io::Result<()> {
+        tqs_telemetry::counter!("campaign.checkpoint.run_appends").incr();
+        self.append_line(record.to_json())
+    }
+
+    fn append_line(&self, json: Json) -> io::Result<()> {
         let mut f = OpenOptions::new().append(true).open(&self.path)?;
-        let mut line = record.to_json().to_string();
+        let mut line = json.to_string();
         line.push('\n');
         f.write_all(line.as_bytes())?;
         f.flush()
@@ -213,9 +287,10 @@ impl Checkpoint {
         crate::corpus::repair_torn_tail(&self.path)
     }
 
-    /// Replay the journal: the header plus every completed cell. A torn
-    /// final line (kill mid-append) is dropped; corruption elsewhere errors.
-    pub fn load(&self) -> io::Result<(CheckpointHeader, Vec<CellRecord>)> {
+    /// Replay the journal: the header, every completed cell, and every
+    /// finished run. A torn final line (kill mid-append) is dropped;
+    /// corruption elsewhere errors.
+    pub fn load(&self) -> io::Result<CheckpointLoad> {
         let mut text = String::new();
         std::fs::File::open(&self.path)?.read_to_string(&mut text)?;
         let lines: Vec<&str> = text.split('\n').filter(|l| !l.trim().is_empty()).collect();
@@ -236,23 +311,43 @@ impl Checkpoint {
             .and_then(|j| CheckpointHeader::from_json(&j))
             .map_err(|m| bad(0, m))?;
         let mut cells = Vec::new();
+        let mut runs = Vec::new();
         for (i, line) in lines.iter().enumerate().skip(1) {
-            let parsed = Json::parse(line)
-                .map_err(|e| e.to_string())
-                .and_then(|j| CellRecord::from_json(&j));
+            // Dispatch on the record's distinguishing key: cell records
+            // carry `cell`, run records carry `run_elapsed_ms`.
+            let parsed = Json::parse(line).map_err(|e| e.to_string()).and_then(|j| {
+                if j.get("cell").is_some() {
+                    CellRecord::from_json(&j).map(Record::Cell)
+                } else if j.get("run_elapsed_ms").is_some() {
+                    RunRecord::from_json(&j).map(Record::Run)
+                } else {
+                    Err("unrecognized journal record".to_string())
+                }
+            });
             match parsed {
-                Ok(r) => cells.push(r),
+                Ok(Record::Cell(r)) => cells.push(r),
+                Ok(Record::Run(r)) => runs.push(r),
                 Err(_) if i + 1 == lines.len() && !text.ends_with('\n') => {
-                    eprintln!(
-                        "warning: {}: dropping torn final line (interrupted write)",
-                        self.path.display()
-                    );
+                    tqs_telemetry::counter!("campaign.checkpoint.torn_lines_dropped").incr();
+                    tqs_telemetry::event_with("campaign", || {
+                        (
+                            "checkpoint.torn_line_dropped".to_string(),
+                            vec![(
+                                "path".to_string(),
+                                Json::str(self.path.display().to_string()),
+                            )],
+                        )
+                    });
                     break;
                 }
                 Err(m) => return Err(bad(i, m)),
             }
         }
-        Ok((header, cells))
+        Ok(CheckpointLoad {
+            header,
+            cells,
+            runs,
+        })
     }
 }
 
@@ -290,17 +385,49 @@ mod tests {
             })
             .unwrap();
         }
-        let (h, cells) = ckpt.load().unwrap();
-        assert_eq!(h, header());
-        assert_eq!(cells.len(), 2);
-        assert_eq!(cells[1].cell_id, 5);
+        ckpt.append_run(&RunRecord {
+            elapsed_ms: 2_500,
+            queries: 180,
+            statements: 540,
+            plans: 900,
+        })
+        .unwrap();
+        let loaded = ckpt.load().unwrap();
+        assert_eq!(loaded.header, header());
+        assert_eq!(loaded.cells.len(), 2);
+        assert_eq!(loaded.cells[1].cell_id, 5);
+        assert_eq!(loaded.runs.len(), 1);
+        assert_eq!(loaded.runs[0].queries, 180);
+        assert_eq!(loaded.runs[0].elapsed_ms, 2_500);
         // torn tail is dropped
         {
             let mut f = OpenOptions::new().append(true).open(ckpt.path()).unwrap();
             f.write_all(b"{\"cell\": 6, \"quer").unwrap();
         }
-        let (_, cells) = ckpt.load().unwrap();
-        assert_eq!(cells.len(), 2);
+        let loaded = ckpt.load().unwrap();
+        assert_eq!(loaded.cells.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pre_run_record_journals_load_with_zero_runs() {
+        // Journals written before run records existed have only the header
+        // and cell lines; they must load with an empty run list.
+        let dir = std::env::temp_dir().join(format!("tqs-ckpt-legacy-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = Checkpoint::in_dir(&dir);
+        ckpt.create(&header()).unwrap();
+        ckpt.append_cell(&CellRecord {
+            cell_id: 0,
+            queries: 10,
+            raw_reports: 0,
+            new_classes: 0,
+            elapsed_ms: 5,
+        })
+        .unwrap();
+        let loaded = ckpt.load().unwrap();
+        assert_eq!(loaded.cells.len(), 1);
+        assert!(loaded.runs.is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

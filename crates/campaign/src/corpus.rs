@@ -418,6 +418,7 @@ impl Corpus {
     /// Append one entry as a single line (callers serialize appends through
     /// the campaign's io lock).
     pub fn append(&self, entry: &CorpusEntry) -> io::Result<()> {
+        tqs_telemetry::counter!("campaign.corpus.appends").incr();
         let mut f = OpenOptions::new()
             .create(true)
             .append(true)
@@ -449,10 +450,16 @@ impl Corpus {
                 Ok(e) => entries.push(e),
                 Err((idx, _)) if idx + 1 == lines.len() && !text.ends_with('\n') => {
                     // torn tail line from a kill mid-write: drop it
-                    eprintln!(
-                        "warning: {}: dropping torn final line (interrupted write)",
-                        self.path.display()
-                    );
+                    tqs_telemetry::counter!("campaign.corpus.torn_lines_dropped").incr();
+                    tqs_telemetry::event_with("campaign", || {
+                        (
+                            "corpus.torn_line_dropped".to_string(),
+                            vec![(
+                                "path".to_string(),
+                                Json::str(self.path.display().to_string()),
+                            )],
+                        )
+                    });
                     break;
                 }
                 Err((idx, msg)) => {

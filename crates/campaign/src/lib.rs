@@ -19,10 +19,14 @@
 //!   every persisted bug class (witness replay + live re-execution) against
 //!   chosen engine builds and classifies it `StillFailing` / `Fixed` /
 //!   `Flaky` / `Stale`.
-//! * [`checkpoint`] — the cell-completion journal behind resume.
+//! * [`checkpoint`] — the cell-completion journal behind resume, plus
+//!   per-run totals so throughput rates stay cumulative across kill/resume.
 //! * [`stats`] — live fleet counters and the `BENCH_campaign.json` snapshot.
+//! * [`status`] — the live progress board and the `curl`-able HTTP/JSONL
+//!   status endpoint ([`CampaignStatusServer`]).
 //! * [`json`] — the dependency-free JSON used by all of the above (the
-//!   workspace's serde is an offline no-op shim).
+//!   workspace's serde is an offline no-op shim; the type itself now lives
+//!   in `tqs-telemetry` and is re-exported here).
 //!
 //! ## Determinism contract
 //!
@@ -80,15 +84,17 @@ pub mod json;
 pub mod reverify;
 pub mod scheduler;
 pub mod stats;
+pub mod status;
 pub mod triage;
 
 pub use campaign::{Campaign, CampaignCell, CampaignConfig, EngineKind, OracleSpec, PlanMode};
-pub use checkpoint::{CellRecord, Checkpoint, CheckpointHeader};
+pub use checkpoint::{CellRecord, Checkpoint, CheckpointHeader, CheckpointLoad, RunRecord};
 pub use corpus::{CompactionStats, Corpus, CorpusEntry, StoredStatement};
 pub use json::Json;
 pub use reverify::{
     BuildSpec, ClassVerdict, ReverifyCampaign, ReverifyConfig, ReverifyReport, ReverifyStatus,
 };
 pub use scheduler::WorkQueues;
-pub use stats::{CampaignStats, LiveStats, ReverifyStats};
+pub use stats::{CampaignStats, LiveStats, ReverifyStats, RunTotals};
+pub use status::{CampaignStatusServer, StatusBoard};
 pub use triage::{BugTriage, TriageClass};

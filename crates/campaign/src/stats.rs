@@ -9,10 +9,32 @@ use crate::json::Json;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+/// Totals carried over from a campaign's previous runs, replayed from the
+/// checkpoint journal's run records on resume. Keeping them separate from
+/// the live counters lets the per-run numbers stay honest while the rates
+/// (`queries_per_sec`, `plans_per_sec`) report *cumulative* throughput —
+/// a killed-and-resumed campaign no longer resets its clock and briefly
+/// reports inflated (then deflated) rates.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunTotals {
+    pub elapsed: Duration,
+    pub queries: usize,
+    pub statements: usize,
+    pub plans: usize,
+}
+
+impl RunTotals {
+    pub fn is_zero(&self) -> bool {
+        *self == RunTotals::default()
+    }
+}
+
 /// Shared atomic counters the worker fleet bumps as it hunts.
 #[derive(Debug)]
 pub struct LiveStats {
     started: Instant,
+    /// Totals from this campaign's previous runs (zero for a fresh start).
+    prior: RunTotals,
     /// Statements the oracles actually exercised (skips excluded).
     queries: AtomicUsize,
     /// Engine-level statements executed (every hinted plan, replay and
@@ -28,18 +50,29 @@ pub struct LiveStats {
     new_classes: AtomicUsize,
     /// Cells fully drained this run.
     cells_drained: AtomicUsize,
+    /// Distinct isomorphic query structures explored so far (published by
+    /// the fleet so live status readers see it mid-run).
+    diversity: AtomicUsize,
 }
 
 impl LiveStats {
     pub fn start() -> LiveStats {
+        LiveStats::start_with_prior(RunTotals::default())
+    }
+
+    /// Start a run's counters with the totals of the campaign's previous
+    /// runs already on the books.
+    pub fn start_with_prior(prior: RunTotals) -> LiveStats {
         LiveStats {
             started: Instant::now(),
+            prior,
             queries: AtomicUsize::new(0),
             statements: AtomicUsize::new(0),
             plans: AtomicUsize::new(0),
             raw_reports: AtomicUsize::new(0),
             new_classes: AtomicUsize::new(0),
             cells_drained: AtomicUsize::new(0),
+            diversity: AtomicUsize::new(0),
         }
     }
 
@@ -67,7 +100,32 @@ impl LiveStats {
         self.cells_drained.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Snapshot the counters. `total_classes`/`cells_total`/`diversity`/
+    /// Publish the campaign's current structural-diversity count so live
+    /// status readers see it without touching the campaign's locks.
+    pub fn set_diversity(&self, n: usize) {
+        self.diversity.store(n, Ordering::Relaxed);
+    }
+
+    pub fn cells_drained(&self) -> usize {
+        self.cells_drained.load(Ordering::Relaxed)
+    }
+
+    pub fn new_classes_found(&self) -> usize {
+        self.new_classes.load(Ordering::Relaxed)
+    }
+
+    /// This run's totals in journal-record form (what `Checkpoint::append_run`
+    /// persists so the next resume carries the clock forward).
+    pub fn run_totals(&self) -> RunTotals {
+        RunTotals {
+            elapsed: self.started.elapsed(),
+            queries: self.queries.load(Ordering::Relaxed),
+            statements: self.statements.load(Ordering::Relaxed),
+            plans: self.plans.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot the counters. `total_classes`/`cells_total`/
     /// `torn_tails_repaired` come from the campaign (they include state
     /// resumed from disk, which the live counters deliberately do not).
     pub fn snapshot(
@@ -75,11 +133,11 @@ impl LiveStats {
         cells_total: usize,
         cells_done: usize,
         total_classes: usize,
-        diversity: usize,
         torn_tails_repaired: usize,
     ) -> CampaignStats {
         CampaignStats {
             elapsed: self.started.elapsed(),
+            prior: self.prior,
             queries: self.queries.load(Ordering::Relaxed),
             statements: self.statements.load(Ordering::Relaxed),
             plans: self.plans.load(Ordering::Relaxed),
@@ -89,17 +147,21 @@ impl LiveStats {
             cells_done,
             cells_total,
             bug_classes: total_classes,
-            diversity,
+            diversity: self.diversity.load(Ordering::Relaxed),
             torn_tails_repaired,
         }
     }
 }
 
-/// One snapshot of campaign progress (per *run* — a resumed campaign starts
-/// fresh counters but carries its class/cell totals forward).
+/// One snapshot of campaign progress. Counters are per *run* — a resumed
+/// campaign starts fresh counters but carries its class/cell totals forward
+/// — while `prior` holds the previous runs' totals so the throughput rates
+/// stay cumulative across kill/resume.
 #[derive(Debug, Clone)]
 pub struct CampaignStats {
     pub elapsed: Duration,
+    /// Totals from the campaign's previous runs (zero for a fresh start).
+    pub prior: RunTotals,
     /// Statements exercised this run.
     pub queries: usize,
     /// Engine-level statements executed this run (hinted plans, replays and
@@ -126,21 +188,45 @@ pub struct CampaignStats {
 }
 
 impl CampaignStats {
-    /// Fleet throughput: oracle-exercised statements per wall-clock second.
+    /// Wall-clock across every run of the campaign, this one included.
+    pub fn total_elapsed(&self) -> Duration {
+        self.elapsed + self.prior.elapsed
+    }
+
+    /// Oracle-exercised statements across every run.
+    pub fn total_queries(&self) -> usize {
+        self.queries + self.prior.queries
+    }
+
+    /// Engine-level statements across every run.
+    pub fn total_statements(&self) -> usize {
+        self.statements + self.prior.statements
+    }
+
+    /// Optimizer-enumerated plans across every run.
+    pub fn total_plans(&self) -> usize {
+        self.plans + self.prior.plans
+    }
+
+    /// Fleet throughput: oracle-exercised statements per wall-clock second,
+    /// cumulative across resume — the rate doesn't reset when a killed
+    /// campaign restarts.
     pub fn queries_per_sec(&self) -> f64 {
-        self.queries as f64 / self.elapsed.as_secs_f64().max(1e-9)
+        self.total_queries() as f64 / self.total_elapsed().as_secs_f64().max(1e-9)
     }
 
     /// Raw engine throughput: statements executed per wall-clock second —
     /// the rate the allocation-free execution path feeds directly.
+    /// Cumulative across resume.
     pub fn statements_per_sec(&self) -> f64 {
-        self.statements as f64 / self.elapsed.as_secs_f64().max(1e-9)
+        self.total_statements() as f64 / self.total_elapsed().as_secs_f64().max(1e-9)
     }
 
     /// Plan-space throughput: optimizer-enumerated plans executed per
-    /// wall-clock second — the paper's coverage rate.
+    /// wall-clock second — the paper's coverage rate. Cumulative across
+    /// resume.
     pub fn plans_per_sec(&self) -> f64 {
-        self.plans as f64 / self.elapsed.as_secs_f64().max(1e-9)
+        self.total_plans() as f64 / self.total_elapsed().as_secs_f64().max(1e-9)
     }
 
     /// Raw divergence sightings per hour — the flood the triage collapses.
@@ -168,17 +254,34 @@ impl CampaignStats {
                 "elapsed_sec".to_string(),
                 Json::Num(self.elapsed.as_secs_f64()),
             ),
+            (
+                "prior_elapsed_sec".to_string(),
+                Json::Num(self.prior.elapsed.as_secs_f64()),
+            ),
+            (
+                "total_elapsed_sec".to_string(),
+                Json::Num(self.total_elapsed().as_secs_f64()),
+            ),
             ("queries".to_string(), Json::count(self.queries)),
+            (
+                "total_queries".to_string(),
+                Json::count(self.total_queries()),
+            ),
             (
                 "queries_per_sec".to_string(),
                 Json::Num(self.queries_per_sec()),
             ),
             ("statements".to_string(), Json::count(self.statements)),
             (
+                "total_statements".to_string(),
+                Json::count(self.total_statements()),
+            ),
+            (
                 "statements_per_sec".to_string(),
                 Json::Num(self.statements_per_sec()),
             ),
             ("plans".to_string(), Json::count(self.plans)),
+            ("total_plans".to_string(), Json::count(self.total_plans())),
             ("plans_per_sec".to_string(), Json::Num(self.plans_per_sec())),
             ("raw_reports".to_string(), Json::count(self.raw_reports)),
             (
@@ -260,7 +363,8 @@ mod tests {
         live.add_new_class();
         live.add_new_class();
         live.cell_drained();
-        let s = live.snapshot(8, 5, 4, 17, 1);
+        live.set_diversity(17);
+        let s = live.snapshot(8, 5, 4, 1);
         assert_eq!(s.queries, 15);
         assert_eq!(s.plans, 34);
         assert_eq!(s.raw_reports, 6);
@@ -279,13 +383,18 @@ mod tests {
     fn json_snapshot_has_the_bench_fields() {
         let live = LiveStats::start();
         live.add_queries(4);
-        let j = live.snapshot(2, 2, 1, 3, 0).to_json();
+        live.set_diversity(3);
+        let j = live.snapshot(2, 2, 1, 0).to_json();
         let parsed = Json::parse(&j.to_string()).unwrap();
         for key in [
             "elapsed_sec",
+            "prior_elapsed_sec",
+            "total_elapsed_sec",
             "queries",
+            "total_queries",
             "queries_per_sec",
             "plans",
+            "total_plans",
             "plans_per_sec",
             "raw_reports",
             "bug_classes",
@@ -303,7 +412,37 @@ mod tests {
     fn dedup_ratio_is_zero_without_classes() {
         let live = LiveStats::start();
         live.add_raw_reports(3);
-        assert_eq!(live.snapshot(1, 0, 0, 0, 0).dedup_ratio(), 0.0);
+        assert_eq!(live.snapshot(1, 0, 0, 0).dedup_ratio(), 0.0);
+    }
+
+    #[test]
+    fn rates_are_cumulative_across_prior_runs() {
+        // A resumed campaign's rates must blend the previous runs' totals
+        // with this run's counters instead of restarting the clock.
+        let prior = RunTotals {
+            elapsed: Duration::from_secs(10),
+            queries: 1_000,
+            statements: 3_000,
+            plans: 5_000,
+        };
+        let live = LiveStats::start_with_prior(prior);
+        live.add_queries(50);
+        live.add_statements(150);
+        live.add_plans(250);
+        let s = live.snapshot(4, 4, 0, 0);
+        assert_eq!(s.prior, prior);
+        assert_eq!(s.total_queries(), 1_050);
+        assert_eq!(s.total_statements(), 3_150);
+        assert_eq!(s.total_plans(), 5_250);
+        // The live run just started, so elapsed is ~0; cumulative rates are
+        // dominated by the 10 prior seconds and cannot spike toward the
+        // fresh-clock value of 50 / ~0s.
+        assert!(s.total_elapsed() >= prior.elapsed);
+        assert!(s.queries_per_sec() <= 1_050.0 / 10.0 + 1.0);
+        assert!(s.queries_per_sec() > 0.0);
+        let parsed = Json::parse(&s.to_json().to_string()).unwrap();
+        assert_eq!(parsed.get("total_queries").unwrap().as_usize(), Some(1_050));
+        assert_eq!(parsed.get("queries").unwrap().as_usize(), Some(50));
     }
 
     #[test]

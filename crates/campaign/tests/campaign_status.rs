@@ -1,0 +1,126 @@
+//! Drives a live campaign while a plain-TCP client follows the HTTP/JSONL
+//! status endpoint, verifying the streamed snapshots and the terminal line.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use tqs_campaign::{
+    Campaign, CampaignConfig, CampaignStatusServer, EngineKind, Json, OracleSpec, PlanMode,
+};
+use tqs_core::dsg::{DsgConfig, WideSource};
+use tqs_engine::ProfileId;
+use tqs_schema::NoiseConfig;
+use tqs_storage::widegen::ShoppingConfig;
+
+fn cfg(dir: std::path::PathBuf) -> CampaignConfig {
+    CampaignConfig {
+        dir,
+        dsg: DsgConfig {
+            source: WideSource::Shopping(ShoppingConfig {
+                n_rows: 90,
+                ..Default::default()
+            }),
+            fd: Default::default(),
+            noise: Some(NoiseConfig {
+                epsilon: 0.04,
+                seed: 3,
+                max_injections: 10,
+            }),
+        },
+        shards: 2,
+        workers: 2,
+        profiles: vec![ProfileId::MysqlLike],
+        oracles: vec![OracleSpec::GroundTruth],
+        engines: vec![EngineKind::Row],
+        plan_modes: vec![PlanMode::Single],
+        queries_per_cell: 60,
+        seed: 99,
+        minimize: false,
+        max_cells_per_run: None,
+    }
+}
+
+#[test]
+fn status_endpoint_streams_a_live_campaign() {
+    let dir = std::env::temp_dir().join(format!("tqs-status-stream-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut campaign = Campaign::new(cfg(dir.clone())).unwrap();
+    let cells_total = campaign.cells_total();
+    let board = campaign.status_board();
+    let server = CampaignStatusServer::start(board, "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    let hunter = std::thread::spawn(move || {
+        let stats = campaign.run().unwrap();
+        assert!(campaign.is_complete());
+        stats
+    });
+
+    // Follow the stream while the hunt runs. The server closes the
+    // connection after the final (finished) snapshot line.
+    let mut conn = TcpStream::connect(addr).unwrap();
+    write!(
+        conn,
+        "GET /stream?interval_ms=20 HTTP/1.1\r\nHost: x\r\n\r\n"
+    )
+    .unwrap();
+    let mut reader = BufReader::new(conn);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        if line.trim().is_empty() {
+            break; // end of the HTTP header block
+        }
+    }
+    let mut snapshots = Vec::new();
+    loop {
+        let mut body_line = String::new();
+        if reader.read_line(&mut body_line).unwrap() == 0 {
+            break; // server closed after the terminal snapshot
+        }
+        if body_line.trim().is_empty() {
+            continue;
+        }
+        snapshots.push(Json::parse(body_line.trim()).expect("stream line is JSON"));
+    }
+    let stats = hunter.join().unwrap();
+
+    assert!(!snapshots.is_empty(), "stream produced no snapshots");
+    for snap in &snapshots {
+        // A snapshot taken before the hunter thread enters `run()` is a bare
+        // idle marker; every running/finished line carries the full stats.
+        let state = snap.get("state").and_then(Json::as_str).expect("state");
+        if state == "idle" {
+            continue;
+        }
+        assert!(snap.get("queries").is_some());
+        assert!(snap.get("cells_total").is_some());
+    }
+    let last = snapshots.last().unwrap();
+    assert_eq!(last.get("state").unwrap().as_str(), Some("finished"));
+    assert_eq!(
+        last.get("cells_done").unwrap().as_usize(),
+        Some(cells_total)
+    );
+    assert_eq!(
+        last.get("queries").unwrap().as_usize(),
+        Some(stats.queries),
+        "terminal snapshot must be the run's final stats"
+    );
+
+    // Point queries still work after the run is over.
+    let mut conn = TcpStream::connect(addr).unwrap();
+    write!(conn, "GET /status HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut response = String::new();
+    std::io::Read::read_to_string(&mut conn, &mut response).unwrap();
+    let body = response.split("\r\n\r\n").nth(1).unwrap();
+    let parsed = Json::parse(body).unwrap();
+    assert_eq!(parsed.get("state").unwrap().as_str(), Some("finished"));
+    assert_eq!(
+        parsed.get("bug_classes").unwrap().as_usize(),
+        Some(stats.bug_classes)
+    );
+
+    server.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

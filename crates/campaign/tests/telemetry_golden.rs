@@ -1,0 +1,85 @@
+//! Telemetry must observe, never steer: the same campaign configuration
+//! hunted with telemetry off and with full telemetry on (spans, metrics,
+//! per-query profiles) must converge to the byte-identical deduplicated
+//! bug-class set. Runs in its own process because the telemetry switch is
+//! process-global.
+
+use tqs_campaign::{Campaign, CampaignConfig, EngineKind, OracleSpec, PlanMode};
+use tqs_core::dsg::{DsgConfig, WideSource};
+use tqs_engine::ProfileId;
+use tqs_schema::NoiseConfig;
+use tqs_storage::widegen::ShoppingConfig;
+
+fn cfg(dir: std::path::PathBuf) -> CampaignConfig {
+    CampaignConfig {
+        dir,
+        dsg: DsgConfig {
+            source: WideSource::Shopping(ShoppingConfig {
+                n_rows: 80,
+                ..Default::default()
+            }),
+            fd: Default::default(),
+            noise: Some(NoiseConfig {
+                epsilon: 0.04,
+                seed: 3,
+                max_injections: 12,
+            }),
+        },
+        shards: 2,
+        workers: 2,
+        profiles: vec![ProfileId::MysqlLike],
+        oracles: vec![OracleSpec::GroundTruth],
+        engines: vec![EngineKind::Row, EngineKind::Columnar],
+        plan_modes: vec![PlanMode::Single, PlanMode::Space],
+        queries_per_cell: 12,
+        seed: 4242,
+        minimize: true,
+        max_cells_per_run: None,
+    }
+}
+
+fn hunt(tag: &str) -> std::collections::BTreeSet<String> {
+    let dir = std::env::temp_dir().join(format!("tqs-golden-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut campaign = Campaign::new(cfg(dir.clone())).unwrap();
+    campaign.run().unwrap();
+    assert!(campaign.is_complete());
+    let keys = campaign.class_keys();
+    std::fs::remove_dir_all(&dir).unwrap();
+    keys
+}
+
+#[test]
+fn bug_class_set_is_identical_with_telemetry_on_and_off() {
+    tqs_telemetry::set_enabled(false);
+    let baseline = hunt("off");
+    assert!(!baseline.is_empty(), "seeded faults should surface");
+
+    tqs_telemetry::set_enabled(true);
+    let observed = hunt("on");
+    tqs_telemetry::set_enabled(false);
+
+    assert_eq!(
+        baseline, observed,
+        "telemetry changed the campaign's bug-class set"
+    );
+
+    // And the instrumented run actually observed the hunt.
+    let snapshot = tqs_telemetry::snapshot_metrics();
+    let json = snapshot.to_json();
+    let counters = json.get("counters").expect("counters member");
+    assert!(
+        counters.get("campaign.oracle.pass").is_some()
+            || counters.get("campaign.oracle.bugs").is_some(),
+        "oracle verdict counters missing from {counters:?}"
+    );
+    assert!(
+        counters.get("campaign.checkpoint.cell_appends").is_some(),
+        "checkpoint I/O counter missing"
+    );
+    let spans = tqs_telemetry::take_events();
+    assert!(
+        spans.iter().any(|e| e.name.starts_with("cell-")),
+        "per-cell spans missing from the trace"
+    );
+}

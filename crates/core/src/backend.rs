@@ -37,6 +37,7 @@ use tqs_sql::ast::SelectStmt;
 use tqs_sql::hints::HintSet;
 use tqs_sql::parser::parse_stmt;
 use tqs_storage::{Catalog, ResultSet};
+use tqs_telemetry::QueryProfile;
 
 use crate::dsg::DsgDatabase;
 
@@ -125,6 +126,14 @@ pub trait DbmsConnector {
         let stmt = parse_stmt(sql).map_err(|e| ConnectorError::new(e.to_string()))?;
         self.execute(&stmt)
     }
+
+    /// Operator-level profile (rows in/out, nanoseconds per operator) of the
+    /// most recently executed statement — the runtime companion to
+    /// [`explain`](DbmsConnector::explain). `None` when the backend doesn't
+    /// collect profiles, telemetry is disabled, or nothing ran yet.
+    fn query_profile(&self) -> Option<QueryProfile> {
+        None
+    }
 }
 
 /// The three executors an [`EngineConnector`] can host.
@@ -141,6 +150,8 @@ enum EngineBackend {
 pub struct EngineConnector {
     backend: EngineBackend,
     dialect: ProfileId,
+    /// Operator profile of the last executed statement (telemetry on only).
+    last_profile: Option<QueryProfile>,
 }
 
 impl EngineConnector {
@@ -149,6 +160,7 @@ impl EngineConnector {
         EngineConnector {
             backend: EngineBackend::Row(Database::new(Catalog::new(), profile)),
             dialect,
+            last_profile: None,
         }
     }
 
@@ -172,6 +184,7 @@ impl EngineConnector {
                 DbmsProfile::columnar(id),
             )),
             dialect: id,
+            last_profile: None,
         }
     }
 
@@ -184,6 +197,7 @@ impl EngineConnector {
                 DbmsProfile::columnar_pristine(id),
             )),
             dialect: id,
+            last_profile: None,
         }
     }
 
@@ -219,6 +233,7 @@ impl EngineConnector {
                     .expect("disk store creation in the temp dir"),
             )),
             dialect: id,
+            last_profile: None,
         }
     }
 
@@ -231,6 +246,7 @@ impl EngineConnector {
                     .expect("disk store creation in the temp dir"),
             )),
             dialect: id,
+            last_profile: None,
         }
     }
 
@@ -257,6 +273,27 @@ impl EngineConnector {
             EngineBackend::Disk(db) => db.profile(),
         }
     }
+
+    /// Convert an engine outcome, stashing its operator profile so
+    /// [`DbmsConnector::query_profile`] can serve it after the call.
+    fn finish(
+        &mut self,
+        r: Result<tqs_engine::ExecOutcome, tqs_engine::EngineError>,
+    ) -> Result<SqlOutcome, ConnectorError> {
+        match r {
+            Ok(o) => {
+                self.last_profile = o.profile;
+                Ok(SqlOutcome {
+                    result: o.result,
+                    fired: o.fired,
+                })
+            }
+            Err(e) => {
+                self.last_profile = None;
+                Err(ConnectorError::new(e.to_string()))
+            }
+        }
+    }
 }
 
 impl From<tqs_engine::ExecOutcome> for SqlOutcome {
@@ -266,14 +303,6 @@ impl From<tqs_engine::ExecOutcome> for SqlOutcome {
             fired: o.fired,
         }
     }
-}
-
-/// Single conversion point from the engine's result type to the connector's.
-fn engine_outcome(
-    r: Result<tqs_engine::ExecOutcome, tqs_engine::EngineError>,
-) -> Result<SqlOutcome, ConnectorError> {
-    r.map(SqlOutcome::from)
-        .map_err(|e| ConnectorError::new(e.to_string()))
 }
 
 impl DbmsConnector for EngineConnector {
@@ -302,11 +331,12 @@ impl DbmsConnector for EngineConnector {
         stmt: &SelectStmt,
         hints: &HintSet,
     ) -> Result<SqlOutcome, ConnectorError> {
-        engine_outcome(match &mut self.backend {
+        let r = match &mut self.backend {
             EngineBackend::Row(db) => db.execute_with_hints(stmt, hints),
             EngineBackend::Columnar(db) => db.execute_with_hints(stmt, hints),
             EngineBackend::Disk(db) => db.execute_with_hints(stmt, hints),
-        })
+        };
+        self.finish(r)
     }
 
     fn explain(&mut self, stmt: &SelectStmt) -> Result<String, ConnectorError> {
@@ -319,19 +349,25 @@ impl DbmsConnector for EngineConnector {
     }
 
     fn execute(&mut self, stmt: &SelectStmt) -> Result<SqlOutcome, ConnectorError> {
-        engine_outcome(match &mut self.backend {
+        let r = match &mut self.backend {
             EngineBackend::Row(db) => db.execute(stmt),
             EngineBackend::Columnar(db) => db.execute(stmt),
             EngineBackend::Disk(db) => db.execute(stmt),
-        })
+        };
+        self.finish(r)
     }
 
     fn execute_sql(&mut self, sql: &str) -> Result<SqlOutcome, ConnectorError> {
-        engine_outcome(match &mut self.backend {
+        let r = match &mut self.backend {
             EngineBackend::Row(db) => db.execute_sql(sql),
             EngineBackend::Columnar(db) => db.execute_sql(sql),
             EngineBackend::Disk(db) => db.execute_sql(sql),
-        })
+        };
+        self.finish(r)
+    }
+
+    fn query_profile(&self) -> Option<QueryProfile> {
+        self.last_profile.clone()
     }
 }
 
@@ -492,6 +528,10 @@ impl<C: DbmsConnector> DbmsConnector for RecordingConnector<C> {
         let out = self.inner.execute_sql(sql);
         self.record_statement("sql", sql.to_string(), &out);
         out
+    }
+
+    fn query_profile(&self) -> Option<QueryProfile> {
+        self.inner.query_profile()
     }
 }
 

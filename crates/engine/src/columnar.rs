@@ -228,7 +228,10 @@ impl ColumnarDatabase {
         ctx.subquery_present = stmt.has_subquery();
         ctx.semi_strategy = self.inner.semi_strategy(stmt);
 
+        let _stmt_span = tqs_telemetry::span("engine", "columnar.execute");
+
         // Base scan, column-major.
+        let op_t0 = ctx.op_start();
         let base_table = self
             .inner
             .catalog
@@ -236,6 +239,11 @@ impl ColumnarDatabase {
             .ok_or_else(|| EngineError::UnknownTable(stmt.from.base.table.clone()))?;
         let pruner = ColumnPruner::new(stmt);
         let mut rel = ColumnarRel::scan_pruned(base_table, stmt.from.base.binding(), &pruner);
+        if op_t0.is_some() {
+            let rows = rel.len() as u64;
+            ctx.op_end(op_t0, "scan", rows, rows);
+            tqs_telemetry::counter!("engine.columnar.scan.rows_out").add(rows);
+        }
 
         // Joins, in plan order, batch-at-a-time.
         for pj in &plan.joins {
@@ -251,6 +259,8 @@ impl ColumnarDatabase {
                 .table(&ast_join.table.table)
                 .ok_or_else(|| EngineError::UnknownTable(ast_join.table.table.clone()))?;
             let right = ColumnarRel::scan_pruned(right_table, ast_join.table.binding(), &pruner);
+            let op_t0 = ctx.op_start();
+            let rows_in = (rel.len() + right.len()) as u64;
             rel = columnar_join(
                 &rel,
                 &right,
@@ -259,18 +269,36 @@ impl ColumnarDatabase {
                 &mut ctx,
                 self.batch_size,
             )?;
+            if op_t0.is_some() {
+                let rows_out = rel.len() as u64;
+                let ns = ctx.op_end(op_t0, pj.algo.profile_label(), rows_in, rows_out);
+                tqs_telemetry::counter!("engine.columnar.join.rows_in").add(rows_in);
+                tqs_telemetry::counter!("engine.columnar.join.rows_out").add(rows_out);
+                tqs_telemetry::histogram!("engine.columnar.join.ns").record(ns);
+            }
         }
 
         // WHERE filtering over the selection bitmap, batch-at-a-time.
         let sub = EngineSubqueries::new(&self.inner, plan.subquery_plan, ctx.materialization);
         if let Some(pred) = &stmt.where_clause {
+            let op_t0 = ctx.op_start();
+            let rows_in = rel.len() as u64;
             rel = self.filter(pred, rel, &mut ctx, &sub)?;
+            if op_t0.is_some() {
+                let rows_out = rel.len() as u64;
+                ctx.op_end(op_t0, "filter", rows_in, rows_out);
+                tqs_telemetry::counter!("engine.columnar.filter.rows_in").add(rows_in);
+                tqs_telemetry::counter!("engine.columnar.filter.rows_out").add(rows_out);
+            }
         }
 
         // Projection / aggregation / DISTINCT / LIMIT share the row-engine
         // tail — the columnar pipeline ends at the relational boundary.
+        let op_t0 = ctx.op_start();
+        let rows_in = rel.len() as u64;
+        let grouped = stmt.has_aggregates() || !stmt.group_by.is_empty();
         let row_rel = rel.to_rel();
-        let mut result = if stmt.has_aggregates() || !stmt.group_by.is_empty() {
+        let mut result = if grouped {
             self.inner.aggregate(stmt, &row_rel, &sub)?
         } else {
             self.inner.project(stmt, &row_rel, &sub)?
@@ -281,6 +309,20 @@ impl ColumnarDatabase {
         if let Some(l) = stmt.limit {
             result.rows.truncate(l as usize);
         }
+        if op_t0.is_some() {
+            let rows_out = result.rows.len() as u64;
+            ctx.op_end(
+                op_t0,
+                if grouped { "group" } else { "project" },
+                rows_in,
+                rows_out,
+            );
+            if grouped {
+                tqs_telemetry::counter!("engine.columnar.group.rows_in").add(rows_in);
+                tqs_telemetry::counter!("engine.columnar.group.rows_out").add(rows_out);
+            }
+            tqs_telemetry::counter!("engine.columnar.statements").incr();
+        }
 
         ctx.fired.extend(sub.into_fired());
         ctx.fired.dedup();
@@ -288,6 +330,7 @@ impl ColumnarDatabase {
             result,
             plan,
             fired: ctx.fired,
+            profile: ctx.profile,
         })
     }
 

@@ -279,6 +279,7 @@ impl DiskDatabase {
             result: out.result,
             plan: out.plan,
             fired,
+            profile: out.profile,
         })
     }
 

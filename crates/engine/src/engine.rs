@@ -16,6 +16,7 @@ use tqs_sql::hints::{Hint, HintSet, SemiJoinStrategy, SessionSwitch, SwitchName}
 use tqs_sql::parser::{parse_stmt, ParseError};
 use tqs_sql::value::{sql_compare, KeyBuf, SqlCmp, Value};
 use tqs_storage::{Catalog, ResultSet, Row};
+use tqs_telemetry::QueryProfile;
 
 /// Errors surfaced by the engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +70,9 @@ pub struct ExecOutcome {
     /// this; the benchmark harness uses it as "developer root-cause analysis"
     /// when reproducing Table 4.
     pub fired: Vec<FaultKind>,
+    /// Operator-level row counts and timings, collected only while telemetry
+    /// is enabled (`None` otherwise — the hot path stays allocation-free).
+    pub profile: Option<QueryProfile>,
 }
 
 /// A simulated DBMS instance: a loaded catalog, a profile (with its latent
@@ -456,13 +460,21 @@ impl Database {
         ctx.subquery_present = stmt.has_subquery();
         ctx.semi_strategy = self.semi_strategy(stmt);
 
+        let _stmt_span = tqs_telemetry::span("engine", "row.execute");
+
         // Base scan (pruned to the columns the statement can observe).
+        let op_t0 = ctx.op_start();
         let pruner = ColumnPruner::new(stmt);
         let base_table = self
             .catalog
             .table(&stmt.from.base.table)
             .ok_or_else(|| EngineError::UnknownTable(stmt.from.base.table.clone()))?;
         let mut rel = Rel::scan_pruned(base_table, stmt.from.base.binding(), &pruner);
+        if op_t0.is_some() {
+            let rows = rel.rows.len() as u64;
+            ctx.op_end(op_t0, "scan", rows, rows);
+            tqs_telemetry::counter!("engine.row.scan.rows_out").add(rows);
+        }
 
         // Joins, in plan order.
         for pj in &plan.joins {
@@ -484,6 +496,8 @@ impl Database {
         // fault applied).
         let sub = EngineSubqueries::new(self, plan.subquery_plan, ctx.materialization);
         if let Some(pred) = &stmt.where_clause {
+            let op_t0 = ctx.op_start();
+            let rows_in = rel.rows.len() as u64;
             let pred = self.apply_constant_cache_fault(pred, &rel, &mut ctx);
             let mut kept = Vec::new();
             for row in &rel.rows {
@@ -493,10 +507,19 @@ impl Database {
                 }
             }
             rel.rows = kept;
+            if op_t0.is_some() {
+                let rows_out = rel.rows.len() as u64;
+                ctx.op_end(op_t0, "filter", rows_in, rows_out);
+                tqs_telemetry::counter!("engine.row.filter.rows_in").add(rows_in);
+                tqs_telemetry::counter!("engine.row.filter.rows_out").add(rows_out);
+            }
         }
 
         // Projection / aggregation / DISTINCT / LIMIT.
-        let mut result = if stmt.has_aggregates() || !stmt.group_by.is_empty() {
+        let op_t0 = ctx.op_start();
+        let rows_in = rel.rows.len() as u64;
+        let grouped = stmt.has_aggregates() || !stmt.group_by.is_empty();
+        let mut result = if grouped {
             self.aggregate(stmt, &rel, &sub)?
         } else {
             self.project(stmt, &rel, &sub)?
@@ -507,6 +530,16 @@ impl Database {
         if let Some(l) = stmt.limit {
             result.rows.truncate(l as usize);
         }
+        if op_t0.is_some() {
+            let rows_out = result.rows.len() as u64;
+            let op = if grouped { "group" } else { "project" };
+            ctx.op_end(op_t0, op, rows_in, rows_out);
+            if grouped {
+                tqs_telemetry::counter!("engine.row.group.rows_in").add(rows_in);
+                tqs_telemetry::counter!("engine.row.group.rows_out").add(rows_out);
+            }
+            tqs_telemetry::counter!("engine.row.statements").incr();
+        }
 
         ctx.fired.extend(sub.into_fired());
         ctx.fired.dedup();
@@ -514,6 +547,7 @@ impl Database {
             result,
             plan,
             fired: ctx.fired,
+            profile: ctx.profile,
         })
     }
 

@@ -10,11 +10,13 @@
 use crate::faults::{FaultKind, FaultSet, TriggerContext};
 use crate::plan::{JoinAlgo, PhysicalJoin};
 use std::collections::HashMap;
+use std::time::Instant;
 use tqs_sql::ast::{BinOp, ColumnRef, Expr, JoinType};
 use tqs_sql::eval::{eval_predicate, ColumnResolver, NoSubqueries, SliceRow};
 use tqs_sql::hints::SemiJoinStrategy;
 use tqs_sql::value::{sql_compare, KeyBuf, SqlCmp, Value};
 use tqs_storage::Table;
+use tqs_telemetry::QueryProfile;
 
 /// An intermediate relation: bound columns plus rows.
 #[derive(Debug, Clone, Default)]
@@ -176,6 +178,10 @@ pub struct ExecContext {
     pub subquery_present: bool,
     pub semi_strategy: Option<SemiJoinStrategy>,
     pub fired: Vec<FaultKind>,
+    /// Operator-level profile of this execution, collected only while
+    /// telemetry is enabled (`None` otherwise, so the hot path allocates
+    /// nothing for it).
+    pub profile: Option<QueryProfile>,
 }
 
 impl ExecContext {
@@ -187,6 +193,26 @@ impl ExecContext {
             subquery_present: false,
             semi_strategy: None,
             fired: Vec::new(),
+            profile: tqs_telemetry::enabled().then(QueryProfile::new),
+        }
+    }
+
+    /// Start an operator clock — `None` (no clock read) unless profiling.
+    #[inline]
+    pub fn op_start(&self) -> Option<Instant> {
+        self.profile.as_ref().map(|_| Instant::now())
+    }
+
+    /// Record one operator sample on the per-query profile; returns the
+    /// elapsed nanoseconds (0 when not profiling) for global histograms.
+    #[inline]
+    pub fn op_end(&mut self, start: Option<Instant>, op: &str, rows_in: u64, rows_out: u64) -> u64 {
+        if let (Some(t0), Some(p)) = (start, self.profile.as_mut()) {
+            let ns = t0.elapsed().as_nanos() as u64;
+            p.push(op, rows_in, rows_out, ns);
+            ns
+        } else {
+            0
         }
     }
 
@@ -513,6 +539,7 @@ pub fn execute_join(
     on: Option<&Expr>,
     ctx: &mut ExecContext,
 ) -> Result<Rel, ExecError> {
+    let op_t0 = ctx.op_start();
     let t = ctx.trigger_ctx(join);
     let keys = extract_equi_keys(left, right, on);
     let layout = ScopeLayout::compile(&keys.residual, &|b, c| left.col_index(b, c), &|b, c| {
@@ -675,6 +702,17 @@ pub fn execute_join(
     }
 
     extra_fired_rows.null_right_rows.clear();
+    if let Some(t0) = op_t0 {
+        let ns = t0.elapsed().as_nanos() as u64;
+        let rows_in = (left.rows.len() + right.rows.len()) as u64;
+        let rows_out = out.rows.len() as u64;
+        if let Some(p) = ctx.profile.as_mut() {
+            p.push(join.algo.profile_label(), rows_in, rows_out, ns);
+        }
+        tqs_telemetry::counter!("engine.row.join.rows_in").add(rows_in);
+        tqs_telemetry::counter!("engine.row.join.rows_out").add(rows_out);
+        tqs_telemetry::histogram!("engine.row.join.ns").record(ns);
+    }
     Ok(out)
 }
 

@@ -42,6 +42,20 @@ impl JoinAlgo {
         }
     }
 
+    /// Short operator label used in query profiles and telemetry
+    /// (`join.hash`, `join.sort_merge`, ...).
+    pub fn profile_label(self) -> &'static str {
+        match self {
+            JoinAlgo::NestedLoop => "join.nested_loop",
+            JoinAlgo::BlockNestedLoop => "join.block_nested_loop",
+            JoinAlgo::BlockNestedLoopHashed => "join.bnlh",
+            JoinAlgo::BatchedKeyAccess => "join.bka",
+            JoinAlgo::HashJoin => "join.hash",
+            JoinAlgo::SortMergeJoin => "join.sort_merge",
+            JoinAlgo::IndexJoin => "join.index",
+        }
+    }
+
     /// Does this algorithm match keys via a hash/encoded key rather than by
     /// direct pairwise comparison?
     pub fn uses_hashed_keys(self) -> bool {

@@ -192,6 +192,7 @@ impl PlanSpace {
     /// the same inputs always produce the same space, which is what lets a
     /// hunt, its witness replay and a later re-verification agree.
     pub fn enumerate(stmt: &SelectStmt, catalog: &Catalog, faults: &FaultSet) -> PlanSpace {
+        let _span = tqs_telemetry::span("optimizer", "enumerate");
         let mut logical = LogicalPlan::lower(stmt);
         let rewrite_fired = rewrite(&mut logical, faults);
         let rewritten = logical.to_stmt();
@@ -211,6 +212,20 @@ impl PlanSpace {
         let hinted_order = !orders.is_empty();
         if orders.is_empty() {
             orders.push((0..n).collect());
+        }
+
+        // Which ordering path serves this statement: exact DP below the join
+        // budget, heuristic DFS above it, identity when reordering is off
+        // the table.
+        if tqs_telemetry::enabled() {
+            let path = if !hinted_order || n < 2 {
+                "optimizer.enumerate.identity_order"
+            } else if n <= DP_MAX_JOINS {
+                "optimizer.enumerate.dp_orders"
+            } else {
+                "optimizer.enumerate.dfs_orders"
+            };
+            tqs_telemetry::metrics::counter(path).incr();
         }
 
         let cm = CostModel::new(&logical, catalog);
@@ -314,18 +329,23 @@ impl PlanSpace {
             };
             match memo.get(&memo_key) {
                 Some(hints) => {
+                    tqs_telemetry::counter!("optimizer.enumerate.memo_hits").incr();
                     plan.hints = hints.clone();
                     if plan.hints != plan.intended {
                         plan.fired.push(FaultKind::OptHintIgnoredUnderMemoCollision);
                     }
                 }
                 None => {
+                    tqs_telemetry::counter!("optimizer.enumerate.memo_misses").incr();
                     memo.insert(memo_key, plan.intended.clone());
                     plan.hints = plan.intended.clone();
                 }
             }
             plans.push(plan);
         }
+
+        tqs_telemetry::counter!("optimizer.enumerate.statements").incr();
+        tqs_telemetry::counter!("optimizer.enumerate.plans").add(plans.len() as u64);
 
         PlanSpace {
             stmt: rewritten,

@@ -30,12 +30,31 @@ use tqs_sql::ast::{ColumnRef, Expr, JoinType};
 
 use crate::ir::{as_column_equality, qualifiers, split_conjuncts, LogicalPlan};
 
-/// Apply all rewrite rules to the plan in place. Returns the seeded faults
-/// that actually altered the outcome.
+/// Backstop on the fixpoint loop. Each pass either changes the plan or ends
+/// the loop, and every change moves a conjunct out of WHERE or materializes
+/// a missing entailed equality — both finite — so the loop terminates on its
+/// own; the cap only bounds the damage of a future non-converging rule.
+const MAX_REWRITE_PASSES: u64 = 8;
+
+/// Apply all rewrite rules to the plan, rerunning the rule set until a full
+/// pass changes nothing (a fixpoint — which is what actually guarantees the
+/// idempotence contract above: re-rewriting a rewritten statement finds no
+/// rule that still wants to act). Pristine inputs converge on the second
+/// pass; the loop structure keeps the contract if a future rule's output
+/// enables another rule. Returns the seeded faults that altered the outcome.
 pub fn rewrite(plan: &mut LogicalPlan, faults: &FaultSet) -> Vec<FaultKind> {
     let mut fired = Vec::new();
-    push_down_predicates(plan, faults, &mut fired);
-    infer_join_conditions(plan);
+    let mut passes = 0u64;
+    loop {
+        passes += 1;
+        let mut changed = push_down_predicates(plan, faults, &mut fired);
+        changed |= infer_join_conditions(plan);
+        if !changed || passes >= MAX_REWRITE_PASSES {
+            break;
+        }
+    }
+    tqs_telemetry::counter!("optimizer.rewrite.statements").incr();
+    tqs_telemetry::counter!("optimizer.rewrite.fixpoint_iterations").add(passes);
     fired
 }
 
@@ -63,9 +82,13 @@ enum Placement {
 /// every later join: INNER and SEMI joins filter the same rows anyway, and
 /// LEFT OUTER / ANTI joins never change columns the conjunct can see
 /// (null-padding only touches the newly introduced binding).
-fn push_down_predicates(plan: &mut LogicalPlan, faults: &FaultSet, fired: &mut Vec<FaultKind>) {
+fn push_down_predicates(
+    plan: &mut LogicalPlan,
+    faults: &FaultSet,
+    fired: &mut Vec<FaultKind>,
+) -> bool {
     let Some(filter) = plan.filter.take() else {
-        return;
+        return false;
     };
     let bindings: Vec<String> = plan.bindings().iter().map(|b| b.to_lowercase()).collect();
 
@@ -78,6 +101,7 @@ fn push_down_predicates(plan: &mut LogicalPlan, faults: &FaultSet, fired: &mut V
         }
     }
 
+    let changed = !pushed.is_empty();
     for (i, conjunct) in pushed {
         let on = plan.joins[i].on.take();
         plan.joins[i].on = Some(match on {
@@ -86,6 +110,7 @@ fn push_down_predicates(plan: &mut LogicalPlan, faults: &FaultSet, fired: &mut V
         });
     }
     plan.filter = Expr::conjunction(kept);
+    changed
 }
 
 fn place_conjunct(
@@ -176,7 +201,7 @@ type ColKey = (usize, String);
 /// *full* closure is materialized and `present` is seeded from both ON and
 /// WHERE equalities, a second pass finds nothing absent, keeping the rewrite
 /// idempotent.
-fn infer_join_conditions(plan: &mut LogicalPlan) {
+fn infer_join_conditions(plan: &mut LogicalPlan) -> bool {
     let bindings: Vec<String> = plan.bindings().iter().map(|b| b.to_lowercase()).collect();
     // Equalities already spelled out in some ON clause or the WHERE filter,
     // as ordered pairs.
@@ -212,6 +237,7 @@ fn infer_join_conditions(plan: &mut LogicalPlan) {
     }
 
     let keys = dsu.keys();
+    let mut changed = false;
     for x in 0..keys.len() {
         for y in (x + 1)..keys.len() {
             let (ka, kb) = (&keys[x], &keys[y]);
@@ -220,6 +246,7 @@ fn infer_join_conditions(plan: &mut LogicalPlan) {
                 continue;
             }
             present.insert(pair(ka.clone(), kb.clone()));
+            changed = true;
             let eq = Expr::eq(
                 Expr::Column(key_ref(ka, &bindings)),
                 Expr::Column(key_ref(kb, &bindings)),
@@ -230,6 +257,7 @@ fn infer_join_conditions(plan: &mut LogicalPlan) {
             });
         }
     }
+    changed
 }
 
 fn pair(a: ColKey, b: ColKey) -> (ColKey, ColKey) {

@@ -134,6 +134,7 @@ impl BufferPool {
                 self.map.insert(self.frames[idx].page_id, idx);
             }
             self.stats.evictions += 1;
+            tqs_telemetry::counter!("pager.pool.evictions").incr();
         }
     }
 
@@ -141,10 +142,12 @@ impl BufferPool {
     pub fn fetch(&mut self, file: &mut DataFile, id: PageId) -> io::Result<FrameIdx> {
         if let Some(&idx) = self.map.get(&id) {
             self.stats.hits += 1;
+            tqs_telemetry::counter!("pager.pool.hits").incr();
             self.touch(idx);
             return Ok(idx);
         }
         self.stats.misses += 1;
+        tqs_telemetry::counter!("pager.pool.misses").incr();
         self.make_room();
         let mut page = PageBuf::default();
         file.read_page(id, &mut page)?;

@@ -79,10 +79,13 @@ impl Wal {
         buf.push(REC_COMMIT);
         buf.extend_from_slice(&batch_seq.to_le_bytes());
         self.file.seek(SeekFrom::End(0))?;
+        tqs_telemetry::counter!("pager.wal.appends").incr();
+        tqs_telemetry::counter!("pager.wal.append_bytes").add(buf.len() as u64);
         self.file.write_all(&buf)
     }
 
     pub fn sync(&mut self) -> io::Result<()> {
+        tqs_telemetry::counter!("pager.wal.fsyncs").incr();
         self.file.sync_all()
     }
 
@@ -142,6 +145,11 @@ impl Wal {
             }
         }
         stats.uncommitted_pages_dropped = staged.len();
+        tqs_telemetry::counter!("pager.wal.replay_batches").add(stats.batches_replayed as u64);
+        tqs_telemetry::counter!("pager.wal.replay_pages").add(stats.pages_applied as u64);
+        if stats.torn_tail {
+            tqs_telemetry::counter!("pager.wal.replay_torn_tails").incr();
+        }
         Ok(stats)
     }
 }

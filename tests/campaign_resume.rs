@@ -164,8 +164,8 @@ fn torn_final_lines_are_skipped_and_resume_reproduces_the_class_set() {
         .map(|e| e.class_key)
         .collect();
     assert_eq!(persisted, resumed.class_keys());
-    let (_, records) = tqs_campaign::Checkpoint::in_dir(&dir).load().unwrap();
-    assert_eq!(records.len(), resumed.cells_total());
+    let loaded = tqs_campaign::Checkpoint::in_dir(&dir).load().unwrap();
+    assert_eq!(loaded.cells.len(), resumed.cells_total());
 
     std::fs::remove_dir_all(&dir_ref).unwrap();
     std::fs::remove_dir_all(&dir).unwrap();
