@@ -4,7 +4,7 @@
 //! recorded results).
 
 use std::path::PathBuf;
-use tqs_campaign::{CampaignConfig, EngineKind, OracleSpec, PlanMode};
+use tqs_campaign::{CampaignConfig, EngineKind, OracleSpec, PlanMode, Workload};
 use tqs_core::backend::EngineConnector;
 use tqs_core::dsg::{DsgConfig, DsgDatabase, WideSource};
 use tqs_core::tqs::{TqsConfig, TqsSession};
@@ -123,6 +123,7 @@ pub fn standard_campaign_config() -> CampaignConfig {
         oracles: vec![OracleSpec::GroundTruth, OracleSpec::ThreeWay],
         engines: vec![EngineKind::Row, EngineKind::Disk],
         plan_modes: vec![PlanMode::Single],
+        workloads: vec![Workload::Select],
         queries_per_cell: env_usize("TQS_CAMPAIGN_QUERIES", 150),
         seed: 0xCA3A,
         minimize: true,
@@ -153,6 +154,7 @@ pub fn plan_campaign_config() -> CampaignConfig {
         oracles: vec![OracleSpec::GroundTruth],
         engines: vec![EngineKind::Row, EngineKind::Columnar, EngineKind::Disk],
         plan_modes: vec![PlanMode::Space],
+        workloads: vec![Workload::Select],
         queries_per_cell: env_usize("TQS_PLANS_QUERIES", 40),
         seed: 0x91A5,
         minimize: false,

@@ -37,6 +37,7 @@ use tqs_core::backend::{DbmsConnector, EngineConnector, RecordingConnector};
 use tqs_core::bugs::minimize_with_oracle;
 use tqs_core::dsg::{DsgConfig, DsgDatabase, QueryGenConfig, QueryGenerator};
 use tqs_core::kqe::{Kqe, KqeConfig, KqeScorer};
+use tqs_core::mutation::{DmlGenConfig, DmlGenerator, DmlOracle};
 use tqs_core::oracle::{DifferentialOracle, Oracle, OracleVerdict, PlanSpaceOracle, TqsOracle};
 use tqs_engine::ProfileId;
 use tqs_graph::embedding::embed_graph;
@@ -147,6 +148,39 @@ impl PlanMode {
     }
 }
 
+/// What kind of statement stream a cell hunts with — the workload grid
+/// axis. `Select` is the historical behavior (generated join queries judged
+/// by the cell's oracle); `Dml` swaps the stream for generated mutation
+/// programs (INSERT/UPDATE/DELETE plus transaction control) judged by the
+/// delta-maintained mutation ground truth
+/// ([`DmlOracle`](tqs_core::mutation::DmlOracle)), which is what reaches the
+/// engines' seeded DML fault complement ([`tqs_engine::FaultKind::DML`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Generated SELECT statements through the cell's oracle.
+    Select,
+    /// Generated DML + transaction programs through the mutation oracle.
+    Dml,
+}
+
+impl Workload {
+    pub const ALL: [Workload; 2] = [Workload::Select, Workload::Dml];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::Select => "select",
+            Workload::Dml => "dml",
+        }
+    }
+
+    pub fn from_label(label: &str) -> Result<Workload, String> {
+        Self::ALL
+            .into_iter()
+            .find(|w| w.label() == label)
+            .ok_or_else(|| format!("unknown workload `{label}`"))
+    }
+}
+
 /// Which verdict procedure a cell drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OracleSpec {
@@ -232,6 +266,10 @@ pub struct CampaignConfig {
     /// Plan modes hunted (one cell column per mode). Part of the campaign
     /// identity; `[Single]` reproduces the historical grid exactly.
     pub plan_modes: Vec<PlanMode>,
+    /// Statement workloads hunted (one cell column per workload). Part of
+    /// the campaign identity; `[Select]` reproduces the historical grid
+    /// exactly.
+    pub workloads: Vec<Workload>,
     /// Query budget per cell — cells are budget-bound, not wall-clock-bound,
     /// which is what makes them deterministic and resumable.
     pub queries_per_cell: usize,
@@ -254,6 +292,7 @@ impl Default for CampaignConfig {
             oracles: vec![OracleSpec::GroundTruth],
             engines: vec![EngineKind::Row],
             plan_modes: vec![PlanMode::Single],
+            workloads: vec![Workload::Select],
             queries_per_cell: 100,
             seed: 7,
             minimize: true,
@@ -278,6 +317,11 @@ impl CampaignConfig {
                 .iter()
                 .map(|m| m.label().to_string())
                 .collect(),
+            workloads: self
+                .workloads
+                .iter()
+                .map(|w| w.label().to_string())
+                .collect(),
         }
     }
 
@@ -300,7 +344,7 @@ impl CampaignConfig {
     /// The full cell grid, in id order. Newer axes go innermost so a
     /// campaign not using them keeps exactly the cell ids it had before the
     /// axis existed (corpus entries name cells by id): engine inside oracle,
-    /// plan mode inside engine.
+    /// plan mode inside engine, workload inside plan mode.
     fn cell_grid(&self) -> Vec<CampaignCell> {
         let mut cells = Vec::new();
         for shard in 0..self.shards.max(1) {
@@ -308,14 +352,17 @@ impl CampaignConfig {
                 for &oracle in &self.oracles {
                     for &engine in &self.engines {
                         for &plan_mode in &self.plan_modes {
-                            cells.push(CampaignCell {
-                                id: cells.len(),
-                                shard,
-                                profile,
-                                oracle,
-                                engine,
-                                plan_mode,
-                            });
+                            for &workload in &self.workloads {
+                                cells.push(CampaignCell {
+                                    id: cells.len(),
+                                    shard,
+                                    profile,
+                                    oracle,
+                                    engine,
+                                    plan_mode,
+                                    workload,
+                                });
+                            }
                         }
                     }
                 }
@@ -336,6 +383,7 @@ pub struct CampaignCell {
     pub oracle: OracleSpec,
     pub engine: EngineKind,
     pub plan_mode: PlanMode,
+    pub workload: Workload,
 }
 
 impl CampaignCell {
@@ -668,10 +716,14 @@ impl Campaign {
         cell_span.arg("oracle", Json::str(cell.oracle.label()));
         cell_span.arg("engine", Json::str(cell.engine.label()));
         cell_span.arg("plan_mode", Json::str(cell.plan_mode.label()));
+        cell_span.arg("workload", Json::str(cell.workload.label()));
         let shard = &self.shards[cell.shard];
         let mut conn = RecordingConnector::new(cell.engine.faulty(cell.profile));
         conn.load_catalog(&shard.db.catalog)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if cell.workload == Workload::Dml {
+            return self.run_dml_cell(cell, shard, conn, triage, live, io_lock, started);
+        }
         let mut oracle = cell.build_oracle(shard);
         // Per-cell KQE state: the adaptive walk stays deterministic for the
         // cell regardless of what the rest of the fleet is doing — the
@@ -778,6 +830,99 @@ impl Campaign {
         self.checkpoint.append_cell(&record)?;
         Ok(record)
     }
+
+    /// Drain one mutation-workload cell: deterministic DML + transaction
+    /// programs judged by the delta-maintained mutation ground truth. One
+    /// "query" of the cell's budget is one whole program (the oracle reloads
+    /// the pristine catalog per program, so programs are independent and the
+    /// cell stays deterministic). Mutation reports have no single-statement
+    /// reducer, so representatives are persisted unminimized; dedup runs
+    /// through the same campaign-wide triage as every other cell.
+    #[allow(clippy::too_many_arguments)]
+    fn run_dml_cell(
+        &self,
+        cell: &CampaignCell,
+        shard: &Arc<DsgDatabase>,
+        mut conn: RecordingConnector<EngineConnector>,
+        triage: &Mutex<BugTriage>,
+        live: &LiveStats,
+        io_lock: &Mutex<()>,
+        started: Instant,
+    ) -> io::Result<CellRecord> {
+        let oracle = DmlOracle::new(&shard.db.catalog);
+        let mut generator = DmlGenerator::new(DmlGenConfig {
+            seed: self.cfg.seed ^ ((cell.id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            ..Default::default()
+        });
+
+        let mut queries = 0usize;
+        let mut raw_reports = 0usize;
+        let mut new_classes = 0usize;
+        for _ in 0..self.cfg.queries_per_cell {
+            let program = generator.generate_program(shard);
+            // Drain (and count) the previous program's engine events.
+            live.add_statements(count_statements(&conn.take_trace()));
+            let reports = match oracle.check_program(&program, &mut conn) {
+                OracleVerdict::Skip => {
+                    tqs_telemetry::counter!("campaign.oracle.skip").incr();
+                    continue;
+                }
+                OracleVerdict::Pass => {
+                    tqs_telemetry::counter!("campaign.oracle.pass").incr();
+                    queries += 1;
+                    live.add_queries(1);
+                    continue;
+                }
+                OracleVerdict::Bugs(reports) => {
+                    tqs_telemetry::counter!("campaign.oracle.bugs").incr();
+                    queries += 1;
+                    live.add_queries(1);
+                    reports
+                }
+            };
+            raw_reports += reports.len();
+            live.add_raw_reports(reports.len());
+            // Same lazy witness capture as the select path: duplicates of a
+            // known class never pay for copying the recorded result sets.
+            let mut witness: Option<Vec<StoredStatement>> = None;
+            for report in reports {
+                let admitted = triage.lock().admit(report.clone(), cell.id);
+                if admitted.is_none() {
+                    continue; // duplicate sighting of a known class
+                }
+                new_classes += 1;
+                live.add_new_class();
+                let witness = witness.get_or_insert_with(|| {
+                    conn.trace()
+                        .iter()
+                        .filter_map(StoredStatement::from_event)
+                        .collect()
+                });
+                let entry = CorpusEntry {
+                    cell_id: cell.id,
+                    class_key: report.class_key().to_string(),
+                    connector: conn.info(),
+                    report,
+                    trace: witness.clone(),
+                };
+                let _io = io_lock.lock();
+                self.corpus.append(&entry)?;
+            }
+        }
+
+        live.add_statements(count_statements(&conn.take_trace()));
+
+        let record = CellRecord {
+            cell_id: cell.id,
+            queries,
+            raw_reports,
+            new_classes,
+            elapsed_ms: started.elapsed().as_millis() as u64,
+        };
+        let _io = io_lock.lock();
+        self.checkpoint.append_cell(&record)?;
+        Ok(record)
+    }
 }
 
 #[cfg(test)]
@@ -814,6 +959,7 @@ mod tests {
             oracles: vec![OracleSpec::GroundTruth],
             engines: vec![EngineKind::Row],
             plan_modes: vec![PlanMode::Single],
+            workloads: vec![Workload::Select],
             queries_per_cell: 30,
             seed: 99,
             minimize: false,
@@ -829,24 +975,28 @@ mod tests {
             oracles: vec![OracleSpec::GroundTruth, OracleSpec::CrossEngine],
             engines: vec![EngineKind::Row, EngineKind::Disk],
             plan_modes: vec![PlanMode::Single, PlanMode::Space],
+            workloads: vec![Workload::Select, Workload::Dml],
             ..small_cfg(test_dir("grid"))
         };
         let cells = cfg.cell_grid();
-        assert_eq!(cells.len(), 2 * 2 * 2 * 2 * 2);
+        assert_eq!(cells.len(), 2 * 2 * 2 * 2 * 2 * 2);
         assert!(cells.iter().enumerate().all(|(i, c)| c.id == i));
         assert_eq!(cells[0].shard, 0);
         assert_eq!(cells.last().unwrap().shard, 1);
-        // Newest axis innermost: adjacent ids differ by plan mode first,
-        // then engine, so campaigns not using an axis keep their historical
-        // cell ids.
+        // Newest axis innermost: adjacent ids differ by workload first, then
+        // plan mode, then engine, so campaigns not using an axis keep their
+        // historical cell ids.
+        assert_eq!(cells[0].workload, Workload::Select);
+        assert_eq!(cells[1].workload, Workload::Dml);
         assert_eq!(cells[0].plan_mode, PlanMode::Single);
-        assert_eq!(cells[1].plan_mode, PlanMode::Space);
+        assert_eq!(cells[2].plan_mode, PlanMode::Space);
         assert_eq!(cells[0].engine, EngineKind::Row);
-        assert_eq!(cells[2].engine, EngineKind::Disk);
-        assert_eq!(cells[0].oracle, cells[2].oracle);
-        assert_eq!(cfg.header().cells, 32);
+        assert_eq!(cells[4].engine, EngineKind::Disk);
+        assert_eq!(cells[0].oracle, cells[4].oracle);
+        assert_eq!(cfg.header().cells, 64);
         assert_eq!(cfg.header().engines, vec!["row", "disk"]);
         assert_eq!(cfg.header().plan_modes, vec!["single", "space"]);
+        assert_eq!(cfg.header().workloads, vec!["select", "dml"]);
     }
 
     #[test]
@@ -855,6 +1005,47 @@ mod tests {
             assert_eq!(PlanMode::from_label(m.label()), Ok(m));
         }
         assert!(PlanMode::from_label("exhaustive").is_err());
+    }
+
+    #[test]
+    fn workload_labels_round_trip() {
+        for w in Workload::ALL {
+            assert_eq!(Workload::from_label(w.label()), Ok(w));
+        }
+        assert!(Workload::from_label("ddl").is_err());
+    }
+
+    #[test]
+    fn dml_cells_hunt_mutation_bug_classes() {
+        let dir = test_dir("dml");
+        let mut campaign = Campaign::new(CampaignConfig {
+            shards: 1,
+            workers: 1,
+            workloads: vec![Workload::Dml],
+            queries_per_cell: 10,
+            ..small_cfg(dir.clone())
+        })
+        .unwrap();
+        let stats = campaign.run().unwrap();
+        assert!(campaign.is_complete());
+        assert!(stats.queries > 0);
+        assert!(
+            stats.bug_classes > 0,
+            "seeded DML faults should surface through the mutation workload"
+        );
+        // Every discovered class is a mutation class with DML provenance.
+        for class in campaign.triage().classes() {
+            assert_eq!(
+                class.representative.oracle,
+                tqs_core::bugs::OracleKind::Mutation
+            );
+            assert!(class
+                .representative
+                .fired
+                .iter()
+                .all(|f| tqs_engine::FaultKind::DML.contains(f)));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

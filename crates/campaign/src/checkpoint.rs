@@ -39,6 +39,10 @@ pub struct CheckpointHeader {
     /// Headers journaled before the plan-space axis existed omit the field
     /// and load as `["single"]` — those campaigns ran one plan per hint set.
     pub plan_modes: Vec<String>,
+    /// Workload labels ([`Workload::label`](crate::campaign::Workload)).
+    /// Headers journaled before the workload axis existed omit the field and
+    /// load as `["select"]` — those campaigns hunted SELECT statements only.
+    pub workloads: Vec<String>,
 }
 
 impl CheckpointHeader {
@@ -73,6 +77,10 @@ impl CheckpointHeader {
             (
                 "plan_modes".to_string(),
                 Json::Arr(self.plan_modes.iter().map(Json::str).collect()),
+            ),
+            (
+                "workloads".to_string(),
+                Json::Arr(self.workloads.iter().map(Json::str).collect()),
             ),
         ])
     }
@@ -119,6 +127,11 @@ impl CheckpointHeader {
                 list("plan_modes")?
             } else {
                 vec!["single".to_string()]
+            },
+            workloads: if j.get("workloads").is_some() {
+                list("workloads")?
+            } else {
+                vec!["select".to_string()]
             },
         })
     }
@@ -366,6 +379,7 @@ mod tests {
             oracles: vec!["ground-truth".into()],
             engines: vec!["row".into(), "disk".into()],
             plan_modes: vec!["single".into(), "space".into()],
+            workloads: vec!["select".into(), "dml".into()],
         }
     }
 
@@ -454,5 +468,18 @@ mod tests {
         }
         let parsed = CheckpointHeader::from_json(&legacy).unwrap();
         assert_eq!(parsed.plan_modes, vec!["single".to_string()]);
+    }
+
+    #[test]
+    fn pre_workload_axis_headers_load_as_select_only() {
+        // A header journaled before the workload axis existed has no
+        // `workloads` member; it must load as the SELECT-only campaign it
+        // was.
+        let mut legacy = header().to_json();
+        if let Json::Obj(members) = &mut legacy {
+            members.retain(|(k, _)| k != "workloads");
+        }
+        let parsed = CheckpointHeader::from_json(&legacy).unwrap();
+        assert_eq!(parsed.workloads, vec!["select".to_string()]);
     }
 }

@@ -63,6 +63,7 @@ fn fault_from_label(label: &str) -> Result<FaultKind, String> {
         .chain(FaultKind::COLUMNAR.iter())
         .chain(FaultKind::DISK.iter())
         .chain(FaultKind::OPTIMIZER.iter())
+        .chain(FaultKind::DML.iter())
         .copied()
         .find(|f| fault_label(*f) == label)
         .ok_or_else(|| format!("unknown fault kind `{label}`"))
@@ -73,7 +74,7 @@ fn oracle_kind_label(k: OracleKind) -> String {
 }
 
 fn oracle_kind_from_label(label: &str) -> Result<OracleKind, String> {
-    const ALL: [OracleKind; 7] = [
+    const ALL: [OracleKind; 8] = [
         OracleKind::GroundTruth,
         OracleKind::Differential,
         OracleKind::CrossEngine,
@@ -81,6 +82,7 @@ fn oracle_kind_from_label(label: &str) -> Result<OracleKind, String> {
         OracleKind::Partitioning,
         OracleKind::NonOptimizingRewrite,
         OracleKind::PlanSpace,
+        OracleKind::Mutation,
     ];
     ALL.into_iter()
         .find(|k| oracle_kind_label(*k) == label)
@@ -642,6 +644,26 @@ mod tests {
         assert_eq!(back.report.class_key(), e.report.class_key());
         assert_eq!(back.trace, e.trace);
         assert_eq!(back.connector.dialect, ProfileId::MysqlLike);
+    }
+
+    #[test]
+    fn mutation_entries_round_trip_through_json() {
+        // A mutation-workload class: Mutation oracle kind, DML fault
+        // provenance, a multi-statement program as its SQL, no fingerprint.
+        let mut e = sample_entry();
+        e.report.oracle = OracleKind::Mutation;
+        e.report.sql = "INSERT INTO T1 (a) VALUES (1); COMMIT".into();
+        e.report.hint_label = "dml".into();
+        e.report.fired = vec![FaultKind::DmlRollbackLeaksInsertedRow];
+        e.report.fingerprint = None;
+        e.report.minimized_sql = None;
+        e.report.keys = Default::default();
+        e.class_key = e.report.class_key().to_string();
+        let back = CorpusEntry::from_json(&Json::parse(&e.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back.report.oracle, OracleKind::Mutation);
+        assert_eq!(back.report.fired, e.report.fired);
+        assert_eq!(back.class_key, e.class_key);
+        assert_eq!(back.report.class_key(), e.report.class_key());
     }
 
     #[test]

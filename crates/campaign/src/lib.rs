@@ -7,8 +7,8 @@
 //! restarts, and don't drown me in duplicate reports."
 //!
 //! * [`campaign`] — the orchestrator: the (shard × profile × oracle ×
-//!   engine) cell grid, the worker fleet, [`Campaign::new`] /
-//!   [`Campaign::resume`] / [`Campaign::run`].
+//!   engine × plan mode × workload) cell grid, the worker fleet,
+//!   [`Campaign::new`] / [`Campaign::resume`] / [`Campaign::run`].
 //! * [`scheduler`] — work-stealing cell queues.
 //! * [`triage`] — plan-fingerprint deduplication of raw divergences into bug
 //!   classes, one minimized representative per class.
@@ -43,7 +43,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use tqs_campaign::{Campaign, CampaignConfig, EngineKind, OracleSpec, PlanMode};
+//! use tqs_campaign::{Campaign, CampaignConfig, EngineKind, OracleSpec, PlanMode, Workload};
 //! use tqs_core::dsg::{DsgConfig, WideSource};
 //! use tqs_engine::ProfileId;
 //! use tqs_storage::widegen::ShoppingConfig;
@@ -62,6 +62,7 @@
 //!     oracles: vec![OracleSpec::GroundTruth],
 //!     engines: vec![EngineKind::Row],
 //!     plan_modes: vec![PlanMode::Single],
+//!     workloads: vec![Workload::Select],
 //!     queries_per_cell: 20,
 //!     seed: 11,
 //!     minimize: false,
@@ -87,7 +88,9 @@ pub mod stats;
 pub mod status;
 pub mod triage;
 
-pub use campaign::{Campaign, CampaignCell, CampaignConfig, EngineKind, OracleSpec, PlanMode};
+pub use campaign::{
+    Campaign, CampaignCell, CampaignConfig, EngineKind, OracleSpec, PlanMode, Workload,
+};
 pub use checkpoint::{CellRecord, Checkpoint, CheckpointHeader, CheckpointLoad, RunRecord};
 pub use corpus::{CompactionStats, Corpus, CorpusEntry, StoredStatement};
 pub use json::Json;

@@ -43,7 +43,7 @@
 //! report is assembled in deterministic (entry, build) order regardless of
 //! which worker drained which pair.
 
-use crate::campaign::{Campaign, CampaignConfig, EngineKind};
+use crate::campaign::{Campaign, CampaignCell, CampaignConfig, EngineKind};
 use crate::corpus::CorpusEntry;
 use crate::json::Json;
 use crate::scheduler::WorkQueues;
@@ -54,10 +54,12 @@ use std::io;
 use std::sync::Arc;
 use std::time::Instant;
 use tqs_core::backend::EngineConnector;
-use tqs_core::bugs::BugReport;
+use tqs_core::bugs::{BugReport, OracleKind};
 use tqs_core::dsg::DsgDatabase;
+use tqs_core::mutation::DmlOracle;
 use tqs_engine::ProfileId;
-use tqs_sql::parser::parse_stmt;
+use tqs_sql::parser::{parse_program, parse_stmt};
+use tqs_sql::render::render_dml;
 
 /// Which engine build a class is re-executed against. Builds apply to the
 /// *entry's own profile* (the cell that discovered it), so one re-verification
@@ -417,6 +419,9 @@ impl ReverifyCampaign {
         };
         let profile = cell.profile.name();
         let shard = &self.campaign.shards()[cell.shard];
+        if entry.report.oracle == OracleKind::Mutation {
+            return self.verify_dml(entry, build, cell, shard);
+        }
         let stmt = match parse_stmt(&entry.report.sql) {
             Ok(stmt) => stmt,
             Err(e) => return stale(profile, format!("sql no longer parses: {e}")),
@@ -484,6 +489,94 @@ impl ReverifyCampaign {
         };
         verdict(profile, status, replay_reproduced, live_failing, detail)
     }
+
+    /// Both legs for a mutation-workload class. The persisted SQL is a whole
+    /// DML + transaction program; the witness trace serves every statement
+    /// of it (recorded under the `dml` label) plus the oracle's per-table
+    /// verification probes, so the replay leg re-judges the recorded
+    /// evidence with the same delta-maintained ground truth that flagged it,
+    /// and the live leg re-runs the program end to end on the build under
+    /// test.
+    fn verify_dml(
+        &self,
+        entry: &CorpusEntry,
+        build: BuildSpec,
+        cell: CampaignCell,
+        shard: &Arc<DsgDatabase>,
+    ) -> ClassVerdict {
+        let profile = cell.profile.name();
+        let verdict =
+            |status: ReverifyStatus, replay: bool, live: bool, detail: String| ClassVerdict {
+                class_key: entry.class_key.clone(),
+                cell_id: entry.cell_id,
+                profile: profile.to_string(),
+                build,
+                status,
+                replay_reproduced: replay,
+                live_failing: live,
+                detail,
+            };
+        let stale = |detail: String| verdict(ReverifyStatus::Stale, false, false, detail);
+
+        let program = match parse_program(&entry.report.sql) {
+            Ok(program) => program,
+            Err(e) => return stale(format!("program no longer parses: {e}")),
+        };
+        for stmt in &program {
+            if let Some(table) = stmt.table() {
+                if shard.db.catalog.table(table).is_none() {
+                    return stale(format!(
+                        "table `{table}` missing from the rebuilt shard schema"
+                    ));
+                }
+            }
+        }
+        let replay = entry.replay_connector();
+        for stmt in &program {
+            let sql = render_dml(stmt);
+            if !replay.contains("dml", &sql) {
+                return stale(format!("witness trace no longer serves `{sql}` [dml]"));
+            }
+        }
+
+        // Replay leg: the recorded program outcomes and verification probes,
+        // re-judged against a freshly delta-maintained ground truth.
+        let oracle = DmlOracle::new(&shard.db.catalog);
+        let mut replay = replay;
+        let replay_verdict = oracle.check_program(&program, &mut replay);
+        if !replay_verdict.executed() {
+            return stale("witness trace no longer serves the oracle's statements".to_string());
+        }
+        let replay_reproduced = matches_class(&entry.report, replay_verdict.into_bugs());
+
+        // Live leg: a fresh end-to-end execution on the build under test.
+        let mut conn = build.connect(cell.engine, cell.profile, shard);
+        let live_verdict = oracle.check_program(&program, &mut conn);
+        if !live_verdict.executed() {
+            return stale(format!(
+                "live re-execution on the {} build skipped",
+                build.label()
+            ));
+        }
+        let live_failing = matches_class(&entry.report, live_verdict.into_bugs());
+
+        let (status, detail) = match (replay_reproduced, live_failing) {
+            (true, true) => (ReverifyStatus::StillFailing, String::new()),
+            (true, false) => (ReverifyStatus::Fixed, String::new()),
+            (false, true) => (
+                ReverifyStatus::Flaky,
+                "witness replay no longer reproduces the class but live re-execution still \
+                 trips it"
+                    .to_string(),
+            ),
+            (false, false) => (
+                ReverifyStatus::Flaky,
+                "neither witness replay nor live re-execution reproduces the recorded class"
+                    .to_string(),
+            ),
+        };
+        verdict(status, replay_reproduced, live_failing, detail)
+    }
 }
 
 /// Does any of `candidates` re-establish `recorded`'s class? Matching is by
@@ -503,7 +596,7 @@ fn matches_class(recorded: &BugReport, candidates: Vec<BugReport>) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::campaign::{OracleSpec, PlanMode};
+    use crate::campaign::{OracleSpec, PlanMode, Workload};
     use tqs_core::dsg::{DsgConfig, WideSource};
     use tqs_schema::NoiseConfig;
     use tqs_storage::widegen::ShoppingConfig;
@@ -535,6 +628,7 @@ mod tests {
             oracles: vec![OracleSpec::GroundTruth],
             engines: vec![EngineKind::Row],
             plan_modes: vec![PlanMode::Single],
+            workloads: vec![Workload::Select],
             queries_per_cell: 30,
             seed: 77,
             minimize: false,

@@ -5,6 +5,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use tqs_campaign::{
     Campaign, CampaignConfig, CampaignStatusServer, EngineKind, Json, OracleSpec, PlanMode,
+    Workload,
 };
 use tqs_core::dsg::{DsgConfig, WideSource};
 use tqs_engine::ProfileId;
@@ -32,6 +33,7 @@ fn cfg(dir: std::path::PathBuf) -> CampaignConfig {
         oracles: vec![OracleSpec::GroundTruth],
         engines: vec![EngineKind::Row],
         plan_modes: vec![PlanMode::Single],
+        workloads: vec![Workload::Select],
         queries_per_cell: 60,
         seed: 99,
         minimize: false,

@@ -4,7 +4,7 @@
 //! bug-class set. Runs in its own process because the telemetry switch is
 //! process-global.
 
-use tqs_campaign::{Campaign, CampaignConfig, EngineKind, OracleSpec, PlanMode};
+use tqs_campaign::{Campaign, CampaignConfig, EngineKind, OracleSpec, PlanMode, Workload};
 use tqs_core::dsg::{DsgConfig, WideSource};
 use tqs_engine::ProfileId;
 use tqs_schema::NoiseConfig;
@@ -31,6 +31,7 @@ fn cfg(dir: std::path::PathBuf) -> CampaignConfig {
         oracles: vec![OracleSpec::GroundTruth],
         engines: vec![EngineKind::Row, EngineKind::Columnar],
         plan_modes: vec![PlanMode::Single, PlanMode::Space],
+        workloads: vec![Workload::Select],
         queries_per_cell: 12,
         seed: 4242,
         minimize: true,

@@ -415,6 +415,17 @@ macro_rules! prop_assert_eq {
             )));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}: {}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+)
+            )));
+        }
+    }};
 }
 
 #[macro_export]
@@ -426,6 +437,17 @@ macro_rules! prop_assert_ne {
                 "assertion failed: {} != {}",
                 stringify!($left),
                 stringify!($right)
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}: {}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+)
             )));
         }
     }};

@@ -33,10 +33,12 @@ use std::collections::HashMap;
 use std::fmt;
 
 use tqs_engine::{ColumnarDatabase, Database, DbmsProfile, DiskDatabase, FaultKind, ProfileId};
-use tqs_sql::ast::SelectStmt;
+use tqs_sql::ast::{DmlStmt, SelectStmt};
 use tqs_sql::hints::HintSet;
-use tqs_sql::parser::parse_stmt;
-use tqs_storage::{Catalog, ResultSet};
+use tqs_sql::parser::{parse_dml, parse_stmt};
+use tqs_sql::render::render_dml;
+use tqs_sql::value::Value;
+use tqs_storage::{Catalog, ResultSet, Row};
 use tqs_telemetry::QueryProfile;
 
 use crate::dsg::DsgDatabase;
@@ -127,12 +129,43 @@ pub trait DbmsConnector {
         self.execute(&stmt)
     }
 
+    /// Execute one DML or transaction-control statement (INSERT / UPDATE /
+    /// DELETE, BEGIN / COMMIT / ROLLBACK). The outcome's result set is a
+    /// single `rows_affected` row, so mutation sessions flow through the
+    /// same recording/replay machinery as queries. Backends without
+    /// mutation support return an error, which drivers count as a skip —
+    /// exactly like any other execution failure.
+    fn execute_dml(&mut self, stmt: &DmlStmt) -> Result<SqlOutcome, ConnectorError> {
+        let _ = stmt;
+        Err(ConnectorError::new("backend does not support DML"))
+    }
+
+    /// Execute raw DML text (parse, then execute).
+    fn execute_dml_sql(&mut self, sql: &str) -> Result<SqlOutcome, ConnectorError> {
+        let stmt = parse_dml(sql).map_err(|e| ConnectorError::new(e.to_string()))?;
+        self.execute_dml(&stmt)
+    }
+
     /// Operator-level profile (rows in/out, nanoseconds per operator) of the
     /// most recently executed statement — the runtime companion to
     /// [`explain`](DbmsConnector::explain). `None` when the backend doesn't
     /// collect profiles, telemetry is disabled, or nothing ran yet.
     fn query_profile(&self) -> Option<QueryProfile> {
         None
+    }
+}
+
+/// Shape a [`tqs_engine::DmlOutcome`] as a one-row `rows_affected` result
+/// set, keeping the fault provenance — the uniform [`SqlOutcome`] form every
+/// trace consumer already understands.
+fn dml_sql_outcome(out: &tqs_engine::DmlOutcome) -> SqlOutcome {
+    let mut result = ResultSet::new(vec!["rows_affected".to_string()]);
+    result
+        .rows
+        .push(Row::new(vec![Value::Int(out.rows_affected as i64)]));
+    SqlOutcome {
+        result,
+        fired: out.fired.clone(),
     }
 }
 
@@ -366,6 +399,18 @@ impl DbmsConnector for EngineConnector {
         self.finish(r)
     }
 
+    fn execute_dml(&mut self, stmt: &DmlStmt) -> Result<SqlOutcome, ConnectorError> {
+        let r = match &mut self.backend {
+            EngineBackend::Row(db) => db.execute_dml(stmt),
+            EngineBackend::Columnar(db) => db.execute_dml(stmt),
+            EngineBackend::Disk(db) => db.execute_dml(stmt),
+        };
+        match r {
+            Ok(out) => Ok(dml_sql_outcome(&out)),
+            Err(e) => Err(ConnectorError::new(e.to_string())),
+        }
+    }
+
     fn query_profile(&self) -> Option<QueryProfile> {
         self.last_profile.clone()
     }
@@ -530,6 +575,18 @@ impl<C: DbmsConnector> DbmsConnector for RecordingConnector<C> {
         out
     }
 
+    fn execute_dml(&mut self, stmt: &DmlStmt) -> Result<SqlOutcome, ConnectorError> {
+        let out = self.inner.execute_dml(stmt);
+        self.record_statement("dml", render_dml(stmt), &out);
+        out
+    }
+
+    fn execute_dml_sql(&mut self, sql: &str) -> Result<SqlOutcome, ConnectorError> {
+        let out = self.inner.execute_dml_sql(sql);
+        self.record_statement("dml", sql.to_string(), &out);
+        out
+    }
+
     fn query_profile(&self) -> Option<QueryProfile> {
         self.inner.query_profile()
     }
@@ -667,6 +724,22 @@ impl DbmsConnector for ReplayConnector {
             Err(_) => {
                 let stmt = parse_stmt(sql).map_err(|e| ConnectorError::new(e.to_string()))?;
                 self.execute(&stmt)
+            }
+        }
+    }
+
+    fn execute_dml(&mut self, stmt: &DmlStmt) -> Result<SqlOutcome, ConnectorError> {
+        self.serve("dml", render_dml(stmt))
+    }
+
+    fn execute_dml_sql(&mut self, sql: &str) -> Result<SqlOutcome, ConnectorError> {
+        // Raw DML text is recorded under its canonical rendering; try the
+        // verbatim text first, then the normalized form.
+        match self.serve("dml", sql.to_string()) {
+            Ok(out) => Ok(out),
+            Err(miss) => {
+                let stmt = parse_dml(sql).map_err(|_| miss)?;
+                self.execute_dml(&stmt)
             }
         }
     }

@@ -34,6 +34,9 @@ pub enum OracleKind {
     /// sanity (the cost-model pick costing more than another enumerated
     /// plan).
     PlanSpace,
+    /// A mutation workload (DML + transactions) left the database in a state
+    /// that disagrees with the delta-maintained ground truth.
+    Mutation,
 }
 
 /// One detected logic bug.

@@ -17,6 +17,8 @@
 use crate::backend::DbmsConnector;
 use crate::dsg::{DsgConfig, DsgDatabase, QueryGenerator, UniformScorer, WideSource};
 use crate::hintgen::hint_sets_for;
+use crate::mutation::{DmlGenConfig, DmlGenerator, DmlOracle};
+use crate::oracle::OracleVerdict;
 use tqs_schema::{GroundTruthEvaluator, NoiseConfig};
 use tqs_storage::widegen::ShoppingConfig;
 
@@ -168,4 +170,155 @@ pub fn assert_connector_conformance(conn: &mut dyn DbmsConnector, kind: BuildKin
             );
         }
     }
+}
+
+/// The DML section of the conformance contract, for connectors that support
+/// mutation statements:
+///
+/// * **Visibility basics hold on every build** (faulty or pristine): an
+///   auto-committed INSERT is immediately visible, an UPDATE-only
+///   transaction ended by ROLLBACK leaves the table untouched, and a DELETE
+///   keyed on a non-NULL column removes exactly its rows. These shapes dodge
+///   every seeded DML fault on purpose — they are the part of the contract
+///   even a faulty build must honor.
+/// * **Pristine builds pass the mutation oracle**: generated DML programs
+///   leave the database byte-in-bag-identical to the delta-maintained ground
+///   truth, with no fault provenance.
+/// * **Seeded builds misbehave observably**: at least one generated program
+///   must produce a mutation bug report.
+///
+/// Panics with a diagnostic on any violation. A connector without DML
+/// support should simply not call this — the base contract
+/// ([`assert_connector_conformance`]) never touches mutation paths.
+pub fn assert_dml_conformance(conn: &mut dyn DbmsConnector, kind: BuildKind) {
+    let dsg = conformance_dsg();
+    conn.load_catalog(&dsg.db.catalog)
+        .expect("dml conformance: load_catalog must accept a DSG catalog");
+    let info = conn.info();
+    // A (table, column, marker, other) slot whose column admits literals of
+    // its own type: an int marker where the column takes ints, a short
+    // string marker otherwise.
+    let mut slot = None;
+    'outer: for t in dsg.db.catalog.iter() {
+        for c in &t.columns {
+            if c.ty.admits(&tqs_sql::value::Value::Int(987_654_321)) {
+                slot = Some((t.name.clone(), c.name.clone(), "987654321", "1"));
+                break 'outer;
+            }
+            if c.ty
+                .admits(&tqs_sql::value::Value::Varchar("marker-987".into()))
+            {
+                slot = Some((t.name.clone(), c.name.clone(), "'marker-987'", "'x'"));
+                break 'outer;
+            }
+        }
+    }
+    let (table, key_col, marker, other) =
+        slot.expect("dml conformance: no column admits a marker literal");
+    let count_sql = format!("SELECT COUNT(*) AS c FROM {table}");
+    let count = |conn: &mut dyn DbmsConnector, sql: &str| -> i64 {
+        let out = conn
+            .execute_sql(sql)
+            .expect("dml conformance: COUNT(*) probe");
+        match out.result.rows[0].get(0) {
+            tqs_sql::value::Value::Int(n) => *n,
+            other => panic!("dml conformance: COUNT(*) returned {other}"),
+        }
+    };
+
+    // 1. Auto-committed INSERT is immediately visible.
+    let before = count(conn, &count_sql);
+    conn.execute_dml_sql(&format!(
+        "INSERT INTO {table} ({key_col}) VALUES ({marker})"
+    ))
+    .unwrap_or_else(|e| panic!("dml conformance: {} rejected INSERT: {e}", info.name));
+    assert_eq!(
+        count(conn, &count_sql),
+        before + 1,
+        "dml conformance: {} INSERT not visible",
+        info.name
+    );
+
+    // 2. An UPDATE-only transaction ended by ROLLBACK changes nothing.
+    //    (UPDATE shapes may fire faults inside the transaction; ROLLBACK
+    //    restores the snapshot regardless — only inserts can leak under M4.)
+    let snapshot = conn
+        .execute_sql(&format!("SELECT {table}.{key_col} FROM {table}"))
+        .expect("dml conformance: snapshot probe")
+        .result;
+    for sql in [
+        "BEGIN".to_string(),
+        format!("UPDATE {table} SET {key_col} = {other} WHERE {table}.{key_col} = {marker}"),
+        "ROLLBACK".to_string(),
+    ] {
+        conn.execute_dml_sql(&sql)
+            .unwrap_or_else(|e| panic!("dml conformance: {} rejected {sql}: {e}", info.name));
+    }
+    let after = conn
+        .execute_sql(&format!("SELECT {table}.{key_col} FROM {table}"))
+        .expect("dml conformance: post-rollback probe")
+        .result;
+    assert!(
+        snapshot.same_bag(&after),
+        "dml conformance: {} ROLLBACK did not restore the table",
+        info.name
+    );
+
+    // 3. DELETE keyed on a non-NULL value removes exactly its rows.
+    let out = conn
+        .execute_dml_sql(&format!(
+            "DELETE FROM {table} WHERE {table}.{key_col} = {marker}"
+        ))
+        .unwrap_or_else(|e| panic!("dml conformance: {} rejected DELETE: {e}", info.name));
+    assert_eq!(
+        out.result.rows[0].get(0),
+        &tqs_sql::value::Value::Int(1),
+        "dml conformance: {} DELETE affected the wrong row count",
+        info.name
+    );
+    assert_eq!(count(conn, &count_sql), before);
+
+    // 4. Generated mutation programs against the delta-maintained ground
+    //    truth: sound when pristine, observably wrong when seeded.
+    let oracle = DmlOracle::from_dsg(&dsg);
+    let mut gen = DmlGenerator::new(DmlGenConfig::default());
+    let programs = match kind {
+        BuildKind::Pristine => 10,
+        BuildKind::Seeded => 25,
+    };
+    let mut executed = 0usize;
+    let mut bugs = 0usize;
+    for _ in 0..programs {
+        let program = gen.generate_program(&dsg);
+        match oracle.check_program(&program, conn) {
+            OracleVerdict::Bugs(reports) => {
+                executed += 1;
+                bugs += reports.len();
+                if kind == BuildKind::Pristine {
+                    panic!(
+                        "dml conformance: pristine {} diverged from the mutation ground \
+                         truth: {reports:#?}",
+                        info.name
+                    );
+                }
+            }
+            OracleVerdict::Pass => executed += 1,
+            OracleVerdict::Skip => {}
+        }
+    }
+    assert!(
+        executed * 2 >= programs,
+        "dml conformance: {} executed only {executed}/{programs} programs",
+        info.name
+    );
+    if kind == BuildKind::Seeded {
+        assert!(
+            bugs > 0,
+            "dml conformance: seeded {} never misbehaved over {programs} mutation programs",
+            info.name
+        );
+    }
+    // Leave the connector reloaded with the pristine catalog.
+    conn.load_catalog(&dsg.db.catalog)
+        .expect("dml conformance: reload");
 }

@@ -60,6 +60,7 @@ pub mod conformance;
 pub mod dsg;
 pub mod hintgen;
 pub mod kqe;
+pub mod mutation;
 pub mod oracle;
 pub mod parallel;
 pub mod tqs;
@@ -70,10 +71,11 @@ pub use backend::{
 };
 pub use baselines::{run_baseline, run_baseline_on, run_oracle_on, Baseline, BaselineConfig};
 pub use bugs::{minimize_query, minimize_with_oracle, BugLog, BugReport, OracleKind};
-pub use conformance::{assert_connector_conformance, BuildKind};
+pub use conformance::{assert_connector_conformance, assert_dml_conformance, BuildKind};
 pub use dsg::{DsgConfig, DsgDatabase, QueryGenConfig, QueryGenerator, UniformScorer, WideSource};
 pub use hintgen::hint_sets_for;
 pub use kqe::{Kqe, KqeConfig, KqeScorer};
+pub use mutation::{DmlGenConfig, DmlGenerator, DmlOracle, MutationGroundTruth, DML_VERIFY_LABEL};
 pub use oracle::{
     DifferentialOracle, NorecOracle, Oracle, OracleVerdict, PlanDiffOracle, PlanSpaceOracle,
     PqsOracle, TlpOracle, TqsOracle, PLAN_BASELINE_LABEL,

@@ -219,6 +219,27 @@ impl ColumnarDatabase {
         self.execute(&stmt)
     }
 
+    /// Execute one DML / transaction-control statement. Columnar scans
+    /// re-read the shared catalog per statement, so mutation and transaction
+    /// semantics delegate wholesale to the inner row session — including the
+    /// DML fault complement, which the columnar builds also carry.
+    pub fn execute_dml(
+        &mut self,
+        stmt: &tqs_sql::ast::DmlStmt,
+    ) -> Result<crate::dml::DmlOutcome, EngineError> {
+        self.inner.execute_dml(stmt)
+    }
+
+    /// Execute DML text (parses one statement, then executes).
+    pub fn execute_dml_sql(&mut self, sql: &str) -> Result<crate::dml::DmlOutcome, EngineError> {
+        self.inner.execute_dml_sql(sql)
+    }
+
+    /// Is a transaction open on this session?
+    pub fn in_txn(&self) -> bool {
+        self.inner.in_txn()
+    }
+
     /// Execute a statement through the columnar pipeline.
     pub fn execute(&self, stmt: &SelectStmt) -> Result<ExecOutcome, EngineError> {
         let plan = self.inner.plan(stmt)?;

@@ -25,6 +25,7 @@
 //! the interrupted catalog load. The crash-recovery suite pins that committed
 //! batches survive byte-for-byte and uncommitted ones vanish entirely.
 
+use crate::dml::{DmlOp, DmlOutcome};
 use crate::engine::{Database, EngineError, ExecOutcome};
 use crate::exec::ExecContext;
 use crate::faults::{FaultKind, TriggerContext};
@@ -33,9 +34,9 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use tqs_pager::{CrashPoint, DiskStore, RecoveryStats, TableScan, DEFAULT_POOL_FRAMES};
-use tqs_sql::ast::SelectStmt;
+use tqs_sql::ast::{DmlStmt, SelectStmt};
 use tqs_sql::hints::HintSet;
-use tqs_sql::parser::parse_stmt;
+use tqs_sql::parser::{parse_dml, parse_stmt};
 use tqs_sql::value::Value;
 use tqs_storage::{Catalog, Row};
 
@@ -45,6 +46,13 @@ use tqs_storage::{Catalog, Row};
 /// giving the stale-frame fault a version gap to serve and the WAL-loss fault
 /// a tail batch that straddles leaves.
 pub const COMMIT_BATCH_ROWS: usize = 48;
+
+/// Store table holding the committed DML delta, one encoded [`DmlOp`] per
+/// row (see [`DmlOp::encode`]). It lives in the page store but never in the
+/// SQL catalog, so scans and faults can't touch it; its batches ride the
+/// ordinary WAL commit protocol, which is what makes a DML commit a *real*
+/// commit boundary for crash injection.
+pub const DML_LOG_TABLE: &str = "__dml_log";
 
 static NEXT_STORE: AtomicU64 = AtomicU64::new(0);
 
@@ -60,6 +68,12 @@ pub struct DiskDatabase {
     inner: Database,
     store: DiskStore,
     dir: PathBuf,
+    /// The catalog as loaded (pre-DML) — the authoritative content of the
+    /// store's base tables, which interrupted loads resume from.
+    base: Catalog,
+    /// Committed DML ops since load, in order; `inner.catalog` equals `base`
+    /// with these (plus any open transaction's ops) replayed.
+    committed_ops: Vec<DmlOp>,
     /// Crash point to arm on the store at the start of the next load (the
     /// load replaces the store, so the request must outlive it).
     pending_crash: Option<CrashPoint>,
@@ -75,6 +89,8 @@ impl DiskDatabase {
             inner: Database::new(Catalog::new(), profile),
             store,
             dir,
+            base: Catalog::new(),
+            committed_ops: Vec::new(),
             pending_crash: None,
             last_recovery: None,
         };
@@ -130,16 +146,22 @@ impl DiskDatabase {
     pub fn load_catalog(&mut self, catalog: Catalog) -> Result<(), EngineError> {
         self.store = DiskStore::create(&self.dir, DEFAULT_POOL_FRAMES).map_err(storage_err)?;
         self.store.set_crash_point(self.pending_crash.take());
+        // A fresh load resets the whole DML history with the store.
+        self.base = catalog.clone();
+        self.committed_ops.clear();
         self.inner.catalog = catalog;
+        self.inner.clear_txn();
         self.last_recovery = None;
-        for name in self.inner.catalog.table_names() {
+        for name in self.base.table_names() {
             self.store.create_table(&name).map_err(storage_err)?;
         }
+        self.store
+            .create_table(DML_LOG_TABLE)
+            .map_err(storage_err)?;
         self.store.commit().map_err(storage_err)?;
-        for name in self.inner.catalog.table_names() {
+        for name in self.base.table_names() {
             let rows: Vec<Vec<Value>> = self
-                .inner
-                .catalog
+                .base
                 .table(&name)
                 .map(|t| t.rows.iter().map(|r| r.values.clone()).collect())
                 .unwrap_or_default();
@@ -157,8 +179,11 @@ impl DiskDatabase {
         self.store.set_crash_point(Some(point));
     }
 
-    /// Reopen the store's files, replay the WAL, and resume the interrupted
-    /// catalog load from the first row the recovered store is missing.
+    /// Reopen the store's files, replay the WAL, resume any interrupted
+    /// catalog load, then rebuild the session's view of the data: base
+    /// catalog plus exactly the DML ops whose log batches survived the WAL
+    /// replay. Committed transactions come back in full, in-flight ones
+    /// vanish entirely, and running recovery again is a no-op (idempotent).
     pub fn recover(&mut self) -> Result<RecoveryStats, EngineError> {
         self.pending_crash = None;
         let (store, stats) =
@@ -166,13 +191,23 @@ impl DiskDatabase {
         self.store = store;
         self.last_recovery = Some(stats);
         self.resume_load()?;
+        self.committed_ops = self.read_log_ops()?;
+        // Anything not in the log (an open transaction, an auto-commit whose
+        // log batch missed its fsync) is in-flight and lost with the crash.
+        self.inner.clear_txn();
+        let mut catalog = self.base.clone();
+        for op in &self.committed_ops {
+            op.apply(&mut catalog);
+        }
+        self.inner.catalog = catalog;
         Ok(stats)
     }
 
-    /// Catch the store up to `inner.catalog`: recreate missing tables and
-    /// insert each table's missing row suffix. Idempotent.
+    /// Catch the store up to the loaded base catalog: recreate missing
+    /// tables and insert each table's missing row suffix. Idempotent.
     fn resume_load(&mut self) -> Result<(), EngineError> {
-        let names = self.inner.catalog.table_names();
+        let mut names = self.base.table_names();
+        names.push(DML_LOG_TABLE.to_string());
         let mut created = false;
         for name in &names {
             if !self
@@ -188,18 +223,94 @@ impl DiskDatabase {
         if created {
             self.store.commit().map_err(storage_err)?;
         }
-        for name in &names {
-            let have = self.store.rows_inserted(name).map_err(storage_err)? as usize;
+        for name in self.base.table_names() {
+            let have = self.store.rows_inserted(&name).map_err(storage_err)? as usize;
             let missing: Vec<Vec<Value>> = self
-                .inner
-                .catalog
-                .table(name)
+                .base
+                .table(&name)
                 .map(|t| t.rows.iter().skip(have).map(|r| r.values.clone()).collect())
                 .unwrap_or_default();
             for chunk in missing.chunks(COMMIT_BATCH_ROWS) {
-                self.store.insert_batch(name, chunk).map_err(storage_err)?;
+                self.store.insert_batch(&name, chunk).map_err(storage_err)?;
             }
         }
+        Ok(())
+    }
+
+    /// Decode the committed DML delta out of the log table, in rowid
+    /// (= commit) order.
+    fn read_log_ops(&mut self) -> Result<Vec<DmlOp>, EngineError> {
+        if !self
+            .store
+            .tables()
+            .iter()
+            .any(|t| t.name.eq_ignore_ascii_case(DML_LOG_TABLE))
+        {
+            return Ok(Vec::new());
+        }
+        let scan = self.store.scan(DML_LOG_TABLE).map_err(storage_err)?;
+        scan.into_rows()
+            .into_iter()
+            .map(|(_, vals)| DmlOp::decode(&vals))
+            .collect()
+    }
+
+    /// Execute one DML / transaction-control statement. Mutation semantics,
+    /// transactions and the DML fault complement are the shared row
+    /// implementation ([`Database::execute_dml`]); what this layer adds is
+    /// durability: at every commit boundary — `COMMIT`, `ROLLBACK` (which
+    /// persists nothing unless a fault leaks a row) and auto-committed
+    /// statements outside a transaction — the effective ops are appended to
+    /// [`DML_LOG_TABLE`] through the store's full WAL commit protocol, so an
+    /// armed [`CrashPoint`] kills the transaction at a real commit boundary.
+    pub fn execute_dml(&mut self, stmt: &DmlStmt) -> Result<DmlOutcome, EngineError> {
+        if self.store.is_poisoned() {
+            return Err(EngineError::Storage(
+                "store is poisoned by an injected crash; call recover() first".into(),
+            ));
+        }
+        let out = self.inner.execute_dml(stmt)?;
+        let at_commit_boundary = match stmt {
+            DmlStmt::Begin => false,
+            DmlStmt::Commit | DmlStmt::Rollback => true,
+            _ => !self.inner.in_txn(),
+        };
+        if at_commit_boundary {
+            self.persist_ops(&out.ops)?;
+        }
+        Ok(out)
+    }
+
+    /// Execute DML text (parses one statement, then executes).
+    pub fn execute_dml_sql(&mut self, sql: &str) -> Result<DmlOutcome, EngineError> {
+        let stmt = parse_dml(sql)?;
+        self.execute_dml(&stmt)
+    }
+
+    /// Is a transaction open on this session?
+    pub fn in_txn(&self) -> bool {
+        self.inner.in_txn()
+    }
+
+    /// Committed DML ops since load (what a crash at this instant would
+    /// preserve).
+    pub fn committed_ops(&self) -> &[DmlOp] {
+        &self.committed_ops
+    }
+
+    /// Append `ops` to the log table as one commit batch. Runs the commit
+    /// protocol even for an empty delta (an empty `COMMIT` is still a
+    /// commit), so an armed crash point always fires at the boundary.
+    fn persist_ops(&mut self, ops: &[DmlOp]) -> Result<(), EngineError> {
+        if ops.is_empty() {
+            self.store.commit().map_err(storage_err)?;
+        } else {
+            let rows: Vec<Vec<Value>> = ops.iter().map(DmlOp::encode).collect();
+            self.store
+                .insert_batch(DML_LOG_TABLE, &rows)
+                .map_err(storage_err)?;
+        }
+        self.committed_ops.extend(ops.iter().cloned());
         Ok(())
     }
 
@@ -262,7 +373,14 @@ impl DiskDatabase {
             },
         };
 
-        let catalog = self.scan_catalog(&trigger, &mut ctx)?;
+        let mut catalog = self.scan_catalog(&trigger, &mut ctx)?;
+        // The scan returns base-table content; the session's DML delta —
+        // committed ops, then the open transaction's own writes — replays on
+        // top. Ops clamp out-of-range indices, so replay stays well-defined
+        // even over scans a storage fault corrupted.
+        for op in self.committed_ops.iter().chain(self.inner.txn_ops()) {
+            op.apply(&mut catalog);
+        }
         // The shared pipeline runs over the scanned (possibly corrupted)
         // rows. The shadow's fault set holds only DISK kinds, which no row
         // execution path checks, so nothing extra can fire inside it.
@@ -516,6 +634,82 @@ mod tests {
         let stmt = parse_stmt("SELECT t1.id FROM t1 JOIN t2 ON t1.col1 = t2.id").unwrap();
         let e = db.explain(&stmt).unwrap();
         assert!(e.contains("executor: disk"), "{e}");
+    }
+
+    #[test]
+    fn dml_persists_and_matches_the_row_engine() {
+        let mut d = disk(ProfileId::MysqlLike);
+        let mut row = Database::new(catalog(), DbmsProfile::pristine(ProfileId::MysqlLike));
+        let program = [
+            "INSERT INTO t2 (id, col1) VALUES (26, 'v26'), (27, 'v27')",
+            "BEGIN",
+            "UPDATE t1 SET col1 = 99 WHERE t1.id BETWEEN 1 AND 3",
+            "DELETE FROM t2 WHERE t2.id = 27",
+            "COMMIT",
+            "BEGIN",
+            "DELETE FROM t1 WHERE t1.col1 = 99",
+            "ROLLBACK",
+        ];
+        for sql in program {
+            let a = d
+                .execute_dml_sql(sql)
+                .unwrap_or_else(|e| panic!("{sql}: {e}"));
+            let b = row.execute_dml_sql(sql).unwrap();
+            assert_eq!(a.rows_affected, b.rows_affected, "{sql}");
+        }
+        let q = "SELECT t1.id, t1.col1 FROM t1 WHERE t1.col1 = 99";
+        let a = d.execute_sql(q).unwrap();
+        let b = row.execute_sql(q).unwrap();
+        assert!(a.result.same_bag(&b.result), "post-DML scans diverged");
+        // The delta survives a clean close/reopen cycle byte-for-byte.
+        let before = d.execute_sql("SELECT t2.id FROM t2").unwrap();
+        d.recover().unwrap();
+        let after = d.execute_sql("SELECT t2.id FROM t2").unwrap();
+        assert!(before.result.same_bag(&after.result));
+    }
+
+    #[test]
+    fn crash_at_dml_commit_loses_exactly_the_inflight_txn() {
+        for point in CrashPoint::ALL {
+            let mut d = disk(ProfileId::MysqlLike);
+            d.execute_dml_sql("INSERT INTO t2 (id, col1) VALUES (26, 'keep')")
+                .unwrap();
+            d.execute_dml_sql("BEGIN").unwrap();
+            d.execute_dml_sql("INSERT INTO t2 (id, col1) VALUES (27, 'maybe')")
+                .unwrap();
+            d.arm_crash(point);
+            let err = d.execute_dml_sql("COMMIT").unwrap_err();
+            assert!(matches!(&err, EngineError::Storage(m) if m.contains("injected crash")));
+            assert!(d.is_poisoned());
+            assert!(d
+                .execute_dml_sql("INSERT INTO t2 (id, col1) VALUES (28, 'no')")
+                .is_err());
+            d.recover().unwrap();
+            let rows = d
+                .execute_sql("SELECT t2.id FROM t2 WHERE t2.id > 25")
+                .unwrap()
+                .result;
+            // The WAL fsync is the commit point: batches killed before it
+            // vanish, batches killed after it survive — but the pre-crash
+            // auto-commit is always there.
+            let expect: &[i64] = if point.batch_is_committed() {
+                &[26, 27]
+            } else {
+                &[26]
+            };
+            let got: Vec<i64> = rows
+                .rows
+                .iter()
+                .map(|r| match r.get(0) {
+                    Value::Int(i) => *i,
+                    other => panic!("{other}"),
+                })
+                .collect();
+            let mut got = got;
+            got.sort_unstable();
+            assert_eq!(got, expect, "{point}");
+            assert!(!d.in_txn(), "{point}: recovery must drop the open txn");
+        }
     }
 
     #[test]

@@ -1,19 +1,20 @@
 //! The simulated DBMS: optimizer (hint- and switch-steerable plan choice),
 //! statement execution and the session interface used by TQS.
 
+use crate::dml::{apply_mutation, DmlOp, DmlOutcome};
 use crate::exec::{execute_join, ColumnPruner, ExecContext, ExecError, Rel};
 use crate::faults::{FaultKind, FaultSet};
 use crate::plan::{JoinAlgo, PhysicalJoin, PhysicalPlan, SubqueryPlan};
 use crate::profiles::DbmsProfile;
 use std::cell::RefCell;
 use std::collections::HashMap;
-use tqs_sql::ast::{AggFunc, BinOp, ColumnRef, Expr, JoinType, SelectItem, SelectStmt};
+use tqs_sql::ast::{AggFunc, BinOp, ColumnRef, DmlStmt, Expr, JoinType, SelectItem, SelectStmt};
 use tqs_sql::eval::{
     eval_expr, eval_predicate, ChainedResolver, ColumnResolver, EvalError, SubqueryHandler,
     SubqueryMemo,
 };
 use tqs_sql::hints::{Hint, HintSet, SemiJoinStrategy, SessionSwitch, SwitchName};
-use tqs_sql::parser::{parse_stmt, ParseError};
+use tqs_sql::parser::{parse_dml, parse_stmt, ParseError};
 use tqs_sql::value::{sql_compare, KeyBuf, SqlCmp, Value};
 use tqs_storage::{Catalog, ResultSet, Row};
 use tqs_telemetry::QueryProfile;
@@ -75,6 +76,15 @@ pub struct ExecOutcome {
     pub profile: Option<QueryProfile>,
 }
 
+/// The open transaction of a session: the catalog as it stood at `BEGIN`
+/// (cheap to keep — tables are `Arc`-shared until mutated) plus the ops
+/// applied since, in order.
+#[derive(Debug, Clone)]
+pub(crate) struct DmlTxn {
+    snapshot: Catalog,
+    ops: Vec<DmlOp>,
+}
+
 /// A simulated DBMS instance: a loaded catalog, a profile (with its latent
 /// faults), and per-session optimizer switches.
 #[derive(Debug, Clone)]
@@ -82,6 +92,9 @@ pub struct Database {
     pub catalog: Catalog,
     pub profile: DbmsProfile,
     pub(crate) switches: HashMap<SwitchName, bool>,
+    /// The open transaction, if any (single-session visibility: this
+    /// session's own uncommitted writes live directly in `catalog`).
+    txn: Option<DmlTxn>,
 }
 
 impl Database {
@@ -90,7 +103,114 @@ impl Database {
             catalog,
             profile,
             switches: HashMap::new(),
+            txn: None,
         }
+    }
+
+    /// Is a transaction open on this session?
+    pub fn in_txn(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Ops the open transaction has applied so far (empty outside one). The
+    /// disk engine replays these onto its scanned catalog so a session sees
+    /// its own uncommitted writes.
+    pub fn txn_ops(&self) -> &[DmlOp] {
+        self.txn.as_ref().map(|t| t.ops.as_slice()).unwrap_or(&[])
+    }
+
+    /// Drop any open transaction without touching the catalog — the disk
+    /// engine's crash recovery discards in-flight state this way after it
+    /// has rebuilt the catalog from durable storage.
+    pub(crate) fn clear_txn(&mut self) {
+        self.txn = None;
+    }
+
+    /// Execute one DML / transaction-control statement against this session.
+    ///
+    /// Mutations apply immediately to `catalog` (this session sees its own
+    /// writes); `BEGIN` snapshots, `ROLLBACK` restores the snapshot exactly
+    /// and `COMMIT` makes the delta permanent. The enabled
+    /// [`FaultKind::DML`] faults fire here on their trigger shapes — see the
+    /// [`crate::dml`] module docs.
+    pub fn execute_dml(&mut self, stmt: &DmlStmt) -> Result<DmlOutcome, EngineError> {
+        match stmt {
+            DmlStmt::Begin => {
+                if self.txn.is_some() {
+                    return Err(EngineError::Unsupported(
+                        "BEGIN inside an open transaction".into(),
+                    ));
+                }
+                self.txn = Some(DmlTxn {
+                    snapshot: self.catalog.clone(),
+                    ops: Vec::new(),
+                });
+                Ok(DmlOutcome::default())
+            }
+            DmlStmt::Commit => {
+                let t = self.txn.take().ok_or_else(|| {
+                    EngineError::Unsupported("COMMIT without an open transaction".into())
+                })?;
+                let mut out = DmlOutcome {
+                    ops: t.ops,
+                    ..DmlOutcome::default()
+                };
+                if self
+                    .profile
+                    .faults
+                    .contains(FaultKind::DmlCommitBoundaryTornVisibility)
+                {
+                    // The commit publishes every buffered change except the
+                    // last: tear it back off the live catalog.
+                    if let Some(last) = out.ops.pop() {
+                        last.revert(&mut self.catalog);
+                        out.fire(FaultKind::DmlCommitBoundaryTornVisibility);
+                    }
+                }
+                Ok(out)
+            }
+            DmlStmt::Rollback => {
+                let t = self.txn.take().ok_or_else(|| {
+                    EngineError::Unsupported("ROLLBACK without an open transaction".into())
+                })?;
+                self.catalog = t.snapshot;
+                let mut out = DmlOutcome::default();
+                if self
+                    .profile
+                    .faults
+                    .contains(FaultKind::DmlRollbackLeaksInsertedRow)
+                {
+                    // The rollback missed the transaction's first insert: the
+                    // row comes back, appended at the end of its table.
+                    let leaked = t.ops.iter().find_map(|op| match op {
+                        DmlOp::Insert { table, row, .. } => Some((table.clone(), row.clone())),
+                        _ => None,
+                    });
+                    if let Some((table, row)) = leaked {
+                        if let Some(tab) = self.catalog.table_mut(&table) {
+                            let idx = tab.rows.len();
+                            tab.rows.push(Row::new(row.clone()));
+                            out.ops.push(DmlOp::Insert { table, idx, row });
+                            out.fire(FaultKind::DmlRollbackLeaksInsertedRow);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            _ => {
+                let out = apply_mutation(&mut self.catalog, &self.profile.faults, stmt)?;
+                if let Some(t) = self.txn.as_mut() {
+                    t.ops.extend(out.ops.iter().cloned());
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Execute DML text (parses one statement, then executes).
+    pub fn execute_dml_sql(&mut self, sql: &str) -> Result<DmlOutcome, EngineError> {
+        let stmt = parse_dml(sql)?;
+        self.execute_dml(&stmt)
     }
 
     /// `SET optimizer_switch='name=on|off'`.

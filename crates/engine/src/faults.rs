@@ -181,6 +181,35 @@ pub enum FaultKind {
     /// plans silently reuse another order's JOIN_ORDER hint set, so the
     /// executed plan is not the plan the enumerator claims.
     OptHintIgnoredUnderMemoCollision,
+
+    // --- DML / transaction complement (not part of Table 4) ---
+    //
+    // The mutation workload executes INSERT/UPDATE/DELETE and transaction
+    // blocks through a shared DML executor; its latent faults live in index
+    // maintenance, predicate-driven row selection and commit/rollback
+    // visibility rather than in any join algorithm, storage page or plan
+    // enumeration pass, so the fifth complement stays pairwise disjoint from
+    // every other build's. They are fired by the DML executor itself (never
+    // from a TriggerContext) and exposed by the mutation oracle comparing
+    // post-statement table contents against the maintained ground truth.
+    /// M1: an UPDATE touching a keyed column leaves the first matching row's
+    /// value stale — the index entry moves but the heap cell is never
+    /// rewritten.
+    DmlStaleIndexAfterUpdate,
+    /// M2: DELETE skips matching rows whose WHERE-referenced column is NULL
+    /// (the row matched via IS NULL, but the delete scan treats NULL keys as
+    /// non-matching).
+    DmlDeleteSkipsNullKey,
+    /// M3: an UPDATE assigning a column that the WHERE clause never reads
+    /// loses the write for every matching row after the first — the pruned
+    /// column is missing from the scan's write-back projection.
+    DmlLostUpdateThroughPrunedColumn,
+    /// M4: ROLLBACK leaks the transaction's first inserted row — the undo pass
+    /// restores the snapshot but replays one insert on top of it.
+    DmlRollbackLeaksInsertedRow,
+    /// M5: COMMIT publishes a torn prefix — the transaction's last mutation
+    /// is dropped at the visibility switch-over.
+    DmlCommitBoundaryTornVisibility,
 }
 
 impl FaultKind {
@@ -234,9 +263,19 @@ impl FaultKind {
         FaultKind::OptHintIgnoredUnderMemoCollision,
     ];
 
+    /// The DML / transaction fault complement (ids 35..=39, outside Table 4).
+    /// Fired by the shared DML executor, never from a TriggerContext.
+    pub const DML: [FaultKind; 5] = [
+        FaultKind::DmlStaleIndexAfterUpdate,
+        FaultKind::DmlDeleteSkipsNullKey,
+        FaultKind::DmlLostUpdateThroughPrunedColumn,
+        FaultKind::DmlRollbackLeaksInsertedRow,
+        FaultKind::DmlCommitBoundaryTornVisibility,
+    ];
+
     /// The Table 4 row id (1-based); the columnar complement continues the
-    /// numbering at 21, the disk complement at 25 and the optimizer
-    /// complement at 30.
+    /// numbering at 21, the disk complement at 25, the optimizer complement
+    /// at 30 and the DML complement at 35.
     pub fn table4_id(self) -> u32 {
         if let Some(i) = FaultKind::ALL.iter().position(|f| *f == self) {
             i as u32 + 1
@@ -244,12 +283,11 @@ impl FaultKind {
             i as u32 + 21
         } else if let Some(i) = FaultKind::DISK.iter().position(|f| *f == self) {
             i as u32 + 25
-        } else {
-            let i = FaultKind::OPTIMIZER
-                .iter()
-                .position(|f| *f == self)
-                .unwrap();
+        } else if let Some(i) = FaultKind::OPTIMIZER.iter().position(|f| *f == self) {
             i as u32 + 30
+        } else {
+            let i = FaultKind::DML.iter().position(|f| *f == self).unwrap();
+            i as u32 + 35
         }
     }
 
@@ -262,7 +300,8 @@ impl FaultKind {
             18..=20 => "X-DB-like",
             21..=24 => "Columnar",
             25..=29 => "Disk",
-            _ => "Optimizer",
+            30..=34 => "Optimizer",
+            _ => "DML",
         }
     }
 
@@ -283,6 +322,11 @@ impl FaultKind {
             FaultKind::OptPushdownPastOuterJoin => Severity::Critical,
             FaultKind::OptStaleCardinalityAfterPruning => Severity::Major,
             FaultKind::OptHintIgnoredUnderMemoCollision => Severity::Serious,
+            FaultKind::DmlStaleIndexAfterUpdate => Severity::Critical,
+            FaultKind::DmlDeleteSkipsNullKey => Severity::Serious,
+            FaultKind::DmlLostUpdateThroughPrunedColumn => Severity::Critical,
+            FaultKind::DmlRollbackLeaksInsertedRow => Severity::Serious,
+            FaultKind::DmlCommitBoundaryTornVisibility => Severity::Critical,
             f if f.table4_id() <= 7 => Severity::Serious,
             f if f.table4_id() <= 12 => Severity::Major,
             f if f.table4_id() <= 17 => Severity::Critical,
@@ -386,6 +430,21 @@ impl FaultKind {
             FaultKind::OptHintIgnoredUnderMemoCollision => {
                 "Hint-set memo collision makes a plan reuse another order's JOIN_ORDER hints."
             }
+            FaultKind::DmlStaleIndexAfterUpdate => {
+                "UPDATE on a keyed column leaves the first matching row's heap value stale."
+            }
+            FaultKind::DmlDeleteSkipsNullKey => {
+                "DELETE skips matching rows whose WHERE-referenced column is NULL."
+            }
+            FaultKind::DmlLostUpdateThroughPrunedColumn => {
+                "UPDATE through a pruned write-back projection loses every write after the first."
+            }
+            FaultKind::DmlRollbackLeaksInsertedRow => {
+                "ROLLBACK leaks the transaction's first inserted row."
+            }
+            FaultKind::DmlCommitBoundaryTornVisibility => {
+                "COMMIT publishes a torn prefix that drops the transaction's last mutation."
+            }
         }
     }
 
@@ -394,7 +453,7 @@ impl FaultKind {
     pub fn status(self) -> &'static str {
         match self.table4_id() {
             1 | 2 | 6 | 13 | 14 | 15 | 16 | 17 | 18 | 19 => "Fixed",
-            21..=34 => "Seeded",
+            21..=39 => "Seeded",
             _ => "Verified",
         }
     }
@@ -514,6 +573,13 @@ impl FaultKind {
             | OptPushdownPastOuterJoin
             | OptStaleCardinalityAfterPruning
             | OptHintIgnoredUnderMemoCollision => false,
+            // DML complement: fired explicitly by the DML executor while
+            // applying a mutation, not by any SELECT execution path.
+            DmlStaleIndexAfterUpdate
+            | DmlDeleteSkipsNullKey
+            | DmlLostUpdateThroughPrunedColumn
+            | DmlRollbackLeaksInsertedRow
+            | DmlCommitBoundaryTornVisibility => false,
         }
     }
 }
@@ -701,6 +767,36 @@ mod tests {
             assert!(!f.triggered(&ctx));
         }
         let mut ids: Vec<u32> = FaultKind::OPTIMIZER.iter().map(|f| f.table4_id()).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 5);
+    }
+
+    #[test]
+    fn dml_complement_is_disjoint_and_never_engine_triggered() {
+        for f in FaultKind::DML {
+            assert!(!FaultKind::ALL.contains(&f));
+            assert!(!FaultKind::COLUMNAR.contains(&f));
+            assert!(!FaultKind::DISK.contains(&f));
+            assert!(!FaultKind::OPTIMIZER.contains(&f));
+            assert_eq!(f.dbms(), "DML");
+            assert_eq!(f.status(), "Seeded");
+            assert!(!f.description().is_empty());
+            assert!(!f.severity().label().is_empty());
+            assert!((35..=39).contains(&f.table4_id()));
+            // SELECT execution paths never fire them — only the DML executor.
+            let ctx = TriggerContext {
+                algo: Some(JoinAlgo::HashJoin),
+                join_type: Some(JoinType::LeftOuter),
+                semi_strategy: Some(SemiJoinStrategy::Materialization),
+                materialization: true,
+                subquery_present: true,
+                simplified_from_outer: true,
+                uses_join_buffer: true,
+                switched_off: vec!["join_cache_bka", "join_cache_hashed"],
+            };
+            assert!(!f.triggered(&ctx));
+        }
+        let mut ids: Vec<u32> = FaultKind::DML.iter().map(|f| f.table4_id()).collect();
         ids.dedup();
         assert_eq!(ids.len(), 5);
     }

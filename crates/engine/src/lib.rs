@@ -23,6 +23,7 @@
 
 pub mod columnar;
 pub mod disk;
+pub mod dml;
 pub mod engine;
 pub mod exec;
 pub mod faults;
@@ -31,6 +32,7 @@ pub mod profiles;
 
 pub use columnar::{ColumnarDatabase, ColumnarRel};
 pub use disk::{DiskDatabase, COMMIT_BATCH_ROWS};
+pub use dml::{DmlOp, DmlOutcome};
 pub use engine::{Database, EngineError, ExecOutcome};
 pub use exec::{ExecContext, Rel};
 pub use faults::{FaultKind, FaultSet, Severity, TriggerContext};

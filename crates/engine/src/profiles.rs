@@ -66,8 +66,20 @@ impl ProfileId {
 }
 
 impl DbmsProfile {
-    /// Profile for the given id, with its full Table 4 fault complement.
+    /// Profile for the given id, with its full Table 4 fault complement plus
+    /// the DML complement ([`FaultKind::DML`]). The DML faults only fire from
+    /// the DML executor, never on a SELECT path, so SELECT-only workloads
+    /// behave exactly as they did before the complement existed.
     pub fn build(id: ProfileId) -> DbmsProfile {
+        let mut p = DbmsProfile::table4_build(id);
+        for f in FaultKind::DML {
+            p.faults.enable(f);
+        }
+        p
+    }
+
+    /// Profile for the given id with only its Table 4 fault complement.
+    fn table4_build(id: ProfileId) -> DbmsProfile {
         match id {
             ProfileId::MysqlLike => DbmsProfile {
                 info: ProfileInfo {
@@ -177,10 +189,13 @@ impl DbmsProfile {
     /// [`crate::columnar::ColumnarDatabase`], with the columnar fault
     /// complement ([`FaultKind::COLUMNAR`]) instead of the Table 4 faults.
     pub fn columnar(id: ProfileId) -> DbmsProfile {
-        let mut p = DbmsProfile::build(id);
+        let mut p = DbmsProfile::table4_build(id);
         p.info.name = format!("{} [columnar]", p.info.name);
         p.info.version = format!("{}-col", p.info.version);
         p.faults = FaultSet::of(&FaultKind::COLUMNAR);
+        for f in FaultKind::DML {
+            p.faults.enable(f);
+        }
         p
     }
 
@@ -197,10 +212,13 @@ impl DbmsProfile {
     /// ([`crate::disk::DiskDatabase`]), with the storage-layer fault
     /// complement ([`FaultKind::DISK`]) instead of the Table 4 faults.
     pub fn disk(id: ProfileId) -> DbmsProfile {
-        let mut p = DbmsProfile::build(id);
+        let mut p = DbmsProfile::table4_build(id);
         p.info.name = format!("{} [disk]", p.info.name);
         p.info.version = format!("{}-disk", p.info.version);
         p.faults = FaultSet::of(&FaultKind::DISK);
+        for f in FaultKind::DML {
+            p.faults.enable(f);
+        }
         p
     }
 
@@ -219,11 +237,26 @@ mod tests {
 
     #[test]
     fn four_profiles_with_table_4_fault_counts() {
+        // Table 4 counts per profile, plus the shared DML complement every
+        // faulty build carries.
         let counts: Vec<usize> = ProfileId::ALL
             .iter()
-            .map(|id| DbmsProfile::build(*id).faults.len())
+            .map(|id| {
+                DbmsProfile::build(*id)
+                    .faults
+                    .kinds()
+                    .iter()
+                    .filter(|f| f.dbms() != "DML")
+                    .count()
+            })
             .collect();
         assert_eq!(counts, vec![7, 5, 5, 3]);
+        for id in ProfileId::ALL {
+            let p = DbmsProfile::build(id);
+            for f in FaultKind::DML {
+                assert!(p.faults.contains(f), "{id:?} missing {f:?}");
+            }
+        }
     }
 
     #[test]
@@ -231,7 +264,11 @@ mod tests {
         for id in ProfileId::ALL {
             let p = DbmsProfile::build(id);
             for f in p.faults.kinds() {
-                assert_eq!(f.dbms(), id.name(), "{f:?}");
+                assert!(
+                    f.dbms() == id.name() || f.dbms() == "DML",
+                    "{f:?} attributed to {}",
+                    f.dbms()
+                );
             }
         }
     }
@@ -261,9 +298,16 @@ mod tests {
         for id in ProfileId::ALL {
             let p = DbmsProfile::columnar(id);
             assert!(p.info.name.contains("[columnar]"));
-            assert_eq!(p.faults.len(), FaultKind::COLUMNAR.len());
+            assert_eq!(
+                p.faults.len(),
+                FaultKind::COLUMNAR.len() + FaultKind::DML.len()
+            );
             for f in p.faults.kinds() {
-                assert_eq!(f.dbms(), "Columnar", "{f:?}");
+                assert!(
+                    f.dbms() == "Columnar" || f.dbms() == "DML",
+                    "{f:?} attributed to {}",
+                    f.dbms()
+                );
             }
             assert!(DbmsProfile::columnar_pristine(id).faults.is_empty());
         }
@@ -275,9 +319,13 @@ mod tests {
             let p = DbmsProfile::disk(id);
             assert!(p.info.name.contains("[disk]"));
             assert!(p.info.version.ends_with("-disk"));
-            assert_eq!(p.faults.len(), FaultKind::DISK.len());
+            assert_eq!(p.faults.len(), FaultKind::DISK.len() + FaultKind::DML.len());
             for f in p.faults.kinds() {
-                assert_eq!(f.dbms(), "Disk", "{f:?}");
+                assert!(
+                    f.dbms() == "Disk" || f.dbms() == "DML",
+                    "{f:?} attributed to {}",
+                    f.dbms()
+                );
             }
             assert!(DbmsProfile::disk_pristine(id).faults.is_empty());
         }

@@ -24,8 +24,8 @@ pub mod types;
 pub mod value;
 
 pub use ast::{
-    AggFunc, BinOp, ColumnRef, Expr, FromClause, Join, JoinType, OrderBy, SelectItem, SelectStmt,
-    TableRef, UnOp,
+    AggFunc, Assignment, BinOp, ColumnRef, DeleteStmt, DmlStmt, Expr, FromClause, InsertStmt, Join,
+    JoinType, OrderBy, SelectItem, SelectStmt, TableRef, UnOp, UpdateStmt,
 };
 pub use hints::{Hint, HintSet, SemiJoinStrategy, SessionSwitch, SwitchName};
 pub use types::{ColumnDef, ColumnType};

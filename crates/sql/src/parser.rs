@@ -182,6 +182,36 @@ pub fn parse_stmt(sql: &str) -> Result<SelectStmt, ParseError> {
     Ok(stmt)
 }
 
+/// Parse a single DML or transaction-control statement (trailing `;` ok).
+pub fn parse_dml(sql: &str) -> Result<DmlStmt, ParseError> {
+    let toks = Lexer::new(sql).tokens()?;
+    let mut p = Parser { toks, idx: 0 };
+    let stmt = p.parse_dml_stmt()?;
+    while p.eat_symbol(";") {}
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a `;`-separated sequence of DML / transaction statements — the unit
+/// mutation workloads are logged and replayed as. The split happens at the
+/// token level, so `;` inside string literals is handled correctly.
+pub fn parse_program(sql: &str) -> Result<Vec<DmlStmt>, ParseError> {
+    let toks = Lexer::new(sql).tokens()?;
+    let mut p = Parser { toks, idx: 0 };
+    let mut out = Vec::new();
+    loop {
+        while p.eat_symbol(";") {}
+        if matches!(p.peek(), Tok::Eof) {
+            break;
+        }
+        out.push(p.parse_dml_stmt()?);
+        if !matches!(p.peek(), Tok::Eof) {
+            p.expect_symbol(";")?;
+        }
+    }
+    Ok(out)
+}
+
 /// Parse a standalone expression (used by tests and the reducer).
 pub fn parse_expr(sql: &str) -> Result<Expr, ParseError> {
     let toks = Lexer::new(sql).tokens()?;
@@ -265,6 +295,104 @@ impl Parser {
             Tok::Ident(s) => Ok(s),
             other => self.err(format!("expected identifier, found {other:?}")),
         }
+    }
+
+    fn parse_dml_stmt(&mut self) -> Result<DmlStmt, ParseError> {
+        if self.eat_keyword("BEGIN") {
+            return Ok(DmlStmt::Begin);
+        }
+        if self.eat_keyword("COMMIT") {
+            return Ok(DmlStmt::Commit);
+        }
+        if self.eat_keyword("ROLLBACK") {
+            return Ok(DmlStmt::Rollback);
+        }
+        if self.eat_keyword("INSERT") {
+            return self.parse_insert();
+        }
+        if self.eat_keyword("UPDATE") {
+            return self.parse_update();
+        }
+        if self.eat_keyword("DELETE") {
+            return self.parse_delete();
+        }
+        self.err(format!("expected DML statement, found {:?}", self.peek()))
+    }
+
+    fn parse_insert(&mut self) -> Result<DmlStmt, ParseError> {
+        self.expect_keyword("INTO")?;
+        let table = self.ident()?;
+        self.expect_symbol("(")?;
+        let mut columns = vec![self.ident()?];
+        while self.eat_symbol(",") {
+            columns.push(self.ident()?);
+        }
+        self.expect_symbol(")")?;
+        self.expect_keyword("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_symbol("(")?;
+            let mut row = vec![self.parse_or()?];
+            while self.eat_symbol(",") {
+                row.push(self.parse_or()?);
+            }
+            self.expect_symbol(")")?;
+            if row.len() != columns.len() {
+                return self.err(format!(
+                    "INSERT row has {} values for {} columns",
+                    row.len(),
+                    columns.len()
+                ));
+            }
+            rows.push(row);
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        Ok(DmlStmt::Insert(InsertStmt {
+            table,
+            columns,
+            rows,
+        }))
+    }
+
+    fn parse_update(&mut self) -> Result<DmlStmt, ParseError> {
+        let table = self.ident()?;
+        self.expect_keyword("SET")?;
+        let mut set = Vec::new();
+        loop {
+            let column = self.ident()?;
+            self.expect_symbol("=")?;
+            let value = self.parse_or()?;
+            set.push(Assignment { column, value });
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.parse_or()?)
+        } else {
+            None
+        };
+        Ok(DmlStmt::Update(UpdateStmt {
+            table,
+            set,
+            where_clause,
+        }))
+    }
+
+    fn parse_delete(&mut self) -> Result<DmlStmt, ParseError> {
+        self.expect_keyword("FROM")?;
+        let table = self.ident()?;
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.parse_or()?)
+        } else {
+            None
+        };
+        Ok(DmlStmt::Delete(DeleteStmt {
+            table,
+            where_clause,
+        }))
     }
 
     fn parse_select(&mut self) -> Result<SelectStmt, ParseError> {
@@ -750,6 +878,7 @@ fn is_reserved(word: &str) -> bool {
         "SELECT", "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "JOIN", "INNER", "LEFT",
         "RIGHT", "FULL", "CROSS", "SEMI", "ANTI", "ON", "AND", "OR", "NOT", "IN", "IS", "NULL",
         "AS", "BY", "EXISTS", "BETWEEN", "DISTINCT", "ALL", "OUTER", "DESC", "ASC", "CAST",
+        "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "BEGIN", "COMMIT", "ROLLBACK",
     ];
     RESERVED.iter().any(|r| r.eq_ignore_ascii_case(word))
 }
@@ -947,6 +1076,41 @@ mod tests {
             let reparsed = parse_stmt(&rendered).unwrap();
             assert_eq!(render_stmt(&reparsed), rendered, "{sql}");
         }
+    }
+
+    #[test]
+    fn parses_dml_statements_and_round_trips() {
+        use crate::render::{render_dml, render_program};
+        let sqls = [
+            "INSERT INTO t1 (a, b, c) VALUES (1, 'x; y', NULL), (2, 'it''s', 3.5)",
+            "UPDATE t1 SET a = 2, b = 'z' WHERE t1.a = 1 AND (b IS NOT NULL)",
+            "DELETE FROM t1 WHERE a IN (1, 2, 3)",
+            "DELETE FROM t1",
+            "BEGIN",
+            "COMMIT",
+            "ROLLBACK",
+        ];
+        for sql in sqls {
+            let stmt = parse_dml(sql).unwrap();
+            assert_eq!(render_dml(&stmt), sql, "{sql}");
+        }
+        // a full program round-trips through text, `;` in strings included
+        let program = sqls.join("; ");
+        let stmts = parse_program(&program).unwrap();
+        assert_eq!(stmts.len(), sqls.len());
+        assert_eq!(render_program(&stmts), program);
+        // empty statements / trailing separators are tolerated
+        assert_eq!(parse_program("BEGIN;; COMMIT;").unwrap().len(), 2);
+        assert!(parse_program("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn dml_parse_errors() {
+        assert!(parse_dml("INSERT INTO t1 (a, b) VALUES (1)").is_err());
+        assert!(parse_dml("UPDATE t1 WHERE a = 1").is_err());
+        assert!(parse_dml("DELETE t1").is_err());
+        assert!(parse_dml("SELECT * FROM t1").is_err());
+        assert!(parse_program("BEGIN; SELECT 1").is_err());
     }
 
     #[test]

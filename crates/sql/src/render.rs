@@ -73,6 +73,59 @@ fn render_stmt_into(stmt: &SelectStmt, out: &mut String) {
     }
 }
 
+/// Render a single DML / transaction-control statement.
+pub fn render_dml(stmt: &DmlStmt) -> String {
+    match stmt {
+        DmlStmt::Begin => "BEGIN".to_string(),
+        DmlStmt::Commit => "COMMIT".to_string(),
+        DmlStmt::Rollback => "ROLLBACK".to_string(),
+        DmlStmt::Insert(i) => {
+            let rows: Vec<String> = i
+                .rows
+                .iter()
+                .map(|row| {
+                    let vals: Vec<String> = row.iter().map(render_expr).collect();
+                    format!("({})", vals.join(", "))
+                })
+                .collect();
+            format!(
+                "INSERT INTO {} ({}) VALUES {}",
+                i.table,
+                i.columns.join(", "),
+                rows.join(", ")
+            )
+        }
+        DmlStmt::Update(u) => {
+            let sets: Vec<String> = u
+                .set
+                .iter()
+                .map(|a| format!("{} = {}", a.column, render_expr(&a.value)))
+                .collect();
+            let mut s = format!("UPDATE {} SET {}", u.table, sets.join(", "));
+            if let Some(w) = &u.where_clause {
+                s.push_str(" WHERE ");
+                s.push_str(&render_expr(w));
+            }
+            s
+        }
+        DmlStmt::Delete(d) => {
+            let mut s = format!("DELETE FROM {}", d.table);
+            if let Some(w) = &d.where_clause {
+                s.push_str(" WHERE ");
+                s.push_str(&render_expr(w));
+            }
+            s
+        }
+    }
+}
+
+/// Render a DML program — statements joined by `; `, the form bug reports
+/// store and [`crate::parser::parse_program`] round-trips.
+pub fn render_program(stmts: &[DmlStmt]) -> String {
+    let parts: Vec<String> = stmts.iter().map(render_dml).collect();
+    parts.join("; ")
+}
+
 fn render_item(item: &SelectItem) -> String {
     match item {
         SelectItem::Wildcard => "*".to_string(),

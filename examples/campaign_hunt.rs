@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example campaign_hunt`
 
-use tqs_campaign::{Campaign, CampaignConfig, Corpus, EngineKind, OracleSpec, PlanMode};
+use tqs_campaign::{Campaign, CampaignConfig, Corpus, EngineKind, OracleSpec, PlanMode, Workload};
 use tqs_core::dsg::{DsgConfig, WideSource};
 use tqs_engine::ProfileId;
 use tqs_schema::NoiseConfig;
@@ -39,6 +39,7 @@ fn main() {
         oracles: vec![OracleSpec::GroundTruth],
         engines: vec![EngineKind::Row, EngineKind::Disk],
         plan_modes: vec![PlanMode::Single],
+        workloads: vec![Workload::Select],
         queries_per_cell: 60,
         seed: 2024,
         minimize: true,

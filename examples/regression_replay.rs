@@ -13,7 +13,7 @@
 
 use tqs_campaign::{
     BuildSpec, Campaign, CampaignConfig, Corpus, EngineKind, OracleSpec, PlanMode,
-    ReverifyCampaign, ReverifyConfig,
+    ReverifyCampaign, ReverifyConfig, Workload,
 };
 use tqs_core::dsg::{DsgConfig, WideSource};
 use tqs_engine::ProfileId;
@@ -43,6 +43,7 @@ fn main() {
         oracles: vec![OracleSpec::GroundTruth],
         engines: vec![EngineKind::Row],
         plan_modes: vec![PlanMode::Single],
+        workloads: vec![Workload::Select],
         queries_per_cell: 50,
         seed: 31337,
         minimize: true,

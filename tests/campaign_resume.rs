@@ -3,7 +3,7 @@
 
 use std::collections::BTreeSet;
 use std::path::PathBuf;
-use tqs_campaign::{Campaign, CampaignConfig, Corpus, EngineKind, OracleSpec, PlanMode};
+use tqs_campaign::{Campaign, CampaignConfig, Corpus, EngineKind, OracleSpec, PlanMode, Workload};
 use tqs_core::backend::DbmsConnector;
 use tqs_core::dsg::{DsgConfig, WideSource};
 use tqs_engine::ProfileId;
@@ -41,6 +41,7 @@ fn cfg(dir: PathBuf, shards: usize, queries_per_cell: usize) -> CampaignConfig {
         oracles: vec![OracleSpec::GroundTruth],
         engines: vec![EngineKind::Row],
         plan_modes: vec![PlanMode::Single],
+        workloads: vec![Workload::Select],
         queries_per_cell,
         seed: 4242,
         minimize: true,

@@ -4,7 +4,7 @@
 //! through the recording proxy (which must be transparent).
 
 use tqs_core::backend::{DbmsConnector, EngineConnector, RecordingConnector, TraceEvent};
-use tqs_core::conformance::{assert_connector_conformance, BuildKind};
+use tqs_core::conformance::{assert_connector_conformance, assert_dml_conformance, BuildKind};
 use tqs_engine::ProfileId;
 
 #[test]
@@ -122,6 +122,48 @@ fn recording_connector_is_a_transparent_seeded_proxy() {
         "seeded faults must be visible in the recorded trace"
     );
     assert!(conn.replay_log().contains("EXEC"));
+}
+
+#[test]
+fn engine_connectors_pass_dml_conformance_when_pristine() {
+    // The DML section of the contract: visibility basics plus a clean pass
+    // of the mutation oracle, on fault-free builds of all three engines.
+    for profile in ProfileId::ALL {
+        for mut conn in [
+            EngineConnector::pristine(profile),
+            EngineConnector::columnar_pristine(profile),
+            EngineConnector::disk_pristine(profile),
+        ] {
+            assert_dml_conformance(&mut conn, BuildKind::Pristine);
+        }
+    }
+}
+
+#[test]
+fn engine_connectors_pass_dml_conformance_when_seeded() {
+    // Every seeded build carries the shared DML fault complement, and the
+    // suite requires it to misbehave observably — while still honoring the
+    // fault-dodging visibility basics.
+    for profile in ProfileId::ALL {
+        for mut conn in [
+            EngineConnector::faulty(profile),
+            EngineConnector::columnar(profile),
+            EngineConnector::disk(profile),
+        ] {
+            assert_dml_conformance(&mut conn, BuildKind::Seeded);
+        }
+    }
+}
+
+#[test]
+fn replay_connector_of_a_recorded_dml_session_conforms() {
+    // DML statements key into the witness trace under ("dml", rendered
+    // statement); a recorded mutation session must replay without the
+    // engine, faults and all.
+    let mut rec = RecordingConnector::new(EngineConnector::faulty(ProfileId::MysqlLike));
+    assert_dml_conformance(&mut rec, BuildKind::Seeded);
+    let mut replay = rec.replay();
+    assert_dml_conformance(&mut replay, BuildKind::Seeded);
 }
 
 #[test]

@@ -9,7 +9,7 @@ use std::collections::BTreeSet;
 use std::path::PathBuf;
 use tqs_campaign::{
     BuildSpec, Campaign, CampaignConfig, Corpus, EngineKind, OracleSpec, PlanMode,
-    ReverifyCampaign, ReverifyConfig, ReverifyStatus,
+    ReverifyCampaign, ReverifyConfig, ReverifyStatus, Workload,
 };
 use tqs_core::dsg::{DsgConfig, WideSource};
 use tqs_engine::{FaultKind, ProfileId};
@@ -37,6 +37,7 @@ fn cfg(dir: PathBuf) -> CampaignConfig {
         oracles: vec![OracleSpec::GroundTruth, OracleSpec::ThreeWay],
         engines: vec![EngineKind::Row, EngineKind::Disk],
         plan_modes: vec![PlanMode::Single],
+        workloads: vec![Workload::Select],
         queries_per_cell: 60,
         seed: 616,
         minimize: true,

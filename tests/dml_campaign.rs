@@ -1,0 +1,172 @@
+//! Acceptance test for mutation workloads as full campaign citizens: a DML
+//! hunt over row × disk cells must surface the shared DML fault complement
+//! as deduplicated [`OracleKind::Mutation`] classes, persist them with
+//! replayable witness traces, re-verify them `StillFailing` on the faulty
+//! build and `Fixed` on the pristine build, and survive a kill + resume with
+//! a bit-identical class set.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use tqs_campaign::{
+    BuildSpec, Campaign, CampaignConfig, Corpus, EngineKind, OracleSpec, PlanMode,
+    ReverifyCampaign, ReverifyConfig, ReverifyStatus, Workload,
+};
+use tqs_core::bugs::OracleKind;
+use tqs_core::dsg::{DsgConfig, WideSource};
+use tqs_engine::{FaultKind, ProfileId};
+use tqs_storage::widegen::ShoppingConfig;
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tqs-dml-campaign-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cfg(dir: PathBuf) -> CampaignConfig {
+    CampaignConfig {
+        dir,
+        dsg: DsgConfig {
+            source: WideSource::Shopping(ShoppingConfig {
+                n_rows: 110,
+                ..Default::default()
+            }),
+            fd: Default::default(),
+            noise: None,
+        },
+        shards: 2,
+        workers: 3,
+        profiles: vec![ProfileId::MysqlLike],
+        oracles: vec![OracleSpec::GroundTruth],
+        engines: vec![EngineKind::Row, EngineKind::Disk],
+        plan_modes: vec![PlanMode::Single],
+        workloads: vec![Workload::Dml],
+        queries_per_cell: 40,
+        seed: 737,
+        minimize: false,
+        max_cells_per_run: None,
+    }
+}
+
+#[test]
+fn dml_cells_surface_the_mutation_fault_complement_and_reverify() {
+    let dir = test_dir("hunt");
+    let config = cfg(dir.clone());
+
+    let mut campaign = Campaign::new(config.clone()).expect("fresh campaign");
+    // 2 shards × 1 profile × 1 oracle × 2 engines × 1 plan mode × 1 workload.
+    assert_eq!(campaign.cells_total(), 4);
+    let stats = campaign.run().expect("campaign run");
+    assert!(campaign.is_complete());
+    assert!(stats.bug_classes > 0, "seeded DML faults should surface");
+
+    // Every persisted class is a mutation report rooted in the DML fault
+    // complement, and at least three distinct DML fault kinds appear.
+    let entries = Corpus::in_dir(&dir).load().expect("load the corpus");
+    assert_eq!(entries.len(), campaign.class_keys().len());
+    for entry in &entries {
+        assert_eq!(
+            entry.report.oracle,
+            OracleKind::Mutation,
+            "a DML-workload campaign must only report mutation bugs: {:?}",
+            entry.report
+        );
+        assert!(
+            !entry.report.fired.is_empty()
+                && entry
+                    .report
+                    .fired
+                    .iter()
+                    .all(|f| FaultKind::DML.contains(f)),
+            "mutation classes must be rooted in the DML complement: {:?}",
+            entry.report.fired
+        );
+        assert!(!entry.trace.is_empty(), "every class carries a witness");
+    }
+    let dml_kinds: BTreeSet<FaultKind> = entries
+        .iter()
+        .flat_map(|e| e.report.fired.iter())
+        .copied()
+        .collect();
+    assert!(
+        dml_kinds.len() >= 3,
+        "expected >= 3 distinct DML fault kinds, got {dml_kinds:?}"
+    );
+    // Both engines contribute classes: transactions ride the WAL on disk
+    // cells and the plain undo path on row cells.
+    assert!(
+        entries.iter().any(|e| e.connector.name.contains("[disk]")),
+        "disk cells must contribute mutation classes"
+    );
+    assert!(
+        entries.iter().any(|e| !e.connector.name.contains("[disk]")),
+        "row cells must contribute mutation classes"
+    );
+
+    // 100% re-verification: every class StillFailing on the discovering
+    // faulty build, Fixed on the pristine build — through the DML oracle.
+    let classes = campaign.class_keys().len();
+    let rv = ReverifyCampaign::load(ReverifyConfig {
+        campaign: config,
+        builds: vec![BuildSpec::Faulty, BuildSpec::Pristine],
+        workers: 3,
+    })
+    .expect("load the corpus for re-verification");
+    let (report, rv_stats) = rv.run();
+    assert_eq!(rv_stats.verdicts, classes * 2);
+    assert_eq!(rv_stats.flaky, 0, "{report:#?}");
+    assert_eq!(rv_stats.stale, 0, "{report:#?}");
+    assert_eq!(
+        report.count_on(BuildSpec::Faulty, ReverifyStatus::StillFailing),
+        classes
+    );
+    assert_eq!(
+        report.count_on(BuildSpec::Pristine, ReverifyStatus::Fixed),
+        classes
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn killed_and_resumed_dml_campaign_matches_uninterrupted_run() {
+    // Uninterrupted reference.
+    let dir_a = test_dir("uninterrupted");
+    let mut uninterrupted = Campaign::new(cfg(dir_a.clone())).unwrap();
+    uninterrupted.run().unwrap();
+    assert!(uninterrupted.is_complete());
+    assert!(!uninterrupted.class_keys().is_empty());
+
+    // Same campaign identity, killed after one cell.
+    let dir_b = test_dir("killed");
+    let mut killed = Campaign::new(CampaignConfig {
+        max_cells_per_run: Some(1),
+        workers: 1,
+        ..cfg(dir_b.clone())
+    })
+    .unwrap();
+    killed.run().unwrap();
+    assert!(!killed.is_complete());
+    drop(killed); // the "kill": all in-memory state is gone
+
+    // Resume from disk and finish: the deduplicated mutation class set is
+    // bit-identical to the uninterrupted run's.
+    let mut resumed = Campaign::resume(cfg(dir_b.clone())).unwrap();
+    assert_eq!(resumed.cells_done(), 1);
+    resumed.run().unwrap();
+    assert!(resumed.is_complete());
+    assert_eq!(
+        resumed.class_keys(),
+        uninterrupted.class_keys(),
+        "killed+resumed DML campaign must reproduce the uninterrupted class set"
+    );
+    let persisted: BTreeSet<String> = Corpus::in_dir(&dir_b)
+        .load()
+        .unwrap()
+        .into_iter()
+        .map(|e| e.class_key)
+        .collect();
+    assert_eq!(persisted, resumed.class_keys());
+
+    std::fs::remove_dir_all(&dir_a).unwrap();
+    std::fs::remove_dir_all(&dir_b).unwrap();
+}

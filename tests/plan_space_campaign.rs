@@ -10,7 +10,7 @@ use std::collections::BTreeSet;
 use std::path::PathBuf;
 use tqs_campaign::{
     BuildSpec, Campaign, CampaignConfig, Corpus, EngineKind, OracleSpec, PlanMode,
-    ReverifyCampaign, ReverifyConfig, ReverifyStatus,
+    ReverifyCampaign, ReverifyConfig, ReverifyStatus, Workload,
 };
 use tqs_core::dsg::WideSource;
 use tqs_core::dsg::{DsgConfig, DsgDatabase, QueryGenConfig, QueryGenerator, UniformScorer};
@@ -51,6 +51,7 @@ fn cfg(dir: PathBuf, shards: usize, queries_per_cell: usize) -> CampaignConfig {
         oracles: vec![OracleSpec::GroundTruth],
         engines: vec![EngineKind::Row],
         plan_modes: vec![PlanMode::Space],
+        workloads: vec![Workload::Select],
         queries_per_cell,
         seed: 3034,
         minimize: false,

@@ -15,7 +15,7 @@
 use std::path::PathBuf;
 use tqs_campaign::{
     BuildSpec, Campaign, CampaignConfig, EngineKind, OracleSpec, PlanMode, ReverifyCampaign,
-    ReverifyConfig,
+    ReverifyConfig, Workload,
 };
 use tqs_core::dsg::{DsgConfig, WideSource};
 use tqs_engine::ProfileId;
@@ -49,6 +49,7 @@ fn golden_cfg(dir: PathBuf) -> CampaignConfig {
         // campaign it was, which this must match.
         engines: vec![EngineKind::Row],
         plan_modes: vec![PlanMode::Single],
+        workloads: vec![Workload::Select],
         queries_per_cell: 20,
         seed: 0x5EED,
         minimize: false,

@@ -5,7 +5,7 @@
 use std::path::PathBuf;
 use tqs_campaign::{
     BuildSpec, Campaign, CampaignConfig, Corpus, EngineKind, Json, OracleSpec, PlanMode,
-    ReverifyCampaign, ReverifyConfig, ReverifyReport, ReverifyStatus,
+    ReverifyCampaign, ReverifyConfig, ReverifyReport, ReverifyStatus, Workload,
 };
 use tqs_core::dsg::{DsgConfig, WideSource};
 use tqs_engine::ProfileId;
@@ -39,6 +39,7 @@ fn cfg(dir: PathBuf) -> CampaignConfig {
         oracles: vec![OracleSpec::GroundTruth],
         engines: vec![EngineKind::Row],
         plan_modes: vec![PlanMode::Single],
+        workloads: vec![Workload::Select],
         queries_per_cell: 40,
         seed: 4242,
         minimize: true,
