@@ -21,6 +21,9 @@
 //! * `TQS_CAMPAIGN_STATUS_ADDR` — bind a live status endpoint (e.g.
 //!   `127.0.0.1:7071`; `curl /status`, `/metrics`, or `/stream` during the
 //!   hunt)
+//! * `TQS_CAMPAIGN_STOP` — request a graceful stop after this many seconds;
+//!   workers finish their current cell, checkpoint, and drain, and the same
+//!   directory resumes the remaining cells on the next run
 
 use tqs_bench::standard_campaign_config;
 use tqs_campaign::{Campaign, CampaignStatusServer, Json};
@@ -44,6 +47,17 @@ fn main() {
         );
         server
     });
+    if let Some(secs) = std::env::var("TQS_CAMPAIGN_STOP")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        let handle = campaign.stop_handle();
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+            println!("TQS_CAMPAIGN_STOP: requesting graceful stop after {secs}s");
+            handle.request_stop();
+        });
+    }
     println!(
         "Campaign — {} cells ({} shards × {} profiles × {} oracles × {} engines), \
          {} workers, {} queries/cell",
@@ -57,7 +71,14 @@ fn main() {
     );
 
     let stats = campaign.run().expect("campaign run");
-    assert!(campaign.is_complete());
+    if campaign.stop_handle().is_stop_requested() {
+        println!(
+            "stopped gracefully with {} cells still pending (resume to finish)",
+            campaign.cells_total() - stats.cells_done
+        );
+    } else {
+        assert!(campaign.is_complete());
+    }
 
     println!();
     println!("{:<28} {:>12}", "metric", "value");
@@ -93,9 +114,11 @@ fn main() {
     }
 
     // Resume check: re-open the directory cold and verify the persisted
-    // corpus reproduces the in-memory deduplicated class set.
+    // corpus reproduces the in-memory deduplicated class set. (After a
+    // graceful stop the reopened campaign is incomplete by design — the
+    // class-set equality below still must hold.)
     let resumed = Campaign::resume(cfg).expect("resume the finished campaign");
-    assert!(resumed.is_complete());
+    assert_eq!(resumed.is_complete(), campaign.is_complete());
     assert_eq!(
         resumed.class_keys(),
         campaign.class_keys(),

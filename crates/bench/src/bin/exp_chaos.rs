@@ -1,0 +1,168 @@
+//! Chaos experiment: the supervised campaign runtime under injected panics
+//! and environmental IO faults.
+//!
+//! Two legs over the identical cell grid (see `chaos_campaign_config`):
+//!
+//! 1. **Reference** — no injected failures; records the fault-free bug-class
+//!    set.
+//! 2. **Chaos** — a seeded subset of cells panics mid-cell (persistent
+//!    offenders panic on every retry and end up quarantined) while every
+//!    corpus/checkpoint/quarantine append runs behind an `EnvFaultPolicy`
+//!    injecting EIO, short writes, and fsync failures.
+//!
+//! The binary asserts the supervision contract — the chaos campaign
+//! completes, every panicking cell surfaces as a `harness-panic` incident
+//! class, persistent offenders are quarantined, and the *ordinary* bug-class
+//! set is byte-identical to the reference — and emits `BENCH_chaos.json`.
+//!
+//! Environment knobs:
+//!
+//! * `TQS_CHAOS_QUERIES` — query budget per cell (default 40)
+//! * `TQS_CHAOS_WORKERS` — worker threads (default 2)
+//! * `TQS_CHAOS_PANIC_PCT` — percentage of cells that panic (default 40)
+//! * `TQS_CHAOS_FAULT_PCT` — per-IO-op injected fault rate (default 25)
+//! * `TQS_CHAOS_DIR` — work directory (default `target/exp_chaos`; wiped)
+//! * `TQS_CHAOS_OUT` — output JSON path (default `BENCH_chaos.json`)
+
+use tqs_bench::{chaos_campaign_config, chaos_supervisor};
+use tqs_campaign::{Campaign, Checkpoint, Json};
+
+fn main() {
+    tqs_telemetry::init_from_env(false);
+    // Worker panics are the *point* here; keep the default hook from
+    // spraying backtraces over the report.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let base = chaos_campaign_config();
+    let out_path = std::env::var("TQS_CHAOS_OUT").unwrap_or_else(|_| "BENCH_chaos.json".into());
+    let _ = std::fs::remove_dir_all(&base.dir);
+
+    // Leg 1: fault-free reference.
+    let mut ref_cfg = base.clone();
+    ref_cfg.dir = base.dir.join("reference");
+    let mut reference = Campaign::new(ref_cfg).expect("fresh reference directory");
+    println!(
+        "reference — {} cells, {} workers, {} queries/cell",
+        reference.cells_total(),
+        base.workers,
+        base.queries_per_cell
+    );
+    let ref_stats = reference.run().expect("reference run");
+    assert!(reference.is_complete());
+    let ref_classes = reference.class_keys();
+
+    // Leg 2: same grid with chaos panics + environmental IO faults.
+    let mut chaos_cfg = base.clone();
+    chaos_cfg.dir = base.dir.join("chaos");
+    chaos_cfg.supervisor = chaos_supervisor();
+    let sup = chaos_cfg.supervisor.clone();
+    let mut chaos = Campaign::new(chaos_cfg).expect("fresh chaos directory");
+    let cells_total = chaos.cells_total();
+    let picked: Vec<usize> = (0..cells_total)
+        .filter(|&id| sup.chaos_panics(id, 1))
+        .collect();
+    let persistent: Vec<usize> = (0..cells_total)
+        .filter(|&id| sup.chaos_persistent(id))
+        .collect();
+    println!(
+        "chaos — {} cells, {} panic ({} persistently), IO fault rate {}%",
+        cells_total,
+        picked.len(),
+        persistent.len(),
+        std::env::var("TQS_CHAOS_FAULT_PCT").unwrap_or_else(|_| "25".into()),
+    );
+    assert!(
+        picked.len() * 10 >= cells_total,
+        "chaos leg must panic in at least 10% of cells to exercise supervision"
+    );
+
+    let stats = chaos.run().expect("chaos run");
+    assert!(chaos.is_complete(), "supervised campaign must finish");
+    assert!(
+        sup.env_faults.injected() > 0,
+        "the env fault policy never fired"
+    );
+
+    // Every panicking cell surfaced as a harness incident class.
+    let classes = chaos.class_keys();
+    for &id in &picked {
+        let label = format!("harness-panic:cell-{id}");
+        assert!(
+            classes.iter().any(|k| k.contains(&label)),
+            "cell {id} panicked but produced no incident class"
+        );
+    }
+    // Persistent offenders (and only they) are quarantined.
+    let mut quarantined: Vec<usize> = chaos.quarantined().iter().map(|q| q.cell_id).collect();
+    quarantined.sort_unstable();
+    assert_eq!(quarantined, persistent, "quarantine list mismatch");
+    // Panics and IO faults must not change what the campaign *found*.
+    let ordinary: Vec<&String> = classes
+        .iter()
+        .filter(|k| !k.contains("harness-panic"))
+        .collect();
+    let reference_keys: Vec<&String> = ref_classes.iter().collect();
+    assert_eq!(
+        ordinary, reference_keys,
+        "chaos must not perturb the ordinary bug-class set"
+    );
+
+    // p99 cell latency over the completed (non-quarantined) cells.
+    let journal = Checkpoint::in_dir(chaos.config().dir.as_path())
+        .load()
+        .expect("chaos checkpoint loads");
+    let mut lat: Vec<u64> = journal.cells.iter().map(|c| c.elapsed_ms).collect();
+    lat.sort_unstable();
+    let p99 = lat
+        .get((lat.len().saturating_sub(1)) * 99 / 100)
+        .copied()
+        .unwrap_or(0);
+
+    println!();
+    println!("{:<28} {:>12}", "metric", "value");
+    println!("{:<28} {:>12}", "cells survived", stats.cells_done);
+    println!("{:<28} {:>12}", "panics caught", stats.panics_caught);
+    println!("{:<28} {:>12}", "cell retries", stats.retries);
+    println!("{:<28} {:>12}", "cells quarantined", stats.quarantined);
+    println!(
+        "{:<28} {:>12}",
+        "env faults injected",
+        sup.env_faults.injected()
+    );
+    println!("{:<28} {:>12}", "bug classes (ordinary)", ordinary.len());
+    println!("{:<28} {:>12}", "p99 cell latency (ms)", p99);
+    println!();
+    println!(
+        "parity check: {} ordinary classes identical to the fault-free run \
+         ({} queries vs {})",
+        ordinary.len(),
+        stats.queries,
+        ref_stats.queries
+    );
+
+    let json = Json::Obj(vec![
+        ("cells_total".to_string(), Json::count(cells_total)),
+        ("cells_survived".to_string(), Json::count(stats.cells_done)),
+        (
+            "panics_caught".to_string(),
+            Json::count(stats.panics_caught),
+        ),
+        ("retries".to_string(), Json::count(stats.retries)),
+        ("quarantined".to_string(), Json::count(stats.quarantined)),
+        (
+            "env_faults_injected".to_string(),
+            Json::count(sup.env_faults.injected() as usize),
+        ),
+        (
+            "bug_classes_ordinary".to_string(),
+            Json::count(ordinary.len()),
+        ),
+        (
+            "bug_classes_reference".to_string(),
+            Json::count(ref_classes.len()),
+        ),
+        ("p99_cell_ms".to_string(), Json::count(p99 as usize)),
+    ]);
+    std::fs::write(&out_path, format!("{json}\n")).expect("write benchmark artifact");
+    println!("wrote {out_path}");
+}

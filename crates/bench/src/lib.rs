@@ -4,11 +4,12 @@
 //! recorded results).
 
 use std::path::PathBuf;
-use tqs_campaign::{CampaignConfig, EngineKind, OracleSpec, PlanMode, Workload};
+use tqs_campaign::{CampaignConfig, EngineKind, OracleSpec, PlanMode, SupervisorConfig, Workload};
 use tqs_core::backend::EngineConnector;
 use tqs_core::dsg::{DsgConfig, DsgDatabase, WideSource};
 use tqs_core::tqs::{TqsConfig, TqsSession};
 use tqs_engine::ProfileId;
+use tqs_pager::EnvFaultPolicy;
 use tqs_schema::NoiseConfig;
 use tqs_storage::widegen::ShoppingConfig;
 
@@ -128,6 +129,7 @@ pub fn standard_campaign_config() -> CampaignConfig {
         seed: 0xCA3A,
         minimize: true,
         max_cells_per_run: None,
+        supervisor: Default::default(),
     }
 }
 
@@ -159,6 +161,53 @@ pub fn plan_campaign_config() -> CampaignConfig {
         seed: 0x91A5,
         minimize: false,
         max_cells_per_run: None,
+        supervisor: Default::default(),
+    }
+}
+
+/// The supervised chaos campaign driven by `exp_chaos`: a small select+DML
+/// grid with *no* injected failures. `exp_chaos` runs it once as-is for the
+/// fault-free reference, then again with [`chaos_supervisor`] layered on and
+/// asserts the surviving bug-class sets are identical. Environment knobs:
+///
+/// * `TQS_CHAOS_QUERIES` — query budget per cell (default 40)
+/// * `TQS_CHAOS_WORKERS` — worker threads (default 2)
+/// * `TQS_CHAOS_DIR` — campaign directory (default `target/exp_chaos`)
+pub fn chaos_campaign_config() -> CampaignConfig {
+    CampaignConfig {
+        dir: std::env::var("TQS_CHAOS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("target/exp_chaos")),
+        dsg: standard_dsg(160, 77),
+        shards: 3,
+        workers: env_usize("TQS_CHAOS_WORKERS", 2),
+        profiles: vec![ProfileId::MysqlLike],
+        oracles: vec![OracleSpec::GroundTruth],
+        engines: vec![EngineKind::Row, EngineKind::Columnar],
+        plan_modes: vec![PlanMode::Single],
+        workloads: vec![Workload::Select, Workload::Dml],
+        queries_per_cell: env_usize("TQS_CHAOS_QUERIES", 40),
+        seed: 0xC4A0,
+        minimize: false,
+        max_cells_per_run: None,
+        supervisor: Default::default(),
+    }
+}
+
+/// The chaos supervisor layered onto [`chaos_campaign_config`] for the
+/// faulted leg: seeded panics in a deterministic subset of cells plus
+/// environmental IO faults on every corpus/checkpoint append. Knobs:
+///
+/// * `TQS_CHAOS_PANIC_PCT` — percentage of cells that panic (default 40)
+/// * `TQS_CHAOS_FAULT_PCT` — per-IO-op injected fault rate (default 25)
+pub fn chaos_supervisor() -> SupervisorConfig {
+    SupervisorConfig {
+        chaos_panic_pct: env_usize("TQS_CHAOS_PANIC_PCT", 40).min(100) as u8,
+        // Over the default 12-cell grid this seed picks 4 panicking cells,
+        // 2 of them persistent — both retry and quarantine get exercised.
+        chaos_seed: 0xd,
+        env_faults: EnvFaultPolicy::seeded(9, env_usize("TQS_CHAOS_FAULT_PCT", 25).min(100) as u8),
+        ..Default::default()
     }
 }
 

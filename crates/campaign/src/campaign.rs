@@ -25,6 +25,9 @@ use crate::json::Json;
 use crate::scheduler::WorkQueues;
 use crate::stats::{CampaignStats, LiveStats, RunTotals};
 use crate::status::StatusBoard;
+use crate::supervisor::{
+    retry_append, AppendOptions, Quarantine, QuarantineEntry, SupervisorConfig,
+};
 use crate::triage::BugTriage;
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashSet};
@@ -34,11 +37,12 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use tqs_core::backend::{DbmsConnector, EngineConnector, RecordingConnector};
-use tqs_core::bugs::minimize_with_oracle;
+use tqs_core::bugs::{minimize_with_oracle, BugReport, KeyCache, OracleKind};
 use tqs_core::dsg::{DsgConfig, DsgDatabase, QueryGenConfig, QueryGenerator};
 use tqs_core::kqe::{Kqe, KqeConfig, KqeScorer};
 use tqs_core::mutation::{DmlGenConfig, DmlGenerator, DmlOracle};
 use tqs_core::oracle::{DifferentialOracle, Oracle, OracleVerdict, PlanSpaceOracle, TqsOracle};
+use tqs_engine::cancel::CancelToken;
 use tqs_engine::ProfileId;
 use tqs_graph::embedding::embed_graph;
 use tqs_graph::plangraph::{graph_fingerprint, query_graph_with_subqueries};
@@ -279,6 +283,11 @@ pub struct CampaignConfig {
     /// Stop the run after draining this many cells (the remaining cells stay
     /// queued for the next run) — bounded sessions and kill-testing.
     pub max_cells_per_run: Option<usize>,
+    /// Supervised-runtime knobs: deadlines, retry/quarantine policy, append
+    /// durability and chaos injection. Operational (not part of the campaign
+    /// identity): a resume may use different supervision than the run that
+    /// created the journal.
+    pub supervisor: SupervisorConfig,
 }
 
 impl Default for CampaignConfig {
@@ -297,6 +306,7 @@ impl Default for CampaignConfig {
             seed: 7,
             minimize: true,
             max_cells_per_run: None,
+            supervisor: SupervisorConfig::default(),
         }
     }
 }
@@ -421,6 +431,39 @@ pub struct Campaign {
     prior: RunTotals,
     /// Live progress published for status readers (the HTTP endpoint).
     status: Arc<StatusBoard>,
+    /// The journaled poison list (cells that exhausted their retry budget).
+    quarantine_journal: Quarantine,
+    /// Quarantined cells, loaded from the journal on resume and extended as
+    /// the fleet gives up on cells. Quarantined cells are neither pending
+    /// nor done — they are accounted for separately.
+    quarantine: Vec<QuarantineEntry>,
+    /// Graceful-stop flag shared with [`CampaignStopHandle`]s; workers check
+    /// it before taking another cell.
+    stop: Arc<AtomicBool>,
+}
+
+/// A cloneable handle requesting a graceful stop of a running [`Campaign`]:
+/// in-flight cells finish, the run checkpoint is written, and `run` returns
+/// `Ok` with the partial stats. Obtain one with [`Campaign::stop_handle`]
+/// *before* calling `run` (which borrows the campaign mutably).
+#[derive(Clone)]
+pub struct CampaignStopHandle {
+    flag: Arc<AtomicBool>,
+    board: Arc<StatusBoard>,
+}
+
+impl CampaignStopHandle {
+    /// Request a graceful stop. Idempotent; takes effect at the next
+    /// cell boundary of each worker.
+    pub fn request_stop(&self) {
+        tqs_telemetry::counter!("campaign.supervisor.stop_requests").incr();
+        self.flag.store(true, Ordering::Relaxed);
+        self.board.request_stop();
+    }
+
+    pub fn is_stop_requested(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
 }
 
 impl Campaign {
@@ -451,6 +494,9 @@ impl Campaign {
             torn_tails_repaired: 0,
             prior: RunTotals::default(),
             status: Arc::new(StatusBoard::new()),
+            quarantine_journal: Quarantine::in_dir(&cfg.dir),
+            quarantine: Vec::new(),
+            stop: Arc::new(AtomicBool::new(false)),
             cfg,
         })
     }
@@ -466,8 +512,10 @@ impl Campaign {
         // run's appends start on a fresh line instead of merging into it.
         // The repairs are counted (not logged) — `CampaignStats` carries
         // them into the run's machine-readable artifact.
+        let quarantine_journal = Quarantine::in_dir(&cfg.dir);
         let torn_tails_repaired = usize::from(checkpoint.repair_torn_tail()?)
-            + usize::from(Corpus::in_dir(&cfg.dir).repair_torn_tail()?);
+            + usize::from(Corpus::in_dir(&cfg.dir).repair_torn_tail()?)
+            + usize::from(quarantine_journal.repair_torn_tail()?);
         let loaded = checkpoint.load()?;
         let header = loaded.header;
         let expected = cfg.header();
@@ -515,6 +563,19 @@ impl Campaign {
                 statements: acc.statements + r.statements,
                 plans: acc.plans + r.plans,
             });
+        // The poison list survives resume: quarantined cells are neither
+        // re-run nor lost. (A torn final line was already repaired above —
+        // its cell simply stays pending and gets another chance.)
+        let mut seen_poisoned = HashSet::new();
+        let quarantine: Vec<QuarantineEntry> = quarantine_journal
+            .load()?
+            .into_iter()
+            .filter(|q| {
+                q.cell_id < cells.len()
+                    && !done.contains(&q.cell_id)
+                    && seen_poisoned.insert(q.cell_id)
+            })
+            .collect();
         Ok(Campaign {
             shards: DsgDatabase::build_sharded(&cfg.dsg, cfg.shards),
             cells,
@@ -525,6 +586,9 @@ impl Campaign {
             torn_tails_repaired,
             prior,
             status: Arc::new(StatusBoard::new()),
+            quarantine_journal,
+            quarantine,
+            stop: Arc::new(AtomicBool::new(false)),
             cfg,
         })
     }
@@ -581,17 +645,52 @@ impl Campaign {
         self.done.len()
     }
 
-    /// Cells still pending, in id order.
+    /// Cells still pending, in id order. Quarantined cells are not pending —
+    /// the fleet gave up on them and journaled why.
     pub fn pending_cells(&self) -> Vec<CampaignCell> {
+        let poisoned: HashSet<usize> = self.quarantine.iter().map(|q| q.cell_id).collect();
         self.cells
             .iter()
-            .filter(|c| !self.done.contains(&c.id))
+            .filter(|c| !self.done.contains(&c.id) && !poisoned.contains(&c.id))
             .copied()
             .collect()
     }
 
+    /// Every cell is either drained or quarantined — nothing left to hunt.
     pub fn is_complete(&self) -> bool {
-        self.done.len() == self.cells.len()
+        self.done.len() + self.quarantine.len() == self.cells.len()
+    }
+
+    /// The poison list: cells that exhausted their retry budget, with the
+    /// attempt count and final failure reason. Survives kill+resume.
+    pub fn quarantined(&self) -> &[QuarantineEntry] {
+        &self.quarantine
+    }
+
+    /// A handle for requesting a graceful stop of a `run` in progress (from
+    /// another thread — `run` borrows the campaign mutably). Workers finish
+    /// their in-flight cell, the run record is journaled, and `run` returns
+    /// `Ok`; `/status` reports `stopping` then `stopped`.
+    pub fn stop_handle(&self) -> CampaignStopHandle {
+        CampaignStopHandle {
+            flag: Arc::clone(&self.stop),
+            board: Arc::clone(&self.status),
+        }
+    }
+
+    /// Request a graceful stop of the current/next `run` (see
+    /// [`stop_handle`](Self::stop_handle)).
+    pub fn request_stop(&self) {
+        self.stop_handle().request_stop();
+    }
+
+    /// Durability settings for this campaign's journal appends, from the
+    /// supervisor config.
+    fn append_opts(&self) -> AppendOptions {
+        AppendOptions {
+            env: self.cfg.supervisor.env_faults.clone(),
+            sync: self.cfg.supervisor.sync_appends,
+        }
     }
 
     /// The deduplicated class-key set — the campaign's primary artifact.
@@ -621,6 +720,7 @@ impl Campaign {
         let failure: Mutex<Option<io::Error>> = Mutex::new(None);
         let abort = AtomicBool::new(false);
         let drained: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let poisoned: Mutex<Vec<QuarantineEntry>> = Mutex::new(Vec::new());
 
         std::thread::scope(|scope| {
             for worker in 0..queues.workers() {
@@ -632,10 +732,14 @@ impl Campaign {
                 let failure = &failure;
                 let abort = &abort;
                 let drained = &drained;
+                let poisoned = &poisoned;
                 let budget = &budget;
                 let this = &*self;
                 scope.spawn(move || {
-                    while !abort.load(Ordering::Relaxed) {
+                    let sup = &this.cfg.supervisor;
+                    'cells: while !abort.load(Ordering::Relaxed)
+                        && !this.stop.load(Ordering::Relaxed)
+                    {
                         // Reserve budget before taking a cell so a bounded
                         // run never over-drains.
                         if budget
@@ -649,16 +753,77 @@ impl Campaign {
                         let Some(cell) = queues.pop(worker) else {
                             break;
                         };
-                        match this.run_cell(&cell, triage, diversity, live, io_lock) {
-                            Ok(record) => {
-                                drained.lock().push(cell.id);
-                                live.cell_drained();
-                                let _ = record;
+                        // Supervised attempt loop: panics are caught and
+                        // converted to HarnessPanic classes, failures retry
+                        // with capped backoff, and a cell that exhausts the
+                        // budget is quarantined instead of poisoning the run.
+                        let mut attempt = 0u32;
+                        loop {
+                            attempt += 1;
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    this.run_cell(&cell, attempt, triage, diversity, live, io_lock)
+                                }));
+                            let reason = match outcome {
+                                Ok(Ok(_record)) => {
+                                    drained.lock().push(cell.id);
+                                    live.cell_drained();
+                                    continue 'cells;
+                                }
+                                Ok(Err(e)) => {
+                                    tqs_telemetry::counter!("campaign.supervisor.cell_io_errors")
+                                        .incr();
+                                    e.to_string()
+                                }
+                                Err(payload) => {
+                                    live.add_panic_caught();
+                                    tqs_telemetry::counter!("campaign.supervisor.panics_caught")
+                                        .incr();
+                                    let text = panic_payload_text(payload.as_ref());
+                                    // The panic is itself a finding: admit it
+                                    // as a first-class bug class so the
+                                    // incident is triaged, persisted and
+                                    // re-verifiable like any other class.
+                                    if let Err(e) = this
+                                        .record_harness_panic(&cell, &text, triage, live, io_lock)
+                                    {
+                                        *failure.lock() = Some(e);
+                                        abort.store(true, Ordering::Relaxed);
+                                        break 'cells;
+                                    }
+                                    text
+                                }
+                            };
+                            if attempt >= sup.max_attempts.max(1) {
+                                let entry = QuarantineEntry {
+                                    cell_id: cell.id,
+                                    attempts: attempt,
+                                    reason,
+                                };
+                                let appended = {
+                                    let _io = io_lock.lock();
+                                    retry_append(sup, &this.append_opts(), |opts| {
+                                        this.quarantine_journal.append(&entry, opts)
+                                    })
+                                };
+                                match appended {
+                                    Ok(_) => {
+                                        live.add_quarantined();
+                                        tqs_telemetry::counter!("campaign.supervisor.quarantined")
+                                            .incr();
+                                        poisoned.lock().push(entry);
+                                    }
+                                    Err(e) => {
+                                        *failure.lock() = Some(e);
+                                        abort.store(true, Ordering::Relaxed);
+                                        break 'cells;
+                                    }
+                                }
+                                continue 'cells;
                             }
-                            Err(e) => {
-                                *failure.lock() = Some(e);
-                                abort.store(true, Ordering::Relaxed);
-                            }
+                            live.add_retry();
+                            tqs_telemetry::counter!("campaign.supervisor.retries").incr();
+                            std::thread::sleep(sup.backoff(attempt));
                         }
                     }
                 });
@@ -669,6 +834,7 @@ impl Campaign {
         for id in drained.into_inner() {
             self.done.insert(id);
         }
+        self.quarantine.extend(poisoned.into_inner());
         if let Some(e) = failure.into_inner() {
             self.status.abort();
             return Err(e);
@@ -684,11 +850,14 @@ impl Campaign {
         // resumed process and a later `run()` in this one keep reporting
         // cumulative rates.
         let totals = live.run_totals();
-        self.checkpoint.append_run(&RunRecord {
+        let run_record = RunRecord {
             elapsed_ms: totals.elapsed.as_millis() as u64,
             queries: totals.queries,
             statements: totals.statements,
             plans: totals.plans,
+        };
+        retry_append(&self.cfg.supervisor, &self.append_opts(), |opts| {
+            self.checkpoint.append_run_with(&run_record, opts)
         })?;
         self.prior = RunTotals {
             elapsed: self.prior.elapsed + totals.elapsed,
@@ -701,10 +870,15 @@ impl Campaign {
     }
 
     /// Drain one cell: deterministic query stream, per-cell adaptive KQE
-    /// scorer, campaign-wide triage, witness-trace persistence.
+    /// scorer, campaign-wide triage, witness-trace persistence. `attempt` is
+    /// the supervisor's 1-based attempt counter — everything the cell does is
+    /// attempt-independent except the chaos panic decision, so a retried
+    /// cell re-admits its findings as duplicates and the corpus stays
+    /// deterministic.
     fn run_cell(
         &self,
         cell: &CampaignCell,
+        attempt: u32,
         triage: &Mutex<BugTriage>,
         diversity: &Mutex<GraphIndex>,
         live: &LiveStats,
@@ -722,7 +896,7 @@ impl Campaign {
         conn.load_catalog(&shard.db.catalog)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         if cell.workload == Workload::Dml {
-            return self.run_dml_cell(cell, shard, conn, triage, live, io_lock, started);
+            return self.run_dml_cell(cell, attempt, shard, conn, triage, live, io_lock, started);
         }
         let mut oracle = cell.build_oracle(shard);
         // Per-cell KQE state: the adaptive walk stays deterministic for the
@@ -734,10 +908,20 @@ impl Campaign {
             ..Default::default()
         });
 
+        let sup = &self.cfg.supervisor;
+        let cell_deadline = sup.cell_deadline.map(|d| started + d);
+        let mut timed_out = false;
         let mut queries = 0usize;
         let mut raw_reports = 0usize;
         let mut new_classes = 0usize;
         for _ in 0..self.cfg.queries_per_cell {
+            // The cell deadline is checked between statements (and folded
+            // into each statement's cancel token below), so a timed-out cell
+            // overruns its budget by at most one statement.
+            if cell_deadline.is_some_and(|d| Instant::now() >= d) {
+                timed_out = true;
+                break;
+            }
             let stmt = {
                 let scorer = KqeScorer { kqe: &kqe };
                 generator.generate(shard, None, &scorer)
@@ -752,6 +936,11 @@ impl Campaign {
             }
             // Drain (and count) the previous statement's engine events.
             live.add_statements(count_statements(&conn.take_trace()));
+            // Statement budget: the engines poll the installed token at
+            // operator boundaries; a cancelled statement errors out and the
+            // oracle skips it — a timeout can never be misread as a bug.
+            let _cancel = statement_deadline(sup, cell_deadline)
+                .map(|d| CancelToken::with_deadline(d).install());
             let reports = match oracle.check(&stmt, &mut conn) {
                 OracleVerdict::Skip => {
                     tqs_telemetry::counter!("campaign.oracle.skip").incr();
@@ -812,12 +1001,23 @@ impl Campaign {
                     trace: witness.clone(),
                 };
                 let _io = io_lock.lock();
-                self.corpus.append(&entry)?;
+                retry_append(sup, &self.append_opts(), |opts| {
+                    self.corpus.append_with(&entry, opts)
+                })?;
             }
         }
 
         live.add_statements(count_statements(&conn.take_trace()));
         live.add_plans(oracle.plans_enumerated());
+
+        if timed_out {
+            live.add_deadline_cell();
+            tqs_telemetry::counter!("campaign.supervisor.deadline_cells").incr();
+        }
+        // Chaos hook: fires between the hunting loop and the checkpoint
+        // append, so a panicking attempt leaves its ordinary bug classes in
+        // the corpus (admitted as duplicates on retry) but never checkpoints.
+        self.maybe_chaos_panic(cell, attempt);
 
         let record = CellRecord {
             cell_id: cell.id,
@@ -825,9 +1025,12 @@ impl Campaign {
             raw_reports,
             new_classes,
             elapsed_ms: started.elapsed().as_millis() as u64,
+            timeout: timed_out,
         };
         let _io = io_lock.lock();
-        self.checkpoint.append_cell(&record)?;
+        retry_append(sup, &self.append_opts(), |opts| {
+            self.checkpoint.append_cell_with(&record, opts)
+        })?;
         Ok(record)
     }
 
@@ -842,6 +1045,7 @@ impl Campaign {
     fn run_dml_cell(
         &self,
         cell: &CampaignCell,
+        attempt: u32,
         shard: &Arc<DsgDatabase>,
         mut conn: RecordingConnector<EngineConnector>,
         triage: &Mutex<BugTriage>,
@@ -855,13 +1059,25 @@ impl Campaign {
             ..Default::default()
         });
 
+        let sup = &self.cfg.supervisor;
+        let cell_deadline = sup.cell_deadline.map(|d| started + d);
+        let mut timed_out = false;
         let mut queries = 0usize;
         let mut raw_reports = 0usize;
         let mut new_classes = 0usize;
         for _ in 0..self.cfg.queries_per_cell {
+            if cell_deadline.is_some_and(|d| Instant::now() >= d) {
+                timed_out = true;
+                break;
+            }
             let program = generator.generate_program(shard);
             // Drain (and count) the previous program's engine events.
             live.add_statements(count_statements(&conn.take_trace()));
+            // No per-statement cancel token here, deliberately: the mutation
+            // oracle compares two *stateful* executions statement by
+            // statement, and cancelling one side mid-program would read as
+            // semantic divergence — a deadline misreported as a bug. DML
+            // cells are bounded by the cell deadline between programs.
             let reports = match oracle.check_program(&program, &mut conn) {
                 OracleVerdict::Skip => {
                     tqs_telemetry::counter!("campaign.oracle.skip").incr();
@@ -906,11 +1122,19 @@ impl Campaign {
                     trace: witness.clone(),
                 };
                 let _io = io_lock.lock();
-                self.corpus.append(&entry)?;
+                retry_append(sup, &self.append_opts(), |opts| {
+                    self.corpus.append_with(&entry, opts)
+                })?;
             }
         }
 
         live.add_statements(count_statements(&conn.take_trace()));
+
+        if timed_out {
+            live.add_deadline_cell();
+            tqs_telemetry::counter!("campaign.supervisor.deadline_cells").incr();
+        }
+        self.maybe_chaos_panic(cell, attempt);
 
         let record = CellRecord {
             cell_id: cell.id,
@@ -918,10 +1142,91 @@ impl Campaign {
             raw_reports,
             new_classes,
             elapsed_ms: started.elapsed().as_millis() as u64,
+            timeout: timed_out,
         };
         let _io = io_lock.lock();
-        self.checkpoint.append_cell(&record)?;
+        retry_append(sup, &self.append_opts(), |opts| {
+            self.checkpoint.append_cell_with(&record, opts)
+        })?;
         Ok(record)
+    }
+
+    /// Chaos hook for the supervision goldens: deterministically panic in a
+    /// seeded subset of cells. The message is attempt-independent so that a
+    /// killed-and-resumed chaos run produces bit-identical quarantine reasons.
+    fn maybe_chaos_panic(&self, cell: &CampaignCell, attempt: u32) {
+        if self.cfg.supervisor.chaos_panics(cell.id, attempt) {
+            tqs_telemetry::counter!("campaign.supervisor.chaos_panics").incr();
+            panic!("chaos: injected panic in cell {}", cell.id);
+        }
+    }
+
+    /// Convert a caught worker panic into a first-class incident report: a
+    /// `HarnessPanic` bug class keyed per cell, so the campaign's output
+    /// records *that the harness failed* alongside what the engines did.
+    /// Duplicate sightings (the retry attempts of a persistent panicker)
+    /// dedup through ordinary triage and never re-enter the corpus.
+    fn record_harness_panic(
+        &self,
+        cell: &CampaignCell,
+        payload: &str,
+        triage: &Mutex<BugTriage>,
+        live: &LiveStats,
+        io_lock: &Mutex<()>,
+    ) -> io::Result<()> {
+        let info = cell.engine.faulty(cell.profile).info();
+        let report = BugReport {
+            dbms: info.name.clone(),
+            oracle: OracleKind::HarnessPanic,
+            sql: payload.to_string(),
+            transformed_sql: String::new(),
+            hint_label: format!("harness-panic:cell-{}", cell.id),
+            expected_rows: 0,
+            observed_rows: 0,
+            fired: Vec::new(),
+            minimized_sql: None,
+            fingerprint: None,
+            keys: KeyCache::default(),
+        };
+        let Some(_idx) = triage.lock().admit(report.clone(), cell.id) else {
+            return Ok(()); // repeat panic of an already-recorded cell
+        };
+        live.add_raw_reports(1);
+        live.add_new_class();
+        let entry = CorpusEntry {
+            cell_id: cell.id,
+            class_key: report.class_key().to_string(),
+            connector: info,
+            report,
+            trace: Vec::new(),
+        };
+        let _io = io_lock.lock();
+        retry_append(&self.cfg.supervisor, &self.append_opts(), |opts| {
+            self.corpus.append_with(&entry, opts)
+        })?;
+        Ok(())
+    }
+}
+
+/// The effective deadline for one statement: the per-statement budget, the
+/// cell deadline, or (when both are set) whichever lands first.
+fn statement_deadline(sup: &SupervisorConfig, cell_deadline: Option<Instant>) -> Option<Instant> {
+    let stmt = sup.stmt_deadline.map(|d| Instant::now() + d);
+    match (stmt, cell_deadline) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
+}
+
+/// Render a caught panic payload as text. `panic!` with a literal yields
+/// `&str`; formatted panics yield `String`; anything else is opaque.
+fn panic_payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -964,6 +1269,7 @@ mod tests {
             seed: 99,
             minimize: false,
             max_cells_per_run: None,
+            supervisor: Default::default(),
         }
     }
 

@@ -12,7 +12,6 @@
 //! instead of resetting (and spiking) with each resume.
 
 use crate::json::Json;
-use std::fs::OpenOptions;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 
@@ -148,11 +147,15 @@ pub struct CellRecord {
     /// Bug classes this cell was first to discover.
     pub new_classes: usize,
     pub elapsed_ms: u64,
+    /// The cell hit its wall-clock deadline and was checkpointed as
+    /// complete-with-timeout (it ran fewer statements than configured).
+    /// Emitted only when true, so legacy journals parse unchanged.
+    pub timeout: bool,
 }
 
 impl CellRecord {
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut members = vec![
             ("cell".to_string(), Json::count(self.cell_id)),
             ("queries".to_string(), Json::count(self.queries)),
             ("raw".to_string(), Json::count(self.raw_reports)),
@@ -161,7 +164,11 @@ impl CellRecord {
                 "elapsed_ms".to_string(),
                 Json::count(self.elapsed_ms as usize),
             ),
-        ])
+        ];
+        if self.timeout {
+            members.push(("timeout".to_string(), Json::Bool(true)));
+        }
+        Json::Obj(members)
     }
 
     fn from_json(j: &Json) -> Result<CellRecord, String> {
@@ -176,6 +183,7 @@ impl CellRecord {
             raw_reports: count("raw")?,
             new_classes: count("new_classes")?,
             elapsed_ms: count("elapsed_ms")? as u64,
+            timeout: j.get("timeout").and_then(Json::as_bool).unwrap_or(false),
         })
     }
 }
@@ -271,26 +279,43 @@ impl Checkpoint {
         f.flush()
     }
 
-    /// Journal one completed cell (callers serialize through the campaign's
-    /// io lock).
+    /// Journal one completed cell with the default durability settings
+    /// (callers serialize through the campaign's io lock).
     pub fn append_cell(&self, record: &CellRecord) -> io::Result<()> {
+        self.append_cell_with(record, &crate::supervisor::AppendOptions::default())
+    }
+
+    /// Journal one completed cell through explicit durability options
+    /// (atomic-or-absent, fsync commit point, chaos fault policy).
+    pub fn append_cell_with(
+        &self,
+        record: &CellRecord,
+        opts: &crate::supervisor::AppendOptions,
+    ) -> io::Result<()> {
         tqs_telemetry::counter!("campaign.checkpoint.cell_appends").incr();
-        self.append_line(record.to_json())
+        self.append_line(record.to_json(), opts)
     }
 
     /// Journal one finished run's totals so resumed campaigns report
     /// cumulative throughput instead of restarting their clocks.
     pub fn append_run(&self, record: &RunRecord) -> io::Result<()> {
-        tqs_telemetry::counter!("campaign.checkpoint.run_appends").incr();
-        self.append_line(record.to_json())
+        self.append_run_with(record, &crate::supervisor::AppendOptions::default())
     }
 
-    fn append_line(&self, json: Json) -> io::Result<()> {
-        let mut f = OpenOptions::new().append(true).open(&self.path)?;
+    /// [`Checkpoint::append_run`] through explicit durability options.
+    pub fn append_run_with(
+        &self,
+        record: &RunRecord,
+        opts: &crate::supervisor::AppendOptions,
+    ) -> io::Result<()> {
+        tqs_telemetry::counter!("campaign.checkpoint.run_appends").incr();
+        self.append_line(record.to_json(), opts)
+    }
+
+    fn append_line(&self, json: Json, opts: &crate::supervisor::AppendOptions) -> io::Result<()> {
         let mut line = json.to_string();
         line.push('\n');
-        f.write_all(line.as_bytes())?;
-        f.flush()
+        crate::supervisor::append_line_durable(&self.path, line.as_bytes(), opts)
     }
 
     /// Truncate a torn final line left by a kill mid-append so later
@@ -367,6 +392,7 @@ impl Checkpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::OpenOptions;
 
     fn header() -> CheckpointHeader {
         CheckpointHeader {
@@ -396,6 +422,7 @@ mod tests {
                 raw_reports: 14,
                 new_classes: 3,
                 elapsed_ms: 120,
+                timeout: false,
             })
             .unwrap();
         }
@@ -437,6 +464,7 @@ mod tests {
             raw_reports: 0,
             new_classes: 0,
             elapsed_ms: 5,
+            timeout: false,
         })
         .unwrap();
         let loaded = ckpt.load().unwrap();

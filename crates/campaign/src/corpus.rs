@@ -74,7 +74,7 @@ fn oracle_kind_label(k: OracleKind) -> String {
 }
 
 fn oracle_kind_from_label(label: &str) -> Result<OracleKind, String> {
-    const ALL: [OracleKind; 8] = [
+    const ALL: [OracleKind; 9] = [
         OracleKind::GroundTruth,
         OracleKind::Differential,
         OracleKind::CrossEngine,
@@ -83,6 +83,7 @@ fn oracle_kind_from_label(label: &str) -> Result<OracleKind, String> {
         OracleKind::NonOptimizingRewrite,
         OracleKind::PlanSpace,
         OracleKind::Mutation,
+        OracleKind::HarnessPanic,
     ];
     ALL.into_iter()
         .find(|k| oracle_kind_label(*k) == label)
@@ -417,18 +418,26 @@ impl Corpus {
         &self.path
     }
 
-    /// Append one entry as a single line (callers serialize appends through
-    /// the campaign's io lock).
+    /// Append one entry as a single line with the default durability
+    /// settings (fsynced, no fault injection). Callers serialize appends
+    /// through the campaign's io lock.
     pub fn append(&self, entry: &CorpusEntry) -> io::Result<()> {
+        self.append_with(entry, &crate::supervisor::AppendOptions::default())
+    }
+
+    /// Append one entry through explicit durability options: atomic-or-absent
+    /// (a failed append rolls the file back to its previous length), with an
+    /// fsync commit point when `opts.sync`, and routed through the
+    /// environmental fault policy for chaos testing.
+    pub fn append_with(
+        &self,
+        entry: &CorpusEntry,
+        opts: &crate::supervisor::AppendOptions,
+    ) -> io::Result<()> {
         tqs_telemetry::counter!("campaign.corpus.appends").incr();
-        let mut f = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&self.path)?;
         let mut line = entry.to_json().to_string();
         line.push('\n');
-        f.write_all(line.as_bytes())?;
-        f.flush()
+        crate::supervisor::append_line_durable(&self.path, line.as_bytes(), opts)
     }
 
     /// Load every complete entry. A torn final line (campaign killed

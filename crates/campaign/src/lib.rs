@@ -67,6 +67,7 @@
 //!     seed: 11,
 //!     minimize: false,
 //!     max_cells_per_run: None,
+//!     supervisor: Default::default(),
 //! })
 //! .unwrap();
 //! let stats = campaign.run().unwrap();
@@ -86,10 +87,12 @@ pub mod reverify;
 pub mod scheduler;
 pub mod stats;
 pub mod status;
+pub mod supervisor;
 pub mod triage;
 
 pub use campaign::{
-    Campaign, CampaignCell, CampaignConfig, EngineKind, OracleSpec, PlanMode, Workload,
+    Campaign, CampaignCell, CampaignConfig, CampaignStopHandle, EngineKind, OracleSpec, PlanMode,
+    Workload,
 };
 pub use checkpoint::{CellRecord, Checkpoint, CheckpointHeader, CheckpointLoad, RunRecord};
 pub use corpus::{CompactionStats, Corpus, CorpusEntry, StoredStatement};
@@ -100,4 +103,5 @@ pub use reverify::{
 pub use scheduler::WorkQueues;
 pub use stats::{CampaignStats, LiveStats, ReverifyStats, RunTotals};
 pub use status::{CampaignStatusServer, StatusBoard};
+pub use supervisor::{AppendOptions, Quarantine, QuarantineEntry, SupervisorConfig};
 pub use triage::{BugTriage, TriageClass};

@@ -411,6 +411,14 @@ impl ReverifyCampaign {
             verdict(profile, ReverifyStatus::Stale, false, false, detail)
         };
 
+        if entry.report.oracle == OracleKind::HarnessPanic {
+            // Panic incidents record that the *harness* failed, not that an
+            // engine misbehaved — there is no SQL to replay against a build.
+            return stale(
+                entry.connector.dialect.name(),
+                "harness incident, not an engine bug".to_string(),
+            );
+        }
         let Some(cell) = self.campaign.cells().get(entry.cell_id).copied() else {
             return stale(
                 entry.connector.dialect.name(),
@@ -633,6 +641,7 @@ mod tests {
             seed: 77,
             minimize: false,
             max_cells_per_run: None,
+            supervisor: Default::default(),
         }
     }
 

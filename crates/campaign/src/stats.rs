@@ -53,6 +53,14 @@ pub struct LiveStats {
     /// Distinct isomorphic query structures explored so far (published by
     /// the fleet so live status readers see it mid-run).
     diversity: AtomicUsize,
+    /// Worker panics caught and converted into `HarnessPanic` classes.
+    panics_caught: AtomicUsize,
+    /// Cell attempts retried after a failure (panic or IO error).
+    retries: AtomicUsize,
+    /// Cells quarantined after exhausting their retry budget.
+    quarantined: AtomicUsize,
+    /// Cells checkpointed complete-with-timeout (wall-clock deadline hit).
+    deadline_cells: AtomicUsize,
 }
 
 impl LiveStats {
@@ -73,7 +81,27 @@ impl LiveStats {
             new_classes: AtomicUsize::new(0),
             cells_drained: AtomicUsize::new(0),
             diversity: AtomicUsize::new(0),
+            panics_caught: AtomicUsize::new(0),
+            retries: AtomicUsize::new(0),
+            quarantined: AtomicUsize::new(0),
+            deadline_cells: AtomicUsize::new(0),
         }
+    }
+
+    pub fn add_panic_caught(&self) {
+        self.panics_caught.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_quarantined(&self) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_deadline_cell(&self) {
+        self.deadline_cells.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn add_queries(&self, n: usize) {
@@ -149,6 +177,10 @@ impl LiveStats {
             bug_classes: total_classes,
             diversity: self.diversity.load(Ordering::Relaxed),
             torn_tails_repaired,
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            deadline_cells: self.deadline_cells.load(Ordering::Relaxed),
         }
     }
 }
@@ -185,6 +217,15 @@ pub struct CampaignStats {
     /// Campaign files (checkpoint journal, corpus) whose torn final line —
     /// left by a kill mid-append — was truncated when this campaign resumed.
     pub torn_tails_repaired: usize,
+    /// Worker panics caught and converted into `HarnessPanic` classes this
+    /// run.
+    pub panics_caught: usize,
+    /// Cell attempts retried this run (after a panic or IO failure).
+    pub retries: usize,
+    /// Cells quarantined to the poison list this run.
+    pub quarantined: usize,
+    /// Cells checkpointed complete-with-timeout this run.
+    pub deadline_cells: usize,
 }
 
 impl CampaignStats {
@@ -300,6 +341,13 @@ impl CampaignStats {
                 "torn_tails_repaired".to_string(),
                 Json::count(self.torn_tails_repaired),
             ),
+            ("panics_caught".to_string(), Json::count(self.panics_caught)),
+            ("retries".to_string(), Json::count(self.retries)),
+            ("quarantined".to_string(), Json::count(self.quarantined)),
+            (
+                "deadline_cells".to_string(),
+                Json::count(self.deadline_cells),
+            ),
         ])
     }
 }
@@ -380,6 +428,26 @@ mod tests {
     }
 
     #[test]
+    fn supervision_counters_flow_into_the_snapshot() {
+        let live = LiveStats::start();
+        live.add_panic_caught();
+        live.add_panic_caught();
+        live.add_retry();
+        live.add_retry();
+        live.add_retry();
+        live.add_quarantined();
+        live.add_deadline_cell();
+        let s = live.snapshot(4, 4, 0, 0);
+        assert_eq!(s.panics_caught, 2);
+        assert_eq!(s.retries, 3);
+        assert_eq!(s.quarantined, 1);
+        assert_eq!(s.deadline_cells, 1);
+        let parsed = Json::parse(&s.to_json().to_string()).unwrap();
+        assert_eq!(parsed.get("panics_caught").unwrap().as_usize(), Some(2));
+        assert_eq!(parsed.get("quarantined").unwrap().as_usize(), Some(1));
+    }
+
+    #[test]
     fn json_snapshot_has_the_bench_fields() {
         let live = LiveStats::start();
         live.add_queries(4);
@@ -402,6 +470,10 @@ mod tests {
             "cells_total",
             "diversity",
             "torn_tails_repaired",
+            "panics_caught",
+            "retries",
+            "quarantined",
+            "deadline_cells",
         ] {
             assert!(parsed.get(key).is_some(), "missing {key}");
         }

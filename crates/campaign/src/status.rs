@@ -40,6 +40,10 @@ struct BoardInner {
     /// The last finished run's final stats.
     last: Option<CampaignStats>,
     finished: bool,
+    /// A graceful stop has been requested (the fleet is draining).
+    stopping: bool,
+    /// The run ended after a stop request (vs running to completion).
+    stopped: bool,
 }
 
 /// Shared progress board: the campaign publishes, status readers snapshot.
@@ -73,6 +77,8 @@ impl StatusBoard {
             torn_tails_repaired,
             last: None,
             finished: false,
+            stopping: false,
+            stopped: false,
         };
     }
 
@@ -82,6 +88,13 @@ impl StatusBoard {
         inner.live = None;
         inner.last = Some(stats);
         inner.finished = true;
+        inner.stopped = inner.stopping;
+    }
+
+    /// A graceful stop was requested: workers finish their current cell and
+    /// drain. Surfaced as `"stopping"` (then `"stopped"`) in the status JSON.
+    pub fn request_stop(&self) {
+        self.inner.lock().stopping = true;
     }
 
     /// Called when the run dies on an I/O error: streams end rather than
@@ -118,10 +131,15 @@ impl StatusBoard {
 fn status_json(board: &StatusBoard) -> Json {
     match board.snapshot() {
         Some(stats) => {
-            let state = if board.is_finished() {
-                "finished"
-            } else {
-                "running"
+            let (finished, stopping, stopped) = {
+                let inner = board.inner.lock();
+                (inner.finished, inner.stopping, inner.stopped)
+            };
+            let state = match (finished, stopping, stopped) {
+                (true, _, true) => "stopped",
+                (true, _, false) => "finished",
+                (false, true, _) => "stopping",
+                (false, false, _) => "running",
             };
             let mut members = vec![("state".to_string(), Json::str(state))];
             if let Json::Obj(stat_members) = stats.to_json() {
@@ -203,6 +221,9 @@ fn serve(listener: TcpListener, board: Arc<StatusBoard>, stop: Arc<AtomicBool>) 
 fn handle_client(stream: TcpStream, board: &StatusBoard, stop: &AtomicBool) -> io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    // A stalled or vanished client must not wedge the (serial) serving
+    // thread: bound every write too.
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
     let mut reader = BufReader::new(stream);
     let mut request_line = String::new();
     reader.read_line(&mut request_line)?;
@@ -237,12 +258,24 @@ fn handle_client(stream: TcpStream, board: &StatusBoard, stop: &AtomicBool) -> i
             loop {
                 let mut line = status_json(board).to_string();
                 line.push('\n');
-                stream.write_all(line.as_bytes())?;
-                stream.flush()?;
+                // A client that disconnected mid-stream is a normal way for
+                // a stream to end, not a serving error: swallow it so the
+                // next connection is accepted immediately.
+                if stream.write_all(line.as_bytes()).is_err() || stream.flush().is_err() {
+                    tqs_telemetry::counter!("campaign.status.stream_disconnects").incr();
+                    return Ok(());
+                }
                 if board.is_finished() || stop.load(Ordering::Relaxed) {
                     return Ok(());
                 }
-                std::thread::sleep(Duration::from_millis(interval));
+                // Sleep in small slices so server stop isn't held hostage by
+                // a long client-chosen interval.
+                let mut remaining = interval;
+                while remaining > 0 && !stop.load(Ordering::Relaxed) {
+                    let slice = remaining.min(20);
+                    std::thread::sleep(Duration::from_millis(slice));
+                    remaining -= slice;
+                }
             }
         }
         _ => respond(&mut stream, "404 Not Found", "{\"error\": \"not found\"}"),

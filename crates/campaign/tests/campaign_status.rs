@@ -38,6 +38,7 @@ fn cfg(dir: std::path::PathBuf) -> CampaignConfig {
         seed: 99,
         minimize: false,
         max_cells_per_run: None,
+        supervisor: Default::default(),
     }
 }
 
@@ -125,4 +126,75 @@ fn status_endpoint_streams_a_live_campaign() {
 
     server.stop();
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn stream_survives_a_client_disconnecting_mid_stream() {
+    // Regression test: the status server handles connections serially, so a
+    // client that opens `/stream` and vanishes must not wedge the serving
+    // thread — later clients still get answers.
+    use std::sync::Arc;
+    use tqs_campaign::stats::RunTotals;
+    use tqs_campaign::{LiveStats, StatusBoard};
+
+    let board = Arc::new(StatusBoard::new());
+    // A board mid-run: the stream has no terminal line and ticks forever.
+    let live = Arc::new(LiveStats::start_with_prior(RunTotals::default()));
+    board.begin_run(Arc::clone(&live), 10, 0, 0, 0);
+    let server = CampaignStatusServer::start(Arc::clone(&board), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    // Client 1: start a stream, read one line, hang up without warning.
+    {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        write!(
+            conn,
+            "GET /stream?interval_ms=10 HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        .unwrap();
+        let mut reader = BufReader::new(conn);
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            if line.starts_with('{') {
+                break; // got one snapshot; the stream is live
+            }
+        }
+        // Dropping the socket here is the disconnect.
+    }
+
+    // Client 2 must still be served promptly on the same serving thread.
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    write!(conn, "GET /status HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut response = String::new();
+    std::io::Read::read_to_string(&mut conn, &mut response).unwrap();
+    let body = response.split("\r\n\r\n").nth(1).unwrap();
+    let parsed = Json::parse(body).unwrap();
+    assert_eq!(parsed.get("state").unwrap().as_str(), Some("running"));
+
+    // Graceful-stop states surface in the status JSON.
+    board.request_stop();
+    let mut conn = TcpStream::connect(addr).unwrap();
+    write!(conn, "GET /status HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut response = String::new();
+    std::io::Read::read_to_string(&mut conn, &mut response).unwrap();
+    let body = response.split("\r\n\r\n").nth(1).unwrap();
+    assert_eq!(
+        Json::parse(body).unwrap().get("state").unwrap().as_str(),
+        Some("stopping")
+    );
+    board.finish(live.snapshot(10, 5, 0, 0));
+    let mut conn = TcpStream::connect(addr).unwrap();
+    write!(conn, "GET /status HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut response = String::new();
+    std::io::Read::read_to_string(&mut conn, &mut response).unwrap();
+    let body = response.split("\r\n\r\n").nth(1).unwrap();
+    assert_eq!(
+        Json::parse(body).unwrap().get("state").unwrap().as_str(),
+        Some("stopped")
+    );
+
+    server.stop();
 }

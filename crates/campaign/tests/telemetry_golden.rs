@@ -36,6 +36,7 @@ fn cfg(dir: std::path::PathBuf) -> CampaignConfig {
         seed: 4242,
         minimize: true,
         max_cells_per_run: None,
+        supervisor: Default::default(),
     }
 }
 

@@ -37,6 +37,11 @@ pub enum OracleKind {
     /// A mutation workload (DML + transactions) left the database in a state
     /// that disagrees with the delta-maintained ground truth.
     Mutation,
+    /// The harness itself panicked while hunting a cell. The report carries
+    /// the panic payload (in `sql`) and the cell id (in `hint_label`); it is
+    /// an incident record, not an engine bug, and reverification always
+    /// classifies it Stale.
+    HarnessPanic,
 }
 
 /// One detected logic bug.

@@ -248,6 +248,7 @@ impl ColumnarDatabase {
         ctx.materialization = self.inner.materialization_enabled(stmt);
         ctx.subquery_present = stmt.has_subquery();
         ctx.semi_strategy = self.inner.semi_strategy(stmt);
+        ctx.check_cancelled()?;
 
         let _stmt_span = tqs_telemetry::span("engine", "columnar.execute");
 
@@ -268,6 +269,7 @@ impl ColumnarDatabase {
 
         // Joins, in plan order, batch-at-a-time.
         for pj in &plan.joins {
+            ctx.check_cancelled()?;
             let ast_join = stmt
                 .from
                 .joins

@@ -362,6 +362,8 @@ impl DiskDatabase {
         ctx.materialization = self.inner.materialization_enabled(stmt);
         ctx.subquery_present = stmt.has_subquery();
         ctx.semi_strategy = self.inner.semi_strategy(stmt);
+        // The shadow row pipeline re-checks per join; this covers the scan.
+        ctx.check_cancelled()?;
         let trigger = match plan.joins.first() {
             Some(pj) => ctx.trigger_ctx(pj),
             None => TriggerContext {

@@ -579,6 +579,7 @@ impl Database {
         ctx.materialization = self.materialization_enabled(stmt);
         ctx.subquery_present = stmt.has_subquery();
         ctx.semi_strategy = self.semi_strategy(stmt);
+        ctx.check_cancelled()?;
 
         let _stmt_span = tqs_telemetry::span("engine", "row.execute");
 
@@ -598,6 +599,7 @@ impl Database {
 
         // Joins, in plan order.
         for pj in &plan.joins {
+            ctx.check_cancelled()?;
             let ast_join = stmt
                 .from
                 .joins

@@ -182,6 +182,9 @@ pub struct ExecContext {
     /// telemetry is enabled (`None` otherwise, so the hot path allocates
     /// nothing for it).
     pub profile: Option<QueryProfile>,
+    /// Cooperative cancellation handle, picked up from the thread's
+    /// installed token (inert when no deadline is configured).
+    pub cancel: crate::cancel::CancelToken,
 }
 
 impl ExecContext {
@@ -194,6 +197,21 @@ impl ExecContext {
             semi_strategy: None,
             fired: Vec::new(),
             profile: tqs_telemetry::enabled().then(QueryProfile::new),
+            cancel: crate::cancel::CancelToken::current(),
+        }
+    }
+
+    /// Bail out of execution if the statement's cancel token (deadline or
+    /// explicit cancel) has tripped. Executors call this at statement start
+    /// and once per join so a runaway cross join is stopped at the next
+    /// operator boundary.
+    #[inline]
+    pub fn check_cancelled(&self) -> Result<(), ExecError> {
+        if self.cancel.is_cancelled() {
+            tqs_telemetry::counter!("engine.exec.cancelled").incr();
+            Err(ExecError::Cancelled)
+        } else {
+            Ok(())
         }
     }
 
@@ -245,6 +263,9 @@ impl ExecContext {
 pub enum ExecError {
     UnknownColumn(String),
     Unsupported(String),
+    /// The statement's cancel token tripped (deadline exceeded or an
+    /// explicit cancel); execution was abandoned cooperatively.
+    Cancelled,
 }
 
 impl std::fmt::Display for ExecError {
@@ -252,6 +273,7 @@ impl std::fmt::Display for ExecError {
         match self {
             ExecError::UnknownColumn(c) => write!(f, "unknown column {c}"),
             ExecError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            ExecError::Cancelled => write!(f, "statement cancelled: deadline exceeded"),
         }
     }
 }

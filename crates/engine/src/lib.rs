@@ -21,6 +21,7 @@
 //! physical plan and data corner case, which is what makes hint-steered,
 //! ground-truth-verified testing (TQS) necessary to find them.
 
+pub mod cancel;
 pub mod columnar;
 pub mod disk;
 pub mod dml;
@@ -30,6 +31,7 @@ pub mod faults;
 pub mod plan;
 pub mod profiles;
 
+pub use cancel::{CancelGuard, CancelToken};
 pub use columnar::{ColumnarDatabase, ColumnarRel};
 pub use disk::{DiskDatabase, COMMIT_BATCH_ROWS};
 pub use dml::{DmlOp, DmlOutcome};

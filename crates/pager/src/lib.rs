@@ -26,12 +26,14 @@
 //! fsynced survives recovery byte-for-byte; a batch that never reached the
 //! fsync vanishes entirely.
 
+pub mod envfault;
 pub mod page;
 pub mod pool;
 pub mod rowcodec;
 pub mod store;
 pub mod wal;
 
+pub use envfault::{EnvFaultOp, EnvFaultPolicy};
 pub use page::{PageBuf, PageCorrupt, PageId, TableMeta, MAX_LEAF_CELLS, PAGE_SIZE};
 pub use pool::{BufferPool, DataFile, PoolStats};
 pub use rowcodec::{decode_row, encode_row, RowCodecError};

@@ -44,6 +44,7 @@ fn main() {
         seed: 2024,
         minimize: true,
         max_cells_per_run: None,
+        supervisor: Default::default(),
     };
 
     // Session 1: drain only part of the grid, then "die".

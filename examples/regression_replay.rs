@@ -48,6 +48,7 @@ fn main() {
         seed: 31337,
         minimize: true,
         max_cells_per_run: None,
+        supervisor: Default::default(),
     };
 
     // Step 1: hunt. The corpus accumulates one entry per bug class, each

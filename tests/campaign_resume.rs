@@ -46,6 +46,7 @@ fn cfg(dir: PathBuf, shards: usize, queries_per_cell: usize) -> CampaignConfig {
         seed: 4242,
         minimize: true,
         max_cells_per_run: None,
+        supervisor: Default::default(),
     }
 }
 

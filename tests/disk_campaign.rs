@@ -42,6 +42,7 @@ fn cfg(dir: PathBuf) -> CampaignConfig {
         seed: 616,
         minimize: true,
         max_cells_per_run: None,
+        supervisor: Default::default(),
     }
 }
 

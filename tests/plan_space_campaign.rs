@@ -56,6 +56,7 @@ fn cfg(dir: PathBuf, shards: usize, queries_per_cell: usize) -> CampaignConfig {
         seed: 3034,
         minimize: false,
         max_cells_per_run: None,
+        supervisor: Default::default(),
     }
 }
 

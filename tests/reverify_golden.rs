@@ -54,6 +54,7 @@ fn golden_cfg(dir: PathBuf) -> CampaignConfig {
         seed: 0x5EED,
         minimize: false,
         max_cells_per_run: None,
+        supervisor: Default::default(),
     }
 }
 

@@ -44,6 +44,7 @@ fn cfg(dir: PathBuf) -> CampaignConfig {
         seed: 4242,
         minimize: true,
         max_cells_per_run: None,
+        supervisor: Default::default(),
     }
 }
 
